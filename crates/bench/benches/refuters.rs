@@ -1,0 +1,108 @@
+//! Criterion benches for the refuters — the cost of executing each
+//! impossibility proof (experiments E1–E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::protocols_under_test::{EigUnderTest, NaiveUnderTest, TableUnderTest};
+use flm_core::problems::ClockSyncClaim;
+use flm_core::refute;
+use flm_graph::builders;
+use flm_protocols::clock_sync::TrivialClockSync;
+use flm_sim::clock::TimeFn;
+use std::hint::black_box;
+
+fn bench_ba_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_ba_nodes");
+    group.bench_function("triangle_f1_eig", |b| {
+        let g = builders::triangle();
+        let proto = EigUnderTest { f: 1 };
+        b.iter(|| refute::ba_nodes(black_box(&proto), &g, 1).unwrap())
+    });
+    group.bench_function("k5_f2_eig", |b| {
+        let g = builders::complete(5);
+        let proto = EigUnderTest { f: 2 };
+        b.iter(|| refute::ba_nodes(black_box(&proto), &g, 2).unwrap())
+    });
+    group.bench_function("k6_f2_eig", |b| {
+        let g = builders::complete(6);
+        let proto = EigUnderTest { f: 2 };
+        b.iter(|| refute::ba_nodes(black_box(&proto), &g, 2).unwrap())
+    });
+    group.bench_function("triangle_f1_verify", |b| {
+        let g = builders::triangle();
+        let proto = EigUnderTest { f: 1 };
+        let cert = refute::ba_nodes(&proto, &g, 1).unwrap();
+        b.iter(|| cert.verify(black_box(&proto)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ba_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_ba_connectivity");
+    for n in [4usize, 6, 8, 10] {
+        group.bench_function(format!("cycle{n}_f1"), |b| {
+            let g = builders::cycle(n);
+            b.iter(|| refute::ba_connectivity(black_box(&NaiveUnderTest), &g, 1).unwrap())
+        });
+    }
+    group.bench_function("k3x4_f2", |b| {
+        let g = builders::complete_bipartite(3, 4);
+        b.iter(|| refute::ba_connectivity(black_box(&NaiveUnderTest), &g, 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_E4_rings");
+    group.bench_function("weak_agreement_table", |b| {
+        let g = builders::triangle();
+        let proto = TableUnderTest { seed: 11 };
+        b.iter(|| refute::weak_agreement(black_box(&proto), &g, 1).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_E6_approx");
+    group.bench_function("simple_approx_table", |b| {
+        let g = builders::triangle();
+        let proto = TableUnderTest { seed: 13 };
+        b.iter(|| refute::simple_approx(black_box(&proto), &g, 1).unwrap())
+    });
+    for gamma in [0.5, 2.0, 4.0] {
+        group.bench_function(format!("eps_delta_gamma_g{gamma}"), |b| {
+            let g = builders::triangle();
+            let proto = TableUnderTest { seed: 13 };
+            b.iter(|| refute::eps_delta_gamma(black_box(&proto), &g, 1, 0.5, 1.0, gamma).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_E8_clocks");
+    for alpha in [4.0, 1.0] {
+        group.bench_function(format!("clock_sync_alpha{alpha}"), |b| {
+            let proto = TrivialClockSync {
+                l: TimeFn::identity(),
+            };
+            let claim = ClockSyncClaim {
+                p: TimeFn::identity(),
+                q: TimeFn::linear(2.0),
+                l: TimeFn::identity(),
+                u: TimeFn::affine(2.0, 6.0),
+                alpha,
+                t_prime: 1.0,
+            };
+            let g = builders::triangle();
+            b.iter(|| refute::clock_sync(black_box(&proto), &g, 1, &claim).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = refuters;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ba_nodes, bench_ba_connectivity, bench_rings, bench_approx, bench_clocks
+);
+criterion_main!(refuters);

@@ -1,0 +1,75 @@
+//! Criterion benches for the substrates: vertex connectivity, covering
+//! construction/validation, disjoint-path extraction, and the simulator's
+//! raw stepping rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flm_graph::covering::Covering;
+use flm_graph::{builders, connectivity, NodeId};
+use flm_sim::devices::TableDevice;
+use flm_sim::{Input, System};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_connectivity");
+    for n in [8usize, 16, 32] {
+        let g = builders::random_connected(n, 2 * n, 7);
+        group.bench_function(format!("kappa_random_n{n}"), |b| {
+            b.iter(|| connectivity::vertex_connectivity(black_box(&g)))
+        });
+    }
+    let g = builders::hypercube(5);
+    group.bench_function("kappa_hypercube_q5", |b| {
+        b.iter(|| connectivity::vertex_connectivity(black_box(&g)))
+    });
+    group.bench_function("disjoint_paths_q5", |b| {
+        b.iter(|| connectivity::vertex_disjoint_paths(black_box(&g), NodeId(0), NodeId(31)))
+    });
+    group.finish();
+}
+
+fn bench_covers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_covers");
+    group.bench_function("double_cover_k12", |b| {
+        let g = builders::complete(12);
+        let a: BTreeSet<NodeId> = (0..4).map(NodeId).collect();
+        let x: BTreeSet<NodeId> = (8..12).map(NodeId).collect();
+        b.iter(|| Covering::double_cover_crossing(black_box(&g), &a, &x).unwrap())
+    });
+    for m in [8usize, 64, 256] {
+        group.bench_function(format!("cyclic_cover_3x{m}"), |b| {
+            b.iter(|| Covering::cyclic_cover(3, black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_simulator");
+    for (name, g) in [
+        ("k8", builders::complete(8)),
+        ("ring48", builders::cycle(48)),
+    ] {
+        group.bench_function(format!("table_run_{name}_t20"), |b| {
+            b.iter(|| {
+                let mut sys = System::new(g.clone());
+                for v in g.nodes() {
+                    sys.assign(
+                        v,
+                        Box::new(TableDevice::new(u64::from(v.0), 50)),
+                        Input::Bool(v.0 % 2 == 0),
+                    );
+                }
+                sys.run(black_box(20))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_connectivity, bench_covers, bench_simulator
+);
+criterion_main!(substrate);

@@ -1,0 +1,23 @@
+//! Experiment runners for the FLM reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems and
+//! the covering constructions behind them, not wall-clock tables. The
+//! measurable artifacts this crate regenerates are therefore:
+//!
+//! * **dichotomy tables** — for a sweep of graphs and fault budgets, which
+//!   side of the `3f+1` / `2f+1` frontier they fall on, and whether the
+//!   refuter (inadequate side) or the protocol sweep (adequate side) wins;
+//! * **construction-size tables** — covering sizes, ring lengths `4k` and
+//!   `k+2`, and chain lengths as functions of protocol decision time and
+//!   the claim parameters (ε, δ, γ, α);
+//! * **protocol-cost tables** — rounds and message bytes for EIG,
+//!   phase-king, Dolev–Strong, DLPSW, and the relay overlay.
+//!
+//! The Criterion benches under `benches/` time the same runners; the
+//! `regen` binary prints the tables EXPERIMENTS.md records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod protocols_under_test;

@@ -1,0 +1,81 @@
+//! The candidate protocols the experiments feed to refuters and sweeps.
+//!
+//! Refuters take `&dyn Protocol`; the concrete protocols in
+//! `flm-protocols` carry their own fault budgets, so this module provides
+//! thin adapters plus the graph-agnostic "naive" candidates used on graphs
+//! where EIG cannot even be installed (non-complete ones).
+
+use flm_graph::{Graph, NodeId};
+use flm_protocols::Eig;
+use flm_sim::devices::{NaiveMajorityDevice, TableDevice};
+use flm_sim::{Device, Protocol};
+
+/// EIG with an explicit fault budget, usable as a `&dyn Protocol`.
+#[derive(Debug, Clone, Copy)]
+pub struct EigUnderTest {
+    /// The fault budget EIG is configured for.
+    pub f: usize,
+}
+
+impl Protocol for EigUnderTest {
+    fn name(&self) -> String {
+        format!("EIG(f={})", self.f)
+    }
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Eig::new(self.f).device(g, v)
+    }
+    fn horizon(&self, g: &Graph) -> u32 {
+        Eig::new(self.f).horizon(g)
+    }
+}
+
+/// One-round majority voting — runs on any graph, trivially wrong under
+/// faults; the standard candidate for connectivity-bound experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveUnderTest;
+
+impl Protocol for NaiveUnderTest {
+    fn name(&self) -> String {
+        "NaiveMajority".into()
+    }
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+        Box::new(NaiveMajorityDevice::new())
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        3
+    }
+}
+
+/// A seeded pseudo-random protocol (see [`TableDevice`]): the experiments
+/// sweep seeds to approximate the theorems' universal quantifier.
+#[derive(Debug, Clone, Copy)]
+pub struct TableUnderTest {
+    /// Seed selecting the protocol.
+    pub seed: u64,
+}
+
+impl Protocol for TableUnderTest {
+    fn name(&self) -> String {
+        format!("Table({})", self.seed)
+    }
+    fn device(&self, _g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Box::new(TableDevice::new(self.seed ^ u64::from(v.0), 3))
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+
+    #[test]
+    fn adapters_construct_devices() {
+        let g = builders::complete(4);
+        let _ = EigUnderTest { f: 1 }.device(&g, NodeId(0));
+        let _ = NaiveUnderTest.device(&g, NodeId(1));
+        let _ = TableUnderTest { seed: 3 }.device(&g, NodeId(2));
+    }
+}

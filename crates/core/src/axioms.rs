@@ -1,0 +1,297 @@
+//! Executable checks of the model axioms (§2).
+//!
+//! The paper's proofs rest on a small set of axioms; for the results to
+//! apply to a concrete model one "interprets the definitions in the
+//! particular model and demonstrates that the axioms hold". This module
+//! does the demonstration *by execution*: each check constructs the two
+//! systems an axiom quantifies over, runs them, and compares behaviors.
+//! The property-based suites run these against randomized protocols and
+//! graphs.
+
+use std::collections::BTreeSet;
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::behavior::EdgeBehavior;
+use flm_sim::clock::{ClockDevice, ClockSystem, TimeFn};
+use flm_sim::replay::ReplayDevice;
+use flm_sim::{Input, Protocol, System};
+
+/// **Locality axiom.** Runs `protocol` on `g`, then rebuilds a second
+/// system in which every node *outside* `u_set` is replaced by a
+/// masquerading replay of its recorded outedge traces, and checks that the
+/// scenario of `u_set` is identical in both behaviors.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (which would indicate a
+/// nondeterministic device or a simulator bug).
+pub fn check_locality(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    inputs: &dyn Fn(NodeId) -> Input,
+    u_set: &BTreeSet<NodeId>,
+    horizon: u32,
+) -> Result<(), String> {
+    let mut sys = System::new(g.clone());
+    for v in g.nodes() {
+        sys.assign(v, protocol.device(g, v), inputs(v));
+    }
+    let original = sys.try_run(horizon).map_err(|e| e.to_string())?;
+
+    let mut replayed = System::new(g.clone());
+    for v in g.nodes() {
+        if u_set.contains(&v) {
+            replayed.assign(v, protocol.device(g, v), inputs(v));
+        } else {
+            let traces: Vec<EdgeBehavior> = g
+                .neighbors(v)
+                .map(|w| original.edge(v, w).clone())
+                .collect();
+            replayed.assign(v, Box::new(ReplayDevice::masquerade(traces)), Input::None);
+        }
+    }
+    let rerun = replayed.try_run(horizon).map_err(|e| e.to_string())?;
+
+    let identity: std::collections::BTreeMap<NodeId, NodeId> =
+        u_set.iter().map(|&v| (v, v)).collect();
+    original
+        .scenario(u_set)
+        .matches(&rerun.scenario(u_set), &identity)
+}
+
+/// **Fault axiom.** Checks that for arbitrary edge traces `E₁,…,E_d`, the
+/// device `F(E₁,…,E_d)` installed at a node with `d` outedges exhibits
+/// exactly those traces, regardless of what its neighbors run.
+///
+/// # Errors
+///
+/// Returns a description of the first trace that failed to reproduce.
+pub fn check_fault_axiom(
+    g: &Graph,
+    node: NodeId,
+    traces: Vec<EdgeBehavior>,
+    neighbor_protocol: &dyn Protocol,
+    horizon: u32,
+) -> Result<(), String> {
+    let mut sys = System::new(g.clone());
+    sys.assign(
+        node,
+        Box::new(ReplayDevice::masquerade(traces.clone())),
+        Input::None,
+    );
+    for v in g.nodes() {
+        if v != node {
+            sys.assign(v, neighbor_protocol.device(g, v), Input::Bool(v.0 % 2 == 0));
+        }
+    }
+    let behavior = sys.try_run(horizon).map_err(|e| e.to_string())?;
+    for (port, w) in g.neighbors(node).enumerate() {
+        let got = behavior.edge(node, w);
+        let want = &traces[port];
+        for t in 0..horizon as usize {
+            let g_t = got.get(t).cloned().flatten();
+            let w_t = want.get(t).cloned().flatten();
+            if g_t != w_t {
+                return Err(format!(
+                    "edge ({node}, {w}) diverges from the prescribed trace at tick {t}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Bounded-Delay Locality axiom** (δ = 1 tick). Runs `protocol` twice
+/// with inputs differing on some set `d_set`, and checks that every node's
+/// snapshots agree through tick `dist(v, d_set) − 1`: news travels at most
+/// one hop per tick.
+///
+/// # Errors
+///
+/// Returns a description of the first node whose state changed faster than
+/// the delay bound allows.
+pub fn check_bounded_delay(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    inputs_a: &dyn Fn(NodeId) -> Input,
+    inputs_b: &dyn Fn(NodeId) -> Input,
+    horizon: u32,
+) -> Result<(), String> {
+    let run = |inputs: &dyn Fn(NodeId) -> Input| {
+        let mut sys = System::new(g.clone());
+        for v in g.nodes() {
+            sys.assign(v, protocol.device(g, v), inputs(v));
+        }
+        sys.try_run(horizon).map_err(|e| e.to_string())
+    };
+    let a = run(inputs_a)?;
+    let b = run(inputs_b)?;
+    let differing: BTreeSet<NodeId> = g.nodes().filter(|&v| inputs_a(v) != inputs_b(v)).collect();
+    if differing.is_empty() {
+        return Ok(());
+    }
+    // BFS distances from the differing set.
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue: std::collections::VecDeque<NodeId> = differing.iter().copied().collect();
+    for &v in &differing {
+        dist[v.index()] = 0;
+    }
+    while let Some(v) = queue.pop_front() {
+        for w in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    for v in g.nodes() {
+        let d = dist[v.index()];
+        if d == 0 || d == usize::MAX {
+            continue;
+        }
+        let through = d.min(horizon as usize);
+        for t in 0..through {
+            if a.node(v).snaps[t] != b.node(v).snaps[t] {
+                return Err(format!(
+                    "{v} at distance {d} from the differing inputs diverged at tick {t} < {d}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Scaling axiom.** Runs a clock system twice — once with clocks `D_v`,
+/// once with `D_v ∘ h` — and checks that every message's send/arrival times
+/// scale by `h⁻¹` with identical payloads, and that logical clock probes at
+/// corresponding times agree.
+///
+/// # Errors
+///
+/// Returns a description of the first event that failed to scale.
+#[allow(clippy::too_many_arguments)]
+pub fn check_scaling(
+    g: &Graph,
+    devices: &dyn Fn(NodeId) -> Box<dyn ClockDevice>,
+    clocks: &dyn Fn(NodeId) -> TimeFn,
+    h: &TimeFn,
+    horizon: f64,
+    probe: f64,
+) -> Result<(), String> {
+    let run = |scaled: bool| {
+        let mut sys = ClockSystem::new(g.clone());
+        for v in g.nodes() {
+            let clock = if scaled {
+                clocks(v).compose(h)
+            } else {
+                clocks(v)
+            };
+            sys.assign(v, devices(v), clock);
+        }
+        let (hz, pb) = if scaled {
+            (h.inverse().eval(horizon), h.inverse().eval(probe))
+        } else {
+            (horizon, probe)
+        };
+        sys.run(hz, &[pb])
+    };
+    let plain = run(false);
+    let scaled = run(true);
+    let tol = |x: f64| 1e-9 * x.abs().max(1.0);
+    for (edge, recs) in &plain.sends {
+        let srecs = scaled.sends.get(edge).map_or(&[][..], |v| v.as_slice());
+        if recs.len() != srecs.len() {
+            return Err(format!(
+                "edge {edge:?}: {} sends plain vs {} scaled",
+                recs.len(),
+                srecs.len()
+            ));
+        }
+        for (r, s) in recs.iter().zip(srecs) {
+            if (h.eval(s.sent) - r.sent).abs() > tol(r.sent)
+                || (h.eval(s.arrived) - r.arrived).abs() > tol(r.arrived)
+                || r.payload != s.payload
+            {
+                return Err(format!(
+                    "edge {edge:?}: send ({}, {}) does not scale to ({}, {})",
+                    s.sent, s.arrived, r.sent, r.arrived
+                ));
+            }
+        }
+    }
+    for v in g.nodes() {
+        let (a, b) = (plain.logical_at(0, v), scaled.logical_at(0, v));
+        if (a - b).abs() > tol(a) {
+            return Err(format!("{v}: logical {b} scaled vs {a} plain at the probe"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::devices::TableDevice;
+    use flm_sim::Device;
+
+    struct Table(u64);
+    impl Protocol for Table {
+        fn name(&self) -> String {
+            format!("Table({})", self.0)
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(TableDevice::new(self.0, 4))
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            6
+        }
+    }
+
+    #[test]
+    fn locality_holds_for_table_devices() {
+        let g = builders::complete(4);
+        let u: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into();
+        check_locality(&Table(7), &g, &|v| Input::Bool(v.0 == 0), &u, 6).unwrap();
+    }
+
+    #[test]
+    fn fault_axiom_holds_for_arbitrary_traces() {
+        let g = builders::triangle();
+        let traces = vec![
+            vec![Some(vec![1, 2]), None, Some(vec![3])],
+            vec![None, Some(vec![9]), None],
+        ];
+        check_fault_axiom(&g, NodeId(0), traces, &Table(3), 3).unwrap();
+    }
+
+    #[test]
+    fn bounded_delay_holds_on_a_path() {
+        // Inputs differ only at node 0 of a 5-path; node 4 must be unchanged
+        // through tick 3.
+        let g = builders::path(5);
+        check_bounded_delay(
+            &Table(11),
+            &g,
+            &|_| Input::Bool(false),
+            &|v| Input::Bool(v.0 == 0),
+            5,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn scaling_holds_for_averaging_devices() {
+        use flm_protocols::clock_sync::AveragingSync;
+        let g = builders::triangle();
+        check_scaling(
+            &g,
+            &|_| Box::new(AveragingSync::new(TimeFn::identity(), 1.5)),
+            &|v| TimeFn::linear(1.0 + f64::from(v.0) * 0.5),
+            &TimeFn::linear(2.0),
+            10.0,
+            8.0,
+        )
+        .unwrap();
+    }
+}

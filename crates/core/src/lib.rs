@@ -1,0 +1,70 @@
+//! Executable FLM impossibility proofs.
+//!
+//! This crate is the paper: *Fischer, Lynch & Merritt, "Easy Impossibility
+//! Proofs for Distributed Consensus Problems"* (PODC 1985), as running code.
+//!
+//! The paper proves that five consensus problems — Byzantine agreement, weak
+//! agreement, the Byzantine firing squad, approximate agreement, and clock
+//! synchronization — are unsolvable in **inadequate** communication graphs:
+//! graphs with fewer than `3f+1` nodes or vertex connectivity below `2f+1`.
+//! Each proof is *constructive*: assume devices solve the problem in an
+//! inadequate graph `G`, install those very devices in a covering graph `S`
+//! of `G`, run `S` once, and use the **Locality** and **Fault** axioms to
+//! transplant scenarios of `S` into correct behaviors of `G` whose required
+//! outputs contradict one another.
+//!
+//! Because the construction is effective, it can be *executed*: give any
+//! concrete protocol to a refuter in [`refute`] and it returns a
+//! [`certificate::Certificate`] — the chain of correct behaviors of `G`, the
+//! scenario matches justifying each link (the axioms, checked, not assumed),
+//! and the concrete condition the protocol violates.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Theorem 1 (BA, 3f+1 nodes)      | [`refute::ba_nodes`] |
+//! | Theorem 1 (BA, 2f+1 connectivity)| [`refute::ba_connectivity`] |
+//! | Theorem 2 (weak agreement)      | [`refute::weak_agreement`] |
+//! | Theorem 4 (firing squad)        | [`refute::firing_squad`] |
+//! | Theorem 5 (simple approximate)  | [`refute::simple_approx`] |
+//! | Theorem 6 ((ε,δ,γ)-agreement)   | [`refute::eps_delta_gamma`] |
+//! | Theorem 8 + Cor. 12–15 (clocks) | [`refute::clock_sync`] |
+//! | §2 model axioms                 | [`axioms`] |
+//! | Footnote 3 (collapse reduction) | [`reduction`] (+ [`clock_reduction`] for §7) |
+//!
+//! # Example: defeating any protocol on the triangle
+//!
+//! ```
+//! use flm_core::refute;
+//! use flm_graph::builders;
+//! use flm_sim::{Protocol, Device, Input, NodeCtx, Tick};
+//! use flm_sim::devices::NaiveMajorityDevice;
+//! use flm_graph::{Graph, NodeId};
+//!
+//! struct Naive;
+//! impl Protocol for Naive {
+//!     fn name(&self) -> String { "NaiveMajority".into() }
+//!     fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+//!         Box::new(NaiveMajorityDevice::new())
+//!     }
+//!     fn horizon(&self, _g: &Graph) -> u32 { 3 }
+//! }
+//!
+//! // Three nodes cannot tolerate one Byzantine fault: the refuter finds a
+//! // concrete correct behavior of the triangle that the protocol mishandles.
+//! let cert = refute::ba_nodes(&Naive, &builders::triangle(), 1).unwrap();
+//! assert!(cert.verify(&Naive).is_ok());
+//! println!("{cert}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod certificate;
+pub mod clock_reduction;
+pub mod problems;
+pub mod reduction;
+pub mod refute;
+
+pub use certificate::{Certificate, ChainLink, Condition, Violation};
+pub use refute::RefuteError;

@@ -1,0 +1,511 @@
+//! The paper's consensus problems as executable correctness conditions.
+//!
+//! Each function checks one problem's conditions over the correct nodes of
+//! a recorded behavior and reports the first violation. These checkers are
+//! the "required to do so" half of every proof: the refuters in
+//! [`crate::refute`] construct correct behaviors of the inadequate graph
+//! and feed them here; at least one must fail.
+
+use std::collections::BTreeSet;
+
+use flm_graph::NodeId;
+use flm_sim::{Decision, Input, SystemBehavior, Tick};
+
+use crate::certificate::{Condition, Violation};
+
+/// Extracts the Boolean decision of a correct node, reporting
+/// [`Condition::Termination`] when absent or mistyped.
+fn bool_decision(behavior: &SystemBehavior, v: NodeId, link: usize) -> Result<bool, Violation> {
+    match behavior.node(v).decision() {
+        Some(Decision::Bool(b)) => Ok(b),
+        other => Err(Violation {
+            condition: Condition::Termination,
+            link,
+            evidence: format!("correct node {v} decided {other:?} instead of a Boolean"),
+        }),
+    }
+}
+
+/// Extracts the real decision of a correct node.
+fn real_decision(behavior: &SystemBehavior, v: NodeId, link: usize) -> Result<f64, Violation> {
+    match behavior.node(v).decision() {
+        Some(Decision::Real(r)) => Ok(r),
+        other => Err(Violation {
+            condition: Condition::Termination,
+            link,
+            evidence: format!("correct node {v} decided {other:?} instead of a real"),
+        }),
+    }
+}
+
+/// Byzantine agreement (§3): every correct node chooses the same Boolean,
+/// and if all correct nodes share an input, that input is chosen.
+///
+/// # Errors
+///
+/// Returns the first violated condition with evidence; `link` tags the
+/// violation with the chain-behavior index it belongs to.
+pub fn byzantine_agreement(
+    behavior: &SystemBehavior,
+    correct: &BTreeSet<NodeId>,
+    link: usize,
+) -> Result<(), Violation> {
+    let mut first: Option<(NodeId, bool)> = None;
+    for &v in correct {
+        let d = bool_decision(behavior, v, link)?;
+        match first {
+            None => first = Some((v, d)),
+            Some((w, e)) if e != d => {
+                return Err(Violation {
+                    condition: Condition::Agreement,
+                    link,
+                    evidence: format!("{w} chose {} but {v} chose {}", u8::from(e), u8::from(d)),
+                })
+            }
+            _ => {}
+        }
+    }
+    let inputs: BTreeSet<Option<bool>> = correct
+        .iter()
+        .map(|&v| behavior.node(v).input.as_bool())
+        .collect();
+    if inputs.len() == 1 {
+        if let (Some(common), Some((v, d))) = (inputs.into_iter().next().flatten(), first) {
+            if d != common {
+                return Err(Violation {
+                    condition: Condition::Validity,
+                    link,
+                    evidence: format!(
+                        "all correct inputs are {} but {v} chose {}",
+                        u8::from(common),
+                        u8::from(d)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weak agreement (§4): same agreement condition; validity applies only
+/// when **all** nodes are correct (`all_correct`), and the *Choice*
+/// condition demands a decision in finite time (here: by the horizon).
+///
+/// # Errors
+///
+/// Returns the first violated condition with evidence.
+pub fn weak_agreement(
+    behavior: &SystemBehavior,
+    correct: &BTreeSet<NodeId>,
+    all_correct: bool,
+    link: usize,
+) -> Result<(), Violation> {
+    let mut first: Option<(NodeId, bool)> = None;
+    for &v in correct {
+        let d = bool_decision(behavior, v, link)?;
+        match first {
+            None => first = Some((v, d)),
+            Some((w, e)) if e != d => {
+                return Err(Violation {
+                    condition: Condition::Agreement,
+                    link,
+                    evidence: format!("{w} chose {} but {v} chose {}", u8::from(e), u8::from(d)),
+                })
+            }
+            _ => {}
+        }
+    }
+    if all_correct {
+        let inputs: BTreeSet<Option<bool>> = correct
+            .iter()
+            .map(|&v| behavior.node(v).input.as_bool())
+            .collect();
+        if inputs.len() == 1 {
+            if let (Some(Some(common)), Some((v, d))) = (inputs.into_iter().next(), first) {
+                if d != common {
+                    return Err(Violation {
+                        condition: Condition::Validity,
+                        link,
+                        evidence: format!(
+                            "all nodes correct with input {} but {v} chose {}",
+                            u8::from(common),
+                            u8::from(d)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Byzantine firing squad (§5): correct nodes fire simultaneously or not at
+/// all; with all nodes correct, a stimulus means everyone fires and no
+/// stimulus means nobody does.
+///
+/// # Errors
+///
+/// Returns the first violated condition with evidence.
+pub fn firing_squad(
+    behavior: &SystemBehavior,
+    correct: &BTreeSet<NodeId>,
+    all_correct: bool,
+    link: usize,
+) -> Result<(), Violation> {
+    let ticks: Vec<(NodeId, Option<Tick>)> = correct
+        .iter()
+        .map(|&v| (v, behavior.node(v).fire_tick()))
+        .collect();
+    for w in ticks.windows(2) {
+        let ((v1, t1), (v2, t2)) = (&w[0], &w[1]);
+        if t1 != t2 {
+            return Err(Violation {
+                condition: Condition::Agreement,
+                link,
+                evidence: format!("{v1} fires at {t1:?} but {v2} fires at {t2:?}"),
+            });
+        }
+    }
+    if all_correct {
+        let stimulated = correct
+            .iter()
+            .any(|&v| behavior.node(v).input == Input::Bool(true));
+        let fired = ticks.first().map(|(_, t)| t.is_some()).unwrap_or(false);
+        if stimulated && !fired {
+            return Err(Violation {
+                condition: Condition::Validity,
+                link,
+                evidence: "stimulus occurred at a correct node but nobody fired".into(),
+            });
+        }
+        if !stimulated && fired {
+            return Err(Violation {
+                condition: Condition::Validity,
+                link,
+                evidence: "no stimulus occurred yet nodes fired".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Simple approximate agreement (§6.1): correct outputs lie within the range
+/// of **all** assigned inputs, and their spread is strictly smaller than the
+/// input spread (or zero when the inputs coincide).
+///
+/// # Errors
+///
+/// Returns the first violated condition with evidence.
+pub fn simple_approx(
+    behavior: &SystemBehavior,
+    correct: &BTreeSet<NodeId>,
+    link: usize,
+) -> Result<(), Violation> {
+    let mut in_lo = f64::MAX;
+    let mut in_hi = f64::MIN;
+    for v in behavior.graph().nodes() {
+        if let Input::Real(r) = behavior.node(v).input {
+            in_lo = in_lo.min(r);
+            in_hi = in_hi.max(r);
+        }
+    }
+    let mut out_lo = f64::MAX;
+    let mut out_hi = f64::MIN;
+    for &v in correct {
+        let r = real_decision(behavior, v, link)?;
+        if r < in_lo || r > in_hi {
+            return Err(Violation {
+                condition: Condition::Validity,
+                link,
+                evidence: format!("{v} chose {r} outside the input range [{in_lo}, {in_hi}]"),
+            });
+        }
+        out_lo = out_lo.min(r);
+        out_hi = out_hi.max(r);
+    }
+    let in_spread = in_hi - in_lo;
+    let out_spread = out_hi - out_lo;
+    let ok = if in_spread == 0.0 {
+        out_spread == 0.0
+    } else {
+        out_spread < in_spread
+    };
+    if !ok {
+        return Err(Violation {
+            condition: Condition::Agreement,
+            link,
+            evidence: format!(
+                "output spread {out_spread} is not smaller than input spread {in_spread}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// (ε,δ,γ)-agreement (§6.2): correct inputs span at most δ; correct outputs
+/// must be within ε of each other and inside `[r_min − γ, r_max + γ]`.
+///
+/// # Errors
+///
+/// Returns the first violated condition with evidence.
+///
+/// # Panics
+///
+/// Panics if `correct` is empty or some correct node lacks a real input —
+/// the refuters always supply both.
+pub fn eps_delta_gamma(
+    behavior: &SystemBehavior,
+    correct: &BTreeSet<NodeId>,
+    eps: f64,
+    gamma: f64,
+    link: usize,
+) -> Result<(), Violation> {
+    let inputs: Vec<f64> = correct
+        .iter()
+        .map(|&v| {
+            behavior
+                .node(v)
+                .input
+                .as_real()
+                .unwrap_or_else(|| panic!("correct node {v} has no real input"))
+        })
+        .collect();
+    let r_min = inputs.iter().cloned().fold(f64::MAX, f64::min);
+    let r_max = inputs.iter().cloned().fold(f64::MIN, f64::max);
+    let mut outputs = Vec::with_capacity(correct.len());
+    for &v in correct {
+        let r = real_decision(behavior, v, link)?;
+        if r < r_min - gamma || r > r_max + gamma {
+            return Err(Violation {
+                condition: Condition::Validity,
+                link,
+                evidence: format!(
+                    "{v} chose {r} outside [{} , {}]",
+                    r_min - gamma,
+                    r_max + gamma
+                ),
+            });
+        }
+        outputs.push((v, r));
+    }
+    for &(v1, r1) in &outputs {
+        for &(v2, r2) in &outputs {
+            if (r1 - r2).abs() > eps {
+                return Err(Violation {
+                    condition: Condition::Agreement,
+                    link,
+                    evidence: format!(
+                        "{v1} chose {r1} and {v2} chose {r2}: {} > ε = {eps}",
+                        (r1 - r2).abs()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A nontrivial clock-synchronization claim (§7): devices assert that with
+/// correct hardware clocks drifting between `p` and `q`, logical clocks stay
+/// within envelopes `[l, u]` (validity) and, from time `t_prime` on, within
+/// `l(q(t)) − l(p(t)) − alpha` of each other (agreement), for some constant
+/// `alpha > 0`.
+#[derive(Debug, Clone)]
+pub struct ClockSyncClaim {
+    /// Slow correct hardware clock bound `p` (increasing, invertible).
+    pub p: flm_sim::clock::TimeFn,
+    /// Fast correct hardware clock bound `q`, with `p(t) ≤ q(t)`.
+    pub q: flm_sim::clock::TimeFn,
+    /// Non-decreasing lower envelope `l`.
+    pub l: flm_sim::clock::TimeFn,
+    /// Non-decreasing upper envelope `u`, with `l(t) ≤ u(t)`.
+    pub u: flm_sim::clock::TimeFn,
+    /// The claimed improvement over trivial synchronization; must be > 0.
+    pub alpha: f64,
+    /// The claimed stabilization time.
+    pub t_prime: f64,
+}
+
+impl ClockSyncClaim {
+    /// The agreement bound `l(q(t)) − l(p(t)) − α` at time `t`.
+    pub fn agreement_bound(&self, t: f64) -> f64 {
+        self.l.eval(self.q.eval(t)) - self.l.eval(self.p.eval(t)) - self.alpha
+    }
+
+    /// The scaling map `h = p⁻¹ ∘ q` (satisfies `h(t) ≥ t`).
+    pub fn h(&self) -> flm_sim::clock::TimeFn {
+        self.p.inverse().compose(&self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::devices::ConstantDevice;
+    use flm_sim::System;
+
+    fn run_constants(inputs: &[Input]) -> SystemBehavior {
+        let g = builders::complete(inputs.len());
+        let mut sys = System::new(g);
+        for v in sys.graph().nodes() {
+            sys.assign(v, Box::new(ConstantDevice::new()), inputs[v.index()]);
+        }
+        sys.run(2)
+    }
+
+    fn all(n: usize) -> BTreeSet<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn byzantine_agreement_catches_disagreement_and_validity() {
+        let b = run_constants(&[Input::Bool(true), Input::Bool(false), Input::Bool(true)]);
+        let viol = byzantine_agreement(&b, &all(3), 0).unwrap_err();
+        assert_eq!(viol.condition, Condition::Agreement);
+        let b = run_constants(&[Input::Bool(true), Input::Bool(true)]);
+        assert!(byzantine_agreement(&b, &all(2), 0).is_ok());
+    }
+
+    #[test]
+    fn byzantine_agreement_catches_no_decision() {
+        let b = run_constants(&[Input::None, Input::None]);
+        let viol = byzantine_agreement(&b, &all(2), 3).unwrap_err();
+        assert_eq!(viol.condition, Condition::Termination);
+        assert_eq!(viol.link, 3);
+    }
+
+    #[test]
+    fn weak_agreement_validity_only_when_all_correct() {
+        let b = run_constants(&[Input::Bool(true), Input::Bool(true)]);
+        // Pretend node 1 is faulty: agreement over {0} alone passes even
+        // if the value differs from the input.
+        let only0: BTreeSet<NodeId> = [NodeId(0)].into();
+        assert!(weak_agreement(&b, &only0, false, 0).is_ok());
+        // All correct with common input true deciding true: fine.
+        assert!(weak_agreement(&b, &all(2), true, 0).is_ok());
+    }
+
+    #[test]
+    fn simple_approx_checks_range_and_contraction() {
+        let b = run_constants(&[Input::Real(0.0), Input::Real(1.0)]);
+        // Constant devices echo inputs: spread 1.0 == input spread → violation.
+        let viol = simple_approx(&b, &all(2), 0).unwrap_err();
+        assert_eq!(viol.condition, Condition::Agreement);
+        // Identical inputs: spread 0 → ok.
+        let b = run_constants(&[Input::Real(0.5), Input::Real(0.5)]);
+        assert!(simple_approx(&b, &all(2), 0).is_ok());
+    }
+
+    #[test]
+    fn eps_delta_gamma_checks_eps_and_gamma() {
+        let b = run_constants(&[Input::Real(0.0), Input::Real(1.0)]);
+        // ε = 2 ≥ spread: ok with γ ≥ 0.
+        assert!(eps_delta_gamma(&b, &all(2), 2.0, 0.0, 0).is_ok());
+        // ε = 0.5 < spread 1.0: agreement violation.
+        let viol = eps_delta_gamma(&b, &all(2), 0.5, 0.0, 0).unwrap_err();
+        assert_eq!(viol.condition, Condition::Agreement);
+    }
+
+    #[test]
+    fn firing_squad_checker_covers_all_conditions() {
+        use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+        use flm_sim::Tick;
+
+        /// Fires at a fixed tick when stimulated.
+        struct FireAt(u32, bool, bool);
+        impl Device for FireAt {
+            fn name(&self) -> &'static str {
+                "FireAt"
+            }
+            fn init(&mut self, ctx: &NodeCtx) {
+                self.1 = ctx.input.as_bool().unwrap_or(false);
+            }
+            fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+                if self.1 && t.0 >= self.0 {
+                    self.2 = true;
+                }
+                inbox.iter().map(|_| None).collect()
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                if self.2 {
+                    snapshot::fire(&[])
+                } else {
+                    snapshot::undecided(&[])
+                }
+            }
+        }
+        let run = |ticks: [Option<u32>; 2], stim: [bool; 2]| {
+            let g = builders::path(2);
+            let mut sys = System::new(g.clone());
+            for v in g.nodes() {
+                let at = ticks[v.index()];
+                sys.assign(
+                    v,
+                    Box::new(FireAt(at.unwrap_or(99), false, false)),
+                    Input::Bool(stim[v.index()]),
+                );
+            }
+            sys.run(4)
+        };
+        // Simultaneous firing: ok.
+        let b = run([Some(2), Some(2)], [true, true]);
+        assert!(firing_squad(&b, &all(2), true, 0).is_ok());
+        // Different fire ticks: agreement violation.
+        let b = run([Some(1), Some(3)], [true, true]);
+        assert_eq!(
+            firing_squad(&b, &all(2), true, 0).unwrap_err().condition,
+            Condition::Agreement
+        );
+        // Stimulus but nobody fires: validity (all correct).
+        let b = run([None, None], [true, false]);
+        assert_eq!(
+            firing_squad(&b, &all(2), true, 0).unwrap_err().condition,
+            Condition::Validity
+        );
+        // No stimulus, no fire: ok; and not all correct ⇒ validity waived.
+        let b = run([None, None], [false, false]);
+        assert!(firing_squad(&b, &all(2), true, 0).is_ok());
+        let b = run([Some(1), Some(3)], [true, true]);
+        let only0: BTreeSet<NodeId> = [NodeId(0)].into();
+        assert!(firing_squad(&b, &only0, false, 0).is_ok());
+    }
+
+    #[test]
+    fn eps_delta_gamma_gamma_bound_is_checked() {
+        let b = run_constants(&[Input::Real(0.0), Input::Real(5.0)]);
+        // Outputs echo inputs: 5.0 is outside [0-γ, 0+γ] for the set where
+        // only node 0 is correct... both correct: r_max = 5 so validity ok,
+        // but ε = 10 passes and ε = 1 fails on agreement.
+        assert!(eps_delta_gamma(&b, &all(2), 10.0, 0.5, 0).is_ok());
+        assert_eq!(
+            eps_delta_gamma(&b, &all(2), 1.0, 0.5, 0)
+                .unwrap_err()
+                .condition,
+            Condition::Agreement
+        );
+        // Validity: force a γ violation by marking only node 0 correct —
+        // then r_min = r_max = 0 and its own echo is fine, so instead mark
+        // only node 1 correct with γ tiny and a decision far from its input?
+        // Echo devices always satisfy γ ≥ 0 for their own input; the γ check
+        // is exercised against real protocols by the refuters.
+        let only1: BTreeSet<NodeId> = [NodeId(1)].into();
+        assert!(eps_delta_gamma(&b, &only1, 1.0, 0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn clock_claim_bounds() {
+        use flm_sim::clock::TimeFn;
+        let claim = ClockSyncClaim {
+            p: TimeFn::identity(),
+            q: TimeFn::linear(2.0),
+            l: TimeFn::identity(),
+            u: TimeFn::linear(4.0),
+            alpha: 0.5,
+            t_prime: 1.0,
+        };
+        // l(q(t)) - l(p(t)) - α = 2t - t - 0.5
+        assert_eq!(claim.agreement_bound(3.0), 2.5);
+        assert_eq!(claim.h().eval(3.0), 6.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Footnote 3: the collapse reduction from general `n ≤ 3f` to `n = 3`.
+//!
+//! Given a system and a partition of its communication graph into
+//! subgraphs, there is a natural *collapsed* system: each class becomes one
+//! node whose device is the (indexed) set of devices of the class, whose
+//! node behavior is the class's subsystem behavior, and whose edge behavior
+//! bundles all the cross-class edge behaviors. The collapsed devices and
+//! behaviors satisfy the Locality and Fault axioms whenever the underlying
+//! ones do — so if Byzantine agreement were possible on a graph with
+//! `n ≤ 3f`, collapsing a 3-partition with classes of size at most `f`
+//! would make it possible on (a subgraph of) the triangle with one fault,
+//! contradicting the three-node case of Theorem 1.
+//!
+//! [`Collapsed`] builds that reduction executably: it wraps a protocol for
+//! `G` into a protocol for the quotient graph whose devices each simulate
+//! an entire class — including the class's internal links, with the same
+//! one-tick delay — and bundle cross-class messages. The refuters can then
+//! be pointed at the collapsed protocol on the triangle, giving an
+//! *alternative* proof path for every general-case theorem (exercised by
+//! the ablation tests and benches).
+
+use std::collections::BTreeSet;
+
+use flm_graph::covering::quotient;
+use flm_graph::{Graph, NodeId};
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::{Protocol, Tick};
+
+/// A protocol on the quotient graph whose devices simulate whole classes of
+/// an inner protocol's devices.
+pub struct Collapsed<P> {
+    inner: P,
+    base: Graph,
+    classes: Vec<BTreeSet<NodeId>>,
+    quotient_graph: Graph,
+}
+
+impl<P: Protocol> Collapsed<P> {
+    /// Collapses `inner` (written for `base`) along `classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quotient construction's error when `classes` is not a
+    /// partition of `base`'s nodes.
+    pub fn new(
+        inner: P,
+        base: &Graph,
+        classes: Vec<BTreeSet<NodeId>>,
+    ) -> Result<Self, flm_graph::GraphError> {
+        let (quotient_graph, _) = quotient(base, &classes)?;
+        Ok(Collapsed {
+            inner,
+            base: base.clone(),
+            classes,
+            quotient_graph,
+        })
+    }
+
+    /// The quotient graph the collapsed protocol is written for.
+    pub fn quotient_graph(&self) -> &Graph {
+        &self.quotient_graph
+    }
+}
+
+impl<P: Protocol> Protocol for Collapsed<P> {
+    fn name(&self) -> String {
+        format!(
+            "Collapsed({}, {} classes)",
+            self.inner.name(),
+            self.classes.len()
+        )
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `g` differs from the quotient graph.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        assert_eq!(
+            g, &self.quotient_graph,
+            "collapsed devices are written for the quotient graph"
+        );
+        let members: Vec<NodeId> = self.classes[v.index()].iter().copied().collect();
+        let inner_devices: Vec<Box<dyn Device>> = members
+            .iter()
+            .map(|&m| self.inner.device(&self.base, m))
+            .collect();
+        Box::new(CollapsedDevice::new(
+            self.base.clone(),
+            self.classes.clone(),
+            v,
+            members,
+            inner_devices,
+        ))
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        self.inner.horizon(&self.base)
+    }
+}
+
+/// One collapsed node: the full subsystem of a class, simulated in place.
+struct CollapsedDevice {
+    base: Graph,
+    class_of: Vec<usize>,
+    /// This device's class id.
+    me: usize,
+    /// This class's member nodes, sorted.
+    members: Vec<NodeId>,
+    devices: Vec<Box<dyn Device>>,
+    /// Internal class messages in flight: (src, dst, payload) sent last tick.
+    internal: Vec<(NodeId, NodeId, Option<Payload>)>,
+    /// Quotient ports: the neighbor class of each outer port.
+    port_class: Vec<usize>,
+}
+
+impl CollapsedDevice {
+    fn new(
+        base: Graph,
+        classes: Vec<BTreeSet<NodeId>>,
+        me: NodeId,
+        members: Vec<NodeId>,
+        devices: Vec<Box<dyn Device>>,
+    ) -> Self {
+        let mut class_of = vec![0usize; base.node_count()];
+        for (i, class) in classes.iter().enumerate() {
+            for &v in class {
+                class_of[v.index()] = i;
+            }
+        }
+        CollapsedDevice {
+            base,
+            class_of,
+            me: me.index(),
+            members,
+            devices,
+            internal: Vec::new(),
+            port_class: Vec::new(),
+        }
+    }
+
+    /// Encodes all cross-class payloads for one neighbor class, keyed by
+    /// the base edge they travel on.
+    fn bundle(msgs: &[(NodeId, NodeId, Option<Payload>)]) -> Payload {
+        let mut w = Writer::new();
+        w.u32(msgs.len() as u32);
+        for (src, dst, m) in msgs {
+            w.u32(src.0).u32(dst.0);
+            match m {
+                Some(m) => {
+                    w.u8(1).bytes(m);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    fn unbundle(payload: &[u8]) -> Vec<(NodeId, NodeId, Option<Payload>)> {
+        let mut out = Vec::new();
+        let mut r = Reader::new(payload);
+        let Ok(count) = r.u32() else { return out };
+        for _ in 0..count.min(1 << 16) {
+            let (Ok(src), Ok(dst), Ok(tag)) = (r.u32(), r.u32(), r.u8()) else {
+                return out;
+            };
+            let body = match tag {
+                1 => match r.bytes() {
+                    Ok(b) => Some(b.to_vec()),
+                    Err(_) => return out,
+                },
+                _ => None,
+            };
+            out.push((NodeId(src), NodeId(dst), body));
+        }
+        out
+    }
+}
+
+impl Device for CollapsedDevice {
+    fn name(&self) -> &'static str {
+        "Collapsed"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.port_class = ctx.ports.iter().map(|p| p.index()).collect();
+        for (member, device) in self.members.iter().zip(self.devices.iter_mut()) {
+            let inner_ctx = NodeCtx {
+                node: *member,
+                ports: self.base.neighbors(*member).collect(),
+                input: ctx.input,
+            };
+            device.init(&inner_ctx);
+        }
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        // Decode cross-class deliveries addressed to our members.
+        let mut deliveries: Vec<(NodeId, NodeId, Option<Payload>)> =
+            std::mem::take(&mut self.internal);
+        for (port, m) in inbox.iter().enumerate() {
+            let Some(m) = m else { continue };
+            let from_class = self.port_class[port];
+            for (src, dst, body) in Self::unbundle(m) {
+                // Validate: src in the claimed class, dst one of ours, and a
+                // real base edge. Anything else is Byzantine garbage.
+                let valid = src.index() < self.base.node_count()
+                    && dst.index() < self.base.node_count()
+                    && self.class_of[src.index()] == from_class
+                    && self.class_of[dst.index()] == self.me
+                    && self.base.has_link(src, dst);
+                if valid {
+                    deliveries.push((src, dst, body));
+                }
+            }
+        }
+        // Step each member with its assembled inbox.
+        let mut out_per_class: std::collections::BTreeMap<
+            usize,
+            Vec<(NodeId, NodeId, Option<Payload>)>,
+        > = std::collections::BTreeMap::new();
+        let mut next_internal = Vec::new();
+        let members = self.members.clone();
+        for (mi, member) in members.iter().enumerate() {
+            let ports: Vec<NodeId> = self.base.neighbors(*member).collect();
+            let inner_inbox: Vec<Option<Payload>> = ports
+                .iter()
+                .map(|&src| {
+                    deliveries
+                        .iter()
+                        .find(|(s, d, _)| *s == src && *d == *member)
+                        .and_then(|(_, _, body)| body.clone())
+                })
+                .collect();
+            let outs = self.devices[mi].step(t, &inner_inbox);
+            for (p, body) in outs.into_iter().enumerate() {
+                let dst = ports[p];
+                let dst_class = self.class_of[dst.index()];
+                if dst_class == self.me {
+                    next_internal.push((*member, dst, body));
+                } else {
+                    out_per_class
+                        .entry(dst_class)
+                        .or_default()
+                        .push((*member, dst, body));
+                }
+            }
+        }
+        self.internal = next_internal;
+        self.port_class
+            .iter()
+            .map(|class| out_per_class.get(class).map(|msgs| Self::bundle(msgs)))
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // The class decides when its first member decides; the state digest
+        // covers every member's snapshot (subsystem behavior = node
+        // behavior, per footnote 3).
+        let mut digest = flm_sim::auth::mix64(0xC0_11A9);
+        let mut decision = None;
+        for d in &self.devices {
+            let s = d.snapshot();
+            if decision.is_none() {
+                decision = snapshot::decision_in(&s);
+            }
+            for &b in &s {
+                digest = flm_sim::auth::mix64(digest ^ u64::from(b));
+            }
+        }
+        let state = digest.to_be_bytes();
+        match decision {
+            Some(flm_sim::Decision::Bool(b)) => snapshot::decided_bool(b, &state),
+            Some(flm_sim::Decision::Real(r)) => snapshot::decided_real(r, &state),
+            Some(flm_sim::Decision::Fire) => snapshot::fire(&state),
+            None => snapshot::undecided(&state),
+        }
+    }
+}
+
+/// Collapses a protocol on `g` along the canonical node-bound partition
+/// (classes of size ≤ `f`), yielding a triangle protocol when the quotient
+/// is complete.
+///
+/// # Errors
+///
+/// Propagates partition/quotient errors; in particular fails when
+/// `n > 3f` (the graph is node-adequate) via
+/// [`flm_graph::covering::node_bound_partition`].
+pub fn collapse_for_node_bound<P: Protocol>(
+    inner: P,
+    g: &Graph,
+    f: usize,
+) -> Result<Collapsed<P>, flm_graph::GraphError> {
+    let classes = flm_graph::covering::node_bound_partition(g.node_count(), f)?;
+    Collapsed::new(inner, g, classes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_protocols::Eig;
+    use flm_sim::{Decision, Input, System};
+
+    #[test]
+    fn collapsed_eig_preserves_honest_decisions() {
+        // EIG on K6 with f = 2, collapsed to the triangle: with everyone
+        // honest and a common input, the collapsed nodes decide that input.
+        let g = builders::complete(6);
+        let collapsed = collapse_for_node_bound(Eig::new(2), &g, 2).unwrap();
+        let q = collapsed.quotient_graph().clone();
+        assert_eq!(q, builders::triangle());
+        for input in [false, true] {
+            let mut sys = System::new(q.clone());
+            for v in q.nodes() {
+                sys.assign(v, collapsed.device(&q, v), Input::Bool(input));
+            }
+            let b = sys.run(collapsed.horizon(&q));
+            for v in q.nodes() {
+                assert_eq!(b.node(v).decision(), Some(Decision::Bool(input)), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_protocol_is_refuted_on_the_triangle() {
+        // Footnote 3 executed: EIG solves BA on K6 with f = 2 — so its
+        // collapse to the triangle must be refutable with f = 1, and it is.
+        let g = builders::complete(6);
+        let collapsed = collapse_for_node_bound(Eig::new(2), &g, 2).unwrap();
+        let tri = collapsed.quotient_graph().clone();
+        let cert = crate::refute::ba_nodes(&collapsed, &tri, 1).unwrap();
+        assert!(cert.chain.iter().all(|l| l.scenario_matched));
+        cert.verify(&collapsed).unwrap();
+    }
+
+    #[test]
+    fn collapse_rejects_adequate_graphs() {
+        let g = builders::complete(7);
+        assert!(collapse_for_node_bound(Eig::new(2), &g, 2).is_err());
+    }
+
+    #[test]
+    fn bundles_round_trip() {
+        let msgs = vec![
+            (NodeId(0), NodeId(3), Some(vec![1, 2])),
+            (NodeId(1), NodeId(4), None),
+        ];
+        let decoded = CollapsedDevice::unbundle(&CollapsedDevice::bundle(&msgs));
+        assert_eq!(decoded, msgs);
+    }
+}

@@ -1,0 +1,385 @@
+//! Theorems 5 and 6: approximate agreement is impossible in inadequate
+//! graphs.
+//!
+//! * [`simple_approx`] (§6.1) reuses the Byzantine-agreement hexagon walk
+//!   with real inputs 0 and 1: validity pins the first behavior's outputs to
+//!   0 and the last's to 1, while the middle behavior's agreement condition
+//!   demands the outputs get strictly closer than the inputs — impossible.
+//! * [`eps_delta_gamma`] (§6.2) unrolls the triangle into a `(k+2)`-node
+//!   ring with inputs `0, δ, 2δ, …`: Lemma 7's induction shows each
+//!   two-node scenario lets the outputs creep up by at most ε per step,
+//!   while validity at the far end demands a value near `kδ` — pick `k`
+//!   with `δ > 2γ/(k−1) + ε` and the chain must break somewhere.
+
+use std::collections::BTreeSet;
+
+use flm_graph::covering::Covering;
+use flm_graph::{Graph, NodeId};
+use flm_sim::{Input, Protocol};
+
+use crate::certificate::{Certificate, Theorem, Violation};
+use crate::problems;
+use crate::refute::{partition_with_crossing_link, run_cover, transplant, RefuteError};
+
+/// Theorem 5: refutes any simple-approximate-agreement protocol on a graph
+/// with `n ≤ 3f` nodes.
+///
+/// # Errors
+///
+/// [`RefuteError::GraphIsAdequate`] when `n ≥ 3f + 1`;
+/// [`RefuteError::ModelViolation`] for nondeterministic devices.
+pub fn simple_approx(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    f: usize,
+) -> Result<Certificate, RefuteError> {
+    let n = g.node_count();
+    let [a, b, c] = partition_with_crossing_link(g, f)?;
+    let cov = Covering::double_cover_crossing(g, &a, &c)?;
+    let horizon = protocol.horizon(g);
+    let inputs = move |s: NodeId| Input::Real(if s.index() >= n { 1.0 } else { 0.0 });
+    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon)?;
+
+    let off = n as u32;
+    let lift = |class: &BTreeSet<NodeId>, copy: u32| {
+        class
+            .iter()
+            .map(move |v| NodeId(v.0 + copy * off))
+            .collect::<Vec<_>>()
+    };
+    let scenarios: Vec<(BTreeSet<NodeId>, f64)> = vec![
+        // (cover nodes, input assigned to that link's faulty nodes)
+        (lift(&b, 0).into_iter().chain(lift(&c, 0)).collect(), 0.0),
+        (lift(&c, 0).into_iter().chain(lift(&a, 1)).collect(), 0.5),
+        (lift(&a, 1).into_iter().chain(lift(&b, 1)).collect(), 1.0),
+    ];
+
+    let mut chain = Vec::new();
+    let mut violation: Option<Violation> = None;
+    for (i, (u_set, faulty_in)) in scenarios.iter().enumerate() {
+        let (link, behavior, correct) = transplant(
+            protocol,
+            &cov,
+            &cover_behavior,
+            u_set,
+            Input::Real(*faulty_in),
+            horizon,
+        )?;
+        if violation.is_none() {
+            violation = problems::simple_approx(&behavior, &correct, i).err();
+        }
+        chain.push(link);
+    }
+    let violation = violation.ok_or_else(|| RefuteError::Unrefuted {
+        reason: "all three behaviors met simple approximate agreement; \
+                 the E1/E3 validity pins and E2 agreement cannot coexist"
+            .into(),
+    })?;
+    Ok(Certificate {
+        theorem: Theorem::SimpleApprox,
+        protocol: protocol.name(),
+        base: g.clone(),
+        f,
+        covering: format!("double cover crossing a–c links; a={a:?} b={b:?} c={c:?}"),
+        chain,
+        violation,
+    })
+}
+
+/// Theorem 5, connectivity half: refutes any simple-approximate-agreement
+/// protocol on a connected graph with `κ(G) ≤ 2f`, using the same crossed
+/// double cover over a split vertex cut as [`crate::refute::ba_connectivity`]
+/// ("the connectivity bounds follow as for Byzantine agreement", §6.1).
+///
+/// # Errors
+///
+/// [`RefuteError::GraphIsAdequate`] when `κ(G) ≥ 2f + 1`;
+/// [`RefuteError::BadGraph`] for complete or disconnected graphs.
+pub fn simple_approx_connectivity(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    f: usize,
+) -> Result<Certificate, RefuteError> {
+    let plan = crate::refute::ba::connectivity_plan(g, f)?;
+    let horizon = protocol.horizon(g);
+    // Real inputs replacing the Boolean pattern: the "0 side" gets 0.0 and
+    // the "1 side" 1.0, per the same copy/class rule as Theorem 1.
+    let bool_inputs = plan.inputs.clone();
+    let inputs = move |s: NodeId| {
+        Input::Real(match bool_inputs(s) {
+            Input::Bool(true) => 1.0,
+            _ => 0.0,
+        })
+    };
+    let cover_behavior = run_cover(protocol, &plan.cov, &inputs, horizon)?;
+    let mut chain = Vec::new();
+    let mut violation: Option<Violation> = None;
+    // Faulty inputs keep each link's input range tight: all-0 in E1,
+    // mid-range in E2, all-1 in E3.
+    for (i, (u_set, faulty_in)) in plan.scenarios.iter().zip([0.0, 0.5, 1.0]).enumerate() {
+        let (link, behavior, correct) = transplant(
+            protocol,
+            &plan.cov,
+            &cover_behavior,
+            u_set,
+            Input::Real(faulty_in),
+            horizon,
+        )?;
+        if violation.is_none() {
+            violation = problems::simple_approx(&behavior, &correct, i).err();
+        }
+        chain.push(link);
+    }
+    let violation = violation.ok_or_else(|| RefuteError::Unrefuted {
+        reason: "all three behaviors met simple approximate agreement over the cut cover".into(),
+    })?;
+    Ok(Certificate {
+        theorem: Theorem::SimpleApprox,
+        protocol: protocol.name(),
+        base: g.clone(),
+        f,
+        covering: plan.description,
+        chain,
+        violation,
+    })
+}
+
+/// Theorem 6: refutes any (ε,δ,γ)-agreement protocol with `ε < δ` on the
+/// triangle with one fault (the paper's `n = 3`, `f = 1` core; the general
+/// `n ≤ 3f` case follows by the footnote-3 collapse in [`crate::reduction`]).
+///
+/// The ring has `k+2` nodes with inputs `0, δ, 2δ, …, (k+1)δ`, where `k` is
+/// the smallest multiple-of-3-compatible integer with `δ > 2γ/(k−1) + ε`.
+///
+/// # Errors
+///
+/// [`RefuteError::BadGraph`] unless `g` is the 3-node complete graph and
+/// `f = 1`; [`RefuteError::GraphIsAdequate`] when `ε ≥ δ` (the problem is
+/// trivially solvable by outputting the input).
+pub fn eps_delta_gamma(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    f: usize,
+    eps: f64,
+    delta: f64,
+    gamma: f64,
+) -> Result<Certificate, RefuteError> {
+    if g.node_count() != 3 || g.links().len() != 3 || f != 1 {
+        return Err(RefuteError::BadGraph {
+            reason: "the direct (ε,δ,γ) refuter is for the triangle with f = 1; \
+                     collapse larger systems with flm_core::reduction first"
+                .into(),
+        });
+    }
+    if !(eps > 0.0 && delta > 0.0 && gamma > 0.0) {
+        return Err(RefuteError::BadGraph {
+            reason: format!("ε, δ, γ must be positive (got {eps}, {delta}, {gamma})"),
+        });
+    }
+    if eps >= delta {
+        return Err(RefuteError::GraphIsAdequate {
+            reason: format!("ε = {eps} ≥ δ = {delta}: choosing the input solves the problem"),
+        });
+    }
+    // Smallest k with δ > 2γ/(k−1) + ε and (k+2) % 3 == 0.
+    let mut k = (2.0 * gamma / (delta - eps) + 1.0).ceil() as usize + 1;
+    while !(k + 2).is_multiple_of(3) {
+        k += 1;
+    }
+    let m = k.div_ceil(3);
+    let cov = Covering::cyclic_cover(3, m)?;
+    let horizon = protocol.horizon(g);
+    let inputs = move |s: NodeId| Input::Real(s.index() as f64 * delta);
+    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon)?;
+
+    // Scenario S_i = ring nodes {i, i+1}, for 0 ≤ i ≤ k. Faulty third node
+    // of the triangle gets an input inside the correct range so validity
+    // ranges are driven by the correct inputs, as in the paper.
+    let mut chain = Vec::new();
+    let mut violation: Option<Violation> = None;
+    for i in 0..=k {
+        let u_set: BTreeSet<NodeId> = [NodeId(i as u32), NodeId(i as u32 + 1)].into();
+        let (link, behavior, correct) = transplant(
+            protocol,
+            &cov,
+            &cover_behavior,
+            &u_set,
+            Input::Real(i as f64 * delta),
+            horizon,
+        )?;
+        if violation.is_none() {
+            violation = problems::eps_delta_gamma(&behavior, &correct, eps, gamma, i).err();
+        }
+        chain.push(link);
+        if violation.is_some() {
+            break; // later links don't strengthen the certificate
+        }
+    }
+    let violation = violation.ok_or_else(|| RefuteError::Unrefuted {
+        reason: format!(
+            "all {} two-node scenarios met (ε,δ,γ)-agreement, contradicting Lemma 7's \
+             arithmetic (kδ − γ ≤ δ + γ + (k−1)ε fails for k = {k})",
+            k + 1
+        ),
+    })?;
+    Ok(Certificate {
+        theorem: Theorem::EpsDeltaGamma,
+        protocol: protocol.name(),
+        base: g.clone(),
+        f,
+        covering: format!(
+            "cyclic {m}-fold cover of the triangle ({} -node ring)",
+            k + 2
+        ),
+        chain,
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+    use flm_sim::Tick;
+
+    /// Decides its real input immediately (trivially valid, never
+    /// contracting) — the simplest approximate-agreement candidate.
+    struct EchoReal {
+        value: f64,
+    }
+    impl Device for EchoReal {
+        fn name(&self) -> &'static str {
+            "EchoReal"
+        }
+        fn init(&mut self, ctx: &NodeCtx) {
+            self.value = ctx.input.as_real().unwrap_or(0.0);
+        }
+        fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            inbox.iter().map(|_| None).collect()
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            snapshot::decided_real(self.value, &[])
+        }
+    }
+
+    /// One round of "average with whatever the neighbors sent".
+    struct AverageOnce {
+        value: f64,
+        decided: Option<f64>,
+    }
+    impl Device for AverageOnce {
+        fn name(&self) -> &'static str {
+            "AverageOnce"
+        }
+        fn init(&mut self, ctx: &NodeCtx) {
+            self.value = ctx.input.as_real().unwrap_or(0.0);
+        }
+        fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            match t.0 {
+                0 => inbox
+                    .iter()
+                    .map(|_| Some(self.value.to_bits().to_be_bytes().to_vec()))
+                    .collect(),
+                1 => {
+                    let mut sum = self.value;
+                    let mut count = 1.0;
+                    for m in inbox.iter().flatten() {
+                        if let Ok(bits) = <[u8; 8]>::try_from(m.as_slice()) {
+                            sum += f64::from_bits(u64::from_be_bytes(bits));
+                            count += 1.0;
+                        }
+                    }
+                    self.decided = Some(sum / count);
+                    inbox.iter().map(|_| None).collect()
+                }
+                _ => inbox.iter().map(|_| None).collect(),
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            match self.decided {
+                Some(v) => snapshot::decided_real(v, &[]),
+                None => snapshot::undecided(&self.value.to_bits().to_be_bytes()),
+            }
+        }
+    }
+
+    struct P(u32);
+    impl Protocol for P {
+        fn name(&self) -> String {
+            format!("approx#{}", self.0)
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            match self.0 {
+                0 => Box::new(EchoReal { value: 0.0 }),
+                _ => Box::new(AverageOnce {
+                    value: 0.0,
+                    decided: None,
+                }),
+            }
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            4
+        }
+    }
+
+    #[test]
+    fn simple_approx_refutes_echo_and_average() {
+        let g = builders::triangle();
+        for i in 0..2 {
+            let proto = P(i);
+            let cert = simple_approx(&proto, &g, 1).unwrap_or_else(|e| panic!("#{i}: {e}"));
+            assert!(cert.chain.iter().all(|l| l.scenario_matched));
+            cert.verify(&proto).unwrap();
+        }
+    }
+
+    #[test]
+    fn simple_approx_connectivity_refutes_on_thin_graphs() {
+        for g in [builders::cycle(4), builders::cycle(6), builders::path(4)] {
+            for i in 0..2 {
+                let proto = P(i);
+                let cert = simple_approx_connectivity(&proto, &g, 1)
+                    .unwrap_or_else(|e| panic!("#{i}: {e}"));
+                assert_eq!(cert.theorem, Theorem::SimpleApprox);
+                assert!(cert.chain.iter().all(|l| l.scenario_matched));
+                cert.verify(&proto).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn simple_approx_connectivity_declines_adequate() {
+        assert!(matches!(
+            simple_approx_connectivity(&P(0), &builders::wheel(6), 1),
+            Err(RefuteError::GraphIsAdequate { .. })
+        ));
+    }
+
+    #[test]
+    fn simple_approx_declines_adequate() {
+        assert!(matches!(
+            simple_approx(&P(0), &builders::complete(4), 1),
+            Err(RefuteError::GraphIsAdequate { .. })
+        ));
+    }
+
+    #[test]
+    fn eps_delta_gamma_refutes_on_the_ring() {
+        let g = builders::triangle();
+        for i in 0..2 {
+            let proto = P(i);
+            let cert = eps_delta_gamma(&proto, &g, 1, 0.25, 1.0, 1.0)
+                .unwrap_or_else(|e| panic!("#{i}: {e}"));
+            cert.verify(&proto).unwrap();
+        }
+    }
+
+    #[test]
+    fn eps_delta_gamma_trivial_when_eps_ge_delta() {
+        assert!(matches!(
+            eps_delta_gamma(&P(0), &builders::triangle(), 1, 1.0, 1.0, 1.0),
+            Err(RefuteError::GraphIsAdequate { .. })
+        ));
+    }
+}

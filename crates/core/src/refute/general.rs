@@ -1,0 +1,134 @@
+//! General-case refuters via the footnote-3 collapse.
+//!
+//! The ring-based refuters ([`super::weak_agreement`],
+//! [`super::firing_squad`], [`super::eps_delta_gamma`]) address the paper's
+//! core case — the triangle with one fault. The paper handles `n ≤ 3f` "just
+//! as above" by partitioning the nodes into three classes; executably, the
+//! cleanest route is footnote 3: collapse the partitioned system into a
+//! three-node system (a [`crate::reduction::Collapsed`] protocol) and point
+//! the triangle refuter at it. If the original protocol solved the problem
+//! on `G`, the collapsed protocol would solve it on the triangle — which the
+//! certificate concretely contradicts.
+
+use flm_graph::Graph;
+use flm_sim::Protocol;
+
+use crate::certificate::Certificate;
+use crate::reduction::{collapse_for_node_bound, Collapsed};
+use crate::refute::RefuteError;
+
+/// Wraps a protocol on an `n ≤ 3f` graph into its collapsed triangle
+/// protocol, erroring when the quotient is not the triangle (some class
+/// pair has no links, so the collapse does not produce a three-node
+/// complete graph).
+fn collapse_to_triangle<P: Protocol>(
+    protocol: P,
+    g: &Graph,
+    f: usize,
+) -> Result<Collapsed<P>, RefuteError> {
+    let collapsed = collapse_for_node_bound(protocol, g, f).map_err(|e| match e {
+        flm_graph::GraphError::BadParameter { reason } => RefuteError::GraphIsAdequate { reason },
+        other => RefuteError::Graph(other),
+    })?;
+    if collapsed.quotient_graph() != &flm_graph::builders::triangle() {
+        return Err(RefuteError::BadGraph {
+            reason: "the node-bound partition does not quotient to the triangle \
+                     (a class pair has no cross links); choose a different partition"
+                .into(),
+        });
+    }
+    Ok(collapsed)
+}
+
+/// Theorem 2 for general `n ≤ 3f`: collapse, then refute weak agreement on
+/// the triangle. The certificate refers to the collapsed protocol.
+///
+/// # Errors
+///
+/// See the collapse preconditions above and [`super::weak_agreement`].
+pub fn weak_agreement_general<P: Protocol>(
+    protocol: P,
+    g: &Graph,
+    f: usize,
+) -> Result<(Certificate, Collapsed<P>), RefuteError> {
+    let collapsed = collapse_to_triangle(protocol, g, f)?;
+    let tri = flm_graph::builders::triangle();
+    let cert = super::weak_agreement(&collapsed, &tri, 1)?;
+    Ok((cert, collapsed))
+}
+
+/// Theorem 4 for general `n ≤ 3f`: collapse, then refute the firing squad
+/// on the triangle.
+///
+/// # Errors
+///
+/// See the collapse preconditions above and [`super::firing_squad`].
+pub fn firing_squad_general<P: Protocol>(
+    protocol: P,
+    g: &Graph,
+    f: usize,
+) -> Result<(Certificate, Collapsed<P>), RefuteError> {
+    let collapsed = collapse_to_triangle(protocol, g, f)?;
+    let tri = flm_graph::builders::triangle();
+    let cert = super::firing_squad(&collapsed, &tri, 1)?;
+    Ok((cert, collapsed))
+}
+
+/// Theorem 6 for general `n ≤ 3f`: collapse, then refute (ε,δ,γ)-agreement
+/// on the triangle.
+///
+/// # Errors
+///
+/// See the collapse preconditions above and [`super::eps_delta_gamma`].
+pub fn eps_delta_gamma_general<P: Protocol>(
+    protocol: P,
+    g: &Graph,
+    f: usize,
+    eps: f64,
+    delta: f64,
+    gamma: f64,
+) -> Result<(Certificate, Collapsed<P>), RefuteError> {
+    let collapsed = collapse_to_triangle(protocol, g, f)?;
+    let tri = flm_graph::builders::triangle();
+    let cert = super::eps_delta_gamma(&collapsed, &tri, 1, eps, delta, gamma)?;
+    Ok((cert, collapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_protocols::{Dlpsw, FiringSquadViaBa, WeakViaBa};
+
+    #[test]
+    fn weak_agreement_falls_on_k5_with_f2() {
+        // WeakViaBA(EIG f=2) genuinely works on K7; on K5 ≤ 3f it must fall.
+        let (cert, collapsed) =
+            weak_agreement_general(WeakViaBa::new(2), &builders::complete(5), 2).unwrap();
+        cert.verify(&collapsed).unwrap();
+    }
+
+    #[test]
+    fn firing_squad_falls_on_k6_with_f2() {
+        let (cert, collapsed) =
+            firing_squad_general(FiringSquadViaBa::new(2), &builders::complete(6), 2).unwrap();
+        cert.verify(&collapsed).unwrap();
+    }
+
+    #[test]
+    fn eps_delta_gamma_falls_on_k6_with_f2() {
+        // DLPSW(f=2) really works on K7 = 3f+1; on K6 ≤ 3f it must fall.
+        let (cert, collapsed) =
+            eps_delta_gamma_general(Dlpsw::new(2, 4), &builders::complete(6), 2, 0.25, 1.0, 1.0)
+                .unwrap();
+        cert.verify(&collapsed).unwrap();
+    }
+
+    #[test]
+    fn general_wrappers_decline_adequate_graphs() {
+        assert!(matches!(
+            weak_agreement_general(WeakViaBa::new(1), &builders::complete(4), 1),
+            Err(RefuteError::GraphIsAdequate { .. })
+        ));
+    }
+}

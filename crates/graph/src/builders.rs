@@ -1,0 +1,238 @@
+//! Constructions of the communication graphs used throughout the paper.
+
+use crate::{Graph, NodeId};
+
+/// The complete graph `K_n` — every pair of distinct nodes linked.
+///
+/// `complete(3)` is the paper's triangle graph of §3.1.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            g.add_link(NodeId(u), NodeId(v))
+                .expect("complete graph links are in range");
+        }
+    }
+    g
+}
+
+/// The cycle `C_n` with links `i — (i+1 mod n)`.
+///
+/// `cycle(4)` is the paper's 4-node connectivity example of §3.2, and
+/// `cycle(4k)` / `cycle(k+2)` are the covering rings of §4–§7.
+///
+/// # Panics
+///
+/// Panics if `n < 3`; shorter cycles would need self-loops or parallel links.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
+    let mut g = Graph::new(n);
+    for i in 0..n as u32 {
+        g.add_link(NodeId(i), NodeId((i + 1) % n as u32))
+            .expect("cycle links are in range");
+    }
+    g
+}
+
+/// The triangle graph (the complete graph on three nodes) of §3.1.
+pub fn triangle() -> Graph {
+    complete(3)
+}
+
+/// The path graph `P_n` with links `i — i+1`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n as u32 {
+        g.add_link(NodeId(i - 1), NodeId(i))
+            .expect("path links are in range");
+    }
+    g
+}
+
+/// A graph from an explicit undirected link list over `n` nodes.
+///
+/// # Errors
+///
+/// Propagates [`crate::GraphError`] for out-of-range endpoints or self loops.
+pub fn from_links(n: usize, links: &[(u32, u32)]) -> Result<Graph, crate::GraphError> {
+    let mut g = Graph::new(n);
+    for &(u, v) in links {
+        g.add_link(NodeId(u), NodeId(v))?;
+    }
+    Ok(g)
+}
+
+/// The complete bipartite graph `K_{a,b}`: nodes `0..a` on one side,
+/// `a..a+b` on the other. Its vertex connectivity is `min(a, b)` — handy for
+/// exercising the connectivity bound with graphs that are not cycles.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a as u32 {
+        for v in a as u32..(a + b) as u32 {
+            g.add_link(NodeId(u), NodeId(v))
+                .expect("bipartite links are in range");
+        }
+    }
+    g
+}
+
+/// The wheel `W_n`: a cycle of `n - 1` rim nodes (`0..n-1`) plus a hub
+/// (`n - 1`) linked to every rim node. Vertex connectivity 3 for `n ≥ 5`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes, got {n}");
+    let rim = n - 1;
+    let mut g = cycle_with_capacity(rim, n);
+    let hub = NodeId(rim as u32);
+    for i in 0..rim as u32 {
+        g.add_link(hub, NodeId(i))
+            .expect("wheel links are in range");
+    }
+    g
+}
+
+/// A cycle over `0..rim` inside a graph allocated with `total` nodes.
+fn cycle_with_capacity(rim: usize, total: usize) -> Graph {
+    assert!(rim >= 3 && total >= rim);
+    let mut g = Graph::new(total);
+    for i in 0..rim as u32 {
+        g.add_link(NodeId(i), NodeId((i + 1) % rim as u32))
+            .expect("cycle links are in range");
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`2^d` nodes, connectivity `d`).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d >= 1, "hypercube dimension must be at least 1");
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                g.add_link(NodeId(u as u32), NodeId(v as u32))
+                    .expect("hypercube links are in range");
+            }
+        }
+    }
+    g
+}
+
+/// A deterministic pseudo-random connected graph on `n` nodes with roughly
+/// `extra` links beyond a spanning random tree. Uses a fixed LCG keyed by
+/// `seed` so test failures reproduce exactly.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move |bound: usize| -> usize {
+        // xorshift64*; plenty for structural test data.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound as u64) as usize
+    };
+    let mut g = Graph::new(n);
+    // Random spanning tree: attach each node to an earlier one.
+    for v in 1..n {
+        let u = next(v);
+        g.add_link(NodeId(u as u32), NodeId(v as u32))
+            .expect("tree links are in range");
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < 20 * extra + 100 {
+        attempts += 1;
+        let u = next(n);
+        let v = next(n);
+        if u != v && !g.has_link(NodeId(u as u32), NodeId(v as u32)) {
+            g.add_link(NodeId(u as u32), NodeId(v as u32))
+                .expect("extra links are in range");
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.link_count(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn triangle_is_k3() {
+        assert_eq!(triangle(), complete(3));
+    }
+
+    #[test]
+    fn cycle_degrees_are_two() {
+        let g = cycle(7);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_link(NodeId(6), NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn cycle_rejects_too_short() {
+        cycle(2);
+    }
+
+    #[test]
+    fn path_is_open() {
+        let g = path(4);
+        assert_eq!(g.link_count(), 3);
+        assert!(!g.has_link(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn from_links_propagates_errors() {
+        assert!(from_links(2, &[(0, 0)]).is_err());
+        assert!(from_links(2, &[(0, 7)]).is_err());
+        assert!(from_links(3, &[(0, 1), (1, 2)]).is_ok());
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.link_count(), 6);
+        assert!(!g.has_link(NodeId(0), NodeId(1)));
+        assert!(g.has_link(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn wheel_hub_touches_rim() {
+        let g = wheel(6);
+        let hub = NodeId(5);
+        assert_eq!(g.degree(hub), 5);
+        for i in 0..5 {
+            assert_eq!(g.degree(NodeId(i)), 3);
+        }
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let a = random_connected(12, 6, 42);
+        let b = random_connected(12, 6, 42);
+        assert_eq!(a, b);
+        assert!(a.is_connected());
+    }
+}

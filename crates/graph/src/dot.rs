@@ -1,0 +1,94 @@
+//! Graphviz (DOT) emitters regenerating the paper's figures.
+//!
+//! The paper's figures are small labeled graphs: the triangle with devices
+//! `A`, `B`, `C`; the hexagon cover with inputs; the 4-cycle and its 8-node
+//! cover; the long rings of §4–§7. These emitters reproduce them from the
+//! live [`Graph`]/[`Covering`] objects so the artifacts in EXPERIMENTS.md
+//! are generated, not hand-drawn.
+
+use std::fmt::Write as _;
+
+use crate::covering::Covering;
+use crate::{Graph, NodeId};
+
+/// Renders a graph in DOT format with optional per-node labels.
+///
+/// `label(v)` supplies the display label for node `v`; the default
+/// (`None`) uses the node id. Undirected links are emitted once.
+pub fn graph_to_dot(g: &Graph, name: &str, label: impl Fn(NodeId) -> Option<String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  layout=circo;");
+    for v in g.nodes() {
+        let text = label(v).unwrap_or_else(|| v.to_string());
+        let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, text);
+    }
+    for (u, v) in g.links() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a covering as a DOT graph whose node labels show the projection:
+/// cover node `s` is labeled `"<base>·<copy>"` where `<base>` is `φ(s)` and
+/// `<copy>` distinguishes nodes in the same fiber.
+pub fn covering_to_dot(cov: &Covering, name: &str) -> String {
+    graph_to_dot(cov.cover(), name, |s| {
+        let base = cov.project(s);
+        let copy = cov
+            .fiber(base)
+            .iter()
+            .position(|&t| t == s)
+            .expect("s is in its own fiber");
+        Some(format!("{base}·{copy}"))
+    })
+}
+
+/// The paper's device-letter convention for the triangle: node 0 runs `A`,
+/// node 1 runs `B`, node 2 runs `C`. Useful as a `label` closure for
+/// [`graph_to_dot`] when regenerating §3 figures.
+pub fn triangle_device_label(v: NodeId) -> Option<String> {
+    Some(
+        match v.0 {
+            0 => "A",
+            1 => "B",
+            2 => "C",
+            _ => return None,
+        }
+        .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn triangle_dot_has_three_links() {
+        let dot = graph_to_dot(&builders::triangle(), "G", triangle_device_label);
+        assert!(dot.contains("graph G {"));
+        assert_eq!(dot.matches(" -- ").count(), 3);
+        assert!(dot.contains("label=\"A\""));
+    }
+
+    #[test]
+    fn hexagon_dot_labels_fibers() {
+        let tri = builders::triangle();
+        let a: BTreeSet<NodeId> = [NodeId(0)].into();
+        let c: BTreeSet<NodeId> = [NodeId(2)].into();
+        let cov = Covering::double_cover_crossing(&tri, &a, &c).unwrap();
+        let dot = covering_to_dot(&cov, "S");
+        assert_eq!(dot.matches(" -- ").count(), 6);
+        assert!(dot.contains("n0·0"));
+        assert!(dot.contains("n0·1"));
+    }
+
+    #[test]
+    fn default_labels_are_node_ids() {
+        let dot = graph_to_dot(&builders::path(3), "P", |_| None);
+        assert!(dot.contains("label=\"n1\""));
+    }
+}

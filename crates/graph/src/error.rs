@@ -1,0 +1,76 @@
+//! Error type for graph construction and covering validation.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by graph and covering constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referred to a node outside `0..nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A link from a node to itself was requested; communication graphs are
+    /// simple.
+    SelfLoop {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// A covering map failed local-isomorphism validation.
+    NotACovering {
+        /// Human-readable description of the first violation found.
+        reason: String,
+    },
+    /// A partition passed to a cover construction was not a partition of the
+    /// graph's nodes, or had empty classes.
+    BadPartition {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// The requested construction needs parameters it was not given
+    /// (e.g. a ring cover whose length is not a multiple of the base cycle).
+    BadParameter {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(
+                    f,
+                    "self loop at {node} not allowed in a communication graph"
+                )
+            }
+            GraphError::NotACovering { reason } => write!(f, "not a covering: {reason}"),
+            GraphError::BadPartition { reason } => write!(f, "bad partition: {reason}"),
+            GraphError::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = GraphError::SelfLoop { node: NodeId(3) };
+        assert_eq!(
+            e.to_string(),
+            "self loop at n3 not allowed in a communication graph"
+        );
+    }
+}

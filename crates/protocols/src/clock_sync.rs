@@ -1,0 +1,281 @@
+//! Clock-synchronization devices (§7).
+//!
+//! The paper's Theorem 8 says that in inadequate graphs the *best possible*
+//! synchronization is the trivial one achieved with **no communication at
+//! all**: run the logical clock at the lower envelope, `C(E(t)) = l(D(t))`,
+//! giving agreement `l(q(t)) − l(p(t))`. No device can improve on that by
+//! any constant α > 0.
+//!
+//! This module provides both sides of that statement:
+//!
+//! * [`LowerEnvelopeSync`] — the optimal trivial device;
+//! * [`AveragingSync`] — an earnest synchronizer that exchanges clock
+//!   readings and slews toward its neighbors' estimates. On *adequate*
+//!   graphs such averaging genuinely tightens synchronization; on
+//!   inadequate graphs the Theorem 8 refuter in `flm-core` defeats any
+//!   claim that it beats the trivial bound.
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::clock::{ClockAction, ClockDevice, ClockEvent, TimeFn};
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::ClockProtocol;
+
+/// The optimal communication-free device: logical clock = lower envelope of
+/// the hardware clock.
+#[derive(Debug, Clone)]
+pub struct LowerEnvelopeSync {
+    l: TimeFn,
+}
+
+impl LowerEnvelopeSync {
+    /// Creates the device with lower envelope `l`.
+    pub fn new(l: TimeFn) -> Self {
+        LowerEnvelopeSync { l }
+    }
+}
+
+impl ClockDevice for LowerEnvelopeSync {
+    fn name(&self) -> &'static str {
+        "LowerEnvelope"
+    }
+
+    fn init(&mut self, _ports: usize) {}
+
+    fn on_event(&mut self, _hw: f64, _event: ClockEvent) -> Vec<ClockAction> {
+        Vec::new()
+    }
+
+    fn logical(&self, hw: f64) -> f64 {
+        self.l.eval(hw)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        b"lower-envelope".to_vec()
+    }
+}
+
+/// A protocol assigning [`LowerEnvelopeSync`] everywhere.
+#[derive(Debug, Clone)]
+pub struct TrivialClockSync {
+    /// The lower envelope function.
+    pub l: TimeFn,
+}
+
+impl ClockProtocol for TrivialClockSync {
+    fn name(&self) -> String {
+        "TrivialClockSync".into()
+    }
+
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn ClockDevice> {
+        Box::new(LowerEnvelopeSync::new(self.l.clone()))
+    }
+}
+
+/// An averaging synchronizer: broadcasts its hardware reading every
+/// `period` hardware units and slews its logical clock halfway toward the
+/// mean of its neighbors' estimated readings.
+///
+/// Estimation uses the simulator's delay model (one unit of the *sender's*
+/// hardware clock per hop): a received reading `r` means the sender's clock
+/// showed `r` one of its units ago, so the receiver estimates it at `r + 1`.
+#[derive(Debug, Clone)]
+pub struct AveragingSync {
+    l: TimeFn,
+    period: f64,
+    /// Most recent estimated neighbor readings, indexed by port.
+    estimates: Vec<Option<f64>>,
+    /// Hardware reading at the moment each estimate was made.
+    taken_at: Vec<f64>,
+    correction: f64,
+}
+
+impl AveragingSync {
+    /// Creates the device with lower envelope `l`, broadcasting every
+    /// `period` hardware units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period ≤ 0`.
+    pub fn new(l: TimeFn, period: f64) -> Self {
+        assert!(period > 0.0, "broadcast period must be positive");
+        AveragingSync {
+            l,
+            period,
+            estimates: Vec::new(),
+            taken_at: Vec::new(),
+            correction: 0.0,
+        }
+    }
+
+    fn recompute(&mut self, hw: f64) {
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for (est, &at) in self.estimates.iter().zip(&self.taken_at) {
+            if let Some(r) = est {
+                // Advance the estimate to "now" assuming equal rates.
+                sum += (r + (hw - at)) - hw;
+                count += 1.0;
+            }
+        }
+        if count > 0.0 {
+            // Slew halfway toward the mean neighbor offset.
+            self.correction = (sum / count) / 2.0;
+        }
+    }
+}
+
+impl ClockDevice for AveragingSync {
+    fn name(&self) -> &'static str {
+        "Averaging"
+    }
+
+    fn init(&mut self, ports: usize) {
+        self.estimates = vec![None; ports];
+        self.taken_at = vec![0.0; ports];
+    }
+
+    fn on_event(&mut self, hw: f64, event: ClockEvent) -> Vec<ClockAction> {
+        match event {
+            ClockEvent::Start | ClockEvent::Timer { .. } => {
+                let mut w = Writer::new();
+                w.f64(hw);
+                let payload = w.finish();
+                let mut actions: Vec<ClockAction> = (0..self.estimates.len())
+                    .map(|port| ClockAction::Send {
+                        port,
+                        payload: payload.clone(),
+                    })
+                    .collect();
+                actions.push(ClockAction::SetTimer {
+                    id: 0,
+                    hw_delay: self.period,
+                });
+                actions
+            }
+            ClockEvent::Message { port, payload } => {
+                if let Ok(r) = Reader::new(&payload).f64() {
+                    if r.is_finite() {
+                        // One sender hardware unit elapsed in flight.
+                        self.estimates[port] = Some(r + 1.0);
+                        self.taken_at[port] = hw;
+                        self.recompute(hw);
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn logical(&self, hw: f64) -> f64 {
+        self.l.eval(hw + self.correction)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.f64(self.correction);
+        for e in &self.estimates {
+            match e {
+                Some(r) => {
+                    w.u8(1).f64(*r);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+        }
+        w.finish()
+    }
+}
+
+/// A protocol assigning [`AveragingSync`] everywhere.
+#[derive(Debug, Clone)]
+pub struct AveragingClockSync {
+    /// The lower envelope function.
+    pub l: TimeFn,
+    /// Broadcast period in hardware units.
+    pub period: f64,
+}
+
+impl ClockProtocol for AveragingClockSync {
+    fn name(&self) -> String {
+        format!("AveragingClockSync(period={})", self.period)
+    }
+
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn ClockDevice> {
+        Box::new(AveragingSync::new(self.l.clone(), self.period))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::clock::ClockSystem;
+
+    #[test]
+    fn lower_envelope_tracks_l_of_hw() {
+        let mut sys = ClockSystem::new(builders::triangle());
+        let l = TimeFn::affine(0.5, 1.0);
+        for v in sys.graph().nodes() {
+            sys.assign(
+                v,
+                Box::new(LowerEnvelopeSync::new(l.clone())),
+                TimeFn::linear(1.0 + f64::from(v.0)),
+            );
+        }
+        let b = sys.run(4.0, &[2.0]);
+        for v in b.graph().nodes() {
+            let hw = (1.0 + f64::from(v.0)) * 2.0;
+            assert_eq!(b.logical_at(0, v), l.eval(hw));
+        }
+    }
+
+    #[test]
+    fn trivial_sync_achieves_l_q_minus_l_p() {
+        // Two correct clocks p(t)=t, q(t)=2t with l(t)=t: skew at time t is
+        // exactly q(t) − p(t) = t.
+        let mut sys = ClockSystem::new(builders::triangle());
+        let proto = TrivialClockSync {
+            l: TimeFn::identity(),
+        };
+        let g = sys.graph().clone();
+        sys.assign(NodeId(0), proto.device(&g, NodeId(0)), TimeFn::identity());
+        sys.assign(NodeId(1), proto.device(&g, NodeId(1)), TimeFn::linear(2.0));
+        sys.assign(NodeId(2), proto.device(&g, NodeId(2)), TimeFn::identity());
+        let b = sys.run(10.0, &[4.0]);
+        let skew = (b.logical_at(0, NodeId(1)) - b.logical_at(0, NodeId(0))).abs();
+        assert!((skew - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_tightens_skew_between_honest_neighbors() {
+        // With all nodes honest, averaging must do better than the trivial
+        // bound between the fastest and slowest clocks.
+        let run = |avg: bool| {
+            let mut sys = ClockSystem::new(builders::triangle());
+            for v in sys.graph().nodes() {
+                let clock = TimeFn::linear(1.0 + 0.5 * f64::from(v.0)); // rates 1, 1.5, 2
+                let dev: Box<dyn ClockDevice> = if avg {
+                    Box::new(AveragingSync::new(TimeFn::identity(), 1.0))
+                } else {
+                    Box::new(LowerEnvelopeSync::new(TimeFn::identity()))
+                };
+                sys.assign(v, dev, clock);
+            }
+            let b = sys.run(12.0, &[10.0]);
+            (b.logical_at(0, NodeId(2)) - b.logical_at(0, NodeId(0))).abs()
+        };
+        let trivial = run(false);
+        let averaged = run(true);
+        assert!(
+            averaged < trivial,
+            "averaging ({averaged}) should beat trivial ({trivial})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn averaging_rejects_bad_period() {
+        AveragingSync::new(TimeFn::identity(), 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Authenticated Byzantine agreement (Dolev–Strong).
+//!
+//! The paper remarks (§2) that the impossibility results hinge on the full
+//! strength of the Fault axiom, and that adding an *unforgeable signature*
+//! assumption defeats them \[LSP, PSL\]. This module makes that remark
+//! runnable: with the simulated signatures of [`flm_sim::auth`], the
+//! Dolev–Strong protocol reaches agreement with `n ≥ 2f + 1` nodes — in
+//! particular on the **triangle with one fault**, squarely inside the
+//! unauthenticated impossibility region.
+//!
+//! Construction: every node runs a Dolev–Strong authenticated broadcast of
+//! its own input (`f + 1` rounds of signature-chain relaying); after the
+//! broadcasts, every correct node holds the *same* vector of per-sender
+//! outputs and decides its majority.
+
+use std::collections::BTreeSet;
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::auth::{AuthDomain, Sig, Signer};
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::{Protocol, Tick};
+
+/// The Dolev–Strong authenticated agreement protocol for `f` faults.
+///
+/// Holds the signature domain; every device receives a [`Signer`] that can
+/// sign **only as its own node** (see [`flm_sim::auth`] for why this models
+/// unforgeability).
+#[derive(Debug, Clone)]
+pub struct DolevStrong {
+    f: usize,
+    domain: AuthDomain,
+}
+
+impl DolevStrong {
+    /// Creates the protocol for fault budget `f` with a signature domain
+    /// derived from `seed`.
+    pub fn new(f: usize, seed: u64) -> Self {
+        DolevStrong {
+            f,
+            domain: AuthDomain::new(seed),
+        }
+    }
+
+    /// The signer handle for `node` — exposed so adversary devices in tests
+    /// can receive exactly the signing power a faulty node would have.
+    pub fn signer_for(&self, node: NodeId) -> Signer {
+        self.domain.signer_for(node)
+    }
+}
+
+impl Protocol for DolevStrong {
+    fn name(&self) -> String {
+        format!("DolevStrong(f={})", self.f)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `g` is not complete.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        let n = g.node_count();
+        assert!(g.is_complete(), "Dolev-Strong requires the complete graph");
+        Box::new(DolevStrongDevice::new(n, self.f, self.domain.signer_for(v)))
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        self.f as u32 + 3
+    }
+}
+
+/// A signature chain: a value endorsed by a sequence of distinct signers,
+/// the first being the instance's sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Chain {
+    instance: u32,
+    value: bool,
+    sigs: Vec<(u32, Sig)>,
+}
+
+impl Chain {
+    fn message(instance: u32, value: bool) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(instance).bool(value);
+        w.finish()
+    }
+
+    /// Validates the chain: `len` signatures, distinct signers, first signer
+    /// is the instance sender, all signatures verify.
+    fn valid(&self, verifier: &Signer, n: usize, len: usize) -> bool {
+        if self.sigs.len() != len || self.instance as usize >= n {
+            return false;
+        }
+        if self.sigs.first().map(|s| s.0) != Some(self.instance) {
+            return false;
+        }
+        let signers: BTreeSet<u32> = self.sigs.iter().map(|s| s.0).collect();
+        if signers.len() != self.sigs.len() {
+            return false;
+        }
+        let msg = Chain::message(self.instance, self.value);
+        self.sigs
+            .iter()
+            .all(|&(node, sig)| (node as usize) < n && verifier.verify(NodeId(node), &msg, sig))
+    }
+}
+
+/// The per-node Dolev–Strong state machine.
+pub struct DolevStrongDevice {
+    n: usize,
+    f: usize,
+    signer: Signer,
+    input: bool,
+    /// `extracted[s]` = set of values with accepted chains in instance `s`.
+    extracted: Vec<BTreeSet<bool>>,
+    /// Chains to relay in the next round.
+    outbox: Vec<Chain>,
+    decided: Option<bool>,
+}
+
+impl DolevStrongDevice {
+    /// Creates the device; `signer` must be the signer for this node.
+    pub fn new(n: usize, f: usize, signer: Signer) -> Self {
+        DolevStrongDevice {
+            n,
+            f,
+            signer,
+            input: false,
+            extracted: vec![BTreeSet::new(); n],
+            outbox: Vec::new(),
+            decided: None,
+        }
+    }
+
+    fn encode(chains: &[Chain]) -> Payload {
+        let mut w = Writer::new();
+        w.u32(chains.len() as u32);
+        for c in chains {
+            w.u32(c.instance).bool(c.value).u8(c.sigs.len() as u8);
+            for &(node, sig) in &c.sigs {
+                w.u32(node).u64(sig);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(payload: &[u8]) -> Vec<Chain> {
+        let mut out = Vec::new();
+        let mut r = Reader::new(payload);
+        let Ok(count) = r.u32() else { return out };
+        for _ in 0..count.min(1024) {
+            let (Ok(instance), Ok(value), Ok(len)) = (r.u32(), r.bool(), r.u8()) else {
+                return out;
+            };
+            let mut sigs = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                let (Ok(node), Ok(sig)) = (r.u32(), r.u64()) else {
+                    return out;
+                };
+                sigs.push((node, sig));
+            }
+            out.push(Chain {
+                instance,
+                value,
+                sigs,
+            });
+        }
+        out
+    }
+
+    /// The per-instance broadcast outputs: the extracted value when exactly
+    /// one exists, the default `false` otherwise.
+    fn instance_outputs(&self) -> Vec<bool> {
+        self.extracted
+            .iter()
+            .map(|set| {
+                if set.len() == 1 {
+                    *set.iter().next().expect("len checked")
+                } else {
+                    false
+                }
+            })
+            .collect()
+    }
+}
+
+impl Device for DolevStrongDevice {
+    fn name(&self) -> &'static str {
+        "DolevStrong"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.input = ctx.input.as_bool().unwrap_or(false);
+        debug_assert_eq!(ctx.node, self.signer.node(), "signer must match node");
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        let tick = t.index();
+        let me = self.signer.node().0;
+        // Receive: round `tick` chains carry exactly `tick` signatures.
+        if tick >= 1 && tick <= self.f + 1 {
+            for m in inbox.iter().flatten() {
+                for chain in Self::decode(m) {
+                    if !chain.valid(&self.signer, self.n, tick) {
+                        continue;
+                    }
+                    if chain.sigs.iter().any(|&(node, _)| node == me) {
+                        continue; // already endorsed by us; nothing new
+                    }
+                    let inst = chain.instance as usize;
+                    if self.extracted[inst].contains(&chain.value) {
+                        continue;
+                    }
+                    self.extracted[inst].insert(chain.value);
+                    // Endorse and relay (unless this was the last round).
+                    if tick <= self.f {
+                        let msg = Chain::message(chain.instance, chain.value);
+                        let mut sigs = chain.sigs.clone();
+                        sigs.push((me, self.signer.sign(&msg)));
+                        self.outbox.push(Chain {
+                            instance: chain.instance,
+                            value: chain.value,
+                            sigs,
+                        });
+                    }
+                }
+            }
+        }
+        if tick == self.f + 1 && self.decided.is_none() {
+            let outputs = self.instance_outputs();
+            let ones = outputs.iter().filter(|&&b| b).count();
+            self.decided = Some(2 * ones > self.n);
+        }
+        // Send.
+        if tick == 0 {
+            let msg = Chain::message(me, self.input);
+            let chain = Chain {
+                instance: me,
+                value: self.input,
+                sigs: vec![(me, self.signer.sign(&msg))],
+            };
+            self.extracted[me as usize].insert(self.input);
+            let payload = Self::encode(std::slice::from_ref(&chain));
+            return inbox.iter().map(|_| Some(payload.clone())).collect();
+        }
+        if tick <= self.f && !self.outbox.is_empty() {
+            let chains = std::mem::take(&mut self.outbox);
+            let payload = Self::encode(&chains);
+            return inbox.iter().map(|_| Some(payload.clone())).collect();
+        }
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut state = Vec::new();
+        for set in &self.extracted {
+            state.push(set.len() as u8);
+            for &v in set {
+                state.push(u8::from(v));
+            }
+        }
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &state),
+            None => snapshot::undecided(&state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use flm_graph::builders;
+    use flm_sim::{Decision, Input};
+
+    #[test]
+    fn all_honest_triangle_agrees() {
+        for input in [false, true] {
+            let b = testkit::run_honest(&DolevStrong::new(1, 7), &builders::triangle(), &|_| {
+                Input::Bool(input)
+            });
+            for v in b.graph().nodes() {
+                assert_eq!(b.node(v).decision(), Some(Decision::Bool(input)));
+            }
+        }
+    }
+
+    #[test]
+    fn beats_the_3f_bound_on_the_triangle() {
+        // n = 3 = 3f with f = 1: impossible without signatures (Theorem 1),
+        // solvable with them — the paper's §2 remark.
+        testkit::assert_byzantine_agreement(&DolevStrong::new(1, 11), &builders::triangle(), 1, 10);
+    }
+
+    #[test]
+    fn works_on_k5_with_two_faults() {
+        // n = 5 = 2f + 3 > 2f: fine for authenticated agreement even though
+        // 5 < 3f + 1 = 7.
+        testkit::assert_byzantine_agreement(&DolevStrong::new(2, 13), &builders::complete(5), 2, 4);
+    }
+
+    #[test]
+    fn chain_validation_rejects_forgeries() {
+        let proto = DolevStrong::new(1, 3);
+        let a = proto.signer_for(NodeId(0));
+        let b = proto.signer_for(NodeId(1));
+        let msg = Chain::message(0, true);
+        let good = Chain {
+            instance: 0,
+            value: true,
+            sigs: vec![(0, a.sign(&msg))],
+        };
+        assert!(good.valid(&b, 3, 1));
+        // Wrong signer claimed.
+        let forged = Chain {
+            instance: 0,
+            value: true,
+            sigs: vec![(0, b.sign(&msg))],
+        };
+        assert!(!forged.valid(&b, 3, 1));
+        // First signer must be the instance sender.
+        let misrooted = Chain {
+            instance: 0,
+            value: true,
+            sigs: vec![(1, b.sign(&msg))],
+        };
+        assert!(!misrooted.valid(&b, 3, 1));
+        // Duplicate signers.
+        let dup = Chain {
+            instance: 0,
+            value: true,
+            sigs: vec![(0, a.sign(&msg)), (0, a.sign(&msg))],
+        };
+        assert!(!dup.valid(&b, 3, 2));
+    }
+}

@@ -1,0 +1,320 @@
+//! Exponential Information Gathering (EIG) Byzantine agreement \[PSL\].
+//!
+//! The classic `f+1`-round protocol achieving Byzantine agreement on the
+//! complete graph with `n ≥ 3f + 1` nodes — the matching upper bound for
+//! Theorem 1's `3f+1` lower bound. Each node grows a tree of "who said that
+//! who said …" values and resolves it bottom-up by recursive majority.
+//!
+//! Combined with [`crate::relay::Relayed`] it runs on every adequate graph,
+//! completing the tightness picture.
+
+use std::collections::BTreeMap;
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::auth::mix64;
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::{Protocol, Tick};
+
+/// A label in the EIG tree: a sequence of distinct node ids.
+type Label = Vec<u32>;
+
+/// The EIG protocol for `f` faults. See the [module docs](self).
+///
+/// ```
+/// use flm_graph::builders;
+/// use flm_protocols::{testkit, Eig};
+/// use flm_sim::{Decision, Input};
+///
+/// // n = 4 = 3f + 1: agreement holds even under one Byzantine fault
+/// // (see `testkit::assert_byzantine_agreement` for the full sweep).
+/// let behavior = testkit::run_honest(&Eig::new(1), &builders::complete(4), &|v| {
+///     Input::Bool(v.0 == 0)
+/// });
+/// let first = behavior.node(flm_graph::NodeId(0)).decision();
+/// assert!(matches!(first, Some(Decision::Bool(_))));
+/// # for v in behavior.graph().nodes() { assert_eq!(behavior.node(v).decision(), first); }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Eig {
+    f: usize,
+}
+
+impl Eig {
+    /// Creates the protocol for fault budget `f`.
+    pub fn new(f: usize) -> Self {
+        Eig { f }
+    }
+
+    /// The fault budget.
+    pub fn fault_budget(&self) -> usize {
+        self.f
+    }
+}
+
+impl Protocol for Eig {
+    fn name(&self) -> String {
+        format!("EIG(f={})", self.f)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `g` is not complete — EIG is written for `K_n`; use
+    /// [`crate::relay::Relayed`] for sparser adequate graphs.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        let n = g.node_count();
+        assert!(g.is_complete(), "EIG requires the complete graph");
+        Box::new(EigDevice::new(n, self.f, v))
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        self.f as u32 + 2
+    }
+}
+
+/// The per-node EIG state machine.
+#[derive(Debug, Clone)]
+pub struct EigDevice {
+    n: usize,
+    f: usize,
+    me: u32,
+    input: bool,
+    /// The information-gathering tree: label → reported value.
+    vals: BTreeMap<Label, bool>,
+    decided: Option<bool>,
+    /// Port → neighbor node id, fixed at init.
+    port_ids: Vec<u32>,
+}
+
+impl EigDevice {
+    /// Creates the device for node `me` of `K_n` with fault budget `f`.
+    pub fn new(n: usize, f: usize, me: NodeId) -> Self {
+        EigDevice {
+            n,
+            f,
+            me: me.0,
+            input: false,
+            vals: BTreeMap::new(),
+            decided: None,
+            port_ids: Vec::new(),
+        }
+    }
+
+    /// Encodes all level-`level` labels **not containing `me`** for
+    /// broadcast.
+    fn encode_level(&self, level: usize) -> Payload {
+        let pairs: Vec<(&Label, &bool)> = self
+            .vals
+            .iter()
+            .filter(|(sigma, _)| sigma.len() == level && !sigma.contains(&self.me))
+            .collect();
+        let mut w = Writer::new();
+        w.u32(pairs.len() as u32);
+        for (sigma, v) in pairs {
+            w.u8(sigma.len() as u8);
+            for &id in sigma {
+                w.u32(id);
+            }
+            w.bool(*v);
+        }
+        w.finish()
+    }
+
+    /// Applies the receive rule for round `round` to a payload from node
+    /// `from`: store `val(σ·from) = v` for each valid pair `(σ, v)` with
+    /// `|σ| = round − 1` and `from ∉ σ`. Malformed or out-of-spec entries
+    /// are ignored (Byzantine senders may emit anything).
+    fn absorb(&mut self, round: usize, from: u32, payload: &[u8]) {
+        let mut r = Reader::new(payload);
+        let Ok(count) = r.u32() else { return };
+        for _ in 0..count {
+            let Ok(len) = r.u8() else { return };
+            let mut sigma = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                match r.u32() {
+                    Ok(id) => sigma.push(id),
+                    Err(_) => return,
+                }
+            }
+            let Ok(v) = r.bool() else { return };
+            let distinct = {
+                let mut s = sigma.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len() == sigma.len()
+            };
+            if sigma.len() == round - 1
+                && distinct
+                && !sigma.contains(&from)
+                && sigma.iter().all(|&id| (id as usize) < self.n)
+            {
+                let mut label = sigma;
+                label.push(from);
+                self.vals.entry(label).or_insert(v);
+            }
+        }
+    }
+
+    /// Bottom-up resolution: leaves read the stored value (default `false`),
+    /// internal labels take the strict majority of their children.
+    fn resolve(&self, sigma: &Label) -> bool {
+        if sigma.len() == self.f + 1 {
+            return self.vals.get(sigma).copied().unwrap_or(false);
+        }
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for j in 0..self.n as u32 {
+            if sigma.contains(&j) {
+                continue;
+            }
+            let mut child = sigma.clone();
+            child.push(j);
+            total += 1;
+            if self.resolve(&child) {
+                ones += 1;
+            }
+        }
+        2 * ones > total
+    }
+}
+
+impl Device for EigDevice {
+    fn name(&self) -> &'static str {
+        "EIG"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.me = ctx.node.0;
+        self.input = ctx.input.as_bool().unwrap_or(false);
+        self.port_ids = ctx.ports.iter().map(|v| v.0).collect();
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        let tick = t.index();
+        // Receive phase: tick r processes round-r messages (sent at r−1).
+        if tick >= 1 && tick <= self.f + 1 {
+            let round = tick;
+            for (p, m) in inbox.iter().enumerate() {
+                if let Some(m) = m {
+                    self.absorb(round, self.port_ids[p], m);
+                }
+            }
+        }
+        if tick == self.f + 1 && self.decided.is_none() {
+            self.decided = Some(self.resolve(&Vec::new()));
+        }
+        // Send phase: tick r sends round r+1 (labels of level r).
+        if tick == 0 {
+            self.vals.insert(vec![self.me], self.input);
+            // Round 1: broadcast the input as the empty-label report.
+            let mut w = Writer::new();
+            w.u32(1).u8(0).bool(self.input);
+            let payload = w.finish();
+            return inbox.iter().map(|_| Some(payload.clone())).collect();
+        }
+        if tick <= self.f {
+            let level = tick;
+            // Self-delivery first: extend own level-`level` labels by `me`.
+            let own: Vec<(Label, bool)> = self
+                .vals
+                .iter()
+                .filter(|(s, _)| s.len() == level && !s.contains(&self.me))
+                .map(|(s, v)| (s.clone(), *v))
+                .collect();
+            for (mut s, v) in own {
+                s.push(self.me);
+                self.vals.entry(s).or_insert(v);
+            }
+            let payload = self.encode_level(level);
+            return inbox.iter().map(|_| Some(payload.clone())).collect();
+        }
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // Canonical digest of the tree (full serialization would be large).
+        let mut h = mix64(0xE16);
+        for (sigma, v) in &self.vals {
+            for &id in sigma {
+                h = mix64(h ^ u64::from(id));
+            }
+            h = mix64(h ^ 0xFF ^ u64::from(*v));
+        }
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &h.to_be_bytes()),
+            None => snapshot::undecided(&h.to_be_bytes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use flm_graph::builders;
+    use flm_sim::{Decision, Input};
+
+    #[test]
+    fn all_honest_k4_agrees_on_common_input() {
+        for input in [false, true] {
+            let b = testkit::run_honest(&Eig::new(1), &builders::complete(4), &|_| {
+                Input::Bool(input)
+            });
+            for v in b.graph().nodes() {
+                assert_eq!(b.node(v).decision(), Some(Decision::Bool(input)));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_still_agree() {
+        let b = testkit::run_honest(&Eig::new(1), &builders::complete(4), &|v| {
+            Input::Bool(v.0 % 2 == 0)
+        });
+        let decisions: Vec<_> = b.graph().nodes().map(|v| b.node(v).decision()).collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        assert!(decisions[0].is_some());
+    }
+
+    #[test]
+    fn tolerates_every_zoo_adversary_k4_f1() {
+        testkit::assert_byzantine_agreement(&Eig::new(1), &builders::complete(4), 1, 20);
+    }
+
+    #[test]
+    fn tolerates_every_zoo_adversary_k7_f2() {
+        testkit::assert_byzantine_agreement(&Eig::new(2), &builders::complete(7), 2, 8);
+    }
+
+    #[test]
+    fn resolve_majority_logic() {
+        let mut d = EigDevice::new(4, 1, NodeId(0));
+        // Leaves for σ = [1]: children [1,0], [1,2], [1,3].
+        d.vals.insert(vec![1, 0], true);
+        d.vals.insert(vec![1, 2], true);
+        d.vals.insert(vec![1, 3], false);
+        assert!(d.resolve(&vec![1]));
+        d.vals.insert(vec![1, 2], false);
+        // Re-resolve: entry API means or_insert won't overwrite; set directly.
+        *d.vals.get_mut(&vec![1, 2]).unwrap() = false;
+        assert!(!d.resolve(&vec![1]));
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_and_out_of_spec() {
+        let mut d = EigDevice::new(4, 1, NodeId(0));
+        // Wrong level for round 1 (|σ| must be 0).
+        let mut w = Writer::new();
+        w.u32(1).u8(1).u32(2).bool(true);
+        d.absorb(1, 3, &w.finish());
+        assert!(d.vals.is_empty());
+        // Truncated garbage.
+        d.absorb(1, 3, &[9, 9]);
+        assert!(d.vals.is_empty());
+        // Valid round-1 report from node 3.
+        let mut w = Writer::new();
+        w.u32(1).u8(0).bool(true);
+        d.absorb(1, 3, &w.finish());
+        assert_eq!(d.vals.get(&vec![3]), Some(&true));
+    }
+}

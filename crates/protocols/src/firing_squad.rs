@@ -1,0 +1,279 @@
+//! The Byzantine firing squad via parallel agreement (§5).
+//!
+//! Problem: one or more nodes may receive a *stimulus* at time 0; if all
+//! nodes are correct and any stimulus occurred, every node must enter the
+//! FIRE state — **simultaneously** — after finite delay; with no stimulus
+//! and no faults, nobody ever fires; and correct nodes always fire at the
+//! same instant even with up to `f` faults.
+//!
+//! Upper bound (for adequate graphs): every node first announces its
+//! stimulus bit, then the nodes run one Byzantine-agreement instance per
+//! announcer, and fire at the fixed tick `f + 2` exactly when some instance
+//! decides 1. Simultaneity is inherited from the agreement instances all
+//! resolving at the same round. The §5 lower bound shows the `3f+1` /
+//! `2f+1` requirements are unavoidable (with bounded delay).
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::{Input, Protocol, Tick};
+
+use crate::eig::EigDevice;
+
+/// The firing-squad protocol for `f` faults. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct FiringSquadViaBa {
+    f: usize,
+}
+
+impl FiringSquadViaBa {
+    /// Creates the protocol for fault budget `f`.
+    pub fn new(f: usize) -> Self {
+        FiringSquadViaBa { f }
+    }
+
+    /// The fixed tick at which firing happens when it happens.
+    pub fn fire_tick(&self) -> u32 {
+        self.f as u32 + 2
+    }
+}
+
+impl Protocol for FiringSquadViaBa {
+    fn name(&self) -> String {
+        format!("FiringSquadViaBA(f={})", self.f)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `g` is not complete.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        let n = g.node_count();
+        assert!(
+            g.is_complete(),
+            "the firing-squad reduction requires the complete graph"
+        );
+        Box::new(FiringSquadDevice::new(n, self.f, v))
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        self.f as u32 + 4
+    }
+}
+
+/// The per-node firing-squad state machine: a stimulus-announcement phase
+/// followed by `n` parallel EIG instances.
+pub struct FiringSquadDevice {
+    n: usize,
+    f: usize,
+    me: u32,
+    stimulus: bool,
+    ports: Vec<NodeId>,
+    /// One agreement instance per announcing node, created at tick 1.
+    instances: Vec<EigDevice>,
+    fired: bool,
+}
+
+impl FiringSquadDevice {
+    /// Creates the device for node `me` of `K_n` with fault budget `f`.
+    pub fn new(n: usize, f: usize, me: NodeId) -> Self {
+        FiringSquadDevice {
+            n,
+            f,
+            me: me.0,
+            stimulus: false,
+            ports: Vec::new(),
+            instances: Vec::new(),
+            fired: false,
+        }
+    }
+
+    fn bundle(sections: Vec<Payload>) -> Payload {
+        let mut w = Writer::new();
+        for s in &sections {
+            w.bytes(s);
+        }
+        w.finish()
+    }
+
+    fn unbundle(&self, payload: &[u8]) -> Vec<Option<Payload>> {
+        let mut out = vec![None; self.n];
+        let mut r = Reader::new(payload);
+        for slot in out.iter_mut() {
+            match r.bytes() {
+                Ok(b) => *slot = Some(b.to_vec()),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+impl Device for FiringSquadDevice {
+    fn name(&self) -> &'static str {
+        "FiringSquad"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.me = ctx.node.0;
+        self.stimulus = ctx.input.as_bool().unwrap_or(false);
+        self.ports = ctx.ports.clone();
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        let tick = t.index();
+        if tick == 0 {
+            // Announce the stimulus bit.
+            return inbox
+                .iter()
+                .map(|_| Some(vec![u8::from(self.stimulus)]))
+                .collect();
+        }
+        if tick == 1 {
+            // Create one EIG instance per announcer; our input to instance
+            // `s` is the bit `s` announced (own stimulus for `s = me`).
+            for s in 0..self.n as u32 {
+                let announced = if s == self.me {
+                    self.stimulus
+                } else {
+                    let port = self
+                        .ports
+                        .iter()
+                        .position(|&v| v.0 == s)
+                        .expect("complete graph");
+                    inbox[port]
+                        .as_ref()
+                        .and_then(|m| m.first())
+                        .map(|&b| b != 0)
+                        .unwrap_or(false)
+                };
+                let mut inst = EigDevice::new(self.n, self.f, NodeId(self.me));
+                inst.init(&NodeCtx {
+                    node: NodeId(self.me),
+                    ports: self.ports.clone(),
+                    input: Input::Bool(announced),
+                });
+                self.instances.push(inst);
+            }
+        }
+        if tick >= 1 {
+            let eig_tick = Tick((tick - 1) as u32);
+            // Split each port's bundle into per-instance payloads.
+            let per_port: Vec<Vec<Option<Payload>>> = inbox
+                .iter()
+                .map(|m| match m {
+                    Some(m) if tick > 1 => self.unbundle(m),
+                    _ => vec![None; self.n],
+                })
+                .collect();
+            let mut sections: Vec<Payload> = Vec::with_capacity(self.n);
+            let n = self.n;
+            for (k, inst) in self.instances.iter_mut().enumerate() {
+                let inst_inbox: Vec<Option<Payload>> =
+                    (0..inbox.len()).map(|p| per_port[p][k].clone()).collect();
+                let out = inst.step(eig_tick, &inst_inbox);
+                // EIG broadcasts identically on all ports; take port 0.
+                sections.push(out.into_iter().next().flatten().unwrap_or_default());
+                debug_assert!(k < n);
+            }
+            // Fire exactly when some instance decided 1, at tick f + 2.
+            if tick == self.f + 2 {
+                use flm_sim::Decision;
+                let any = self.instances.iter().any(|inst| {
+                    matches!(
+                        snapshot::decision_in(&Device::snapshot(inst)),
+                        Some(Decision::Bool(true))
+                    )
+                });
+                self.fired = any;
+            }
+            if tick >= 1 && tick < self.f + 2 {
+                let payload = Self::bundle(sections);
+                return inbox.iter().map(|_| Some(payload.clone())).collect();
+            }
+        }
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut state = vec![u8::from(self.stimulus)];
+        for inst in &self.instances {
+            state.extend_from_slice(&Device::snapshot(inst));
+        }
+        if self.fired {
+            snapshot::fire(&state)
+        } else {
+            snapshot::undecided(&state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use flm_graph::builders;
+    use flm_sim::adversary::{strategy, STRATEGY_COUNT};
+    use std::collections::BTreeSet;
+
+    fn fire_ticks(b: &flm_sim::SystemBehavior, correct: &BTreeSet<NodeId>) -> Vec<Option<Tick>> {
+        correct.iter().map(|&v| b.node(v).fire_tick()).collect()
+    }
+
+    #[test]
+    fn stimulus_fires_everyone_simultaneously() {
+        let g = builders::complete(4);
+        let proto = FiringSquadViaBa::new(1);
+        // Stimulus at node 2 only.
+        let b = testkit::run_honest(&proto, &g, &|v| Input::Bool(v.0 == 2));
+        let all: BTreeSet<NodeId> = g.nodes().collect();
+        let ticks = fire_ticks(&b, &all);
+        assert!(
+            ticks.iter().all(|&t| t == Some(Tick(proto.fire_tick()))),
+            "{ticks:?}"
+        );
+    }
+
+    #[test]
+    fn no_stimulus_no_fire() {
+        let g = builders::complete(4);
+        let b = testkit::run_honest(&FiringSquadViaBa::new(1), &g, &|_| Input::Bool(false));
+        for v in g.nodes() {
+            assert_eq!(b.node(v).fire_tick(), None);
+        }
+    }
+
+    #[test]
+    fn correct_nodes_fire_together_under_every_adversary() {
+        // Agreement condition only: with a fault, firing may or may not
+        // happen, but correct nodes must be simultaneous.
+        let g = builders::complete(4);
+        let proto = FiringSquadViaBa::new(1);
+        for faulty in g.nodes() {
+            let correct: BTreeSet<NodeId> = g.nodes().filter(|&v| v != faulty).collect();
+            for strat in 0..STRATEGY_COUNT {
+                for seed in 0..8 {
+                    for stim in [None, Some(NodeId(0)), Some(NodeId(3))] {
+                        let inputs = move |v: NodeId| Input::Bool(stim == Some(v));
+                        let adv = strategy(strat, seed, &|| proto.device(&g, faulty));
+                        let b = testkit::run_with_faults(&proto, &g, &inputs, vec![(faulty, adv)]);
+                        let ticks = fire_ticks(&b, &correct);
+                        assert!(
+                            ticks.windows(2).all(|w| w[0] == w[1]),
+                            "strategy {strat} seed {seed} stim {stim:?} faulty {faulty}: {ticks:?}"
+                        );
+                        // Validity half: if the stimulated node is correct,
+                        // everyone fires.
+                        if let Some(s) = stim {
+                            if s != faulty {
+                                assert!(
+                                    ticks.iter().all(Option::is_some),
+                                    "stimulated correct node must cause firing"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Phase King Byzantine agreement (Berman–Garay).
+//!
+//! A constant-message-size protocol tolerating `f` faults on the complete
+//! graph with `n > 4f` nodes in `f + 1` two-round phases. It trades
+//! resilience (`4f + 1` vs EIG's optimal `3f + 1`) for constant-size
+//! messages and linear-time resolution — the natural baseline to benchmark
+//! EIG against in the protocol-cost experiments.
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::{Protocol, Tick};
+
+/// The Phase King protocol for `f` faults. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseKing {
+    f: usize,
+}
+
+impl PhaseKing {
+    /// Creates the protocol for fault budget `f`.
+    pub fn new(f: usize) -> Self {
+        PhaseKing { f }
+    }
+}
+
+impl Protocol for PhaseKing {
+    fn name(&self) -> String {
+        format!("PhaseKing(f={})", self.f)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `g` is not complete.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        let n = g.node_count();
+        assert!(g.is_complete(), "Phase King requires the complete graph");
+        Box::new(PhaseKingDevice::new(n, self.f, v))
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        2 * (self.f as u32 + 1) + 1
+    }
+}
+
+/// The per-node Phase King state machine.
+#[derive(Debug, Clone)]
+pub struct PhaseKingDevice {
+    n: usize,
+    f: usize,
+    me: u32,
+    value: bool,
+    /// Majority value and its support count from the current phase's
+    /// first round.
+    maj: bool,
+    cnt: usize,
+    decided: Option<bool>,
+}
+
+impl PhaseKingDevice {
+    /// Creates the device for node `me` of `K_n` with fault budget `f`.
+    pub fn new(n: usize, f: usize, me: NodeId) -> Self {
+        PhaseKingDevice {
+            n,
+            f,
+            me: me.0,
+            value: false,
+            maj: false,
+            cnt: 0,
+            decided: None,
+        }
+    }
+}
+
+impl Device for PhaseKingDevice {
+    fn name(&self) -> &'static str {
+        "PhaseKing"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.me = ctx.node.0;
+        self.value = ctx.input.as_bool().unwrap_or(false);
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        let tick = t.index();
+        let phases = self.f + 1;
+        // Tick 2k: (receive king k−1's verdict), broadcast value for phase k.
+        // Tick 2k+1: receive phase-k values; king k broadcasts the majority.
+        if tick.is_multiple_of(2) {
+            let phase = tick / 2;
+            if phase > 0 {
+                // Receive the previous king's verdict (port order is sorted
+                // neighbor ids; king = phase-1 as a node id).
+                let king = (phase - 1) as u32;
+                let king_value = if king == self.me {
+                    Some(self.maj)
+                } else {
+                    // The king's port among sorted neighbors of me.
+                    let port = (0..self.n as u32)
+                        .filter(|&j| j != self.me)
+                        .position(|j| j == king)
+                        .expect("king is a neighbor in K_n");
+                    inbox[port]
+                        .as_ref()
+                        .and_then(|m| m.first())
+                        .map(|&b| b != 0)
+                };
+                if self.cnt > self.n / 2 + self.f {
+                    self.value = self.maj;
+                } else {
+                    self.value = king_value.unwrap_or(false);
+                }
+                if phase == phases {
+                    self.decided = Some(self.value);
+                    return inbox.iter().map(|_| None).collect();
+                }
+            }
+            // First round of phase: broadcast current value.
+            return inbox
+                .iter()
+                .map(|_| Some(vec![u8::from(self.value)]))
+                .collect();
+        }
+        // Odd tick: second round of phase `tick / 2`.
+        let phase = tick / 2;
+        let mut ones = usize::from(self.value);
+        let mut zeros = usize::from(!self.value);
+        for m in inbox.iter().flatten() {
+            if m.first() == Some(&1) {
+                ones += 1;
+            } else {
+                zeros += 1;
+            }
+        }
+        self.maj = ones >= zeros;
+        self.cnt = ones.max(zeros);
+        if phase as u32 == self.me {
+            // I am this phase's king: broadcast the majority.
+            return inbox
+                .iter()
+                .map(|_| Some(vec![u8::from(self.maj)]))
+                .collect();
+        }
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let state = [u8::from(self.value), u8::from(self.maj), self.cnt as u8];
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &state),
+            None => snapshot::undecided(&state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use flm_graph::builders;
+    use flm_sim::{Decision, Input};
+
+    #[test]
+    fn all_honest_k5_agrees() {
+        for input in [false, true] {
+            let b = testkit::run_honest(&PhaseKing::new(1), &builders::complete(5), &|_| {
+                Input::Bool(input)
+            });
+            for v in b.graph().nodes() {
+                assert_eq!(b.node(v).decision(), Some(Decision::Bool(input)));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree_k5() {
+        let b = testkit::run_honest(&PhaseKing::new(1), &builders::complete(5), &|v| {
+            Input::Bool(v.0 < 2)
+        });
+        let first = b.node(NodeId(0)).decision();
+        assert!(first.is_some());
+        for v in b.graph().nodes() {
+            assert_eq!(b.node(v).decision(), first);
+        }
+    }
+
+    #[test]
+    fn tolerates_every_zoo_adversary_k5_f1() {
+        testkit::assert_byzantine_agreement(&PhaseKing::new(1), &builders::complete(5), 1, 12);
+    }
+
+    #[test]
+    fn tolerates_every_zoo_adversary_k9_f2() {
+        testkit::assert_byzantine_agreement(&PhaseKing::new(2), &builders::complete(9), 2, 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Weak agreement by reduction to Byzantine agreement.
+//!
+//! Weak agreement (§4) keeps the agreement condition but weakens validity:
+//! the chosen value must match the common input only when *all* nodes are
+//! correct. Any Byzantine-agreement protocol therefore also solves weak
+//! agreement (its validity condition is strictly stronger), so the upper
+//! bound is inherited from [`crate::eig::Eig`] — and the point of §4 is that
+//! the *lower* bound does not weaken: `3f+1` nodes and `2f+1` connectivity
+//! are still required (under the Bounded-Delay Locality axiom).
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::device::Device;
+use flm_sim::Protocol;
+
+use crate::eig::Eig;
+
+/// Weak agreement via a Byzantine-agreement protocol (EIG).
+#[derive(Debug, Clone, Copy)]
+pub struct WeakViaBa {
+    inner: Eig,
+}
+
+impl WeakViaBa {
+    /// Creates the protocol for fault budget `f`.
+    pub fn new(f: usize) -> Self {
+        WeakViaBa { inner: Eig::new(f) }
+    }
+}
+
+impl Protocol for WeakViaBa {
+    fn name(&self) -> String {
+        format!("WeakViaBA({})", self.inner.name())
+    }
+
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        self.inner.device(g, v)
+    }
+
+    fn horizon(&self, g: &Graph) -> u32 {
+        self.inner.horizon(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use flm_graph::builders;
+    use flm_sim::{Decision, Input};
+
+    #[test]
+    fn weak_validity_when_all_correct() {
+        // All correct, common input: must choose it (the weak validity
+        // premise is satisfied).
+        for input in [false, true] {
+            let b = testkit::run_honest(&WeakViaBa::new(1), &builders::complete(4), &|_| {
+                Input::Bool(input)
+            });
+            for v in b.graph().nodes() {
+                assert_eq!(b.node(v).decision(), Some(Decision::Bool(input)));
+            }
+        }
+    }
+
+    #[test]
+    fn weak_agreement_under_faults() {
+        // Weak agreement's agreement condition is the same as BA's; the BA
+        // checker's validity premise (all *correct* share an input) is
+        // stronger than weak validity, so passing it implies weak agreement.
+        testkit::assert_byzantine_agreement(&WeakViaBa::new(1), &builders::complete(4), 1, 10);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-protocol adversarial integration sweeps: heavier-weight matrices
+//! than the per-module unit tests, covering f = 2 settings and the relay
+//! overlay on denser sparse graphs.
+
+use flm_graph::{builders, connectivity, Graph, NodeId};
+use flm_protocols::{testkit, Dlpsw, DolevStrong, Eig, PhaseKing, Relayed};
+use flm_sim::adversary::{strategy, STRATEGY_COUNT};
+use flm_sim::{Decision, Input, Protocol};
+use std::collections::BTreeSet;
+
+/// K7 minus a perfect-ish matching (3 edges): 5-connected but not complete —
+/// the minimal interesting home for a relayed f = 2 protocol.
+fn k7_minus_matching() -> Graph {
+    let mut links = Vec::new();
+    let removed = [(0u32, 1u32), (2, 3), (4, 5)];
+    for u in 0..7u32 {
+        for v in (u + 1)..7 {
+            if !removed.contains(&(u, v)) {
+                links.push((u, v));
+            }
+        }
+    }
+    builders::from_links(7, &links).expect("valid links")
+}
+
+#[test]
+fn relayed_eig_f2_on_5_connected_graph() {
+    let g = k7_minus_matching();
+    assert_eq!(connectivity::vertex_connectivity(&g), 5);
+    let proto = Relayed::new(Eig::new(2), 2);
+    // Honest sanity, then a light adversarial slice (full exhaustion of
+    // C(7,2)×strategies×patterns is covered at f=1 elsewhere).
+    let b = testkit::run_honest(&proto, &g, &|v: NodeId| Input::Bool(v.0 < 3));
+    let first = b.node(NodeId(0)).decision();
+    assert!(matches!(first, Some(Decision::Bool(_))));
+    for v in g.nodes() {
+        assert_eq!(b.node(v).decision(), first);
+    }
+    for (faulty_pair, strat) in [([0u32, 3u32], 2usize), ([1, 4], 3), ([5, 6], 0)] {
+        let correct: BTreeSet<NodeId> = g.nodes().filter(|v| !faulty_pair.contains(&v.0)).collect();
+        let faulty = faulty_pair
+            .iter()
+            .map(|&v| {
+                let honest = || proto.device(&g, NodeId(v));
+                (NodeId(v), strategy(strat, u64::from(v), &honest))
+            })
+            .collect();
+        let b = testkit::run_with_faults(&proto, &g, &|v: NodeId| Input::Bool(v.0 < 3), faulty);
+        testkit::check_byzantine_agreement(&b, &correct)
+            .unwrap_or_else(|e| panic!("faulty {faulty_pair:?} strat {strat}: {e:?}"));
+    }
+}
+
+#[test]
+fn protocol_matrix_on_minimal_graphs() {
+    // Every (protocol, minimal adequate graph) pair against the full zoo.
+    testkit::assert_byzantine_agreement(&Eig::new(1), &builders::complete(4), 1, 3);
+    testkit::assert_byzantine_agreement(&PhaseKing::new(1), &builders::complete(5), 1, 3);
+    testkit::assert_byzantine_agreement(&DolevStrong::new(1, 99), &builders::triangle(), 1, 3);
+}
+
+#[test]
+fn dlpsw_converges_under_two_faults_on_k7() {
+    let g = builders::complete(7);
+    let rounds = 5;
+    let proto = Dlpsw::new(2, rounds);
+    let inputs = |v: NodeId| Input::Real(f64::from(v.0)); // correct spread ≤ 6
+    for strat in 0..STRATEGY_COUNT {
+        for (f1, f2) in [(0u32, 6u32), (2, 3)] {
+            let correct: BTreeSet<NodeId> = g.nodes().filter(|v| v.0 != f1 && v.0 != f2).collect();
+            let faulty = [f1, f2]
+                .iter()
+                .map(|&v| {
+                    let honest = || proto.device(&g, NodeId(v));
+                    (NodeId(v), strategy(strat, u64::from(v) * 7 + 1, &honest))
+                })
+                .collect();
+            let b = testkit::run_with_faults(&proto, &g, &inputs, faulty);
+            let ds: Vec<f64> = correct
+                .iter()
+                .map(|&v| match b.node(v).decision() {
+                    Some(Decision::Real(r)) => r,
+                    other => panic!("{v} decided {other:?}"),
+                })
+                .collect();
+            let spread = ds.iter().cloned().fold(f64::MIN, f64::max)
+                - ds.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                spread <= 6.0 / 2f64.powi(rounds as i32) + 1e-9,
+                "strat {strat} faulty ({f1},{f2}): spread {spread}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eig_decision_is_simultaneous_across_correct_nodes() {
+    // All correct nodes decide at the same tick (f+1) — needed by the
+    // firing-squad reduction's simultaneity.
+    let g = builders::complete(4);
+    let proto = Eig::new(1);
+    for pattern in testkit::bool_patterns(4) {
+        let b = testkit::run_honest(&proto, &g, &|v: NodeId| Input::Bool(pattern[v.index()]));
+        for v in g.nodes() {
+            assert_eq!(b.node(v).decision_tick(), Some(flm_sim::Tick(2)));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! A zoo of Byzantine adversary devices.
+//!
+//! The positive side of the reproduction — EIG, phase-king, DLPSW, the relay
+//! overlay — must meet its correctness conditions against *every* behavior
+//! of up to `f` faulty nodes. These wrappers provide the classic strategies;
+//! `flm-protocols`' tests run each protocol against all of them (and
+//! proptest-seeded [`RandomAdversary`]s).
+//!
+//! Note the contrast with [`crate::replay::ReplayDevice`]: the replay device
+//! realizes the Fault *axiom* (arbitrary per-edge masquerading, the
+//! impossibility side); these adversaries are concrete attack strategies
+//! (the achievability side).
+
+use crate::auth::mix64;
+use crate::device::{snapshot, Device, NodeCtx, Payload};
+use crate::Tick;
+
+/// Runs an honest device until `crash_at`, then is silent forever.
+pub struct CrashAdversary {
+    inner: Box<dyn Device>,
+    crash_at: Tick,
+}
+
+impl CrashAdversary {
+    /// Wraps `inner`, crashing it at tick `crash_at` (that tick is silent).
+    pub fn new(inner: Box<dyn Device>, crash_at: Tick) -> Self {
+        CrashAdversary { inner, crash_at }
+    }
+}
+
+impl Device for CrashAdversary {
+    fn name(&self) -> &'static str {
+        "Crash"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.inner.init(ctx);
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        if t >= self.crash_at {
+            return inbox.iter().map(|_| None).collect();
+        }
+        self.inner.step(t, inbox)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(b"crashed")
+    }
+}
+
+/// Never says anything.
+#[derive(Debug, Default, Clone)]
+pub struct SilentAdversary;
+
+impl Device for SilentAdversary {
+    fn name(&self) -> &'static str {
+        "Silent"
+    }
+
+    fn init(&mut self, _ctx: &NodeCtx) {}
+
+    fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(b"silent")
+    }
+}
+
+/// Sends seed-derived garbage bytes on every port, differently per port and
+/// tick (so it also equivocates). Deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    seed: u64,
+    heard: u64,
+}
+
+impl RandomAdversary {
+    /// Creates the adversary from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary {
+            seed: mix64(seed ^ 0x00AD_BEEF),
+            heard: 0,
+        }
+    }
+}
+
+impl Device for RandomAdversary {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.seed = mix64(self.seed ^ u64::from(ctx.node.0));
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        // Adaptivity: fold what it hears into its stream.
+        for m in inbox.iter().flatten() {
+            for &b in m {
+                self.heard = mix64(self.heard ^ u64::from(b));
+            }
+        }
+        (0..inbox.len())
+            .map(|p| {
+                let h = mix64(self.seed ^ self.heard ^ ((p as u64) << 40) ^ u64::from(t.0));
+                match h % 4 {
+                    0 => None,
+                    1 => Some(vec![h as u8]),
+                    2 => Some(vec![h as u8, (h >> 8) as u8]),
+                    _ => Some(vec![u8::from(h.is_multiple_of(2))]),
+                }
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(&self.heard.to_be_bytes())
+    }
+}
+
+/// Runs two instances of an honest device with different inputs and shows
+/// each half of its neighbors a different personality — the classic
+/// split-brain equivocation that defeats naive majority voting.
+pub struct TwoFacedAdversary {
+    zero_face: Box<dyn Device>,
+    one_face: Box<dyn Device>,
+}
+
+impl TwoFacedAdversary {
+    /// Wraps two instances of the honest device; `zero_face` is shown to the
+    /// lower half of the ports (it is initialized with input 0), `one_face`
+    /// to the upper half (input 1).
+    pub fn new(zero_face: Box<dyn Device>, one_face: Box<dyn Device>) -> Self {
+        TwoFacedAdversary {
+            zero_face,
+            one_face,
+        }
+    }
+}
+
+impl Device for TwoFacedAdversary {
+    fn name(&self) -> &'static str {
+        "TwoFaced"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        let mut zero_ctx = ctx.clone();
+        zero_ctx.input = crate::device::Input::Bool(false);
+        let mut one_ctx = ctx.clone();
+        one_ctx.input = crate::device::Input::Bool(true);
+        self.zero_face.init(&zero_ctx);
+        self.one_face.init(&one_ctx);
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        let zero_out = self.zero_face.step(t, inbox);
+        let one_out = self.one_face.step(t, inbox);
+        let half = inbox.len() / 2;
+        zero_out
+            .into_iter()
+            .take(half)
+            .chain(one_out.into_iter().skip(half))
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(b"two-faced")
+    }
+}
+
+/// Echoes back at tick `t+1` whatever it received at tick `t` on the same
+/// port — a "mirror" that can confuse protocols relying on message
+/// freshness.
+#[derive(Debug, Default, Clone)]
+pub struct MirrorAdversary {
+    pending: Vec<Option<Payload>>,
+}
+
+impl Device for MirrorAdversary {
+    fn name(&self) -> &'static str {
+        "Mirror"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.pending = vec![None; ctx.port_count()];
+    }
+
+    fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        std::mem::replace(&mut self.pending, inbox.to_vec())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(b"mirror")
+    }
+}
+
+/// The full strategy zoo over a given honest-device factory, used by
+/// protocol test suites: for strategy index `i` and seed `s`, produces a
+/// boxed adversary.
+pub fn strategy(index: usize, seed: u64, honest: &dyn Fn() -> Box<dyn Device>) -> Box<dyn Device> {
+    match index % 5 {
+        0 => Box::new(CrashAdversary::new(honest(), Tick((seed % 4) as u32))),
+        1 => Box::new(SilentAdversary),
+        2 => Box::new(RandomAdversary::new(seed)),
+        3 => Box::new(TwoFacedAdversary::new(honest(), honest())),
+        _ => Box::new(MirrorAdversary::default()),
+    }
+}
+
+/// Number of distinct strategies [`strategy`] cycles through.
+pub const STRATEGY_COUNT: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Input;
+    use crate::devices::NaiveMajorityDevice;
+    use crate::system::System;
+    use flm_graph::{builders, NodeId};
+
+    #[test]
+    fn crash_goes_silent() {
+        let g = builders::path(2);
+        let mut sys = System::new(g);
+        sys.assign(
+            NodeId(0),
+            Box::new(CrashAdversary::new(
+                Box::new(NaiveMajorityDevice::new()),
+                Tick(1),
+            )),
+            Input::Bool(true),
+        );
+        sys.assign(NodeId(1), Box::new(SilentAdversary), Input::None);
+        let b = sys.run(3);
+        let e = b.edge(NodeId(0), NodeId(1));
+        assert!(e[0].is_some()); // broadcast its input before crashing
+        assert!(e[1].is_none() && e[2].is_none());
+    }
+
+    #[test]
+    fn two_faced_shows_different_values() {
+        // On K4, the two-faced node tells half the ports 0 and half 1.
+        let g = builders::complete(4);
+        let mut sys = System::new(g);
+        sys.assign(
+            NodeId(0),
+            Box::new(TwoFacedAdversary::new(
+                Box::new(NaiveMajorityDevice::new()),
+                Box::new(NaiveMajorityDevice::new()),
+            )),
+            Input::Bool(false),
+        );
+        for v in [1, 2, 3] {
+            sys.assign(NodeId(v), Box::new(SilentAdversary), Input::None);
+        }
+        let b = sys.run(1);
+        // Port order at node 0 is [1, 2, 3]; half = 1 → port to node 1 gets
+        // the zero face, ports to 2 and 3 get the one face.
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0]));
+        assert_eq!(b.edge(NodeId(0), NodeId(3))[0], Some(vec![1]));
+    }
+
+    #[test]
+    fn mirror_echoes_with_one_tick_delay() {
+        let g = builders::path(2);
+        let mut sys = System::new(g);
+        sys.assign(NodeId(0), Box::new(MirrorAdversary::default()), Input::None);
+        sys.assign(
+            NodeId(1),
+            Box::new(crate::devices::TableDevice::new(3, 10)),
+            Input::Bool(true),
+        );
+        let b = sys.run(4);
+        // Mirror's output at t equals what the table sent at t-2 (one tick
+        // in flight, one tick buffered in the mirror).
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], None);
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[1], None);
+        for t in 2..4 {
+            assert_eq!(
+                b.edge(NodeId(0), NodeId(1))[t],
+                b.edge(NodeId(1), NodeId(0))[t - 2]
+            );
+        }
+    }
+
+    #[test]
+    fn random_adversary_is_deterministic() {
+        let run = || {
+            let mut sys = System::new(builders::triangle());
+            sys.assign(NodeId(0), Box::new(RandomAdversary::new(9)), Input::None);
+            sys.assign(NodeId(1), Box::new(SilentAdversary), Input::None);
+            sys.assign(NodeId(2), Box::new(SilentAdversary), Input::None);
+            sys.run(5)
+        };
+        assert_eq!(run().edges(), run().edges());
+    }
+
+    #[test]
+    fn strategy_factory_covers_all() {
+        for i in 0..STRATEGY_COUNT {
+            let d = strategy(i, 42, &|| Box::new(NaiveMajorityDevice::new()));
+            assert!(!d.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Reference devices: simple honest machines and deterministic "arbitrary
+//! protocol" generators.
+//!
+//! The impossibility theorems are universally quantified over devices, so
+//! the test suite needs devices of every stripe to throw at the refuters:
+//! trivially silent ones, naive voting protocols, and [`TableDevice`] — a
+//! deterministic pseudo-random protocol family indexed by seed, which lets
+//! proptest approximate "for all devices".
+
+use crate::auth::mix64;
+use crate::device::{snapshot, Device, Input, NodeCtx, Payload};
+use crate::Tick;
+
+/// Decides its own input immediately and never communicates.
+///
+/// Satisfies validity trivially and agreement only when all inputs agree —
+/// the simplest member of the device zoo.
+#[derive(Debug, Default, Clone)]
+pub struct ConstantDevice {
+    input: Input,
+    ports: usize,
+}
+
+impl ConstantDevice {
+    /// Creates the device.
+    pub fn new() -> Self {
+        ConstantDevice {
+            input: Input::None,
+            ports: 0,
+        }
+    }
+}
+
+impl Device for ConstantDevice {
+    fn name(&self) -> &'static str {
+        "Constant"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.input = ctx.input;
+        self.ports = ctx.port_count();
+    }
+
+    fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        inbox.iter().map(|_| None).collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        match self.input {
+            Input::Bool(b) => snapshot::decided_bool(b, &[]),
+            Input::Real(r) => snapshot::decided_real(r, &[]),
+            Input::None => snapshot::undecided(&[]),
+        }
+    }
+}
+
+/// A naive one-round majority voter: broadcasts its Boolean input at tick 0,
+/// then decides the majority of everything seen (self included) at tick 1.
+///
+/// Correct when everyone is honest and the graph is complete; defeated by a
+/// single equivocating fault — a good foil for the refuters and for the
+/// adversary zoo.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveMajorityDevice {
+    input: bool,
+    ones: u32,
+    zeros: u32,
+    decided: Option<bool>,
+}
+
+impl NaiveMajorityDevice {
+    /// Creates the device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Device for NaiveMajorityDevice {
+    fn name(&self) -> &'static str {
+        "NaiveMajority"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.input = ctx.input.as_bool().unwrap_or(false);
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        match t.0 {
+            0 => {
+                if self.input {
+                    self.ones += 1;
+                } else {
+                    self.zeros += 1;
+                }
+                inbox
+                    .iter()
+                    .map(|_| Some(vec![u8::from(self.input)]))
+                    .collect()
+            }
+            1 => {
+                for m in inbox.iter().flatten() {
+                    if m.first() == Some(&1) {
+                        self.ones += 1;
+                    } else {
+                        self.zeros += 1;
+                    }
+                }
+                self.decided = Some(self.ones > self.zeros);
+                inbox.iter().map(|_| None).collect()
+            }
+            _ => inbox.iter().map(|_| None).collect(),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let state = [self.ones as u8, self.zeros as u8];
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &state),
+            None => snapshot::undecided(&state),
+        }
+    }
+}
+
+/// A deterministic pseudo-random protocol, indexed by `seed`.
+///
+/// At each tick it mixes everything it has heard into a rolling hash and
+/// emits seed-derived bytes on every port; at `decide_tick` it decides a
+/// Boolean derived from its input and the hash. Distinct seeds give wildly
+/// different (but perfectly deterministic) protocols — proptest runs the
+/// refuters against hundreds of them to exercise the universal
+/// quantification in the theorems.
+#[derive(Debug, Clone)]
+pub struct TableDevice {
+    seed: u64,
+    decide_tick: u32,
+    hash: u64,
+    input: Input,
+    decided: Option<bool>,
+}
+
+impl TableDevice {
+    /// Creates a protocol from a seed, deciding at `decide_tick`.
+    pub fn new(seed: u64, decide_tick: u32) -> Self {
+        TableDevice {
+            seed,
+            decide_tick,
+            hash: mix64(seed),
+            input: Input::None,
+            decided: None,
+        }
+    }
+}
+
+impl Device for TableDevice {
+    fn name(&self) -> &'static str {
+        "Table"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.input = ctx.input;
+        self.hash = mix64(
+            self.hash
+                ^ u64::from(ctx.node.0)
+                ^ match ctx.input {
+                    Input::Bool(b) => 0x10 | u64::from(b),
+                    Input::Real(r) => r.to_bits(),
+                    Input::None => 0,
+                },
+        );
+    }
+
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        for (p, m) in inbox.iter().enumerate() {
+            if let Some(m) = m {
+                for &b in m {
+                    self.hash = mix64(self.hash ^ u64::from(b) ^ ((p as u64) << 32));
+                }
+            }
+        }
+        if t.0 == self.decide_tick {
+            // A seed-dependent blend of input and history: arbitrary, but
+            // deterministic — exactly what "some device" means.
+            let bit = match self.input {
+                Input::Bool(b) => {
+                    if self.seed.is_multiple_of(3) {
+                        b
+                    } else {
+                        (self.hash & 1) == 1
+                    }
+                }
+                _ => (self.hash & 1) == 1,
+            };
+            self.decided = Some(bit);
+        }
+        (0..inbox.len())
+            .map(|p| {
+                let h = mix64(self.hash ^ (p as u64) ^ (u64::from(t.0) << 16));
+                // Sometimes stay silent: silence is part of the space too.
+                if h.is_multiple_of(5) {
+                    None
+                } else {
+                    Some(vec![(h >> 8) as u8, (h >> 16) as u8])
+                }
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let state = self.hash.to_be_bytes();
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &state),
+            None => snapshot::undecided(&state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use flm_graph::{builders, NodeId};
+
+    #[test]
+    fn constant_device_decides_input() {
+        let mut sys = System::new(builders::triangle());
+        sys.assign(
+            NodeId(0),
+            Box::new(ConstantDevice::new()),
+            Input::Bool(true),
+        );
+        sys.assign(
+            NodeId(1),
+            Box::new(ConstantDevice::new()),
+            Input::Bool(false),
+        );
+        sys.assign(NodeId(2), Box::new(ConstantDevice::new()), Input::Real(0.5));
+        let b = sys.run(2);
+        use crate::device::Decision;
+        assert_eq!(b.node(NodeId(0)).decision(), Some(Decision::Bool(true)));
+        assert_eq!(b.node(NodeId(1)).decision(), Some(Decision::Bool(false)));
+        assert_eq!(b.node(NodeId(2)).decision(), Some(Decision::Real(0.5)));
+    }
+
+    #[test]
+    fn naive_majority_agrees_when_honest() {
+        let n = 5;
+        let mut sys = System::new(builders::complete(n));
+        for v in sys.graph().nodes() {
+            sys.assign(
+                v,
+                Box::new(NaiveMajorityDevice::new()),
+                Input::Bool(v.0 < 2), // two 1s, three 0s
+            );
+        }
+        let b = sys.run(3);
+        for v in b.graph().nodes() {
+            assert_eq!(
+                b.node(v).decision(),
+                Some(crate::device::Decision::Bool(false))
+            );
+        }
+    }
+
+    #[test]
+    fn table_device_is_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| {
+            let mut sys = System::new(builders::triangle());
+            for v in sys.graph().nodes() {
+                sys.assign(
+                    v,
+                    Box::new(TableDevice::new(seed, 3)),
+                    Input::Bool(v.0 == 0),
+                );
+            }
+            sys.run(5)
+        };
+        let (a, b, c) = (run(1), run(1), run(2));
+        assert_eq!(a.node(NodeId(0)).snaps, b.node(NodeId(0)).snaps);
+        assert_ne!(a.node(NodeId(0)).snaps, c.node(NodeId(0)).snaps);
+        // Decisions exist by the horizon.
+        for v in a.graph().nodes() {
+            assert!(a.node(v).decision().is_some());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The [`Protocol`] abstraction: a family of devices, one per node.
+//!
+//! The impossibility theorems quantify over *all* protocols; the refuters in
+//! `flm-core` therefore take any implementor of this trait, install its
+//! devices in a covering graph, and derive a contradiction. The concrete
+//! protocols in `flm-protocols` (EIG, phase-king, …) implement it too, which
+//! is what lets the frontier experiments run the same code on both sides of
+//! the `3f+1` boundary.
+
+use flm_graph::{Graph, NodeId};
+
+use crate::clock::ClockDevice;
+use crate::device::Device;
+
+/// A deterministic assignment of devices to the nodes of a base graph.
+///
+/// Calling [`Protocol::device`] twice with the same arguments must produce
+/// devices with identical behavior — the refuters rely on re-instantiating
+/// "the same" device in several systems.
+pub trait Protocol {
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> String;
+
+    /// The device node `v` of `g` runs.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device>;
+
+    /// Ticks after which every correct node is guaranteed to have decided
+    /// when the protocol runs on `g` (with up to the protocol's own fault
+    /// budget misbehaving). Refuters and experiment harnesses use this as
+    /// the run horizon.
+    fn horizon(&self, g: &Graph) -> u32;
+}
+
+/// A deterministic assignment of clock-synchronization devices to nodes.
+///
+/// The synchronization claim (envelopes, agreement constant α, stabilization
+/// time t′) lives with the problem statement in `flm-core`; this trait only
+/// manufactures the devices.
+pub trait ClockProtocol {
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> String;
+
+    /// The clock device node `v` of `g` runs.
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn ClockDevice>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::ConstantDevice;
+
+    struct Trivial;
+
+    impl Protocol for Trivial {
+        fn name(&self) -> String {
+            "Trivial".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(ConstantDevice::new())
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn protocol_objects_are_usable_boxed() {
+        let p: Box<dyn Protocol> = Box::new(Trivial);
+        let g = flm_graph::builders::triangle();
+        assert_eq!(p.name(), "Trivial");
+        assert_eq!(p.horizon(&g), 1);
+        let _ = p.device(&g, NodeId(0));
+    }
+}

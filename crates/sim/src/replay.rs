@@ -1,0 +1,141 @@
+//! The Fault axiom as code.
+//!
+//! FLM §2's Fault axiom: for any device `A` and any edge behaviors
+//! `E₁, …, E_d` that `A` exhibits on its outedges in (possibly different)
+//! system behaviors, there is a device `F_A(E₁, …, E_d)` that exhibits
+//! `E_i` on its `i`-th outedge in *any* system. [`ReplayDevice`] is that
+//! device: it plays back recorded edge traces verbatim, ignoring everything
+//! it receives. This is the "powerful masquerading capability of failed
+//! devices" every refuter uses to transplant covering-graph scenarios into
+//! correct behaviors of the base graph.
+
+use crate::behavior::EdgeBehavior;
+use crate::device::{snapshot, Device, NodeCtx, Payload};
+use crate::Tick;
+
+/// A faulty device that replays prerecorded outedge behaviors.
+///
+/// # Example
+///
+/// ```
+/// use flm_sim::replay::ReplayDevice;
+/// use flm_sim::device::{Device, NodeCtx, Input};
+/// use flm_sim::Tick;
+/// use flm_graph::NodeId;
+///
+/// // Replay "7" then silence on a single port.
+/// let mut f = ReplayDevice::masquerade(vec![vec![Some(vec![7]), None]]);
+/// f.init(&NodeCtx { node: NodeId(0), ports: vec![NodeId(1)], input: Input::None });
+/// assert_eq!(f.step(Tick(0), &[None]), vec![Some(vec![7])]);
+/// assert_eq!(f.step(Tick(1), &[Some(vec![9])]), vec![None]);
+/// assert_eq!(f.step(Tick(2), &[None]), vec![None]); // past the recording
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayDevice {
+    /// `traces[p]` = the edge behavior to exhibit on port `p`.
+    traces: Vec<EdgeBehavior>,
+}
+
+impl ReplayDevice {
+    /// Builds `F_A(E₁, …, E_d)` from the recorded outedge behaviors, one per
+    /// port. Ticks beyond the end of a recording are silent.
+    pub fn masquerade(traces: Vec<EdgeBehavior>) -> Self {
+        ReplayDevice { traces }
+    }
+
+    /// Number of ports this device was recorded for.
+    pub fn port_count(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+impl Device for ReplayDevice {
+    fn name(&self) -> &'static str {
+        "F" // the paper's name for the masquerading device
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        assert_eq!(
+            ctx.ports.len(),
+            self.traces.len(),
+            "replay device recorded for {} ports installed at a node with {}",
+            self.traces.len(),
+            ctx.ports.len()
+        );
+    }
+
+    fn step(&mut self, t: Tick, _inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        self.traces
+            .iter()
+            .map(|trace| trace.get(t.index()).cloned().flatten())
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // The behavior of a faulty node never participates in scenario
+        // comparison; a constant marker keeps it honest anyway.
+        snapshot::undecided(b"replay")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Input;
+    use crate::system::System;
+    use flm_graph::{builders, NodeId};
+
+    /// Device that forwards everything it hears on port 0 back out on all
+    /// ports, and snapshots the concatenation of everything heard.
+    struct Parrot {
+        heard: Vec<u8>,
+    }
+
+    impl Device for Parrot {
+        fn name(&self) -> &'static str {
+            "Parrot"
+        }
+        fn init(&mut self, _ctx: &NodeCtx) {}
+        fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            for m in inbox.iter().flatten() {
+                self.heard.extend_from_slice(m);
+            }
+            inbox.iter().map(|_| None).collect()
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            snapshot::undecided(&self.heard)
+        }
+    }
+
+    #[test]
+    fn fault_axiom_replays_exactly() {
+        // Record an arbitrary trace, install it at a faulty node, and check
+        // the neighbor observes exactly the recorded edge behavior.
+        let recorded: EdgeBehavior = vec![Some(vec![1]), None, Some(vec![2, 3])];
+        let g = builders::path(2);
+        let mut sys = System::new(g);
+        sys.assign(
+            NodeId(0),
+            Box::new(ReplayDevice::masquerade(vec![recorded.clone()])),
+            Input::None,
+        );
+        sys.assign(NodeId(1), Box::new(Parrot { heard: vec![] }), Input::None);
+        let b = sys.run(4);
+        assert_eq!(&b.edge(NodeId(0), NodeId(1))[..3], &recorded[..]);
+        // Sent at ticks 0 and 2, heard one tick later each.
+        assert_eq!(b.node(NodeId(1)).snaps[1], snapshot::undecided(&[1]));
+        assert_eq!(b.node(NodeId(1)).snaps[3], snapshot::undecided(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded for 1 ports")]
+    fn port_count_mismatch_panics() {
+        let g = builders::triangle();
+        let mut sys = System::new(g);
+        sys.assign(
+            NodeId(0),
+            Box::new(ReplayDevice::masquerade(vec![vec![None]])),
+            Input::None,
+        );
+    }
+}

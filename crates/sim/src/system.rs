@@ -1,0 +1,432 @@
+//! Systems and the deterministic run loop.
+//!
+//! A [`System`] is a communication graph with a device and input assigned to
+//! every node (FLM §2). Devices address neighbors through *ports* whose
+//! meaning is fixed by the base graph the device was written for; the
+//! system's *wiring* maps each port to a physical neighbor. Installing
+//! devices in a covering graph is just a different wiring — see
+//! [`System::assign_lifted`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flm_graph::covering::Covering;
+use flm_graph::{Graph, NodeId};
+
+use crate::behavior::{NodeBehavior, SystemBehavior};
+use crate::device::{Device, Input, NodeCtx};
+use crate::Tick;
+
+/// Errors from system assembly and runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// A node was not assigned a device before `run`.
+    Unassigned {
+        /// The unassigned node.
+        node: NodeId,
+    },
+    /// A wiring was not a bijection onto the node's physical neighbors.
+    BadWiring {
+        /// The node whose wiring is invalid.
+        node: NodeId,
+        /// Description of the defect.
+        reason: String,
+    },
+    /// A device returned the wrong number of outputs from `step`.
+    PortMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Expected number of ports.
+        expected: usize,
+        /// Number of outputs actually returned.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Unassigned { node } => write!(f, "no device assigned to {node}"),
+            SystemError::BadWiring { node, reason } => {
+                write!(f, "invalid wiring at {node}: {reason}")
+            }
+            SystemError::PortMismatch {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "device at {node} returned {got} outputs for {expected} ports"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+struct Slot {
+    device: Box<dyn Device>,
+    ctx: NodeCtx,
+    /// `wiring[p]` = the physical neighbor connected to port `p`.
+    wiring: Vec<NodeId>,
+}
+
+/// A communication graph with devices and inputs at its nodes.
+pub struct System {
+    graph: Graph,
+    slots: Vec<Option<Slot>>,
+}
+
+impl System {
+    /// Creates a system over `graph` with no devices assigned yet.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        System {
+            graph,
+            slots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Assigns `device` with `input` to node `v`, with the identity wiring:
+    /// the device's ports are `v`'s sorted neighbors in this graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn assign(&mut self, v: NodeId, mut device: Box<dyn Device>, input: Input) {
+        let neighbors: Vec<NodeId> = self.graph.neighbors(v).collect();
+        let ctx = NodeCtx {
+            node: v,
+            ports: neighbors.clone(),
+            input,
+        };
+        device.init(&ctx);
+        self.slots[v.index()] = Some(Slot {
+            device,
+            ctx,
+            wiring: neighbors,
+        });
+    }
+
+    /// Assigns a device *written for base node* `base_node` (with base
+    /// neighbor list `base_ports`) to physical node `v`, wiring port `p` to
+    /// physical neighbor `wiring[p]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::BadWiring`] unless `wiring` is a bijection
+    /// onto the physical neighbors of `v` with the same length as
+    /// `base_ports`.
+    pub fn assign_wired(
+        &mut self,
+        v: NodeId,
+        mut device: Box<dyn Device>,
+        input: Input,
+        base_node: NodeId,
+        base_ports: Vec<NodeId>,
+        wiring: Vec<NodeId>,
+    ) -> Result<(), SystemError> {
+        if wiring.len() != base_ports.len() {
+            return Err(SystemError::BadWiring {
+                node: v,
+                reason: format!("{} ports but {} wires", base_ports.len(), wiring.len()),
+            });
+        }
+        let mut sorted = wiring.clone();
+        sorted.sort();
+        sorted.dedup();
+        let actual: Vec<NodeId> = self.graph.neighbors(v).collect();
+        if sorted != actual {
+            return Err(SystemError::BadWiring {
+                node: v,
+                reason: format!("wiring {sorted:?} is not the neighbor set {actual:?}"),
+            });
+        }
+        let ctx = NodeCtx {
+            node: base_node,
+            ports: base_ports,
+            input,
+        };
+        device.init(&ctx);
+        self.slots[v.index()] = Some(Slot {
+            device,
+            ctx,
+            wiring,
+        });
+        Ok(())
+    }
+
+    /// Assigns to cover node `s` the device written for its base projection
+    /// φ(s), wiring each port along the covering's edge lifts. This is the
+    /// paper's "install the devices in the covering graph".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemError::BadWiring`] (impossible for a validated
+    /// covering, but surfaced rather than asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this system's graph is not the covering's cover graph.
+    pub fn assign_lifted(
+        &mut self,
+        cov: &Covering,
+        s: NodeId,
+        device: Box<dyn Device>,
+        input: Input,
+    ) -> Result<(), SystemError> {
+        assert_eq!(
+            &self.graph,
+            cov.cover(),
+            "system graph must be the covering's cover graph"
+        );
+        let base_node = cov.project(s);
+        let base_ports: Vec<NodeId> = cov.base().neighbors(base_node).collect();
+        let wiring: Vec<NodeId> = base_ports
+            .iter()
+            .map(|&t| cov.lift_neighbor(s, t))
+            .collect();
+        self.assign_wired(s, device, input, base_node, base_ports, wiring)
+    }
+
+    /// The input assigned to `v`, if a device has been assigned.
+    pub fn input(&self, v: NodeId) -> Option<Input> {
+        self.slots[v.index()].as_ref().map(|s| s.ctx.input)
+    }
+
+    /// Runs the system for `horizon` ticks and returns its behavior.
+    ///
+    /// Tick 0 steps every device with an empty inbox; at every later tick
+    /// each device receives exactly the payloads sent to it one tick
+    /// earlier (minimum delay δ = 1, the Bounded-Delay Locality axiom).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with [`SystemError`] context) if any node is unassigned or a
+    /// device violates the port discipline — both are programming errors in
+    /// the caller or the device, not runtime conditions.
+    pub fn run(mut self, horizon: u32) -> SystemBehavior {
+        self.try_run(horizon).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Unassigned`] or [`SystemError::PortMismatch`].
+    pub fn try_run(&mut self, horizon: u32) -> Result<SystemBehavior, SystemError> {
+        let n = self.graph.node_count();
+        for v in self.graph.nodes() {
+            if self.slots[v.index()].is_none() {
+                return Err(SystemError::Unassigned { node: v });
+            }
+        }
+        let mut edges: BTreeMap<(NodeId, NodeId), Vec<Option<Vec<u8>>>> = self
+            .graph
+            .directed_edges()
+            .into_iter()
+            .map(|e| (e, Vec::with_capacity(horizon as usize)))
+            .collect();
+        let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
+
+        for t in 0..horizon {
+            let tick = Tick(t);
+            // Gather this tick's inboxes from last tick's edge traces.
+            let mut inboxes: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(n);
+            for v in self.graph.nodes() {
+                let slot = self.slots[v.index()].as_ref().expect("checked above");
+                let inbox = slot
+                    .wiring
+                    .iter()
+                    .map(|&w| {
+                        if t == 0 {
+                            None
+                        } else {
+                            edges[&(w, v)][t as usize - 1].clone()
+                        }
+                    })
+                    .collect();
+                inboxes.push(inbox);
+            }
+            // Step devices and record sends + snapshots.
+            for v in self.graph.nodes() {
+                let slot = self.slots[v.index()].as_mut().expect("checked above");
+                let out = slot.device.step(tick, &inboxes[v.index()]);
+                if out.len() != slot.wiring.len() {
+                    return Err(SystemError::PortMismatch {
+                        node: v,
+                        expected: slot.wiring.len(),
+                        got: out.len(),
+                    });
+                }
+                for (p, payload) in out.into_iter().enumerate() {
+                    let w = slot.wiring[p];
+                    edges
+                        .get_mut(&(v, w))
+                        .expect("wiring validated")
+                        .push(payload);
+                }
+                snaps[v.index()].push(slot.device.snapshot());
+            }
+        }
+
+        let nodes = self
+            .graph
+            .nodes()
+            .map(|v| {
+                let slot = self.slots[v.index()].as_ref().expect("checked above");
+                NodeBehavior {
+                    device_name: slot.device.name().to_string(),
+                    input: slot.ctx.input,
+                    snaps: std::mem::take(&mut snaps[v.index()]),
+                }
+            })
+            .collect();
+        Ok(SystemBehavior::new(
+            self.graph.clone(),
+            nodes,
+            edges,
+            horizon,
+        ))
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "System(n={}, assigned={})",
+            self.graph.node_count(),
+            self.slots.iter().filter(|s| s.is_some()).count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{snapshot, Payload};
+    use flm_graph::builders;
+
+    /// Sends its node id on every port every tick; snapshot = count of
+    /// messages received so far.
+    struct Counter {
+        me: u32,
+        received: u32,
+    }
+
+    impl Device for Counter {
+        fn name(&self) -> &'static str {
+            "Counter"
+        }
+        fn init(&mut self, ctx: &NodeCtx) {
+            self.me = ctx.node.0;
+        }
+        fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            self.received += inbox.iter().flatten().count() as u32;
+            inbox.iter().map(|_| Some(vec![self.me as u8])).collect()
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            snapshot::undecided(&self.received.to_be_bytes())
+        }
+    }
+
+    fn counter() -> Box<dyn Device> {
+        Box::new(Counter { me: 0, received: 0 })
+    }
+
+    #[test]
+    fn messages_take_one_tick() {
+        let g = builders::path(2);
+        let mut sys = System::new(g);
+        sys.assign(NodeId(0), counter(), Input::None);
+        sys.assign(NodeId(1), counter(), Input::None);
+        let b = sys.run(3);
+        // Nothing received at tick 0; one message per tick thereafter.
+        assert_eq!(
+            b.node(NodeId(0)).snaps[0],
+            snapshot::undecided(&0u32.to_be_bytes())
+        );
+        assert_eq!(
+            b.node(NodeId(0)).snaps[1],
+            snapshot::undecided(&1u32.to_be_bytes())
+        );
+        assert_eq!(
+            b.node(NodeId(0)).snaps[2],
+            snapshot::undecided(&2u32.to_be_bytes())
+        );
+        // Edge traces record the sends.
+        assert_eq!(b.edge(NodeId(0), NodeId(1)).len(), 3);
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0]));
+    }
+
+    #[test]
+    fn unassigned_node_is_an_error() {
+        let g = builders::path(2);
+        let mut sys = System::new(g);
+        sys.assign(NodeId(0), counter(), Input::None);
+        assert_eq!(
+            sys.try_run(1).unwrap_err(),
+            SystemError::Unassigned { node: NodeId(1) }
+        );
+    }
+
+    #[test]
+    fn bad_wiring_is_rejected() {
+        let g = builders::triangle();
+        let mut sys = System::new(g);
+        let err = sys
+            .assign_wired(
+                NodeId(0),
+                counter(),
+                Input::None,
+                NodeId(0),
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(1), NodeId(1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SystemError::BadWiring { .. }));
+    }
+
+    #[test]
+    fn identical_systems_have_identical_behaviors() {
+        // Determinism: the model's "a system has exactly one behavior".
+        let run = || {
+            let mut sys = System::new(builders::triangle());
+            for v in sys.graph().nodes() {
+                sys.assign(v, counter(), Input::Bool(v.0 == 0));
+            }
+            sys.run(5)
+        };
+        let (a, b) = (run(), run());
+        for v in a.graph().nodes() {
+            assert_eq!(a.node(v), b.node(v));
+        }
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn lifted_assignment_runs_on_cover() {
+        use flm_graph::covering::Covering;
+        use std::collections::BTreeSet;
+        let tri = builders::triangle();
+        let a: BTreeSet<NodeId> = [NodeId(0)].into();
+        let c: BTreeSet<NodeId> = [NodeId(2)].into();
+        let cov = Covering::double_cover_crossing(&tri, &a, &c).unwrap();
+        let mut sys = System::new(cov.cover().clone());
+        for s in cov.cover().nodes() {
+            sys.assign_lifted(&cov, s, counter(), Input::None).unwrap();
+        }
+        let b = sys.run(4);
+        // Every node eventually counts messages from both ports.
+        for s in b.graph().nodes() {
+            assert_eq!(b.node(s).snaps[3], snapshot::undecided(&6u32.to_be_bytes()));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! A tiny deterministic byte codec for message payloads and state snapshots.
+//!
+//! Device behaviors are compared byte-for-byte by the refuters, so every
+//! encoding must be canonical: the same logical value always serializes to
+//! the same bytes. This module provides a minimal writer/reader pair used by
+//! the protocol implementations; it is *not* a general serialization
+//! framework, just enough structure to keep protocol code honest and
+//! readable.
+
+use std::fmt;
+
+/// Canonical byte writer.
+///
+/// # Example
+///
+/// ```
+/// use flm_sim::wire::{Writer, Reader};
+///
+/// let mut w = Writer::new();
+/// w.u32(7).bool(true).f64(0.5).bytes(b"abc");
+/// let buf = w.finish();
+/// let mut r = Reader::new(&buf);
+/// assert_eq!(r.u32().unwrap(), 7);
+/// assert_eq!(r.bool().unwrap(), true);
+/// assert_eq!(r.f64().unwrap(), 0.5);
+/// assert_eq!(r.bytes().unwrap(), b"abc");
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32` (big-endian).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u64` (big-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(u8::from(v));
+        self
+    }
+
+    /// Appends an `f64` by its IEEE-754 bit pattern (big-endian). NaN would
+    /// break canonicality; callers must not encode NaN.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        debug_assert!(!v.is_nan(), "NaN payloads are not canonical");
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends an `Option<bool>` as one byte (0 = none, 1 = false, 2 = true).
+    pub fn opt_bool(&mut self, v: Option<bool>) -> &mut Self {
+        self.buf.push(match v {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        self
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Error returned when a [`Reader`] runs out of bytes or sees an invalid tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed payload")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Canonical byte reader; the mirror of [`Writer`].
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the input is exhausted.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a bool byte; any value other than 0 or 1 is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input or an invalid tag.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError),
+        }
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads an `Option<bool>` (see [`Writer::opt_bool`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input or an invalid tag.
+    pub fn opt_bool(&mut self) -> Result<Option<bool>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            _ => Err(DecodeError),
+        }
+    }
+
+    /// True when all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(0xAB)
+            .u32(123_456)
+            .u64(u64::MAX - 1)
+            .bool(false)
+            .f64(-2.5)
+            .bytes(b"hello")
+            .opt_bool(Some(true))
+            .opt_bool(None);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -2.5);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.opt_bool().unwrap(), Some(true));
+        assert_eq!(r.opt_bool().unwrap(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut r = Reader::new(&[0, 0, 0]);
+        assert_eq!(r.u32(), Err(DecodeError));
+        let mut r = Reader::new(&[0, 0, 0, 9, 1]);
+        assert_eq!(r.bytes(), Err(DecodeError));
+    }
+
+    #[test]
+    fn invalid_tags_error() {
+        let mut r = Reader::new(&[7]);
+        assert_eq!(r.bool(), Err(DecodeError));
+        let mut r = Reader::new(&[9]);
+        assert_eq!(r.opt_bool(), Err(DecodeError));
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let enc = |x: u32| {
+            let mut w = Writer::new();
+            w.u32(x);
+            w.finish()
+        };
+        assert_eq!(enc(5), enc(5));
+        assert_ne!(enc(5), enc(6));
+    }
+}

@@ -1,0 +1,89 @@
+//! Anatomy of a counterexample certificate.
+//!
+//! This walks through everything a refuter hands back: the covering that
+//! was run, each chain behavior of the inadequate graph (who was correct,
+//! who masqueraded, what everyone decided), the checked scenario matches,
+//! the violated condition — and finally a tick-by-tick replay of the
+//! violating behavior, so you can watch the masquerading node split the
+//! correct nodes with your own eyes.
+//!
+//! Run with: `cargo run --example certificate_anatomy`
+
+use flm_core::refute;
+use flm_graph::{builders, Graph, NodeId};
+use flm_protocols::Eig;
+use flm_sim::{Device, Protocol};
+
+/// EIG, the *correct* protocol for n ≥ 3f+1 — installed on the triangle it
+/// must fall, and the certificate shows precisely how.
+struct EigOnTriangle;
+
+impl Protocol for EigOnTriangle {
+    fn name(&self) -> String {
+        "EIG(f=1)".into()
+    }
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Eig::new(1).device(g, v)
+    }
+    fn horizon(&self, g: &Graph) -> u32 {
+        Eig::new(1).horizon(g)
+    }
+}
+
+fn main() {
+    let triangle = builders::triangle();
+    let cert = refute::ba_nodes(&EigOnTriangle, &triangle, 1).expect("refutable");
+
+    println!("════════ the certificate ════════\n");
+    println!("{cert}\n");
+
+    println!("════════ the chain, link by link ════════\n");
+    for (i, link) in cert.chain.iter().enumerate() {
+        println!("E{} — a correct behavior of the triangle:", i + 1);
+        println!("  correct nodes : {:?}", link.correct);
+        for (v, traces) in &link.masquerade {
+            let sent: usize = traces
+                .iter()
+                .flat_map(|t| t.iter().flatten())
+                .map(Vec::len)
+                .sum();
+            println!(
+                "  faulty {v}     : replays {} recorded edge traces ({sent} bytes) \
+                 harvested from the hexagon run",
+                traces.len()
+            );
+        }
+        println!(
+            "  inputs        : {:?}",
+            link.inputs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  Locality check: scenario transplanted from the cover matched {}",
+            if link.scenario_matched {
+                "byte-for-byte ✓"
+            } else {
+                "✗"
+            }
+        );
+        println!();
+    }
+
+    println!("════════ replaying the violating behavior ════════\n");
+    let behavior = cert
+        .replay_violating_behavior(&EigOnTriangle)
+        .expect("certificate replays");
+    print!("{}", behavior.render_timeline());
+
+    println!("\n════════ and the independent check ════════\n");
+    cert.verify(&EigOnTriangle).expect("verifies");
+    println!("Certificate::verify: re-execution reproduces the recorded decisions ✓");
+    println!(
+        "\nThe contradiction in words: E1's validity forces the 0-side to decide 0, \
+         E3's forces the 1-side to decide 1, and E2's agreement glues them together — \
+         all three are correct behaviors of the same triangle, so the protocol cannot \
+         satisfy all of them. That is Theorem 1."
+    );
+}

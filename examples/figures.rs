@@ -1,0 +1,80 @@
+//! Regenerates the paper's figures as Graphviz DOT.
+//!
+//! The figures in FLM are all small labeled graphs; this binary emits each
+//! one from the live constructions (so the figures are *checked*: every
+//! covering map is validated by `flm_graph::covering::Covering::new`).
+//! Pipe any block through `dot -Tsvg` to render.
+//!
+//! Run with: `cargo run --example figures`
+
+use std::collections::BTreeSet;
+
+use flm_graph::covering::Covering;
+use flm_graph::{builders, dot, NodeId};
+
+fn device_letter(v: NodeId) -> Option<String> {
+    dot::triangle_device_label(v)
+}
+
+fn main() {
+    // §3.1 — the triangle G with devices A, B, C.
+    let triangle = builders::triangle();
+    println!("// Figure §3.1a: the triangle graph G");
+    println!(
+        "{}",
+        dot::graph_to_dot(&triangle, "G_triangle", device_letter)
+    );
+
+    // §3.1 — the hexagon cover S with devices and inputs.
+    let a: BTreeSet<NodeId> = [NodeId(0)].into();
+    let c: BTreeSet<NodeId> = [NodeId(2)].into();
+    let hexagon = Covering::double_cover_crossing(&triangle, &a, &c).unwrap();
+    println!("// Figure §3.1b: the hexagon cover S (labels: device·input)");
+    println!(
+        "{}",
+        dot::graph_to_dot(hexagon.cover(), "S_hexagon", |s| {
+            let dev = ["A", "B", "C"][hexagon.project(s).index()];
+            let input = u8::from(s.index() >= 3);
+            Some(format!("{dev}·{input}"))
+        })
+    );
+
+    // §3.2 — the 4-cycle G with devices A, B, C, D.
+    let c4 = builders::cycle(4);
+    let letter4 = |v: NodeId| Some(["A", "B", "C", "D"][v.index()].to_string());
+    println!("// Figure §3.2a: the 4-cycle (κ = 2; cut {{b, d}})");
+    println!("{}", dot::graph_to_dot(&c4, "G_cycle4", letter4));
+
+    // §3.2 — the 8-ring cover.
+    let a4: BTreeSet<NodeId> = [NodeId(0)].into();
+    let b4: BTreeSet<NodeId> = [NodeId(1)].into();
+    let ring8 = Covering::double_cover_crossing(&c4, &a4, &b4).unwrap();
+    println!("// Figure §3.2b: the 8-node cover (labels: device·copy)");
+    println!("{}", dot::covering_to_dot(&ring8, "S_ring8"));
+
+    // §4/§5 — the 4k-node ring (k = 3 shown: 12 nodes, half inputs 1).
+    let k = 3;
+    let ring = Covering::cyclic_cover(3, 4 * k / 3).unwrap();
+    println!("// Figure §4: the 4k-ring for weak agreement / firing squad (k = {k})");
+    println!(
+        "{}",
+        dot::graph_to_dot(ring.cover(), "S_ring4k", |s| {
+            let dev = ["A", "B", "C"][ring.project(s).index()];
+            let input = u8::from(s.index() < 2 * k);
+            Some(format!("{dev}·{input}"))
+        })
+    );
+
+    // §6.2/§7 — the (k+2)-node ring (k = 4: 6 nodes, inputs i·δ).
+    let k62: usize = 4;
+    let ring2 = Covering::cyclic_cover(3, (k62 + 2).div_ceil(3)).unwrap();
+    println!("// Figure §6.2: the (k+2)-ring for (ε,δ,γ)-agreement (k = {k62}, inputs i·δ)");
+    println!(
+        "{}",
+        dot::graph_to_dot(ring2.cover(), "S_ring_k2", |s| {
+            let dev = ["A", "B", "C"][ring2.project(s).index()];
+            Some(format!("{dev}·{}δ", s.index()))
+        })
+    );
+    println!("// Figure §7 uses the same ring with hardware clocks q·h^-j at node j.");
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate re-exporting the FLM workspace.
+pub use flm_core as core;
+pub use flm_graph as graph;
+pub use flm_protocols as protocols;
+pub use flm_sim as sim;

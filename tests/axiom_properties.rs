@@ -1,0 +1,118 @@
+//! Property-based verification of the §2 model axioms against randomized
+//! protocols, graphs, and clock assignments — the "demonstrate that the
+//! Locality and Fault axioms hold under the interpretation" step of the
+//! paper, run a few hundred times.
+
+use std::collections::BTreeSet;
+
+use flm_core::axioms;
+use flm_graph::{builders, Graph, NodeId};
+use flm_sim::clock::TimeFn;
+use flm_sim::devices::TableDevice;
+use flm_sim::{Device, Input, Protocol};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Table {
+    seed: u64,
+}
+
+impl Protocol for Table {
+    fn name(&self) -> String {
+        format!("Table({})", self.seed)
+    }
+    fn device(&self, _g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Box::new(TableDevice::new(self.seed ^ u64::from(v.0), 4))
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        6
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..9, 0usize..6, 0u64..500)
+        .prop_map(|(n, extra, seed)| builders::random_connected(n, extra, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn locality_axiom_holds(g in arb_graph(), seed in any::<u64>(), mask in 1u32..100) {
+        let proto = Table { seed };
+        let u: BTreeSet<NodeId> = g
+            .nodes()
+            .filter(|v| (mask >> (v.0 % 16)) & 1 == 1)
+            .collect();
+        prop_assume!(!u.is_empty() && u.len() < g.node_count());
+        let inputs = |v: NodeId| Input::Bool((mask >> (v.0 % 7)) & 1 == 0);
+        axioms::check_locality(&proto, &g, &inputs, &u, 6).map_err(|e| {
+            TestCaseError::fail(format!("locality violated: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn fault_axiom_holds(g in arb_graph(), seed in any::<u64>(), node_pick in 0usize..100) {
+        let n = g.node_count();
+        let node = NodeId((node_pick % n) as u32);
+        let degree = g.degree(node);
+        // Arbitrary traces derived from the seed.
+        let traces: Vec<Vec<Option<Vec<u8>>>> = (0..degree)
+            .map(|p| {
+                (0..4)
+                    .map(|t| {
+                        let h = flm_sim::auth::mix64(seed ^ (p as u64) << 8 ^ t);
+                        if h.is_multiple_of(3) {
+                            None
+                        } else {
+                            Some(vec![h as u8, (h >> 8) as u8])
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        axioms::check_fault_axiom(&g, node, traces, &Table { seed }, 4).map_err(|e| {
+            TestCaseError::fail(format!("fault axiom violated: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn bounded_delay_axiom_holds(g in arb_graph(), seed in any::<u64>(), flip in 0usize..100) {
+        let n = g.node_count();
+        let flip_node = NodeId((flip % n) as u32);
+        let proto = Table { seed };
+        axioms::check_bounded_delay(
+            &proto,
+            &g,
+            &|_| Input::Bool(false),
+            &move |v| Input::Bool(v == flip_node),
+            7,
+        )
+        .map_err(|e| TestCaseError::fail(format!("bounded delay violated: {e}")))?;
+    }
+
+    #[test]
+    fn scaling_axiom_holds(
+        // Power-of-two clock rates and scale factors keep every hardware
+        // reading bit-exact across the scaled run — the axiom holds exactly
+        // when the arithmetic does (and only approximately otherwise, since
+        // f64 division by non-dyadic rates rounds).
+        rate_exps in proptest::collection::vec(-1i32..3, 3),
+        h_exp in 1i32..3,
+        period_q in 1u32..5,
+    ) {
+        use flm_protocols::clock_sync::AveragingSync;
+        let g = builders::triangle();
+        let period = f64::from(period_q) / 2.0;
+        let rates: Vec<f64> = rate_exps.iter().map(|&e| (e as f64).exp2()).collect();
+        axioms::check_scaling(
+            &g,
+            &move |_| Box::new(AveragingSync::new(TimeFn::identity(), period)),
+            &move |v| TimeFn::linear(rates[v.index()]),
+            &TimeFn::linear((h_exp as f64).exp2()),
+            9.0,
+            8.0,
+        )
+        .map_err(|e| TestCaseError::fail(format!("scaling violated: {e}")))?;
+    }
+}

@@ -1,0 +1,75 @@
+//! The closing property: over randomized connected graphs and fault
+//! budgets, the adequacy classifier and the dispatching refuter must agree
+//! *exactly* — a verified counterexample on every inadequate graph, a
+//! decline on every adequate one. This is the paper's dichotomy, quantified.
+
+use flm_core::refute::{self, RefuteError};
+use flm_graph::{adequacy, builders, Graph, NodeId};
+use flm_sim::devices::NaiveMajorityDevice;
+use flm_sim::{Device, Protocol};
+use proptest::prelude::*;
+
+struct Naive;
+
+impl Protocol for Naive {
+    fn name(&self) -> String {
+        "NaiveMajority".into()
+    }
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+        Box::new(NaiveMajorityDevice::new())
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        3
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..10, 0usize..10, 0u64..2000)
+        .prop_map(|(n, extra, seed)| builders::random_connected(n, extra, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn byzantine_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+        let adequate = adequacy::is_adequate(&g, f);
+        match refute::byzantine(&Naive, &g, f) {
+            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Ok(cert) => {
+                prop_assert!(!adequate);
+                prop_assert!(cert.verify(&Naive).is_ok());
+                prop_assert!(cert.chain.iter().all(|l| l.scenario_matched));
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    #[test]
+    fn weak_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+        let adequate = adequacy::is_adequate(&g, f);
+        match refute::weak_any(&Naive, &g, f) {
+            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Ok(cert) => {
+                prop_assert!(!adequate);
+                prop_assert!(cert.verify(&Naive).is_ok());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    #[test]
+    fn firing_squad_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+        // NaiveMajority never fires, so inadequate graphs are refuted at the
+        // stimulus validity pin — still the dichotomy.
+        let adequate = adequacy::is_adequate(&g, f);
+        match refute::firing_squad_any(&Naive, &g, f) {
+            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Ok(cert) => {
+                prop_assert!(!adequate);
+                prop_assert!(cert.verify(&Naive).is_ok());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+}

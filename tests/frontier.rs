@@ -1,0 +1,190 @@
+//! Experiment E9 — the adequacy frontier.
+//!
+//! The paper's bounds are exactly tight. This test sweeps (n, f) across the
+//! `3f+1` node boundary and (graph, f) across the `2f+1` connectivity
+//! boundary and checks the dichotomy on both sides:
+//!
+//! * **inadequate** ⇒ the refuter produces a verified counterexample
+//!   against the best protocol we have;
+//! * **adequate** ⇒ that protocol survives the exhaustive zoo-adversary
+//!   sweep, and the refuter declines.
+
+use flm_core::refute::{self, RefuteError};
+use flm_graph::{adequacy, builders, connectivity, Graph, NodeId};
+use flm_protocols::{testkit, Eig, Relayed};
+use flm_sim::{Device, Protocol};
+
+/// EIG with the fault budget implied by `n` (so it is the best candidate on
+/// every complete graph in the sweep).
+struct BestEffortEig {
+    f: usize,
+}
+
+impl Protocol for BestEffortEig {
+    fn name(&self) -> String {
+        format!("EIG(f={})", self.f)
+    }
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Eig::new(self.f).device(g, v)
+    }
+    fn horizon(&self, g: &Graph) -> u32 {
+        Eig::new(self.f).horizon(g)
+    }
+}
+
+#[test]
+fn node_bound_frontier_complete_graphs() {
+    for f in 1..=2usize {
+        for n in 3..=(3 * f + 2) {
+            let g = builders::complete(n);
+            let proto = BestEffortEig { f };
+            if n <= 3 * f {
+                assert!(!adequacy::is_adequate(&g, f), "K{n}, f={f}");
+                let cert =
+                    refute::ba_nodes(&proto, &g, f).unwrap_or_else(|e| panic!("K{n}, f={f}: {e}"));
+                cert.verify(&proto)
+                    .unwrap_or_else(|e| panic!("K{n}, f={f} verify: {e}"));
+            } else {
+                assert!(adequacy::is_adequate(&g, f), "K{n}, f={f}");
+                assert!(matches!(
+                    refute::ba_nodes(&proto, &g, f),
+                    Err(RefuteError::GraphIsAdequate { .. })
+                ));
+                // The same devices genuinely solve the problem here.
+                testkit::assert_byzantine_agreement(&Eig::new(f), &g, f, 2);
+            }
+        }
+    }
+}
+
+#[test]
+fn connectivity_frontier() {
+    // Thin graphs: every cycle has κ = 2 ≤ 2f; wheels have κ = 3 = 2f+1.
+    struct Naive;
+    impl Protocol for Naive {
+        fn name(&self) -> String {
+            "NaiveMajority".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(flm_sim::devices::NaiveMajorityDevice::new())
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            3
+        }
+    }
+    for n in [4usize, 5, 6, 8] {
+        let g = builders::cycle(n);
+        assert_eq!(connectivity::vertex_connectivity(&g), 2);
+        let cert = refute::ba_connectivity(&Naive, &g, 1).unwrap_or_else(|e| panic!("C{n}: {e}"));
+        cert.verify(&Naive).unwrap();
+    }
+    // K5 minus an edge: κ = 3 ≥ 2f+1 and n = 5 ≥ 3f+1 — adequate; the
+    // relayed protocol succeeds and the refuters decline.
+    let mut links = Vec::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            if (u, v) != (0, 4) {
+                links.push((u, v));
+            }
+        }
+    }
+    let sparse = builders::from_links(5, &links).unwrap();
+    assert!(adequacy::is_adequate(&sparse, 1));
+    let relayed = Relayed::new(Eig::new(1), 1);
+    assert!(matches!(
+        refute::byzantine(&relayed, &sparse, 1),
+        Err(RefuteError::GraphIsAdequate { .. })
+    ));
+    testkit::assert_byzantine_agreement(&relayed, &sparse, 1, 2);
+}
+
+#[test]
+fn dispatcher_matches_classification() {
+    struct Naive;
+    impl Protocol for Naive {
+        fn name(&self) -> String {
+            "NaiveMajority".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(flm_sim::devices::NaiveMajorityDevice::new())
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            3
+        }
+    }
+    let cases: Vec<(Graph, usize)> = vec![
+        (builders::triangle(), 1),
+        (builders::complete(4), 1),
+        (builders::complete(6), 2),
+        (builders::complete(7), 2),
+        (builders::cycle(5), 1),
+        (builders::wheel(6), 1),
+        (builders::complete_bipartite(2, 4), 1),
+        (builders::hypercube(3), 1),
+    ];
+    for (g, f) in cases {
+        let adequate = adequacy::is_adequate(&g, f);
+        let refuted = refute::byzantine(&Naive, &g, f);
+        match (adequate, refuted) {
+            (true, Err(RefuteError::GraphIsAdequate { .. })) => {}
+            (false, Ok(cert)) => cert.verify(&Naive).unwrap(),
+            (adequate, other) => panic!(
+                "graph with {} nodes, f={f}: adequate={adequate} but refuter said {other:?}",
+                g.node_count()
+            ),
+        }
+    }
+}
+
+#[test]
+fn all_problems_fall_on_both_bounds() {
+    // Every problem's refuter fires on both kinds of inadequacy. Candidates
+    // are graph-agnostic naive devices (the theorems quantify over all).
+    struct Naive;
+    impl Protocol for Naive {
+        fn name(&self) -> String {
+            "NaiveMajority".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(flm_sim::devices::NaiveMajorityDevice::new())
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            3
+        }
+    }
+    let node_bound_cases: Vec<(Graph, usize)> =
+        vec![(builders::triangle(), 1), (builders::complete(5), 2)];
+    let connectivity_cases: Vec<(Graph, usize)> =
+        vec![(builders::cycle(4), 1), (builders::cycle(6), 1)];
+
+    for (g, f) in node_bound_cases.iter().chain(&connectivity_cases) {
+        let cert = refute::byzantine(&Naive, g, *f).expect("BA refuted");
+        cert.verify(&Naive).unwrap();
+        let cert = refute::weak_any(&Naive, g, *f).expect("weak refuted");
+        cert.verify(&Naive).unwrap();
+        let cert = refute::firing_squad_any(&Naive, g, *f).expect("fs refuted");
+        cert.verify(&Naive).unwrap();
+    }
+    // Simple approximate agreement: node bound on small graphs,
+    // connectivity bound on thin ones (real-valued candidate required).
+    struct EchoReal;
+    impl Protocol for EchoReal {
+        fn name(&self) -> String {
+            "EchoReal".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(flm_sim::devices::ConstantDevice::new())
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            2
+        }
+    }
+    for (g, f) in &node_bound_cases {
+        let cert = refute::simple_approx(&EchoReal, g, *f).expect("approx refuted");
+        cert.verify(&EchoReal).unwrap();
+    }
+    for (g, f) in &connectivity_cases {
+        let cert = refute::simple_approx_connectivity(&EchoReal, g, *f).expect("approx refuted");
+        cert.verify(&EchoReal).unwrap();
+    }
+}

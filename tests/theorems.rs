@@ -1,0 +1,162 @@
+//! Experiments E1–E8: one driver per theorem of the paper, each refuting
+//! the *real* protocols of `flm-protocols` on inadequate graphs and
+//! verifying every certificate by independent re-execution.
+
+use flm_core::problems::ClockSyncClaim;
+use flm_core::refute;
+use flm_graph::{builders, Graph, NodeId};
+use flm_protocols::clock_sync::{AveragingClockSync, TrivialClockSync};
+use flm_protocols::{Dlpsw, Eig, FiringSquadViaBa, PhaseKing, WeakViaBa};
+use flm_sim::clock::TimeFn;
+use flm_sim::{Device, Protocol};
+
+/// Wraps any protocol so its fault budget and the refuter's can differ —
+/// the refuter always installs the devices as-is.
+struct AsIs<P: Protocol>(P);
+
+impl<P: Protocol> Protocol for AsIs<P> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        self.0.device(g, v)
+    }
+    fn horizon(&self, g: &Graph) -> u32 {
+        self.0.horizon(g)
+    }
+}
+
+#[test]
+fn e1_theorem1_node_bound() {
+    // The genuine EIG devices, installed on the triangle, fall.
+    let proto = AsIs(Eig::new(1));
+    let cert = refute::ba_nodes(&proto, &builders::triangle(), 1).unwrap();
+    assert!(cert.chain.iter().all(|l| l.scenario_matched));
+    cert.verify(&proto).unwrap();
+
+    // And phase-king devices on K4 with f = 2 (4 ≤ 6 = 3f).
+    let pk = AsIs(PhaseKing::new(2));
+    let cert = refute::ba_nodes(&pk, &builders::complete(4), 2).unwrap();
+    cert.verify(&pk).unwrap();
+}
+
+#[test]
+fn e2_theorem1_connectivity_bound() {
+    struct Flood;
+    impl Protocol for Flood {
+        fn name(&self) -> String {
+            "Table".into()
+        }
+        fn device(&self, _g: &Graph, v: NodeId) -> Box<dyn Device> {
+            Box::new(flm_sim::devices::TableDevice::new(u64::from(v.0), 4))
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            6
+        }
+    }
+    for g in [builders::cycle(4), builders::cycle(6), builders::path(5)] {
+        let cert = refute::ba_connectivity(&Flood, &g, 1).unwrap();
+        cert.verify(&Flood).unwrap();
+    }
+    // f = 2 on a 4-connected-but-not-5-connected graph: K3,4 has κ = 3 ≤ 4.
+    let g = builders::complete_bipartite(3, 4);
+    let cert = refute::ba_connectivity(&Flood, &g, 2).unwrap();
+    cert.verify(&Flood).unwrap();
+}
+
+#[test]
+fn e3_theorem2_weak_agreement() {
+    let proto = AsIs(WeakViaBa::new(1));
+    let cert = refute::weak_agreement(&proto, &builders::triangle(), 1).unwrap();
+    cert.verify(&proto).unwrap();
+    // The ring grows with the protocol's decision time: a slower protocol
+    // still falls, with a longer ring.
+    assert!(cert.covering.contains("ring"));
+}
+
+#[test]
+fn e4_theorem4_firing_squad() {
+    let proto = AsIs(FiringSquadViaBa::new(1));
+    let cert = refute::firing_squad(&proto, &builders::triangle(), 1).unwrap();
+    cert.verify(&proto).unwrap();
+}
+
+#[test]
+fn e5_theorem5_simple_approx() {
+    let proto = AsIs(Dlpsw::new(1, 3));
+    let cert = refute::simple_approx(&proto, &builders::triangle(), 1).unwrap();
+    cert.verify(&proto).unwrap();
+}
+
+#[test]
+fn e6_theorem6_eps_delta_gamma() {
+    let proto = AsIs(Dlpsw::new(1, 3));
+    for (eps, delta, gamma) in [(0.25, 1.0, 1.0), (0.5, 1.0, 2.0), (0.01, 0.1, 0.5)] {
+        let cert = refute::eps_delta_gamma(&proto, &builders::triangle(), 1, eps, delta, gamma)
+            .unwrap_or_else(|e| panic!("ε={eps} δ={delta} γ={gamma}: {e}"));
+        cert.verify(&proto).unwrap();
+    }
+}
+
+#[test]
+fn e7_theorem8_clock_sync() {
+    let claim = ClockSyncClaim {
+        p: TimeFn::identity(),
+        q: TimeFn::linear(2.0),
+        l: TimeFn::identity(),
+        u: TimeFn::affine(2.0, 6.0),
+        alpha: 1.5,
+        t_prime: 1.0,
+    };
+    let trivial = TrivialClockSync {
+        l: TimeFn::identity(),
+    };
+    let avg = AveragingClockSync {
+        l: TimeFn::identity(),
+        period: 2.0,
+    };
+    let c1 = refute::clock_sync(&trivial, &builders::triangle(), 1, &claim).unwrap();
+    c1.verify(&trivial).unwrap();
+    let c2 = refute::clock_sync(&avg, &builders::triangle(), 1, &claim).unwrap();
+    c2.verify(&avg).unwrap();
+    // The general n ≤ 3f case via the clock-device collapse.
+    let (c3, collapsed) = flm_core::clock_reduction::clock_sync_general(
+        TrivialClockSync {
+            l: TimeFn::identity(),
+        },
+        &builders::complete(6),
+        2,
+        &claim,
+    )
+    .unwrap();
+    c3.verify(&collapsed).unwrap();
+}
+
+#[test]
+fn e8_corollaries_12_to_15() {
+    // Corollary 12/13: linear envelopes, drift rate r.
+    let dev = TrivialClockSync {
+        l: TimeFn::identity(),
+    };
+    let c = refute::corollary_13(&dev, 1.5, 1.0, 0.0, TimeFn::affine(1.5, 6.0), 1.0, 1.0).unwrap();
+    c.verify(&dev).unwrap();
+    // Corollary 14: affine offset clocks.
+    let half = TrivialClockSync {
+        l: TimeFn::affine(0.5, 0.25),
+    };
+    let c =
+        refute::corollary_14(&half, 2.0, 0.5, 0.25, TimeFn::affine(1.0, 5.0), 0.75, 1.0).unwrap();
+    c.verify(&half).unwrap();
+    // Corollary 15: logarithmic lower envelope.
+    let logd = TrivialClockSync { l: TimeFn::Log2 };
+    let c = refute::corollary_15(&logd, 2.0, TimeFn::affine(1.0, 3.0), 0.8, 1.0).unwrap();
+    c.verify(&logd).unwrap();
+}
+
+#[test]
+fn e10_authenticated_agreement_beats_the_bound() {
+    use flm_protocols::{testkit, DolevStrong};
+    // n = 3 = 3f and n = 5 < 3f+1 = 7: both fine with signatures.
+    testkit::assert_byzantine_agreement(&DolevStrong::new(1, 1), &builders::triangle(), 1, 4);
+    testkit::assert_byzantine_agreement(&DolevStrong::new(2, 2), &builders::complete(5), 2, 2);
+}
