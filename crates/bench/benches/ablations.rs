@@ -10,7 +10,7 @@
 //!   compared against the protocol run directly on the complete graph — the
 //!   price of surviving a thin topology.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::harness::Harness;
 use flm_bench::protocols_under_test::EigUnderTest;
 use flm_core::reduction::collapse_for_node_bound;
 use flm_core::refute;
@@ -33,8 +33,8 @@ impl<P: Protocol> Protocol for AsIs<P> {
     }
 }
 
-fn bench_node_bound_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_node_bound_k6_f2");
+fn bench_node_bound_paths(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_node_bound_k6_f2");
     let g = builders::complete(6);
     group.bench_function("direct_double_cover", |b| {
         let proto = EigUnderTest { f: 2 };
@@ -50,8 +50,8 @@ fn bench_node_bound_paths(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_weak_general_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_weak_general_k5_f2");
+fn bench_weak_general_paths(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_weak_general_k5_f2");
     let g = builders::complete(5);
     group.bench_function("direct_crossed_cyclic_cover", |b| {
         let proto = AsIs(WeakViaBa::new(2));
@@ -67,9 +67,8 @@ fn bench_weak_general_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    name = ablations;
-    config = Criterion::default().sample_size(15);
-    targets = bench_node_bound_paths, bench_weak_general_paths
-);
-criterion_main!(ablations);
+fn main() {
+    let mut h = Harness::new().sample_size(15);
+    bench_node_bound_paths(&mut h);
+    bench_weak_general_paths(&mut h);
+}

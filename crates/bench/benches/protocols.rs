@@ -1,8 +1,8 @@
-//! Criterion benches for the protocols (experiment E11): the cost of the
+//! Benches for the protocols (experiment E11): the cost of the
 //! matching upper bounds, including the EIG blow-up in `f` and the relay
 //! overlay's overhead on sparse adequate graphs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::harness::Harness;
 use flm_graph::{builders, NodeId};
 use flm_protocols::{testkit, Dlpsw, DolevStrong, Eig, PhaseKing, Relayed};
 use flm_sim::{Input, Protocol};
@@ -12,8 +12,8 @@ fn honest_inputs(v: NodeId) -> Input {
     Input::Bool(v.0.is_multiple_of(2))
 }
 
-fn bench_ba_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E11_byzantine_agreement");
+fn bench_ba_protocols(h: &mut Harness) {
+    let mut group = h.benchmark_group("E11_byzantine_agreement");
     group.bench_function("eig_k4_f1", |b| {
         let g = builders::complete(4);
         let p = Eig::new(1);
@@ -42,8 +42,8 @@ fn bench_ba_protocols(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_relay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E11_relay_overhead");
+fn bench_relay(h: &mut Harness) {
+    let mut group = h.benchmark_group("E11_relay_overhead");
     let mut links = Vec::new();
     for u in 0..5u32 {
         for v in (u + 1)..5 {
@@ -69,8 +69,8 @@ fn bench_relay(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_approx_protocol(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E11_approx");
+fn bench_approx_protocol(h: &mut Harness) {
+    let mut group = h.benchmark_group("E11_approx");
     for rounds in [2u32, 5, 10] {
         group.bench_function(format!("dlpsw_k4_r{rounds}"), |b| {
             let g = builders::complete(4);
@@ -83,9 +83,9 @@ fn bench_approx_protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    name = protocols;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ba_protocols, bench_relay, bench_approx_protocol
-);
-criterion_main!(protocols);
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    bench_ba_protocols(&mut h);
+    bench_relay(&mut h);
+    bench_approx_protocol(&mut h);
+}

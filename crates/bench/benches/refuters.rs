@@ -1,7 +1,7 @@
-//! Criterion benches for the refuters — the cost of executing each
+//! Benches for the refuters — the cost of executing each
 //! impossibility proof (experiments E1–E8).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::harness::Harness;
 use flm_bench::protocols_under_test::{EigUnderTest, NaiveUnderTest, TableUnderTest};
 use flm_core::problems::ClockSyncClaim;
 use flm_core::refute;
@@ -10,8 +10,8 @@ use flm_protocols::clock_sync::TrivialClockSync;
 use flm_sim::clock::TimeFn;
 use std::hint::black_box;
 
-fn bench_ba_nodes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1_ba_nodes");
+fn bench_ba_nodes(h: &mut Harness) {
+    let mut group = h.benchmark_group("E1_ba_nodes");
     group.bench_function("triangle_f1_eig", |b| {
         let g = builders::triangle();
         let proto = EigUnderTest { f: 1 };
@@ -36,8 +36,8 @@ fn bench_ba_nodes(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_ba_connectivity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2_ba_connectivity");
+fn bench_ba_connectivity(h: &mut Harness) {
+    let mut group = h.benchmark_group("E2_ba_connectivity");
     for n in [4usize, 6, 8, 10] {
         group.bench_function(format!("cycle{n}_f1"), |b| {
             let g = builders::cycle(n);
@@ -51,8 +51,8 @@ fn bench_ba_connectivity(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_rings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E3_E4_rings");
+fn bench_rings(h: &mut Harness) {
+    let mut group = h.benchmark_group("E3_E4_rings");
     group.bench_function("weak_agreement_table", |b| {
         let g = builders::triangle();
         let proto = TableUnderTest { seed: 11 };
@@ -61,8 +61,8 @@ fn bench_rings(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_approx(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_E6_approx");
+fn bench_approx(h: &mut Harness) {
+    let mut group = h.benchmark_group("E5_E6_approx");
     group.bench_function("simple_approx_table", |b| {
         let g = builders::triangle();
         let proto = TableUnderTest { seed: 13 };
@@ -78,8 +78,8 @@ fn bench_approx(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_clocks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_E8_clocks");
+fn bench_clocks(h: &mut Harness) {
+    let mut group = h.benchmark_group("E7_E8_clocks");
     for alpha in [4.0, 1.0] {
         group.bench_function(format!("clock_sync_alpha{alpha}"), |b| {
             let proto = TrivialClockSync {
@@ -100,9 +100,11 @@ fn bench_clocks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    name = refuters;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ba_nodes, bench_ba_connectivity, bench_rings, bench_approx, bench_clocks
-);
-criterion_main!(refuters);
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    bench_ba_nodes(&mut h);
+    bench_ba_connectivity(&mut h);
+    bench_rings(&mut h);
+    bench_approx(&mut h);
+    bench_clocks(&mut h);
+}

@@ -1,8 +1,8 @@
-//! Criterion benches for the substrates: vertex connectivity, covering
+//! Benches for the substrates: vertex connectivity, covering
 //! construction/validation, disjoint-path extraction, and the simulator's
 //! raw stepping rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flm_bench::harness::Harness;
 use flm_graph::covering::Covering;
 use flm_graph::{builders, connectivity, NodeId};
 use flm_sim::devices::TableDevice;
@@ -10,8 +10,8 @@ use flm_sim::{Input, System};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
-fn bench_connectivity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_connectivity");
+fn bench_connectivity(h: &mut Harness) {
+    let mut group = h.benchmark_group("substrate_connectivity");
     for n in [8usize, 16, 32] {
         let g = builders::random_connected(n, 2 * n, 7);
         group.bench_function(format!("kappa_random_n{n}"), |b| {
@@ -28,8 +28,8 @@ fn bench_connectivity(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_covers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_covers");
+fn bench_covers(h: &mut Harness) {
+    let mut group = h.benchmark_group("substrate_covers");
     group.bench_function("double_cover_k12", |b| {
         let g = builders::complete(12);
         let a: BTreeSet<NodeId> = (0..4).map(NodeId).collect();
@@ -44,8 +44,8 @@ fn bench_covers(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_simulator");
+fn bench_simulator(h: &mut Harness) {
+    let mut group = h.benchmark_group("substrate_simulator");
     for (name, g) in [
         ("k8", builders::complete(8)),
         ("ring48", builders::cycle(48)),
@@ -67,9 +67,9 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    name = substrate;
-    config = Criterion::default().sample_size(20);
-    targets = bench_connectivity, bench_covers, bench_simulator
-);
-criterion_main!(substrate);
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    bench_connectivity(&mut h);
+    bench_covers(&mut h);
+    bench_simulator(&mut h);
+}

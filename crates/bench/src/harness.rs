@@ -1,0 +1,149 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Replaces Criterion so the workspace builds and benches offline, keeping
+//! Criterion's calling convention (`benchmark_group` / `bench_function` /
+//! `Bencher::iter`) so bench bodies read the same. Each bench is timed over
+//! a fixed sample count after a warm-up; the report prints min/median/mean
+//! per iteration. Pass a substring on the command line to run a subset.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples and warm-up used for each bench function.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Timed samples collected per bench.
+    pub samples: usize,
+    /// Warm-up iterations before sampling.
+    pub warmup_iters: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            samples: 15,
+            warmup_iters: 3,
+        }
+    }
+}
+
+/// Passed to each bench body; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    config: Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured warm-up and sample counts, recording
+    /// per-iteration wall time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        for _ in 0..self.config.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benches, mirroring Criterion's `benchmark_group`.
+pub struct Group<'a> {
+    name: String,
+    filter: Option<&'a str>,
+    config: Config,
+}
+
+impl<'a> Group<'a> {
+    /// Runs the bench body and reports its timings under `group/label`,
+    /// unless a command-line filter excludes it.
+    pub fn bench_function(&mut self, label: impl Into<String>, f: impl FnOnce(&mut Bencher)) {
+        let label = label.into();
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = self.filter {
+            if !full.contains(filter) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            config: self.config,
+            samples: Vec::with_capacity(self.config.samples),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{full:<48} (no samples)");
+            return;
+        }
+        b.samples.sort();
+        let min = b.samples[0];
+        let median = b.samples[b.samples.len() / 2];
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        println!("{full:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}");
+    }
+
+    /// Ends the group (parity with Criterion's API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The harness entry: holds the command-line filter and default config.
+pub struct Harness {
+    filter: Option<String>,
+    config: Config,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Builds a harness, reading an optional substring filter from argv.
+    pub fn new() -> Self {
+        // `cargo bench -- <filter>`; ignore flags Criterion users pass.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness {
+            filter,
+            config: Config::default(),
+        }
+    }
+
+    /// Overrides the sample count (parity with Criterion's `sample_size`).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.config.samples = samples;
+        self
+    }
+
+    /// Opens a named bench group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            filter: self.filter.as_deref(),
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            config: Config {
+                samples: 4,
+                warmup_iters: 1,
+            },
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(count, 5); // 1 warm-up + 4 samples
+    }
+}

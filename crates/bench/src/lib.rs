@@ -13,11 +13,12 @@
 //! * **protocol-cost tables** — rounds and message bytes for EIG,
 //!   phase-king, Dolev–Strong, DLPSW, and the relay overlay.
 //!
-//! The Criterion benches under `benches/` time the same runners; the
-//! `regen` binary prints the tables EXPERIMENTS.md records.
+//! The benches under `benches/` time the same runners on the in-tree
+//! [`harness`]; the `regen` binary prints the tables EXPERIMENTS.md records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod protocols_under_test;

@@ -17,7 +17,7 @@ use std::fmt;
 use flm_graph::NodeId;
 use flm_sim::behavior::EdgeBehavior;
 use flm_sim::replay::ReplayDevice;
-use flm_sim::{Decision, Input, Protocol, System};
+use flm_sim::{Decision, DeviceMisbehavior, Input, Protocol, RunPolicy, System};
 
 /// Which theorem of the paper a certificate instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,6 +116,12 @@ pub struct ChainLink {
     pub decisions: Vec<(NodeId, Option<Decision>)>,
     /// Ticks this behavior was run for.
     pub horizon: u32,
+    /// Incidents the contained run recorded (panics, port-discipline
+    /// breaches, oversized payloads) — the degradation evidence.
+    pub misbehavior: Vec<DeviceMisbehavior>,
+    /// Nodes of `correct` the degradation policy reclassified as faulty;
+    /// correctness conditions were checked over `correct` minus these.
+    pub degraded: Vec<NodeId>,
 }
 
 /// A machine-checkable counterexample to a protocol's claimed correctness
@@ -186,9 +192,18 @@ impl Certificate {
             .ok_or_else(|| VerifyError::Malformed {
                 reason: format!("violation points at chain link {}", self.violation.link),
             })?;
-        let decisions = self.replay_link(protocol, link)?;
+        let replayed = self.rebuild(protocol, link)?;
+        if replayed.misbehavior() != link.misbehavior.as_slice() {
+            return Err(VerifyError::NotReproduced {
+                reason: format!(
+                    "re-execution recorded misbehavior {:?}, certificate records {:?}",
+                    replayed.misbehavior(),
+                    link.misbehavior
+                ),
+            });
+        }
         let recorded: BTreeMap<NodeId, Option<Decision>> = link.decisions.iter().cloned().collect();
-        for (v, d) in decisions {
+        for (v, d) in replayed.decisions() {
             let want = recorded.get(&v).ok_or_else(|| VerifyError::Malformed {
                 reason: format!("no recorded decision for {v}"),
             })?;
@@ -248,19 +263,13 @@ impl Certificate {
                 link.inputs[v.index()],
             );
         }
-        sys.try_run(link.horizon)
+        // Contained, like the refuter's own runs: a certificate over a
+        // hostile protocol must verify without aborting, reproducing the
+        // recorded misbehavior instead.
+        sys.run_contained(link.horizon, &RunPolicy::default())
             .map_err(|e| VerifyError::Malformed {
                 reason: format!("re-execution failed: {e}"),
             })
-    }
-
-    /// Re-executes one chain link and returns the decisions.
-    fn replay_link(
-        &self,
-        protocol: &dyn Protocol,
-        link: &ChainLink,
-    ) -> Result<Vec<(NodeId, Option<Decision>)>, VerifyError> {
-        Ok(self.rebuild(protocol, link)?.decisions())
     }
 }
 
@@ -288,6 +297,12 @@ impl fmt::Display for Certificate {
                     "FAILED"
                 }
             )?;
+            for m in &link.misbehavior {
+                writeln!(f, "      misbehavior: {m}")?;
+            }
+            if !link.degraded.is_empty() {
+                writeln!(f, "      degraded to faulty: {:?}", link.degraded)?;
+            }
             let ds: Vec<String> = link
                 .decisions
                 .iter()

@@ -204,12 +204,11 @@ impl CollapsedClockDevice {
                 .members
                 .iter()
                 .position(|&m| m == dst)
-                .expect("destination is in this class");
-            let port = self
-                .base
-                .neighbors(dst)
-                .position(|w| w == sender)
-                .expect("base edge exists");
+                .expect("dst_class == me, so dst appears in this class's member list");
+            let port =
+                self.base.neighbors(dst).position(|w| w == sender).expect(
+                    "sender addressed dst over a base edge, so dst lists sender as a neighbor",
+                );
             let slot = self.stash(PendingTimer::Internal {
                 mi: dst_mi,
                 port,
@@ -225,7 +224,7 @@ impl CollapsedClockDevice {
                 .port_class
                 .iter()
                 .position(|&c| c == dst_class)
-                .expect("quotient edge exists");
+                .expect("cross-class base edges project to quotient edges by construction");
             let sender = self.members[mi];
             vec![ClockAction::Send {
                 port: outer_port,

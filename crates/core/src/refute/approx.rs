@@ -64,6 +64,7 @@ pub fn simple_approx(
             u_set,
             Input::Real(*faulty_in),
             horizon,
+            f,
         )?;
         if violation.is_none() {
             violation = problems::simple_approx(&behavior, &correct, i).err();
@@ -124,6 +125,7 @@ pub fn simple_approx_connectivity(
             u_set,
             Input::Real(faulty_in),
             horizon,
+            f,
         )?;
         if violation.is_none() {
             violation = problems::simple_approx(&behavior, &correct, i).err();
@@ -206,6 +208,7 @@ pub fn eps_delta_gamma(
             &u_set,
             Input::Real(i as f64 * delta),
             horizon,
+            f,
         )?;
         if violation.is_none() {
             violation = problems::eps_delta_gamma(&behavior, &correct, eps, gamma, i).err();

@@ -51,8 +51,15 @@ fn chain_certificate(
     let mut chain = Vec::new();
     let mut violation: Option<Violation> = None;
     for (i, u_set) in scenarios.iter().enumerate() {
-        let (link, behavior, correct) =
-            transplant(protocol, cov, &cover_behavior, u_set, Input::None, horizon)?;
+        let (link, behavior, correct) = transplant(
+            protocol,
+            cov,
+            &cover_behavior,
+            u_set,
+            Input::None,
+            horizon,
+            f,
+        )?;
         if violation.is_none() {
             violation = problems::byzantine_agreement(&behavior, &correct, i).err();
         }
@@ -160,11 +167,20 @@ pub(crate) fn cut_classes(g: &Graph, f: usize) -> Result<CutClasses, RefuteError
     // split into b and d of size ≤ f, with b guaranteed to touch a.
     let (rest, order) = g.remove_nodes(&cut);
     let comps = rest.components();
-    let pos_of = |x: NodeId| order.iter().position(|&v| v == x).expect("kept node");
+    // `order` lists exactly the nodes kept by `remove_nodes`; `s` is kept
+    // because `min_vertex_cut` never puts its witness endpoints in the cut.
+    let pos_of = |x: NodeId| {
+        order
+            .iter()
+            .position(|&v| v == x)
+            .expect("node kept by remove_nodes")
+    };
     let comp_a = comps
         .iter()
         .find(|comp| comp.contains(&NodeId(pos_of(s) as u32)))
-        .expect("s survives the cut");
+        .ok_or_else(|| RefuteError::BadGraph {
+            reason: format!("cut witness {s} not found in any component of the cut graph"),
+        })?;
     let a: BTreeSet<NodeId> = comp_a.iter().map(|&i| order[i.index()]).collect();
     let c: BTreeSet<NodeId> = g
         .nodes()
@@ -301,11 +317,12 @@ mod tests {
         fn name(&self) -> String {
             format!("zoo#{}", self.0)
         }
-        fn device(&self, _g: &Graph, v: NodeId) -> Box<dyn Device> {
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
             match self.0 {
                 0 => Box::new(ConstantDevice::new()),
                 1 => Box::new(NaiveMajorityDevice::new()),
-                s => Box::new(TableDevice::new(u64::from(s) * 31 + u64::from(v.0) * 0, 3)),
+                // Same seed at every node: covering-fiber copies must agree.
+                s => Box::new(TableDevice::new(u64::from(s) * 31, 3)),
             }
         }
         fn horizon(&self, _g: &Graph) -> u32 {

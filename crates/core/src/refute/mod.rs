@@ -42,7 +42,7 @@ use flm_graph::covering::Covering;
 use flm_graph::{Graph, GraphError, NodeId};
 use flm_sim::behavior::EdgeBehavior;
 use flm_sim::replay::ReplayDevice;
-use flm_sim::{Input, Protocol, System, SystemBehavior};
+use flm_sim::{DeviceMisbehavior, Input, Protocol, RunPolicy, System, SystemBehavior};
 
 use crate::certificate::ChainLink;
 
@@ -74,6 +74,17 @@ pub enum RefuteError {
         /// Explanation.
         reason: String,
     },
+    /// Devices misbehaved (panicked, broke the port discipline, or emitted
+    /// oversized payloads) beyond what the fault budget `f` can absorb: the
+    /// degradation policy could not reclassify every misbehaving node as
+    /// faulty, so no sound counterexample exists in this run. The incidents
+    /// carry the evidence.
+    Misbehavior {
+        /// The incidents the contained run recorded.
+        incidents: Vec<DeviceMisbehavior>,
+        /// The budget arithmetic that failed.
+        reason: String,
+    },
     /// A graph construction failed.
     Graph(GraphError),
 }
@@ -90,6 +101,13 @@ impl fmt::Display for RefuteError {
             }
             RefuteError::Unrefuted { reason } => {
                 write!(f, "no violation found (axiom breakage?): {reason}")
+            }
+            RefuteError::Misbehavior { incidents, reason } => {
+                write!(f, "device misbehavior exceeds the fault budget: {reason}")?;
+                for m in incidents {
+                    write!(f, "; {m}")?;
+                }
+                Ok(())
             }
             RefuteError::Graph(e) => write!(f, "graph construction failed: {e}"),
         }
@@ -120,7 +138,11 @@ pub(crate) fn run_cover(
                 reason: format!("installing device at cover node {s}: {e}"),
             })?;
     }
-    sys.try_run(horizon)
+    // Contained: a hostile device must not abort the refuter. A cover node
+    // that misbehaves is quarantined; determinism means its base-graph twin
+    // misbehaves identically in the transplants, where the degradation
+    // policy charges it against the fault budget.
+    sys.run_contained(horizon, &RunPolicy::default())
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("cover run failed: {e}"),
         })
@@ -136,12 +158,22 @@ pub(crate) fn run_cover(
 /// `F_A(E₁,…,E_d)` with the `E_i` harvested from the cover run.
 ///
 /// Returns the assembled [`ChainLink`] (with the Locality-axiom scenario
-/// match recorded), the base behavior, and the correct node set.
+/// match recorded), the base behavior, and the *effective* correct node set
+/// after degradation.
+///
+/// The base system is run contained: a scenario device that panics, breaks
+/// the port discipline, or floods a port is quarantined and recorded rather
+/// than aborting the refutation. Each misbehaving node is then *degraded* —
+/// reclassified as Byzantine-faulty — provided the link's total fault count
+/// (masquerading nodes plus degraded nodes) stays within `f`. Degraded
+/// nodes are removed from the set the correctness conditions quantify over;
+/// the incident evidence rides along in the [`ChainLink`].
 ///
 /// # Errors
 ///
 /// [`RefuteError::ModelViolation`] when the projection of `u_set` is not
-/// injective or the transplanted scenario fails to match the cover's.
+/// injective or the transplanted scenario fails to match the cover's;
+/// [`RefuteError::Misbehavior`] when degradation would exceed `f`.
 pub(crate) fn transplant(
     protocol: &dyn Protocol,
     cov: &Covering,
@@ -149,6 +181,7 @@ pub(crate) fn transplant(
     u_set: &BTreeSet<NodeId>,
     faulty_input: Input,
     horizon: u32,
+    f: usize,
 ) -> Result<(ChainLink, SystemBehavior, BTreeSet<NodeId>), RefuteError> {
     let base = cov.base();
     // φ restricted to u_set must be injective (one representative per base
@@ -207,13 +240,15 @@ pub(crate) fn transplant(
     }
 
     let behavior = sys
-        .try_run(horizon)
+        .run_contained(horizon, &RunPolicy::default())
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("base run failed: {e}"),
         })?;
 
     // The Locality axiom, checked: the transplanted scenario must equal the
-    // cover scenario byte for byte (under φ).
+    // cover scenario byte for byte (under φ). Quarantined devices pass this
+    // too — determinism makes them misbehave at the same tick in both runs,
+    // leaving identical silence and marker snapshots.
     let cover_scenario = cover_behavior.scenario(u_set);
     let base_scenario = behavior.scenario(&correct);
     let map: std::collections::BTreeMap<NodeId, NodeId> =
@@ -225,6 +260,27 @@ pub(crate) fn transplant(
         });
     }
 
+    // Degradation: misbehaving scenario nodes become Byzantine-faulty if the
+    // budget allows, otherwise the refutation cannot proceed soundly.
+    let incidents = behavior.misbehavior().to_vec();
+    let degraded: BTreeSet<NodeId> = behavior
+        .misbehaving_nodes()
+        .intersection(&correct)
+        .copied()
+        .collect();
+    let masquerading = base.node_count() - correct.len();
+    if masquerading + degraded.len() > f {
+        return Err(RefuteError::Misbehavior {
+            reason: format!(
+                "{} masquerading + {} degraded nodes > f = {f}",
+                masquerading,
+                degraded.len()
+            ),
+            incidents,
+        });
+    }
+    let effective: BTreeSet<NodeId> = correct.difference(&degraded).copied().collect();
+
     let link = ChainLink {
         correct: correct.iter().copied().collect(),
         masquerade,
@@ -232,8 +288,10 @@ pub(crate) fn transplant(
         scenario_matched: matched.is_ok(),
         decisions: behavior.decisions(),
         horizon,
+        misbehavior: incidents,
+        degraded: degraded.iter().copied().collect(),
     };
-    Ok((link, behavior, correct))
+    Ok((link, behavior, effective))
 }
 
 /// Splits `0..n` into classes `a`, `b`, `c` of size at most `f` with an

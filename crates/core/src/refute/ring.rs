@@ -37,23 +37,39 @@ fn require_triangle(g: &Graph, f: usize) -> Result<(), RefuteError> {
     Ok(())
 }
 
-/// Runs the all-correct triangle behavior with every input `b` and returns
-/// the behavior plus a chain link describing it.
+/// Runs the all-correct behavior with every input `b` (contained) and
+/// returns the chain link, the behavior, and the effective correct set:
+/// misbehaving devices are degraded to Byzantine-faulty when the budget
+/// `f` allows, so the validity pins quantify only over the nodes that
+/// actually upheld their contract.
 fn all_correct_run(
     protocol: &dyn Protocol,
     g: &Graph,
     input: Input,
     horizon: u32,
-) -> Result<(ChainLink, flm_sim::SystemBehavior), RefuteError> {
+    f: usize,
+) -> Result<(ChainLink, flm_sim::SystemBehavior, BTreeSet<NodeId>), RefuteError> {
     let mut sys = System::new(g.clone());
     for v in g.nodes() {
         sys.assign(v, protocol.device(g, v), input);
     }
     let behavior = sys
-        .try_run(horizon)
+        .run_contained(horizon, &flm_sim::RunPolicy::default())
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("all-correct run failed: {e}"),
         })?;
+    let degraded = behavior.misbehaving_nodes();
+    if degraded.len() > f || degraded.len() == g.node_count() {
+        return Err(RefuteError::Misbehavior {
+            reason: format!(
+                "{} of {} devices misbehaved in the all-correct run (budget f = {f})",
+                degraded.len(),
+                g.node_count()
+            ),
+            incidents: behavior.misbehavior().to_vec(),
+        });
+    }
+    let effective: BTreeSet<NodeId> = g.nodes().filter(|v| !degraded.contains(v)).collect();
     let link = ChainLink {
         correct: g.nodes().collect(),
         masquerade: Vec::new(),
@@ -61,8 +77,10 @@ fn all_correct_run(
         scenario_matched: true,
         decisions: behavior.decisions(),
         horizon,
+        misbehavior: behavior.misbehavior().to_vec(),
+        degraded: degraded.into_iter().collect(),
     };
-    Ok((link, behavior))
+    Ok((link, behavior, effective))
 }
 
 /// The ring cover of the triangle with `4k` nodes (`k` a multiple of 3).
@@ -99,8 +117,8 @@ pub fn weak_agreement(
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
     for b in [false, true] {
-        let (link, behavior) = all_correct_run(protocol, g, Input::Bool(b), horizon)?;
-        for v in g.nodes() {
+        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(b), horizon, f)?;
+        for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(d)) if d == b => {
                     t_prime =
@@ -178,6 +196,7 @@ pub fn weak_agreement(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -218,8 +237,8 @@ pub fn weak_agreement_direct_general(
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
     for bit in [false, true] {
-        let (link, behavior) = all_correct_run(protocol, g, Input::Bool(bit), horizon)?;
-        for v in g.nodes() {
+        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(bit), horizon, f)?;
+        for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(d)) if d == bit => {
                     t_prime =
@@ -284,7 +303,10 @@ pub fn weak_agreement_direct_general(
         ];
         for set in pairs {
             let mut decisions = set.iter().map(|&s| cover_behavior.node(s).decision());
-            let first = decisions.next().expect("non-empty scenario");
+            // An empty scenario set is vacuously uniform.
+            let Some(first) = decisions.next() else {
+                continue;
+            };
             let uniform = matches!(first, Some(Decision::Bool(_))) && decisions.all(|d| d == first);
             if !uniform {
                 bad = Some(set.into_iter().collect());
@@ -306,6 +328,7 @@ pub fn weak_agreement_direct_general(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -356,8 +379,8 @@ pub fn weak_agreement_direct_connectivity(
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
     for bit in [false, true] {
-        let (link, behavior) = all_correct_run(protocol, g, Input::Bool(bit), horizon)?;
-        for v in g.nodes() {
+        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(bit), horizon, f)?;
+        for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(dec)) if dec == bit => {
                     t_prime =
@@ -424,7 +447,10 @@ pub fn weak_agreement_direct_connectivity(
         ];
         for set in sets {
             let mut decisions = set.iter().map(|&s| cover_behavior.node(s).decision());
-            let first = decisions.next().expect("non-empty scenario");
+            // An empty scenario set is vacuously uniform.
+            let Some(first) = decisions.next() else {
+                continue;
+            };
             let uniform =
                 matches!(first, Some(Decision::Bool(_))) && decisions.all(|dec| dec == first);
             if !uniform {
@@ -447,6 +473,7 @@ pub fn weak_agreement_direct_connectivity(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -480,7 +507,10 @@ fn first_non_uniform_scenario(
 ) -> Option<BTreeSet<NodeId>> {
     for set in scenarios {
         let mut values = set.iter().map(|&s| obs(cover_behavior.node(s)));
-        let first = values.next().expect("non-empty scenario");
+        // An empty scenario set is vacuously uniform.
+        let Some(first) = values.next() else {
+            continue;
+        };
         let uniform = first.0 && values.all(|v| v.0 && v.1 == first.1);
         if !uniform {
             return Some(set);
@@ -513,10 +543,11 @@ fn firing_squad_pins(
     horizon: u32,
     chain: &mut Vec<ChainLink>,
 ) -> Result<Result<u32, Certificate>, RefuteError> {
-    let (stim_link, stim_behavior) = all_correct_run(protocol, g, Input::Bool(true), horizon)?;
-    let fire_ticks: Vec<Option<Tick>> = g
-        .nodes()
-        .map(|v| stim_behavior.node(v).fire_tick())
+    let (stim_link, stim_behavior, stim_pins) =
+        all_correct_run(protocol, g, Input::Bool(true), horizon, f)?;
+    let fire_ticks: Vec<Option<Tick>> = stim_pins
+        .iter()
+        .map(|&v| stim_behavior.node(v).fire_tick())
         .collect();
     let early = |chain: &mut Vec<ChainLink>, link: ChainLink, violation: Violation| {
         chain.push(link);
@@ -548,11 +579,15 @@ fn firing_squad_pins(
         };
         return Ok(Err(early(chain, stim_link, violation)));
     }
-    let t_fire = fire_ticks[0].expect("checked").0;
+    let t_fire = fire_ticks[0]
+        .expect("pins are non-empty and every None fire tick returned early above")
+        .0;
     chain.push(stim_link);
-    let (quiet_link, quiet_behavior) = all_correct_run(protocol, g, Input::Bool(false), horizon)?;
-    if let Some(v) = g
-        .nodes()
+    let (quiet_link, quiet_behavior, quiet_pins) =
+        all_correct_run(protocol, g, Input::Bool(false), horizon, f)?;
+    if let Some(v) = quiet_pins
+        .iter()
+        .copied()
         .find(|&v| quiet_behavior.node(v).fire_tick().is_some())
     {
         let violation = Violation {
@@ -625,6 +660,7 @@ pub fn firing_squad_direct_general(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()
@@ -705,6 +741,7 @@ pub fn firing_squad_direct_connectivity(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()
@@ -808,10 +845,11 @@ pub fn firing_squad(
     let mut chain = Vec::new();
     // Validity pins: with stimulus everywhere all must fire, simultaneously
     // and by the horizon; with no stimulus nobody may fire.
-    let (stim_link, stim_behavior) = all_correct_run(protocol, g, Input::Bool(true), horizon)?;
-    let fire_ticks: Vec<Option<Tick>> = g
-        .nodes()
-        .map(|v| stim_behavior.node(v).fire_tick())
+    let (stim_link, stim_behavior, stim_pins) =
+        all_correct_run(protocol, g, Input::Bool(true), horizon, f)?;
+    let fire_ticks: Vec<Option<Tick>> = stim_pins
+        .iter()
+        .map(|&v| stim_behavior.node(v).fire_tick())
         .collect();
     if fire_ticks.iter().any(Option::is_none) {
         let violation = Violation {
@@ -834,12 +872,16 @@ pub fn firing_squad(
         chain.push(stim_link);
         return Ok(fs_cert(protocol, g, chain, violation, 0));
     }
-    let t_fire = fire_ticks[0].expect("checked").0;
+    let t_fire = fire_ticks[0]
+        .expect("pins are non-empty and every None fire tick returned early above")
+        .0;
     chain.push(stim_link);
 
-    let (quiet_link, quiet_behavior) = all_correct_run(protocol, g, Input::Bool(false), horizon)?;
-    if let Some(v) = g
-        .nodes()
+    let (quiet_link, quiet_behavior, quiet_pins) =
+        all_correct_run(protocol, g, Input::Bool(false), horizon, f)?;
+    if let Some(v) = quiet_pins
+        .iter()
+        .copied()
         .find(|&v| quiet_behavior.node(v).fire_tick().is_some())
     {
         let violation = Violation {
@@ -884,6 +926,7 @@ pub fn firing_squad(
         &u_set,
         Input::None,
         ring_horizon,
+        f,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()

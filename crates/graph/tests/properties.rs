@@ -9,89 +9,108 @@ use std::collections::BTreeSet;
 
 use flm_graph::covering::{node_bound_partition, quotient, Covering};
 use flm_graph::{adequacy, builders, connectivity, NodeId};
-use proptest::prelude::*;
+use flm_prop::Rng;
 
-/// Strategy: a deterministic pseudo-random connected graph.
-fn arb_connected_graph() -> impl Strategy<Value = flm_graph::Graph> {
-    (4usize..10, 0usize..8, 0u64..1000)
-        .prop_map(|(n, extra, seed)| builders::random_connected(n, extra, seed))
+/// A deterministic pseudo-random connected graph.
+fn arb_connected_graph(rng: &mut Rng) -> flm_graph::Graph {
+    let n = rng.usize(4..10);
+    let extra = rng.usize(0..8);
+    let seed = rng.range_u64(0..1000);
+    builders::random_connected(n, extra, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn flow_connectivity_matches_brute_force(g in arb_connected_graph()) {
-        prop_assert_eq!(
+#[test]
+fn flow_connectivity_matches_brute_force() {
+    flm_prop::cases(64, 0x61F1, |rng| {
+        let g = arb_connected_graph(rng);
+        assert_eq!(
             connectivity::vertex_connectivity(&g),
             connectivity::vertex_connectivity_brute(&g)
         );
-    }
+    });
+}
 
-    #[test]
-    fn min_cut_size_equals_connectivity_and_separates(g in arb_connected_graph()) {
+#[test]
+fn min_cut_size_equals_connectivity_and_separates() {
+    flm_prop::cases(64, 0x61F2, |rng| {
+        let g = arb_connected_graph(rng);
         let kappa = connectivity::vertex_connectivity(&g);
         if let Some((cut, s, t)) = connectivity::min_vertex_cut(&g) {
-            prop_assert_eq!(cut.len(), kappa);
-            prop_assert!(!cut.contains(&s));
-            prop_assert!(!cut.contains(&t));
+            assert_eq!(cut.len(), kappa);
+            assert!(!cut.contains(&s));
+            assert!(!cut.contains(&t));
             let (rest, order) = g.remove_nodes(&cut);
-            prop_assert!(!rest.is_connected() || rest.node_count() < 2);
+            assert!(!rest.is_connected() || rest.node_count() < 2);
             // s and t are in different components.
             let pos = |x: NodeId| NodeId(order.iter().position(|&v| v == x).unwrap() as u32);
             let comps = rest.components();
             let cs = comps.iter().position(|c| c.contains(&pos(s)));
             let ct = comps.iter().position(|c| c.contains(&pos(t)));
-            prop_assert_ne!(cs, ct);
+            assert_ne!(cs, ct);
         } else {
             // No cut exists only for complete graphs.
             let n = g.node_count();
-            prop_assert!(g.nodes().all(|v| g.degree(v) == n - 1));
+            assert!(g.nodes().all(|v| g.degree(v) == n - 1));
         }
-    }
+    });
+}
 
-    #[test]
-    fn disjoint_paths_witness_local_connectivity(
-        g in arb_connected_graph(),
-        pick in 0usize..100,
-    ) {
+#[test]
+fn disjoint_paths_witness_local_connectivity() {
+    flm_prop::cases(64, 0x61F3, |rng| {
+        let g = arb_connected_graph(rng);
+        let pick = rng.usize(0..100);
         let n = g.node_count();
         let s = NodeId((pick % n) as u32);
         let t = NodeId(((pick / n + 1 + s.index()) % n) as u32);
-        prop_assume!(s != t);
+        if s == t {
+            return;
+        }
         let paths = connectivity::vertex_disjoint_paths(&g, s, t);
-        prop_assert_eq!(paths.len(), connectivity::local_connectivity(&g, s, t));
+        assert_eq!(paths.len(), connectivity::local_connectivity(&g, s, t));
         let mut interior = BTreeSet::new();
         for p in &paths {
-            prop_assert_eq!(p.first(), Some(&s));
-            prop_assert_eq!(p.last(), Some(&t));
+            assert_eq!(p.first(), Some(&s));
+            assert_eq!(p.last(), Some(&t));
             for pair in p.windows(2) {
-                prop_assert!(g.has_link(pair[0], pair[1]));
+                assert!(g.has_link(pair[0], pair[1]));
             }
             for w in &p[1..p.len() - 1] {
-                prop_assert!(interior.insert(*w), "interior node reused");
+                assert!(interior.insert(*w), "interior node reused");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn double_cover_is_validated_covering(g in arb_connected_graph(), seed in 0u64..100) {
+#[test]
+fn double_cover_is_validated_covering() {
+    flm_prop::cases(64, 0x61F4, |rng| {
+        let g = arb_connected_graph(rng);
+        let seed = rng.range_u64(0..100);
         // Pick two disjoint random classes with at least one cross link.
         let n = g.node_count();
-        let x: BTreeSet<NodeId> = g.nodes().filter(|v| (v.0 as u64 + seed).is_multiple_of(3)).collect();
-        let y: BTreeSet<NodeId> = g.nodes().filter(|v| (v.0 as u64 + seed) % 3 == 1).collect();
-        prop_assume!(!x.is_empty() && !y.is_empty());
+        let x: BTreeSet<NodeId> = g
+            .nodes()
+            .filter(|v| (u64::from(v.0) + seed).is_multiple_of(3))
+            .collect();
+        let y: BTreeSet<NodeId> = g
+            .nodes()
+            .filter(|v| (u64::from(v.0) + seed) % 3 == 1)
+            .collect();
+        if x.is_empty() || y.is_empty() {
+            return;
+        }
         match Covering::double_cover_crossing(&g, &x, &y) {
             Ok(cov) => {
-                prop_assert_eq!(cov.cover().node_count(), 2 * n);
+                assert_eq!(cov.cover().node_count(), 2 * n);
                 // Fibers all have size exactly 2.
                 for v in g.nodes() {
-                    prop_assert_eq!(cov.fiber(v).len(), 2);
+                    assert_eq!(cov.fiber(v).len(), 2);
                 }
                 // Degrees are preserved (already checked by validation, but
                 // assert the public view).
                 for s in cov.cover().nodes() {
-                    prop_assert_eq!(cov.cover().degree(s), g.degree(cov.project(s)));
+                    assert_eq!(cov.cover().degree(s), g.degree(cov.project(s)));
                 }
             }
             Err(_) => {
@@ -99,17 +118,21 @@ proptest! {
                 let crosses = g.links().iter().any(|&(u, v)| {
                     (x.contains(&u) && y.contains(&v)) || (y.contains(&u) && x.contains(&v))
                 });
-                prop_assert!(!crosses);
+                assert!(!crosses);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cyclic_covers_validate(b in 3usize..6, m in 2usize..6) {
+#[test]
+fn cyclic_covers_validate() {
+    flm_prop::cases(48, 0x61F5, |rng| {
+        let b = rng.usize(3..6);
+        let m = rng.usize(2..6);
         let cov = Covering::cyclic_cover(b, m).unwrap();
-        prop_assert_eq!(cov.cover().node_count(), b * m);
+        assert_eq!(cov.cover().node_count(), b * m);
         for s in cov.cover().nodes() {
-            prop_assert_eq!(cov.project(s), NodeId(s.0 % b as u32));
+            assert_eq!(cov.project(s), NodeId(s.0 % b as u32));
             // lift_neighbor round-trips: lifting each base neighbor gives
             // exactly the cover neighbors.
             let lifted: BTreeSet<NodeId> = cov
@@ -118,51 +141,59 @@ proptest! {
                 .map(|t| cov.lift_neighbor(s, t))
                 .collect();
             let actual: BTreeSet<NodeId> = cov.cover().neighbors(s).collect();
-            prop_assert_eq!(lifted, actual);
+            assert_eq!(lifted, actual);
         }
-    }
+    });
+}
 
-    #[test]
-    fn node_bound_partition_is_partition_with_bounded_classes(
-        f in 1usize..5,
-        n_off in 0usize..10,
-    ) {
-        let n = 3 + n_off;
-        prop_assume!(n <= 3 * f);
+#[test]
+fn node_bound_partition_is_partition_with_bounded_classes() {
+    flm_prop::cases(64, 0x61F6, |rng| {
+        let f = rng.usize(1..5);
+        let n = 3 + rng.usize(0..10);
+        if n > 3 * f {
+            return;
+        }
         let classes = node_bound_partition(n, f).unwrap();
         let mut all = BTreeSet::new();
         for c in &classes {
-            prop_assert!(!c.is_empty());
-            prop_assert!(c.len() <= f);
+            assert!(!c.is_empty());
+            assert!(c.len() <= f);
             for &v in c {
-                prop_assert!(all.insert(v));
+                assert!(all.insert(v));
             }
         }
-        prop_assert_eq!(all.len(), n);
-    }
+        assert_eq!(all.len(), n);
+    });
+}
 
-    #[test]
-    fn quotient_of_node_bound_partition_is_connected_on_complete(
-        f in 1usize..5, n_off in 0usize..10,
-    ) {
-        let n = 3 + n_off;
-        prop_assume!(n <= 3 * f);
+#[test]
+fn quotient_of_node_bound_partition_is_connected_on_complete() {
+    flm_prop::cases(64, 0x61F7, |rng| {
+        let f = rng.usize(1..5);
+        let n = 3 + rng.usize(0..10);
+        if n > 3 * f {
+            return;
+        }
         let g = builders::complete(n);
         let classes = node_bound_partition(n, f).unwrap();
         let (q, class_of) = quotient(&g, &classes).unwrap();
-        prop_assert_eq!(q.node_count(), 3);
+        assert_eq!(q.node_count(), 3);
         // K_n quotients onto the triangle whenever all classes nonempty.
-        prop_assert_eq!(q.link_count(), 3);
-        prop_assert_eq!(class_of.len(), n);
-    }
+        assert_eq!(q.link_count(), 3);
+        assert_eq!(class_of.len(), n);
+    });
+}
 
-    #[test]
-    fn adequacy_monotone_in_f(g in arb_connected_graph()) {
+#[test]
+fn adequacy_monotone_in_f() {
+    flm_prop::cases(64, 0x61F8, |rng| {
+        let g = arb_connected_graph(rng);
         // If a graph tolerates f faults it tolerates f-1.
         let fmax = adequacy::max_tolerable_faults(&g);
         for f in 0..=fmax {
-            prop_assert!(adequacy::is_adequate(&g, f));
+            assert!(adequacy::is_adequate(&g, f));
         }
-        prop_assert!(!adequacy::is_adequate(&g, fmax + 1));
-    }
+        assert!(!adequacy::is_adequate(&g, fmax + 1));
+    });
 }

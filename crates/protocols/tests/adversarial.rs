@@ -3,7 +3,7 @@
 //! overlay on denser sparse graphs.
 
 use flm_graph::{builders, connectivity, Graph, NodeId};
-use flm_protocols::{testkit, Dlpsw, DolevStrong, Eig, PhaseKing, Relayed};
+use flm_protocols::{testkit, Dlpsw, DolevStrong, Eig, PhaseKing, Relayed, WeakViaBa};
 use flm_sim::adversary::{strategy, STRATEGY_COUNT};
 use flm_sim::{Decision, Input, Protocol};
 use std::collections::BTreeSet;
@@ -103,6 +103,84 @@ fn eig_decision_is_simultaneous_across_correct_nodes() {
         let b = testkit::run_honest(&proto, &g, &|v: NodeId| Input::Bool(pattern[v.index()]));
         for v in g.nodes() {
             assert_eq!(b.node(v).decision_tick(), Some(flm_sim::Tick(2)));
+        }
+    }
+}
+
+/// One faulty node per run: either a zoo strategy or the protocol's own
+/// honest device wrapped by a [`flm_sim::FaultPlan`] injector (drop,
+/// corrupt, equivocate, delay, or all four composed — optionally stacked on
+/// a zoo adversary). On adequate graphs the surviving correct nodes must
+/// still reach agreement and validity under every combination.
+#[test]
+fn fault_injector_matrix_preserves_agreement_on_adequate_graphs() {
+    use flm_sim::FaultPlan;
+
+    let cases: Vec<(Box<dyn Protocol>, Graph)> = vec![
+        (Box::new(Eig::new(1)), builders::complete(4)),
+        (Box::new(WeakViaBa::new(1)), builders::complete(4)),
+        (Box::new(PhaseKing::new(1)), builders::complete(5)),
+        (Box::new(DolevStrong::new(1, 99)), builders::triangle()),
+        (
+            Box::new(Relayed::new(Eig::new(1), 1)),
+            builders::complete(4),
+        ),
+    ];
+    let victim = NodeId(0);
+    for (proto, g) in &cases {
+        let horizon = proto.horizon(g);
+        let correct: BTreeSet<NodeId> = g.nodes().filter(|&v| v != victim).collect();
+        let inputs = |v: NodeId| Input::Bool(v.0.is_multiple_of(2));
+        let peers: Vec<NodeId> = g.neighbors(victim).collect();
+
+        // Every single-action plan, every all-actions composite, and the
+        // composite stacked on each zoo adversary.
+        let mut plans: Vec<(String, FaultPlan)> = Vec::new();
+        let mut drops = FaultPlan::new(11);
+        let mut corrupts = FaultPlan::new(12);
+        let mut delays = FaultPlan::new(13);
+        for &w in &peers {
+            drops = drops.drop_edge(victim, w, 0, horizon);
+            corrupts = corrupts.corrupt_edge(victim, w, 0, horizon);
+            delays = delays.delay_edge(victim, w, 0, horizon, 2);
+        }
+        plans.push(("drop".into(), drops));
+        plans.push(("corrupt".into(), corrupts));
+        plans.push(("delay".into(), delays));
+        plans.push((
+            "equivocate".into(),
+            FaultPlan::new(14).equivocate(victim, 0, horizon),
+        ));
+        let mut all = FaultPlan::new(15).equivocate(victim, 0, 1);
+        for (i, &w) in peers.iter().enumerate() {
+            all = match i % 3 {
+                0 => all.drop_edge(victim, w, 1, 2),
+                1 => all.corrupt_edge(victim, w, 2, horizon),
+                _ => all.delay_edge(victim, w, 2, horizon, 1),
+            };
+        }
+        plans.push(("composite".into(), all));
+
+        for (label, plan) in &plans {
+            assert_eq!(
+                plan.faulty_nodes().into_iter().collect::<Vec<_>>(),
+                vec![victim]
+            );
+            for strat in 0..=STRATEGY_COUNT {
+                // strat == STRATEGY_COUNT wraps the honest device; the rest
+                // stack the injector on a zoo adversary.
+                let inner = if strat == STRATEGY_COUNT {
+                    proto.device(g, victim)
+                } else {
+                    let honest = || proto.device(g, victim);
+                    strategy(strat, 5 + strat as u64, &honest)
+                };
+                let faulty = vec![(victim, plan.wrap(victim, inner))];
+                let b = testkit::run_with_faults(proto.as_ref(), g, &inputs, faulty);
+                testkit::check_byzantine_agreement(&b, &correct).unwrap_or_else(|e| {
+                    panic!("{} plan {label} strat {strat}: {e:?}", proto.name())
+                });
+            }
         }
     }
 }

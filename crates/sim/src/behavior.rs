@@ -13,6 +13,7 @@
 //! against scenarios of correct base-graph runs.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use flm_graph::{Graph, NodeId};
 
@@ -22,6 +23,65 @@ use crate::Tick;
 /// The trace of one directed edge: the payload sent at each tick (`None` is
 /// observable silence).
 pub type EdgeBehavior = Vec<Option<Payload>>;
+
+/// How a device violated its contract during a contained run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MisbehaviorKind {
+    /// The device panicked inside `step`; the payload is the panic message.
+    Panic(String),
+    /// The device returned the wrong number of outputs from `step`.
+    PortMismatch {
+        /// Number of ports the device was wired to.
+        expected: usize,
+        /// Number of outputs it actually returned.
+        got: usize,
+    },
+    /// The device emitted a payload larger than the run policy allows.
+    OversizedPayload {
+        /// Index of the offending port.
+        port: usize,
+        /// Size of the payload in bytes.
+        len: usize,
+        /// The policy's per-payload limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MisbehaviorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MisbehaviorKind::Panic(msg) => write!(f, "panicked: {msg}"),
+            MisbehaviorKind::PortMismatch { expected, got } => {
+                write!(f, "returned {got} outputs for {expected} ports")
+            }
+            MisbehaviorKind::OversizedPayload { port, len, limit } => {
+                write!(f, "sent {len} B on port {port} (limit {limit} B)")
+            }
+        }
+    }
+}
+
+/// One recorded incident from a contained run: a node stepped outside its
+/// contract at a tick. The run loop quarantines the node (silent, frozen
+/// snapshot) from the incident on, so misbehavior never propagates — it is
+/// *evidence*, available to degradation policies that reclassify the node
+/// as Byzantine-faulty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMisbehavior {
+    /// The misbehaving node.
+    pub node: NodeId,
+    /// The tick of the first incident.
+    pub tick: Tick,
+    /// What the device did.
+    pub kind: MisbehaviorKind,
+}
+
+impl fmt::Display for DeviceMisbehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at tick {}: {}", self.node, self.tick.0, self.kind)
+    }
+}
 
 /// The behavior of a single node: its device, input, and snapshot trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +135,7 @@ pub struct SystemBehavior {
     nodes: Vec<NodeBehavior>,
     edges: BTreeMap<(NodeId, NodeId), EdgeBehavior>,
     horizon: u32,
+    misbehavior: Vec<DeviceMisbehavior>,
 }
 
 impl SystemBehavior {
@@ -83,12 +144,14 @@ impl SystemBehavior {
         nodes: Vec<NodeBehavior>,
         edges: BTreeMap<(NodeId, NodeId), EdgeBehavior>,
         horizon: u32,
+        misbehavior: Vec<DeviceMisbehavior>,
     ) -> Self {
         SystemBehavior {
             graph,
             nodes,
             edges,
             horizon,
+            misbehavior,
         }
     }
 
@@ -171,6 +234,18 @@ impl SystemBehavior {
             }
         }
         out
+    }
+
+    /// Incidents recorded by a contained run ([`crate::System::run_contained`]);
+    /// empty for strict runs. At most one per node — the run loop quarantines
+    /// a node at its first incident.
+    pub fn misbehavior(&self) -> &[DeviceMisbehavior] {
+        &self.misbehavior
+    }
+
+    /// The nodes that misbehaved during the run.
+    pub fn misbehaving_nodes(&self) -> BTreeSet<NodeId> {
+        self.misbehavior.iter().map(|m| m.node).collect()
     }
 
     /// Decisions of all nodes, by node id.

@@ -324,7 +324,9 @@ impl ClockSystem {
             let row = slots
                 .iter()
                 .map(|s| {
-                    let s = s.as_ref().expect("assigned");
+                    let s = s
+                        .as_ref()
+                        .expect("clock runs start only after every node is assigned");
                     s.device.logical(s.clock.eval(t))
                 })
                 .collect();
@@ -343,12 +345,16 @@ impl ClockSystem {
             let v = ev.node;
             // Compute everything needing the slot immutably first.
             let (hw, actions) = {
-                let slot = self.slots[v.index()].as_mut().expect("assigned");
+                let slot = self.slots[v.index()]
+                    .as_mut()
+                    .expect("clock runs start only after every node is assigned");
                 let hw = slot.clock.eval(ev.time);
                 let actions = slot.device.on_event(hw, ev.event.clone());
                 (hw, actions)
             };
-            let slot = self.slots[v.index()].as_ref().expect("assigned");
+            let slot = self.slots[v.index()]
+                .as_ref()
+                .expect("clock runs start only after every node is assigned");
             node_logs[v.index()].push(EventRecord {
                 time: ev.time,
                 kind: ev.event.encode(),
@@ -395,12 +401,13 @@ impl ClockSystem {
                         payload: payload.clone(),
                     });
                     // The receiver's port index for this physical edge.
-                    let recv_slot = self.slots[w.index()].as_ref().expect("assigned");
-                    let rport = recv_slot
-                        .wiring
-                        .iter()
-                        .position(|&x| x == v)
-                        .expect("edges are paired");
+                    let recv_slot = self.slots[w.index()]
+                        .as_ref()
+                        .expect("clock runs start only after every node is assigned");
+                    let rport =
+                        recv_slot.wiring.iter().position(|&x| x == v).expect(
+                            "graph edges are symmetric, so the receiver wires the sender back",
+                        );
                     queue.push(QueuedEvent {
                         time: arrival,
                         seq,

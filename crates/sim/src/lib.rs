@@ -55,14 +55,18 @@ pub mod behavior;
 pub mod clock;
 pub mod device;
 pub mod devices;
+pub mod faults;
 pub mod protocol;
 pub mod replay;
 pub mod system;
 pub mod time;
 pub mod wire;
 
-pub use behavior::{EdgeBehavior, NodeBehavior, Scenario, SystemBehavior};
+pub use behavior::{
+    DeviceMisbehavior, EdgeBehavior, MisbehaviorKind, NodeBehavior, Scenario, SystemBehavior,
+};
 pub use device::{Decision, Device, Input, NodeCtx};
+pub use faults::{FaultAction, FaultPlan, FaultRule};
 pub use protocol::{ClockProtocol, Protocol};
-pub use system::System;
+pub use system::{RunPolicy, System};
 pub use time::Tick;

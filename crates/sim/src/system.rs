@@ -7,14 +7,17 @@
 //! devices in a covering graph is just a different wiring — see
 //! [`System::assign_lifted`].
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, NodeId};
 
-use crate::behavior::{NodeBehavior, SystemBehavior};
-use crate::device::{Device, Input, NodeCtx};
+use crate::behavior::{DeviceMisbehavior, MisbehaviorKind, NodeBehavior, SystemBehavior};
+use crate::device::{snapshot, Device, Input, NodeCtx, Payload};
 use crate::Tick;
 
 /// Errors from system assembly and runs.
@@ -64,6 +67,59 @@ impl fmt::Display for SystemError {
 }
 
 impl std::error::Error for SystemError {}
+
+/// Resource limits for a contained run ([`System::run_contained`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Largest payload a device may emit on one port in one tick; larger
+    /// payloads are recorded as [`MisbehaviorKind::OversizedPayload`] and
+    /// the node is quarantined.
+    pub max_payload_bytes: usize,
+    /// Hard cap on the number of ticks a single run may execute; a horizon
+    /// above the cap is truncated (visible as `SystemBehavior::horizon`).
+    pub max_ticks: u32,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            max_payload_bytes: 1 << 16,
+            max_ticks: 1 << 14,
+        }
+    }
+}
+
+thread_local! {
+    /// True while a contained run is executing a device step — tells the
+    /// quiet panic hook to swallow the report (the panic is caught, recorded
+    /// as misbehavior, and must not spam stderr).
+    static CONTAINING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs, once per process, a panic hook that defers to the previous hook
+/// except while a contained run is catching device panics.
+fn install_quiet_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CONTAINING.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload as a message string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 struct Slot {
     device: Box<dyn Device>,
@@ -221,11 +277,48 @@ impl System {
     ///
     /// Returns [`SystemError::Unassigned`] or [`SystemError::PortMismatch`].
     pub fn try_run(&mut self, horizon: u32) -> Result<SystemBehavior, SystemError> {
+        self.run_inner(horizon, None)
+    }
+
+    /// Runs the system with every device step *contained*: a device that
+    /// panics, returns the wrong number of outputs, or emits a payload over
+    /// `policy.max_payload_bytes` does not abort the run. Instead the
+    /// incident is recorded as a [`DeviceMisbehavior`] in the returned
+    /// behavior and the node is quarantined — silent on every outedge and
+    /// frozen at a `"quarantined"` snapshot from the incident tick on.
+    ///
+    /// Quarantine keeps contained runs deterministic: the same devices and
+    /// inputs misbehave at the same tick in every run, so behaviors remain
+    /// functions of the system and scenario matching stays sound.
+    ///
+    /// The horizon is capped at `policy.max_ticks`; truncation is visible as
+    /// the returned behavior's `horizon()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Unassigned`] if a node has no device — an
+    /// assembly error of the caller, not device misbehavior.
+    pub fn run_contained(
+        &mut self,
+        horizon: u32,
+        policy: &RunPolicy,
+    ) -> Result<SystemBehavior, SystemError> {
+        self.run_inner(horizon.min(policy.max_ticks), Some(policy))
+    }
+
+    fn run_inner(
+        &mut self,
+        horizon: u32,
+        policy: Option<&RunPolicy>,
+    ) -> Result<SystemBehavior, SystemError> {
         let n = self.graph.node_count();
         for v in self.graph.nodes() {
             if self.slots[v.index()].is_none() {
                 return Err(SystemError::Unassigned { node: v });
             }
+        }
+        if policy.is_some() {
+            install_quiet_panic_hook();
         }
         let mut edges: BTreeMap<(NodeId, NodeId), Vec<Option<Vec<u8>>>> = self
             .graph
@@ -234,13 +327,17 @@ impl System {
             .map(|e| (e, Vec::with_capacity(horizon as usize)))
             .collect();
         let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
+        let mut misbehavior: Vec<DeviceMisbehavior> = Vec::new();
+        let mut quarantined = vec![false; n];
 
         for t in 0..horizon {
             let tick = Tick(t);
             // Gather this tick's inboxes from last tick's edge traces.
             let mut inboxes: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(n);
             for v in self.graph.nodes() {
-                let slot = self.slots[v.index()].as_ref().expect("checked above");
+                let slot = self.slots[v.index()]
+                    .as_ref()
+                    .expect("run_inner is only reached after every node is assigned");
                 let inbox = slot
                     .wiring
                     .iter()
@@ -256,23 +353,90 @@ impl System {
             }
             // Step devices and record sends + snapshots.
             for v in self.graph.nodes() {
-                let slot = self.slots[v.index()].as_mut().expect("checked above");
-                let out = slot.device.step(tick, &inboxes[v.index()]);
-                if out.len() != slot.wiring.len() {
-                    return Err(SystemError::PortMismatch {
+                let slot = self.slots[v.index()]
+                    .as_mut()
+                    .expect("run_inner is only reached after every node is assigned");
+                let ports = slot.wiring.len();
+                let mut incident: Option<MisbehaviorKind> = None;
+                let out: Vec<Option<Payload>> = if quarantined[v.index()] {
+                    vec![None; ports]
+                } else {
+                    let stepped = match policy {
+                        None => Ok(slot.device.step(tick, &inboxes[v.index()])),
+                        Some(_) => {
+                            let device = &mut slot.device;
+                            let inbox = &inboxes[v.index()];
+                            CONTAINING.with(|c| c.set(true));
+                            let result =
+                                panic::catch_unwind(AssertUnwindSafe(|| device.step(tick, inbox)));
+                            CONTAINING.with(|c| c.set(false));
+                            result.map_err(|p| MisbehaviorKind::Panic(panic_message(p)))
+                        }
+                    };
+                    match stepped {
+                        Ok(out) if out.len() != ports => {
+                            let kind = MisbehaviorKind::PortMismatch {
+                                expected: ports,
+                                got: out.len(),
+                            };
+                            if policy.is_none() {
+                                return Err(SystemError::PortMismatch {
+                                    node: v,
+                                    expected: ports,
+                                    got: out.len(),
+                                });
+                            }
+                            incident = Some(kind);
+                            vec![None; ports]
+                        }
+                        Ok(out) => {
+                            let oversized = policy.and_then(|p| {
+                                out.iter().enumerate().find_map(|(port, m)| {
+                                    m.as_ref()
+                                        .filter(|m| m.len() > p.max_payload_bytes)
+                                        .map(|m| MisbehaviorKind::OversizedPayload {
+                                            port,
+                                            len: m.len(),
+                                            limit: p.max_payload_bytes,
+                                        })
+                                })
+                            });
+                            match oversized {
+                                Some(kind) => {
+                                    incident = Some(kind);
+                                    vec![None; ports]
+                                }
+                                None => out,
+                            }
+                        }
+                        Err(kind) => {
+                            incident = Some(kind);
+                            vec![None; ports]
+                        }
+                    }
+                };
+                if let Some(kind) = incident {
+                    misbehavior.push(DeviceMisbehavior {
                         node: v,
-                        expected: slot.wiring.len(),
-                        got: out.len(),
+                        tick,
+                        kind,
                     });
+                    quarantined[v.index()] = true;
                 }
                 for (p, payload) in out.into_iter().enumerate() {
                     let w = slot.wiring[p];
                     edges
                         .get_mut(&(v, w))
-                        .expect("wiring validated")
+                        .expect("edge traces were pre-created for every wiring entry")
                         .push(payload);
                 }
-                snaps[v.index()].push(slot.device.snapshot());
+                // A quarantined device is never touched again — its state may
+                // be poisoned mid-panic, so the marker stands in for it.
+                snaps[v.index()].push(if quarantined[v.index()] {
+                    snapshot::undecided(b"quarantined")
+                } else {
+                    slot.device.snapshot()
+                });
             }
         }
 
@@ -280,7 +444,9 @@ impl System {
             .graph
             .nodes()
             .map(|v| {
-                let slot = self.slots[v.index()].as_ref().expect("checked above");
+                let slot = self.slots[v.index()]
+                    .as_ref()
+                    .expect("run_inner is only reached after every node is assigned");
                 NodeBehavior {
                     device_name: slot.device.name().to_string(),
                     input: slot.ctx.input,
@@ -293,6 +459,7 @@ impl System {
             nodes,
             edges,
             horizon,
+            misbehavior,
         ))
     }
 }
@@ -409,6 +576,151 @@ mod tests {
             assert_eq!(a.node(v), b.node(v));
         }
         assert_eq!(a.edges(), b.edges());
+    }
+
+    /// Misbehaves on command: panics, returns the wrong port count, or
+    /// emits an oversized payload at `at`.
+    struct Hostile {
+        at: Tick,
+        mode: u8,
+    }
+
+    impl Device for Hostile {
+        fn name(&self) -> &'static str {
+            "Hostile"
+        }
+        fn init(&mut self, _ctx: &NodeCtx) {}
+        fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            if t >= self.at {
+                match self.mode {
+                    0 => panic!("hostile device detonated"),
+                    1 => return vec![None; inbox.len() + 3],
+                    _ => return vec![Some(vec![0xAB; 64]); inbox.len()],
+                }
+            }
+            inbox.iter().map(|_| Some(vec![7])).collect()
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            snapshot::undecided(b"hostile")
+        }
+    }
+
+    fn contained_run(mode: u8) -> SystemBehavior {
+        let g = builders::triangle();
+        let mut sys = System::new(g);
+        sys.assign(
+            NodeId(0),
+            Box::new(Hostile { at: Tick(1), mode }),
+            Input::None,
+        );
+        sys.assign(NodeId(1), counter(), Input::None);
+        sys.assign(NodeId(2), counter(), Input::None);
+        let policy = RunPolicy {
+            max_payload_bytes: 16,
+            ..RunPolicy::default()
+        };
+        sys.run_contained(4, &policy).unwrap()
+    }
+
+    #[test]
+    fn contained_run_records_panics_and_quarantines() {
+        let b = contained_run(0);
+        assert_eq!(b.misbehavior().len(), 1);
+        let m = &b.misbehavior()[0];
+        assert_eq!(m.node, NodeId(0));
+        assert_eq!(m.tick, Tick(1));
+        assert!(
+            matches!(&m.kind, crate::behavior::MisbehaviorKind::Panic(msg) if msg.contains("detonated"))
+        );
+        // Quarantined: silent from the incident on, marker snapshot.
+        assert!(b.edge(NodeId(0), NodeId(1))[0].is_some());
+        assert!(b.edge(NodeId(0), NodeId(1))[1..]
+            .iter()
+            .all(Option::is_none));
+        assert_eq!(
+            b.node(NodeId(0)).snaps[1],
+            snapshot::undecided(b"quarantined")
+        );
+        assert_eq!(
+            b.node(NodeId(0)).snaps[3],
+            snapshot::undecided(b"quarantined")
+        );
+        // Honest nodes keep running.
+        assert!(b.edge(NodeId(1), NodeId(2))[3].is_some());
+    }
+
+    #[test]
+    fn contained_run_records_port_mismatch() {
+        let b = contained_run(1);
+        assert!(matches!(
+            b.misbehavior()[0].kind,
+            crate::behavior::MisbehaviorKind::PortMismatch {
+                expected: 2,
+                got: 5
+            }
+        ));
+        assert_eq!(
+            b.misbehaving_nodes().into_iter().collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn contained_run_records_oversized_payload() {
+        let b = contained_run(2);
+        assert!(matches!(
+            b.misbehavior()[0].kind,
+            crate::behavior::MisbehaviorKind::OversizedPayload {
+                port: 0,
+                len: 64,
+                limit: 16
+            }
+        ));
+        // The oversized payload never reaches the wire.
+        assert!(b.edge(NodeId(0), NodeId(1))[1..]
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn contained_runs_are_deterministic() {
+        let (a, b) = (contained_run(0), contained_run(0));
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.misbehavior(), b.misbehavior());
+        for v in a.graph().nodes() {
+            assert_eq!(a.node(v), b.node(v));
+        }
+    }
+
+    #[test]
+    fn contained_run_caps_ticks_at_the_policy_budget() {
+        let mut sys = System::new(builders::path(2));
+        sys.assign(NodeId(0), counter(), Input::None);
+        sys.assign(NodeId(1), counter(), Input::None);
+        let policy = RunPolicy {
+            max_ticks: 3,
+            ..RunPolicy::default()
+        };
+        let b = sys.run_contained(1000, &policy).unwrap();
+        assert_eq!(b.horizon(), 3);
+    }
+
+    #[test]
+    fn well_behaved_contained_run_matches_strict_run() {
+        let build = || {
+            let mut sys = System::new(builders::triangle());
+            for v in sys.graph().nodes() {
+                sys.assign(v, counter(), Input::Bool(v.0 == 0));
+            }
+            sys
+        };
+        let strict = build().try_run(5).unwrap();
+        let contained = build().run_contained(5, &RunPolicy::default()).unwrap();
+        assert!(contained.misbehavior().is_empty());
+        assert_eq!(strict.edges(), contained.edges());
+        for v in strict.graph().nodes() {
+            assert_eq!(strict.node(v), contained.node(v));
+        }
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`DecodeError`] on truncated input.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .expect("take(4) yields exactly 4 bytes");
+        Ok(u32::from_be_bytes(bytes))
     }
 
     /// Reads a big-endian `u64`.
@@ -149,7 +153,11 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`DecodeError`] on truncated input.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .expect("take(8) yields exactly 8 bytes");
+        Ok(u64::from_be_bytes(bytes))
     }
 
     /// Reads a bool byte; any value other than 0 or 1 is an error.

@@ -9,7 +9,6 @@ use flm_sim::behavior::EdgeBehavior;
 use flm_sim::devices::TableDevice;
 use flm_sim::replay::ReplayDevice;
 use flm_sim::{Input, System};
-use proptest::prelude::*;
 
 fn build_table_system(g: &flm_graph::Graph, seed: u64, inputs_mask: u32) -> System {
     let mut sys = System::new(g.clone());
@@ -23,62 +22,62 @@ fn build_table_system(g: &flm_graph::Graph, seed: u64, inputs_mask: u32) -> Syst
     sys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// "A system has exactly one behavior": running twice gives identical
-    /// node and edge traces.
-    #[test]
-    fn runs_are_deterministic(
-        n in 3usize..8,
-        extra in 0usize..5,
-        gseed in 0u64..200,
-        seed in any::<u64>(),
-        mask in any::<u32>(),
-    ) {
+/// "A system has exactly one behavior": running twice gives identical
+/// node and edge traces.
+#[test]
+fn runs_are_deterministic() {
+    flm_prop::cases(48, 0x51A1, |rng| {
+        let n = rng.usize(3..8);
+        let extra = rng.usize(0..5);
+        let gseed = rng.range_u64(0..200);
+        let seed = rng.u64();
+        let mask = rng.u32();
         let g = builders::random_connected(n, extra, gseed);
         let a = build_table_system(&g, seed, mask).run(6);
         let b = build_table_system(&g, seed, mask).run(6);
         for v in g.nodes() {
-            prop_assert_eq!(a.node(v), b.node(v));
+            assert_eq!(a.node(v), b.node(v));
         }
-        prop_assert_eq!(a.edges(), b.edges());
-    }
+        assert_eq!(a.edges(), b.edges());
+    });
+}
 
-    /// Installing devices along a covering's lifts makes each fiber node's
-    /// behavior depend only on its base node — in the cyclic cover with
-    /// *uniform inputs*, all nodes of a fiber behave identically.
-    #[test]
-    fn fibers_behave_identically_under_uniform_inputs(
-        m in 2usize..6,
-        seed in any::<u64>(),
-        input in any::<bool>(),
-    ) {
+/// Installing devices along a covering's lifts makes each fiber node's
+/// behavior depend only on its base node — in the cyclic cover with
+/// *uniform inputs*, all nodes of a fiber behave identically.
+#[test]
+fn fibers_behave_identically_under_uniform_inputs() {
+    flm_prop::cases(48, 0x51A2, |rng| {
+        let m = rng.usize(2..6);
+        let seed = rng.u64();
+        let input = rng.bool();
         let cov = Covering::cyclic_cover(3, m).unwrap();
         let mut sys = System::new(cov.cover().clone());
         for s in cov.cover().nodes() {
             // Device depends only on the *base* node identity.
             let dev = TableDevice::new(seed ^ u64::from(cov.project(s).0), 4);
-            sys.assign_lifted(&cov, s, Box::new(dev), Input::Bool(input)).unwrap();
+            sys.assign_lifted(&cov, s, Box::new(dev), Input::Bool(input))
+                .unwrap();
         }
         let b = sys.run(6);
         for base in cov.base().nodes() {
             let fiber = cov.fiber(base);
             let first = b.node(fiber[0]);
             for &s in &fiber[1..] {
-                prop_assert_eq!(first, b.node(s), "fiber of {} diverged", base);
+                assert_eq!(first, b.node(s), "fiber of {base} diverged");
             }
         }
-    }
+    });
+}
 
-    /// The Fault axiom: a replay device reproduces arbitrary traces exactly,
-    /// in any system.
-    #[test]
-    fn replay_reproduces_arbitrary_traces(
-        n in 3usize..7,
-        gseed in 0u64..100,
-        seed in any::<u64>(),
-    ) {
+/// The Fault axiom: a replay device reproduces arbitrary traces exactly,
+/// in any system.
+#[test]
+fn replay_reproduces_arbitrary_traces() {
+    flm_prop::cases(48, 0x51A3, |rng| {
+        let n = rng.usize(3..7);
+        let gseed = rng.range_u64(0..100);
+        let seed = rng.u64();
         let g = builders::random_connected(n, 3, gseed);
         let node = NodeId((seed % n as u64) as u32);
         let horizon = 5u32;
@@ -93,7 +92,11 @@ proptest! {
             })
             .collect();
         let mut sys = System::new(g.clone());
-        sys.assign(node, Box::new(ReplayDevice::masquerade(traces.clone())), Input::None);
+        sys.assign(
+            node,
+            Box::new(ReplayDevice::masquerade(traces.clone())),
+            Input::None,
+        );
         for v in g.nodes() {
             if v != node {
                 sys.assign(
@@ -105,41 +108,46 @@ proptest! {
         }
         let b = sys.run(horizon);
         for (p, w) in g.neighbors(node).enumerate() {
-            prop_assert_eq!(b.edge(node, w), &traces[p]);
+            assert_eq!(b.edge(node, w), &traces[p]);
         }
-    }
+    });
+}
 
-    /// Scenario extraction is self-consistent: the scenario of the full node
-    /// set contains every edge as internal and nothing as border, and
-    /// matching a scenario against itself under the identity succeeds.
-    #[test]
-    fn scenario_extraction_is_consistent(
-        n in 3usize..7,
-        gseed in 0u64..100,
-        seed in any::<u64>(),
-        mask in any::<u32>(),
-    ) {
+/// Scenario extraction is self-consistent: the scenario of the full node
+/// set contains every edge as internal and nothing as border, and
+/// matching a scenario against itself under the identity succeeds.
+#[test]
+fn scenario_extraction_is_consistent() {
+    flm_prop::cases(48, 0x51A4, |rng| {
+        let n = rng.usize(3..7);
+        let gseed = rng.range_u64(0..100);
+        let seed = rng.u64();
+        let mask = rng.u32();
         let g = builders::random_connected(n, 2, gseed);
         let b = build_table_system(&g, seed, mask).run(5);
         let all: BTreeSet<NodeId> = g.nodes().collect();
         let full = b.scenario(&all);
-        prop_assert!(full.border.is_empty());
-        prop_assert_eq!(full.internal.len(), 2 * g.link_count());
+        assert!(full.border.is_empty());
+        assert_eq!(full.internal.len(), 2 * g.link_count());
         let identity: std::collections::BTreeMap<NodeId, NodeId> =
             all.iter().map(|&v| (v, v)).collect();
-        prop_assert!(full.matches(&full, &identity).is_ok());
+        assert!(full.matches(&full, &identity).is_ok());
 
         // A proper subset has a non-empty border on a connected graph.
         let u: BTreeSet<NodeId> = [NodeId(0)].into();
         let part = b.scenario(&u);
-        prop_assert_eq!(part.border.len(), g.degree(NodeId(0)));
-    }
+        assert_eq!(part.border.len(), g.degree(NodeId(0)));
+    });
+}
 
-    /// Decisions are a function of the behavior: two nodes with identical
-    /// snapshot traces decide identically (read via NodeBehavior, never via
-    /// live devices).
-    #[test]
-    fn decisions_are_behavior_functions(n_half in 2usize..5, input in any::<bool>()) {
+/// Decisions are a function of the behavior: two nodes with identical
+/// snapshot traces decide identically (read via NodeBehavior, never via
+/// live devices).
+#[test]
+fn decisions_are_behavior_functions() {
+    flm_prop::cases(48, 0x51A5, |rng| {
+        let n_half = rng.usize(2..5);
+        let input = rng.bool();
         // Symmetric ring with identical (node-id-agnostic) devices and
         // inputs: all nodes have identical behaviors, hence identical
         // decisions.
@@ -155,8 +163,8 @@ proptest! {
         let b = sys.run(5);
         let first = b.node(NodeId(0));
         for v in g.nodes() {
-            prop_assert_eq!(&first.snaps, &b.node(v).snaps);
-            prop_assert_eq!(first.decision(), b.node(v).decision());
+            assert_eq!(&first.snaps, &b.node(v).snaps);
+            assert_eq!(first.decision(), b.node(v).decision());
         }
-    }
+    });
 }

@@ -7,10 +7,10 @@ use std::collections::BTreeSet;
 
 use flm_core::axioms;
 use flm_graph::{builders, Graph, NodeId};
+use flm_prop::Rng;
 use flm_sim::clock::TimeFn;
 use flm_sim::devices::TableDevice;
 use flm_sim::{Device, Input, Protocol};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Table {
@@ -29,30 +29,39 @@ impl Protocol for Table {
     }
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (4usize..9, 0usize..6, 0u64..500)
-        .prop_map(|(n, extra, seed)| builders::random_connected(n, extra, seed))
+fn arb_graph(rng: &mut Rng) -> Graph {
+    let n = rng.usize(4..9);
+    let extra = rng.usize(0..6);
+    let seed = rng.range_u64(0..500);
+    builders::random_connected(n, extra, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn locality_axiom_holds(g in arb_graph(), seed in any::<u64>(), mask in 1u32..100) {
+#[test]
+fn locality_axiom_holds() {
+    flm_prop::cases(40, 0xA71, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.u64();
+        let mask = rng.u32() % 99 + 1;
         let proto = Table { seed };
         let u: BTreeSet<NodeId> = g
             .nodes()
             .filter(|v| (mask >> (v.0 % 16)) & 1 == 1)
             .collect();
-        prop_assume!(!u.is_empty() && u.len() < g.node_count());
+        if u.is_empty() || u.len() == g.node_count() {
+            return;
+        }
         let inputs = |v: NodeId| Input::Bool((mask >> (v.0 % 7)) & 1 == 0);
-        axioms::check_locality(&proto, &g, &inputs, &u, 6).map_err(|e| {
-            TestCaseError::fail(format!("locality violated: {e}"))
-        })?;
-    }
+        axioms::check_locality(&proto, &g, &inputs, &u, 6)
+            .unwrap_or_else(|e| panic!("locality violated: {e}"));
+    });
+}
 
-    #[test]
-    fn fault_axiom_holds(g in arb_graph(), seed in any::<u64>(), node_pick in 0usize..100) {
+#[test]
+fn fault_axiom_holds() {
+    flm_prop::cases(40, 0xA72, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.u64();
+        let node_pick = rng.usize(0..100);
         let n = g.node_count();
         let node = NodeId((node_pick % n) as u32);
         let degree = g.degree(node);
@@ -71,13 +80,17 @@ proptest! {
                     .collect()
             })
             .collect();
-        axioms::check_fault_axiom(&g, node, traces, &Table { seed }, 4).map_err(|e| {
-            TestCaseError::fail(format!("fault axiom violated: {e}"))
-        })?;
-    }
+        axioms::check_fault_axiom(&g, node, traces, &Table { seed }, 4)
+            .unwrap_or_else(|e| panic!("fault axiom violated: {e}"));
+    });
+}
 
-    #[test]
-    fn bounded_delay_axiom_holds(g in arb_graph(), seed in any::<u64>(), flip in 0usize..100) {
+#[test]
+fn bounded_delay_axiom_holds() {
+    flm_prop::cases(40, 0xA73, |rng| {
+        let g = arb_graph(rng);
+        let seed = rng.u64();
+        let flip = rng.usize(0..100);
         let n = g.node_count();
         let flip_node = NodeId((flip % n) as u32);
         let proto = Table { seed };
@@ -88,31 +101,32 @@ proptest! {
             &move |v| Input::Bool(v == flip_node),
             7,
         )
-        .map_err(|e| TestCaseError::fail(format!("bounded delay violated: {e}")))?;
-    }
+        .unwrap_or_else(|e| panic!("bounded delay violated: {e}"));
+    });
+}
 
-    #[test]
-    fn scaling_axiom_holds(
+#[test]
+fn scaling_axiom_holds() {
+    flm_prop::cases(40, 0xA74, |rng| {
         // Power-of-two clock rates and scale factors keep every hardware
         // reading bit-exact across the scaled run — the axiom holds exactly
         // when the arithmetic does (and only approximately otherwise, since
         // f64 division by non-dyadic rates rounds).
-        rate_exps in proptest::collection::vec(-1i32..3, 3),
-        h_exp in 1i32..3,
-        period_q in 1u32..5,
-    ) {
         use flm_protocols::clock_sync::AveragingSync;
+        let rate_exps: Vec<i32> = (0..3).map(|_| rng.i32(-1..3)).collect();
+        let h_exp = rng.i32(1..3);
+        let period_q = rng.range_u64(1..5) as u32;
         let g = builders::triangle();
         let period = f64::from(period_q) / 2.0;
-        let rates: Vec<f64> = rate_exps.iter().map(|&e| (e as f64).exp2()).collect();
+        let rates: Vec<f64> = rate_exps.iter().map(|&e| f64::from(e).exp2()).collect();
         axioms::check_scaling(
             &g,
             &move |_| Box::new(AveragingSync::new(TimeFn::identity(), period)),
             &move |v| TimeFn::linear(rates[v.index()]),
-            &TimeFn::linear((h_exp as f64).exp2()),
+            &TimeFn::linear(f64::from(h_exp).exp2()),
             9.0,
             8.0,
         )
-        .map_err(|e| TestCaseError::fail(format!("scaling violated: {e}")))?;
-    }
+        .unwrap_or_else(|e| panic!("scaling violated: {e}"));
+    });
 }

@@ -5,9 +5,9 @@
 
 use flm_core::refute::{self, RefuteError};
 use flm_graph::{adequacy, builders, Graph, NodeId};
+use flm_prop::Rng;
 use flm_sim::devices::NaiveMajorityDevice;
 use flm_sim::{Device, Protocol};
-use proptest::prelude::*;
 
 struct Naive;
 
@@ -23,53 +23,63 @@ impl Protocol for Naive {
     }
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (4usize..10, 0usize..10, 0u64..2000)
-        .prop_map(|(n, extra, seed)| builders::random_connected(n, extra, seed))
+fn arb_graph(rng: &mut Rng) -> Graph {
+    let n = rng.usize(4..10);
+    let extra = rng.usize(0..10);
+    let seed = rng.range_u64(0..2000);
+    builders::random_connected(n, extra, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn byzantine_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+#[test]
+fn byzantine_dispatch_matches_adequacy() {
+    flm_prop::cases(64, 0xD15A, |rng| {
+        let g = arb_graph(rng);
+        let f = rng.usize(1..3);
         let adequate = adequacy::is_adequate(&g, f);
         match refute::byzantine(&Naive, &g, f) {
-            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Err(RefuteError::GraphIsAdequate { .. }) => assert!(adequate),
             Ok(cert) => {
-                prop_assert!(!adequate);
-                prop_assert!(cert.verify(&Naive).is_ok());
-                prop_assert!(cert.chain.iter().all(|l| l.scenario_matched));
+                assert!(!adequate);
+                assert!(cert.verify(&Naive).is_ok());
+                assert!(cert.chain.iter().all(|l| l.scenario_matched));
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("unexpected: {e}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn weak_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+#[test]
+fn weak_dispatch_matches_adequacy() {
+    flm_prop::cases(64, 0xD15B, |rng| {
+        let g = arb_graph(rng);
+        let f = rng.usize(1..3);
         let adequate = adequacy::is_adequate(&g, f);
         match refute::weak_any(&Naive, &g, f) {
-            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Err(RefuteError::GraphIsAdequate { .. }) => assert!(adequate),
             Ok(cert) => {
-                prop_assert!(!adequate);
-                prop_assert!(cert.verify(&Naive).is_ok());
+                assert!(!adequate);
+                assert!(cert.verify(&Naive).is_ok());
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("unexpected: {e}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn firing_squad_dispatch_matches_adequacy(g in arb_graph(), f in 1usize..3) {
+#[test]
+fn firing_squad_dispatch_matches_adequacy() {
+    flm_prop::cases(64, 0xD15C, |rng| {
         // NaiveMajority never fires, so inadequate graphs are refuted at the
         // stimulus validity pin — still the dichotomy.
+        let g = arb_graph(rng);
+        let f = rng.usize(1..3);
         let adequate = adequacy::is_adequate(&g, f);
         match refute::firing_squad_any(&Naive, &g, f) {
-            Err(RefuteError::GraphIsAdequate { .. }) => prop_assert!(adequate),
+            Err(RefuteError::GraphIsAdequate { .. }) => assert!(adequate),
             Ok(cert) => {
-                prop_assert!(!adequate);
-                prop_assert!(cert.verify(&Naive).is_ok());
+                assert!(!adequate);
+                assert!(cert.verify(&Naive).is_ok());
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("unexpected: {e}"),
         }
-    }
+    });
 }

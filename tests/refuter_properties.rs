@@ -5,9 +5,9 @@
 
 use flm_core::refute::{self, RefuteError};
 use flm_graph::{builders, Graph, NodeId};
+use flm_prop::Rng;
 use flm_sim::devices::TableDevice;
 use flm_sim::{Device, Protocol};
-use proptest::prelude::*;
 
 /// A pseudo-random deterministic protocol: seed selects the device family,
 /// `per_node` whether nodes run distinct tables.
@@ -35,75 +35,84 @@ impl Protocol for RandomProtocol {
     }
 }
 
-fn arb_protocol() -> impl Strategy<Value = RandomProtocol> {
-    (any::<u64>(), any::<bool>(), 1u32..5).prop_map(|(seed, per_node, decide_tick)| {
-        RandomProtocol {
-            seed,
-            per_node,
-            decide_tick,
-        }
-    })
+fn arb_protocol(rng: &mut Rng) -> RandomProtocol {
+    RandomProtocol {
+        seed: rng.u64(),
+        per_node: rng.bool(),
+        decide_tick: rng.range_u64(1..5) as u32,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_random_protocol_falls_on_the_triangle(proto in arb_protocol()) {
+#[test]
+fn every_random_protocol_falls_on_the_triangle() {
+    flm_prop::cases(48, 0x2EF1, |rng| {
+        let proto = arb_protocol(rng);
         let cert = refute::ba_nodes(&proto, &builders::triangle(), 1)
             .expect("inadequate graphs always yield a certificate");
-        prop_assert!(cert.chain.iter().all(|l| l.scenario_matched));
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+        assert!(cert.chain.iter().all(|l| l.scenario_matched));
+        assert!(cert.verify(&proto).is_ok());
+    });
+}
 
-    #[test]
-    fn every_random_protocol_falls_on_k5_with_f2(proto in arb_protocol()) {
-        let cert = refute::ba_nodes(&proto, &builders::complete(5), 2)
-            .expect("5 ≤ 3·2 is inadequate");
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+#[test]
+fn every_random_protocol_falls_on_k5_with_f2() {
+    flm_prop::cases(48, 0x2EF2, |rng| {
+        let proto = arb_protocol(rng);
+        let cert =
+            refute::ba_nodes(&proto, &builders::complete(5), 2).expect("5 ≤ 3·2 is inadequate");
+        assert!(cert.verify(&proto).is_ok());
+    });
+}
 
-    #[test]
-    fn every_random_protocol_falls_on_thin_graphs(
-        proto in arb_protocol(),
-        n in 4usize..8,
-    ) {
+#[test]
+fn every_random_protocol_falls_on_thin_graphs() {
+    flm_prop::cases(48, 0x2EF3, |rng| {
+        let proto = arb_protocol(rng);
+        let n = rng.usize(4..8);
         let g = builders::cycle(n);
-        let cert = refute::ba_connectivity(&proto, &g, 1)
-            .expect("cycles have κ = 2 ≤ 2f");
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+        let cert = refute::ba_connectivity(&proto, &g, 1).expect("cycles have κ = 2 ≤ 2f");
+        assert!(cert.verify(&proto).is_ok());
+    });
+}
 
-    #[test]
-    fn simple_approx_falls_for_random_protocols(proto in arb_protocol()) {
+#[test]
+fn simple_approx_falls_for_random_protocols() {
+    flm_prop::cases(48, 0x2EF4, |rng| {
         // TableDevice decides Booleans; treat as degenerate reals? No — the
         // simple-approx conditions demand real decisions, so the refuter
         // reports a termination violation at worst. Either way: refuted.
-        let cert = refute::simple_approx(&proto, &builders::triangle(), 1)
-            .expect("refuted");
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+        let proto = arb_protocol(rng);
+        let cert = refute::simple_approx(&proto, &builders::triangle(), 1).expect("refuted");
+        assert!(cert.verify(&proto).is_ok());
+    });
+}
 
-    #[test]
-    fn refuters_never_fire_on_adequate_graphs(proto in arb_protocol(), f in 1usize..3) {
+#[test]
+fn refuters_never_fire_on_adequate_graphs() {
+    flm_prop::cases(48, 0x2EF5, |rng| {
+        let proto = arb_protocol(rng);
+        let f = rng.usize(1..3);
         let g = builders::complete(3 * f + 1);
         let declined = matches!(
             refute::ba_nodes(&proto, &g, f),
             Err(RefuteError::GraphIsAdequate { .. })
         );
-        prop_assert!(declined);
-    }
+        assert!(declined);
+    });
+}
 
-    #[test]
-    fn certificates_are_deterministic(proto in arb_protocol()) {
+#[test]
+fn certificates_are_deterministic() {
+    flm_prop::cases(48, 0x2EF6, |rng| {
+        let proto = arb_protocol(rng);
         let a = refute::ba_nodes(&proto, &builders::triangle(), 1).unwrap();
         let b = refute::ba_nodes(&proto, &builders::triangle(), 1).unwrap();
-        prop_assert_eq!(a.violation, b.violation);
-        prop_assert_eq!(a.chain.len(), b.chain.len());
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.chain.len(), b.chain.len());
         for (la, lb) in a.chain.iter().zip(&b.chain) {
-            prop_assert_eq!(&la.decisions, &lb.decisions);
+            assert_eq!(&la.decisions, &lb.decisions);
         }
-    }
+    });
 }
 
 /// A protocol whose devices differ between instantiations — breaking the
@@ -140,27 +149,29 @@ fn nondeterministic_protocols_are_detected() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn weak_refuters_fall_for_random_protocols(proto in arb_protocol()) {
+#[test]
+fn weak_refuters_fall_for_random_protocols() {
+    flm_prop::cases(24, 0x2EF7, |rng| {
         // Triangle core, direct general, and direct connectivity.
+        let proto = arb_protocol(rng);
         let cert = refute::weak_agreement(&proto, &builders::triangle(), 1).unwrap();
-        prop_assert!(cert.verify(&proto).is_ok());
+        assert!(cert.verify(&proto).is_ok());
         let cert = refute::weak_any(&proto, &builders::complete(5), 2).unwrap();
-        prop_assert!(cert.verify(&proto).is_ok());
+        assert!(cert.verify(&proto).is_ok());
         let cert = refute::weak_any(&proto, &builders::cycle(5), 1).unwrap();
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+        assert!(cert.verify(&proto).is_ok());
+    });
+}
 
-    #[test]
-    fn firing_squad_refuters_fall_for_random_protocols(proto in arb_protocol()) {
+#[test]
+fn firing_squad_refuters_fall_for_random_protocols() {
+    flm_prop::cases(24, 0x2EF8, |rng| {
         // TableDevice never fires, so the stimulus validity pin catches it
         // immediately — still a certificate, still verifiable.
+        let proto = arb_protocol(rng);
         let cert = refute::firing_squad_any(&proto, &builders::triangle(), 1).unwrap();
-        prop_assert!(cert.verify(&proto).is_ok());
+        assert!(cert.verify(&proto).is_ok());
         let cert = refute::firing_squad_any(&proto, &builders::cycle(4), 1).unwrap();
-        prop_assert!(cert.verify(&proto).is_ok());
-    }
+        assert!(cert.verify(&proto).is_ok());
+    });
 }
