@@ -1,10 +1,97 @@
-//! Regenerates the tables recorded in EXPERIMENTS.md.
+//! Regenerates the tables recorded in EXPERIMENTS.md, and — with `--bench` —
+//! the machine-readable perf snapshots `BENCH_substrate.json` and
+//! `BENCH_refuters.json`.
 //!
-//! Run with: `cargo run -p flm-bench --bin regen`
+//! Run with:
+//!
+//! ```text
+//! cargo run -p flm-bench --bin regen                    # markdown tables
+//! cargo run -p flm-bench --bin regen -- --bench substrate [--samples N] [--out FILE]
+//! cargo run -p flm-bench --bin regen -- --bench refuters  [--samples N] [--out FILE]
+//! ```
 
-use flm_bench::experiments;
+use flm_bench::{experiments, suites};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(None) => print_tables(),
+        Ok(Some(bench)) => run_bench(&bench),
+        Err(msg) => {
+            eprintln!("regen: {msg}");
+            eprintln!("usage: regen [--bench substrate|refuters] [--samples N] [--out FILE]");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct BenchArgs {
+    suite: String,
+    samples: usize,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Option<BenchArgs>, String> {
+    let mut suite = None;
+    let mut samples = 15usize;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next().cloned().ok_or(format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--bench" => {
+                let s = value(&mut it)?;
+                if s != "substrate" && s != "refuters" {
+                    return Err(format!("unknown suite {s:?} (want substrate or refuters)"));
+                }
+                suite = Some(s);
+            }
+            "--samples" => {
+                samples = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+                if samples == 0 {
+                    return Err("--samples must be positive".into());
+                }
+            }
+            "--out" => out = Some(value(&mut it)?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    match suite {
+        Some(suite) => Ok(Some(BenchArgs {
+            suite,
+            samples,
+            out,
+        })),
+        None if samples != 15 || out.is_some() => {
+            Err("--samples/--out only apply with --bench".into())
+        }
+        None => Ok(None),
+    }
+}
+
+fn run_bench(args: &BenchArgs) {
+    let suite = match args.suite.as_str() {
+        "substrate" => suites::substrate_suite(args.samples),
+        _ => suites::refuter_suite(args.samples),
+    };
+    let json = suites::to_json(&args.suite, &suite);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            for (label, ratio) in &suite.speedups {
+                eprintln!("{label}: {ratio:.2}x");
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn print_tables() {
     println!("# FLM experiment tables (regenerated)\n");
 
     println!("## E9 — adequacy frontier\n");

@@ -123,7 +123,7 @@ pub fn total_message_bytes(b: &SystemBehavior) -> usize {
     b.edges()
         .values()
         .flat_map(|trace| trace.iter().flatten())
-        .map(Vec::len)
+        .map(|m| m.len())
         .sum()
 }
 

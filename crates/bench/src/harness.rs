@@ -27,6 +27,29 @@ impl Default for Config {
     }
 }
 
+/// One bench's collected per-iteration statistics, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Median sample — the number the JSON reports record.
+    pub median_ns: u128,
+    /// Mean over all samples.
+    pub mean_ns: u128,
+}
+
+/// Times `f` under `config` and returns its per-iteration statistics —
+/// the programmatic twin of [`Group::bench_function`], used by the
+/// machine-readable suites behind `regen --bench`.
+pub fn measure<R>(config: Config, mut f: impl FnMut() -> R) -> Stats {
+    let mut b = Bencher {
+        config,
+        samples: Vec::with_capacity(config.samples),
+    };
+    b.iter(&mut f);
+    b.stats().expect("config.samples must be positive")
+}
+
 /// Passed to each bench body; [`Bencher::iter`] times the closure.
 pub struct Bencher {
     config: Config,
@@ -45,6 +68,18 @@ impl Bencher {
             black_box(f());
             self.samples.push(start.elapsed());
         }
+    }
+
+    fn stats(&mut self) -> Option<Stats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(Stats {
+            min_ns: self.samples[0].as_nanos(),
+            median_ns: self.samples[self.samples.len() / 2].as_nanos(),
+            mean_ns: (self.samples.iter().sum::<Duration>() / self.samples.len() as u32).as_nanos(),
+        })
     }
 }
 
@@ -71,15 +106,17 @@ impl<'a> Group<'a> {
             samples: Vec::with_capacity(self.config.samples),
         };
         f(&mut b);
-        if b.samples.is_empty() {
+        let Some(stats) = b.stats() else {
             println!("{full:<48} (no samples)");
             return;
-        }
-        b.samples.sort();
-        let min = b.samples[0];
-        let median = b.samples[b.samples.len() / 2];
-        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
-        println!("{full:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}");
+        };
+        let ns = |n: u128| Duration::from_nanos(n as u64);
+        println!(
+            "{full:<48} min {:>12?}  median {:>12?}  mean {:>12?}",
+            ns(stats.min_ns),
+            ns(stats.median_ns),
+            ns(stats.mean_ns)
+        );
     }
 
     /// Ends the group (parity with Criterion's API; nothing to flush).

@@ -22,3 +22,4 @@
 pub mod experiments;
 pub mod harness;
 pub mod protocols_under_test;
+pub mod suites;

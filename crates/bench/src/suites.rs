@@ -1,0 +1,224 @@
+//! Machine-readable perf suites: the numbers behind `BENCH_substrate.json`
+//! and `BENCH_refuters.json`.
+//!
+//! Each suite measures a small, stable set of hot paths and reports median
+//! ns/op via [`crate::harness::measure`]. The substrate suite pits the dense
+//! edge-indexed message plane against [`System::run_reference`] — the
+//! original map-per-delivery loop kept in-tree as a differential baseline —
+//! and the refuter suite pits the `flm-par` worker pool against the inline
+//! sequential path, so regressions in either direction show up as a speedup
+//! ratio drifting in the JSON snapshots.
+
+use crate::harness::{measure, Config, Stats};
+use crate::protocols_under_test::{EigUnderTest, TableUnderTest};
+use flm_core::refute;
+use flm_graph::builders;
+use flm_sim::devices::TableDevice;
+use flm_sim::{Input, Payload, System};
+
+/// One measured bench: a stable name plus its timing statistics.
+pub struct BenchRow {
+    /// `group/variant` identifier, stable across runs.
+    pub name: String,
+    /// Per-iteration statistics in nanoseconds.
+    pub stats: Stats,
+}
+
+/// A suite's rows plus the headline speedup ratios derived from them.
+pub struct Suite {
+    /// Every measured bench.
+    pub rows: Vec<BenchRow>,
+    /// `(label, ratio)` pairs; ratio > 1 means the optimized path wins.
+    pub speedups: Vec<(String, f64)>,
+}
+
+fn cfg(samples: usize) -> Config {
+    Config {
+        samples,
+        warmup_iters: 3,
+    }
+}
+
+fn ratio(baseline: Stats, optimized: Stats) -> f64 {
+    baseline.median_ns as f64 / optimized.median_ns.max(1) as f64
+}
+
+/// The message-plane suite: dense edge-indexed run vs the reference
+/// map-per-delivery loop, plus payload clone fan-out.
+pub fn substrate_suite(samples: usize) -> Suite {
+    let config = cfg(samples);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    for (name, g) in [
+        ("k8", builders::complete(8)),
+        ("ring48", builders::cycle(48)),
+    ] {
+        let run_once = |reference: bool| {
+            let mut sys = System::new(g.clone());
+            for v in g.nodes() {
+                sys.assign(
+                    v,
+                    Box::new(TableDevice::new(u64::from(v.0), 50)),
+                    Input::Bool(v.0.is_multiple_of(2)),
+                );
+            }
+            if reference {
+                sys.run_reference(20).unwrap()
+            } else {
+                sys.try_run(20).unwrap()
+            }
+        };
+        let dense = measure(config, || run_once(false));
+        let reference = measure(config, || run_once(true));
+        speedups.push((
+            format!("table_run_{name}_t20: dense plane vs reference loop"),
+            ratio(reference, dense),
+        ));
+        rows.push(BenchRow {
+            name: format!("table_run_{name}_t20/dense"),
+            stats: dense,
+        });
+        rows.push(BenchRow {
+            name: format!("table_run_{name}_t20/reference"),
+            stats: reference,
+        });
+    }
+
+    // Broadcast fan-out: one 1 KiB message cloned to 64 ports. The Arc
+    // payload bumps a refcount; the byte-vector baseline deep-copies.
+    let bytes = vec![0xA5u8; 1024];
+    let payload: Payload = bytes.clone().into();
+    let arc = measure(config, || {
+        (0..64).map(|_| Some(payload.clone())).collect::<Vec<_>>()
+    });
+    let vec = measure(config, || {
+        (0..64).map(|_| Some(bytes.clone())).collect::<Vec<_>>()
+    });
+    speedups.push((
+        "broadcast_fanout_1k_x64: arc payload vs byte copy".into(),
+        ratio(vec, arc),
+    ));
+    rows.push(BenchRow {
+        name: "broadcast_fanout_1k_x64/arc".into(),
+        stats: arc,
+    });
+    rows.push(BenchRow {
+        name: "broadcast_fanout_1k_x64/vec".into(),
+        stats: vec,
+    });
+
+    Suite { rows, speedups }
+}
+
+/// The refuter suite: worker-pool vs inline-sequential execution of the
+/// chain-transplant and validity-pin fan-outs.
+pub fn refuter_suite(samples: usize) -> Suite {
+    let config = cfg(samples);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    let k6 = builders::complete(6);
+    let eig = EigUnderTest { f: 2 };
+    let par = measure(config, || refute::ba_nodes(&eig, &k6, 2).unwrap());
+    let seq = measure(config, || {
+        flm_par::sequential(|| refute::ba_nodes(&eig, &k6, 2).unwrap())
+    });
+    speedups.push((
+        "ba_nodes_k6_f2_eig: worker pool vs sequential".into(),
+        ratio(seq, par),
+    ));
+    rows.push(BenchRow {
+        name: "ba_nodes_k6_f2_eig/parallel".into(),
+        stats: par,
+    });
+    rows.push(BenchRow {
+        name: "ba_nodes_k6_f2_eig/sequential".into(),
+        stats: seq,
+    });
+
+    let tri = builders::triangle();
+    let table = TableUnderTest { seed: 11 };
+    let par = measure(config, || refute::weak_agreement(&table, &tri, 1).unwrap());
+    let seq = measure(config, || {
+        flm_par::sequential(|| refute::weak_agreement(&table, &tri, 1).unwrap())
+    });
+    speedups.push((
+        "weak_agreement_table: worker pool vs sequential".into(),
+        ratio(seq, par),
+    ));
+    rows.push(BenchRow {
+        name: "weak_agreement_table/parallel".into(),
+        stats: par,
+    });
+    rows.push(BenchRow {
+        name: "weak_agreement_table/sequential".into(),
+        stats: seq,
+    });
+
+    Suite { rows, speedups }
+}
+
+/// Renders a suite as a small, stable JSON document (median ns/op).
+pub fn to_json(suite_name: &str, suite: &Suite) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"suite\": \"{suite_name}\",\n"));
+    s.push_str("  \"unit\": \"ns/op\",\n");
+    s.push_str("  \"benches\": [\n");
+    for (i, row) in suite.rows.iter().enumerate() {
+        let comma = if i + 1 == suite.rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{comma}\n",
+            row.name, row.stats.median_ns, row.stats.min_ns, row.stats.mean_ns
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedups\": [\n");
+    for (i, (label, ratio)) in suite.speedups.iter().enumerate() {
+        let comma = if i + 1 == suite.speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        s.push_str(&format!(
+            "    {{\"label\": \"{label}\", \"ratio\": {ratio:.2}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_names_are_stable() {
+        let suite = Suite {
+            rows: vec![BenchRow {
+                name: "a/b".into(),
+                stats: Stats {
+                    min_ns: 1,
+                    median_ns: 2,
+                    mean_ns: 3,
+                },
+            }],
+            speedups: vec![("a vs b".into(), 2.5)],
+        };
+        let json = to_json("substrate", &suite);
+        assert!(json.contains("\"suite\": \"substrate\""));
+        assert!(json.contains("\"median_ns\": 2"));
+        assert!(json.contains("\"ratio\": 2.50"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn substrate_suite_measures_dense_against_reference() {
+        let suite = substrate_suite(3);
+        assert!(suite.rows.iter().any(|r| r.name.ends_with("/dense")));
+        assert!(suite.rows.iter().any(|r| r.name.ends_with("/reference")));
+        assert_eq!(suite.speedups.len(), 3);
+        assert!(suite.speedups.iter().all(|(_, r)| *r > 0.0));
+    }
+}

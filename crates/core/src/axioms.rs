@@ -259,8 +259,8 @@ mod tests {
     fn fault_axiom_holds_for_arbitrary_traces() {
         let g = builders::triangle();
         let traces = vec![
-            vec![Some(vec![1, 2]), None, Some(vec![3])],
-            vec![None, Some(vec![9]), None],
+            vec![Some(vec![1, 2].into()), None, Some(vec![3].into())],
+            vec![None, Some(vec![9].into()), None],
         ];
         check_fault_axiom(&g, NodeId(0), traces, &Table(3), 3).unwrap();
     }

@@ -149,15 +149,15 @@ impl CollapsedClockDevice {
     fn encode_cross(src: NodeId, dst: NodeId, payload: &[u8]) -> Payload {
         let mut w = Writer::new();
         w.u32(src.0).u32(dst.0).bytes(payload);
-        w.finish()
+        w.finish().into()
     }
 
     fn decode_cross(payload: &[u8]) -> Option<(NodeId, NodeId, Payload)> {
         let mut r = Reader::new(payload);
         let src = r.u32().ok()?;
         let dst = r.u32().ok()?;
-        let body = r.bytes().ok()?.to_vec();
-        Some((NodeId(src), NodeId(dst), body))
+        let body = r.bytes().ok()?;
+        Some((NodeId(src), NodeId(dst), body.into()))
     }
 
     /// Routes one member's actions: intra-class sends become delayed

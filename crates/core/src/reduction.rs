@@ -155,7 +155,7 @@ impl CollapsedDevice {
                 }
             }
         }
-        w.finish()
+        w.finish().into()
     }
 
     fn unbundle(payload: &[u8]) -> Vec<(NodeId, NodeId, Option<Payload>)> {
@@ -168,7 +168,7 @@ impl CollapsedDevice {
             };
             let body = match tag {
                 1 => match r.bytes() {
-                    Ok(b) => Some(b.to_vec()),
+                    Ok(b) => Some(b.into()),
                     Err(_) => return out,
                 },
                 _ => None,
@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn bundles_round_trip() {
         let msgs = vec![
-            (NodeId(0), NodeId(3), Some(vec![1, 2])),
+            (NodeId(0), NodeId(3), Some(vec![1, 2].into())),
             (NodeId(1), NodeId(4), None),
         ];
         let decoded = CollapsedDevice::unbundle(&CollapsedDevice::bundle(&msgs));

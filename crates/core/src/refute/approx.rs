@@ -282,13 +282,13 @@ mod tests {
             match t.0 {
                 0 => inbox
                     .iter()
-                    .map(|_| Some(self.value.to_bits().to_be_bytes().to_vec()))
+                    .map(|_| Some(self.value.to_bits().to_be_bytes().to_vec().into()))
                     .collect(),
                 1 => {
                     let mut sum = self.value;
                     let mut count = 1.0;
                     for m in inbox.iter().flatten() {
-                        if let Ok(bits) = <[u8; 8]>::try_from(m.as_slice()) {
+                        if let Ok(bits) = <[u8; 8]>::try_from(m.as_bytes()) {
                             sum += f64::from_bits(u64::from_be_bytes(bits));
                             count += 1.0;
                         }

@@ -48,18 +48,25 @@ fn chain_certificate(
     let horizon = protocol.horizon(cov.base());
     let cover_behavior = run_cover(protocol, cov, inputs, horizon)?;
 
-    let mut chain = Vec::new();
-    let mut violation: Option<Violation> = None;
-    for (i, u_set) in scenarios.iter().enumerate() {
-        let (link, behavior, correct) = transplant(
+    // The chain links are independent re-executions against the same cover
+    // behavior: fan them out, then fold the results in input order so the
+    // certificate (first error, first violated link) is byte-identical to
+    // the sequential scan.
+    let transplants = flm_par::par_map(scenarios, |u_set| {
+        transplant(
             protocol,
             cov,
             &cover_behavior,
-            u_set,
+            &u_set,
             Input::None,
             horizon,
             f,
-        )?;
+        )
+    });
+    let mut chain = Vec::new();
+    let mut violation: Option<Violation> = None;
+    for (i, result) in transplants.into_iter().enumerate() {
+        let (link, behavior, correct) = result?;
         if violation.is_none() {
             violation = problems::byzantine_agreement(&behavior, &correct, i).err();
         }

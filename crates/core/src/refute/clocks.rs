@@ -22,7 +22,7 @@ use std::fmt;
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, NodeId};
 use flm_sim::clock::{ClockBehavior, ClockReplayDevice, ClockSystem, TimeFn};
-use flm_sim::ClockProtocol;
+use flm_sim::{ClockProtocol, Payload};
 
 use crate::certificate::{Condition, VerifyError};
 use crate::problems::ClockSyncClaim;
@@ -259,13 +259,13 @@ impl ClockCertificate {
         // scaled by h^{−i}.
         let prev = NodeId(((i + ring_len - 1) % ring_len) as u32);
         let next = NodeId(((i + 2) % ring_len) as u32);
-        let into_i: Vec<(f64, Vec<u8>)> = behavior
+        let into_i: Vec<(f64, Payload)> = behavior
             .edge_sends(prev, NodeId(i as u32))
             .iter()
             .filter(|r| scale.eval(r.arrived) <= tau + 1e-9)
             .map(|r| (scale.eval(r.arrived), r.payload.clone()))
             .collect();
-        let into_j: Vec<(f64, Vec<u8>)> = behavior
+        let into_j: Vec<(f64, Payload)> = behavior
             .edge_sends(next, NodeId((i + 1) as u32))
             .iter()
             .filter(|r| scale.eval(r.arrived) <= tau + 1e-9)
@@ -286,7 +286,7 @@ impl ClockCertificate {
         };
         let f_clock = TimeFn::linear(rate);
         // Port order at bf = sorted neighbors; build arrival lists per port.
-        let mut arrivals: Vec<Vec<(f64, Vec<u8>)>> = vec![Vec::new(); 2];
+        let mut arrivals: Vec<Vec<(f64, Payload)>> = vec![Vec::new(); 2];
         let neighbors: Vec<NodeId> = g.neighbors(bf).collect();
         for (port, &t) in neighbors.iter().enumerate() {
             if t == bi {

@@ -83,6 +83,26 @@ fn all_correct_run(
     Ok((link, behavior, effective))
 }
 
+type AllCorrectRun = Result<(ChainLink, flm_sim::SystemBehavior, BTreeSet<NodeId>), RefuteError>;
+
+/// Runs both validity-pin executions concurrently and hands the results
+/// back in input order. Call sites consume `[0]` before `[1]`, so errors
+/// and early-exit certificates surface exactly as in the sequential code.
+fn all_correct_pair(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    inputs: [Input; 2],
+    horizon: u32,
+    f: usize,
+) -> [AllCorrectRun; 2] {
+    let mut results = flm_par::par_map(inputs.to_vec(), |input| {
+        all_correct_run(protocol, g, input, horizon, f)
+    });
+    let second = results.pop().expect("two runs");
+    let first = results.pop().expect("two runs");
+    [first, second]
+}
+
 /// The ring cover of the triangle with `4k` nodes (`k` a multiple of 3).
 fn ring_cover(k: usize) -> Result<Covering, RefuteError> {
     debug_assert_eq!(k % 3, 0);
@@ -116,8 +136,15 @@ pub fn weak_agreement(
     // The two validity pins: all-correct all-0 and all-1 runs of G.
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
-    for b in [false, true] {
-        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(b), horizon, f)?;
+    let pair = all_correct_pair(
+        protocol,
+        g,
+        [Input::Bool(false), Input::Bool(true)],
+        horizon,
+        f,
+    );
+    for (b, run) in [false, true].into_iter().zip(pair) {
+        let (link, behavior, pins) = run?;
         for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(d)) if d == b => {
@@ -236,8 +263,15 @@ pub fn weak_agreement_direct_general(
     // Validity pins and decision time t′ from the all-correct runs.
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
-    for bit in [false, true] {
-        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(bit), horizon, f)?;
+    let pair = all_correct_pair(
+        protocol,
+        g,
+        [Input::Bool(false), Input::Bool(true)],
+        horizon,
+        f,
+    );
+    for (bit, run) in [false, true].into_iter().zip(pair) {
+        let (link, behavior, pins) = run?;
         for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(d)) if d == bit => {
@@ -378,8 +412,15 @@ pub fn weak_agreement_direct_connectivity(
     // Validity pins and decision time t′ from the all-correct runs.
     let mut chain = Vec::new();
     let mut t_prime = 0u32;
-    for bit in [false, true] {
-        let (link, behavior, pins) = all_correct_run(protocol, g, Input::Bool(bit), horizon, f)?;
+    let pair = all_correct_pair(
+        protocol,
+        g,
+        [Input::Bool(false), Input::Bool(true)],
+        horizon,
+        f,
+    );
+    for (bit, run) in [false, true].into_iter().zip(pair) {
+        let (link, behavior, pins) = run?;
         for v in pins {
             match behavior.node(v).decision() {
                 Some(Decision::Bool(dec)) if dec == bit => {
@@ -543,8 +584,14 @@ fn firing_squad_pins(
     horizon: u32,
     chain: &mut Vec<ChainLink>,
 ) -> Result<Result<u32, Certificate>, RefuteError> {
-    let (stim_link, stim_behavior, stim_pins) =
-        all_correct_run(protocol, g, Input::Bool(true), horizon, f)?;
+    let [stim_run, quiet_run] = all_correct_pair(
+        protocol,
+        g,
+        [Input::Bool(true), Input::Bool(false)],
+        horizon,
+        f,
+    );
+    let (stim_link, stim_behavior, stim_pins) = stim_run?;
     let fire_ticks: Vec<Option<Tick>> = stim_pins
         .iter()
         .map(|&v| stim_behavior.node(v).fire_tick())
@@ -583,8 +630,7 @@ fn firing_squad_pins(
         .expect("pins are non-empty and every None fire tick returned early above")
         .0;
     chain.push(stim_link);
-    let (quiet_link, quiet_behavior, quiet_pins) =
-        all_correct_run(protocol, g, Input::Bool(false), horizon, f)?;
+    let (quiet_link, quiet_behavior, quiet_pins) = quiet_run?;
     if let Some(v) = quiet_pins
         .iter()
         .copied()
@@ -845,8 +891,14 @@ pub fn firing_squad(
     let mut chain = Vec::new();
     // Validity pins: with stimulus everywhere all must fire, simultaneously
     // and by the horizon; with no stimulus nobody may fire.
-    let (stim_link, stim_behavior, stim_pins) =
-        all_correct_run(protocol, g, Input::Bool(true), horizon, f)?;
+    let [stim_run, quiet_run] = all_correct_pair(
+        protocol,
+        g,
+        [Input::Bool(true), Input::Bool(false)],
+        horizon,
+        f,
+    );
+    let (stim_link, stim_behavior, stim_pins) = stim_run?;
     let fire_ticks: Vec<Option<Tick>> = stim_pins
         .iter()
         .map(|&v| stim_behavior.node(v).fire_tick())
@@ -877,8 +929,7 @@ pub fn firing_squad(
         .0;
     chain.push(stim_link);
 
-    let (quiet_link, quiet_behavior, quiet_pins) =
-        all_correct_run(protocol, g, Input::Bool(false), horizon, f)?;
+    let (quiet_link, quiet_behavior, quiet_pins) = quiet_run?;
     if let Some(v) = quiet_pins
         .iter()
         .copied()
@@ -986,7 +1037,7 @@ mod tests {
             match t.0 {
                 0 => inbox
                     .iter()
-                    .map(|_| Some(vec![u8::from(self.input)]))
+                    .map(|_| Some(vec![u8::from(self.input)].into()))
                     .collect(),
                 1 => {
                     self.seen = inbox
@@ -1034,7 +1085,7 @@ mod tests {
                 if t.0 >= h + 2 {
                     self.fired = true;
                 }
-                return inbox.iter().map(|_| Some(vec![1])).collect();
+                return inbox.iter().map(|_| Some(vec![1].into())).collect();
             }
             inbox.iter().map(|_| None).collect()
         }

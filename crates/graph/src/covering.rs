@@ -38,6 +38,10 @@ pub struct Covering {
     cover: Graph,
     base: Graph,
     map: Vec<NodeId>,
+    /// `fibers[g]` = φ⁻¹(g), precomputed at construction — [`Covering::fiber`]
+    /// is on refuter hot paths (once per transplanted faulty node) and must
+    /// not rescan the cover or allocate.
+    fibers: Vec<Vec<NodeId>>,
 }
 
 impl Covering {
@@ -89,7 +93,16 @@ impl Covering {
             // Equal-size sets with equal image ⇒ the restriction is a
             // bijection (injectivity follows from |image| = degree).
         }
-        Ok(Covering { cover, base, map })
+        let mut fibers: Vec<Vec<NodeId>> = vec![Vec::new(); base.node_count()];
+        for s in cover.nodes() {
+            fibers[map[s.index()].index()].push(s);
+        }
+        Ok(Covering {
+            cover,
+            base,
+            map,
+            fibers,
+        })
     }
 
     /// The covering graph `S`.
@@ -112,11 +125,13 @@ impl Covering {
     }
 
     /// The fiber φ⁻¹(g): all cover nodes projecting to `g`, in order.
-    pub fn fiber(&self, g: NodeId) -> Vec<NodeId> {
-        self.cover
-            .nodes()
-            .filter(|s| self.map[s.index()] == g)
-            .collect()
+    /// Precomputed at construction; the borrow is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a node of the base.
+    pub fn fiber(&self, g: NodeId) -> &[NodeId] {
+        &self.fibers[g.index()]
     }
 
     /// For a cover node `s` and a base neighbor `t` of `φ(s)`, the unique

@@ -1,0 +1,271 @@
+//! A dependency-free scoped worker pool for the FLM workspace.
+//!
+//! The refutation engine is embarrassingly parallel — every transplanted
+//! scenario in a certificate chain is an independent re-run of the protocol,
+//! and the adversarial test matrices sweep independent (protocol, fault,
+//! strategy) combinations. The workspace is deliberately offline (no rayon),
+//! so this crate provides the minimal primitive those consumers need:
+//! [`par_map`] / [`par_map_indexed`] over [`std::thread::scope`].
+//!
+//! # Determinism contract
+//!
+//! Results are returned **in input order**, regardless of which worker ran
+//! which item or in what order items finished. For a pure `f`, the output of
+//! `par_map(items, f)` is byte-identical to `items.into_iter().map(f)` — the
+//! refuters rely on this to guarantee parallel and sequential refutations
+//! produce identical certificates.
+//!
+//! # Panic contract
+//!
+//! Worker panics are caught per item and re-raised on the caller with the
+//! **lowest-index** panic's payload, matching the failure the sequential
+//! loop would have surfaced first (for deterministic `f`). This composes
+//! with `flm-sim`'s `run_contained`: its containment state is thread-local,
+//! so devices quarantined inside a worker stay quarantined there, and only
+//! genuine harness failures unwind through `par_map`.
+//!
+//! # Tuning
+//!
+//! Worker count defaults to [`std::thread::available_parallelism`] and can
+//! be overridden with the `FLM_PAR_THREADS` environment variable
+//! (`FLM_PAR_THREADS=1` forces the inline sequential path process-wide).
+//! [`sequential`] forces the inline path for the current thread only — the
+//! determinism tests use it to diff parallel against sequential output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with all [`par_map`]/[`par_map_indexed`] calls on *this thread*
+/// forced onto the inline sequential path (nested calls included).
+///
+/// This is the reference mode for determinism tests: a refuter run under
+/// `sequential` must produce byte-identical output to the same run without
+/// it.
+pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SEQUENTIAL.with(|c| c.set(self.0));
+        }
+    }
+    let previous = FORCE_SEQUENTIAL.with(|c| c.replace(true));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// True when the current thread is inside a [`sequential`] scope.
+pub fn is_sequential() -> bool {
+    FORCE_SEQUENTIAL.with(Cell::get)
+}
+
+/// The number of worker threads a parallel map will use.
+///
+/// `FLM_PAR_THREADS` (parsed once, process-wide) overrides the detected
+/// [`std::thread::available_parallelism`]; values below 1 are clamped to 1,
+/// and 1 means "run inline, never spawn". Without an override the default is
+/// at least 2, so the threaded path (and its ordering/panic machinery) is
+/// exercised even on single-core hosts.
+pub fn worker_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        if let Some(n) = std::env::var("FLM_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        thread::available_parallelism().map_or(2, |n| n.get().max(2))
+    })
+}
+
+/// Maps `f` over `items` on the worker pool, returning results in input
+/// order. See the crate docs for the determinism and panic contracts.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives the item's input index.
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if is_sequential() || workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let n = items.len();
+    // Hand-off cells: workers claim indices with a shared cursor, take the
+    // item, and park the (caught) result back in its slot, so completion
+    // order never affects output order.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<thread::Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned: claimed index was taken twice")
+                    .take()
+                    .expect("cursor hands each index to exactly one worker");
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                *results[i]
+                    .lock()
+                    .expect("result slot poisoned: claimed index was taken twice") = Some(outcome);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (i, cell) in results.into_iter().enumerate() {
+        match cell
+            .into_inner()
+            .expect("result slot poisoned after scope join")
+        {
+            Some(Ok(r)) => out.push(r),
+            // Lowest-index panic wins: re-raise it on the caller, exactly as
+            // the sequential loop would have (for deterministic `f`).
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("scope joins all workers, so slot {i} must be filled"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_input_ordered() {
+        let items: Vec<u64> = (0..200).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        // Stagger work so completion order scrambles under real parallelism.
+        let got = par_map(items, |x| {
+            let mut acc = x;
+            for _ in 0..((x * 7919) % 256) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            let _ = std::hint::black_box(acc);
+            x * x
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn indexed_variant_sees_input_indices() {
+        let got = par_map_indexed(vec!['a', 'b', 'c'], |i, c| format!("{i}{c}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(par_map(empty, |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed((0..64).collect::<Vec<u32>>(), |_, x| {
+                if x == 13 || x == 50 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("a worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic! with args carries a String payload");
+        assert_eq!(msg, "boom at 13");
+    }
+
+    #[test]
+    fn later_items_still_run_after_a_panic() {
+        // The pool drains the whole input even when an early item panics;
+        // only the re-raise is deferred to the ordered sweep.
+        let ran = AtomicU32::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map((0..32).collect::<Vec<u32>>(), |x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("early");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn sequential_scope_forces_inline_path() {
+        assert!(!is_sequential());
+        let (flag_inside, result) = sequential(|| {
+            let r = par_map(vec![1, 2, 3], |x| x * 10);
+            (is_sequential(), r)
+        });
+        assert!(flag_inside);
+        assert!(!is_sequential());
+        assert_eq!(result, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sequential_flag_restored_after_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            sequential(|| panic!("inside sequential"));
+        }));
+        assert!(caught.is_err());
+        assert!(!is_sequential());
+    }
+
+    #[test]
+    fn nested_par_map_completes() {
+        let got = par_map((0..8u32).collect::<Vec<_>>(), |x| {
+            par_map((0..8u32).collect::<Vec<_>>(), move |y| x * 8 + y)
+                .into_iter()
+                .sum::<u32>()
+        });
+        let expected: Vec<u32> = (0..8u32).map(|x| (0..8).map(|y| x * 8 + y).sum()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_byte_for_byte() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |x: u64| format!("{:x}", x.wrapping_mul(0x9E3779B97F4A7C15));
+        let par: Vec<String> = par_map(items.clone(), f);
+        let seq: Vec<String> = sequential(|| par_map(items, f));
+        assert_eq!(par, seq);
+    }
+}

@@ -129,6 +129,25 @@ pub fn cases(n: u32, base_seed: u64, check: impl Fn(&mut Rng)) {
     }
 }
 
+/// Runs `check` for `n` seed-derived cases across the `flm-par` worker
+/// pool. Each case sees exactly the stream [`cases`] would give it — the
+/// stream depends only on `(base_seed, index)`, never on the schedule — and
+/// when several cases fail, the lowest-indexed failure is the one reported
+/// and re-raised, matching the sequential runner byte for byte.
+pub fn cases_par(n: u32, base_seed: u64, check: impl Fn(&mut Rng) + Sync) {
+    let outcomes = flm_par::par_map((0..n).collect::<Vec<u32>>(), |i| {
+        let seed = case_seed(base_seed, i);
+        let mut rng = Rng::new(seed);
+        catch_unwind(AssertUnwindSafe(|| check(&mut rng))).map_err(|payload| (i, seed, payload))
+    });
+    for outcome in outcomes {
+        if let Err((i, seed, payload)) = outcome {
+            eprintln!("flm-prop: case {i}/{n} failed (base_seed={base_seed:#x}, case_seed={seed:#x}); replay with flm_prop::cases_from({seed:#x}, ..)");
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// Replays a single case from its reported seed.
 pub fn cases_from(case_seed: u64, check: impl Fn(&mut Rng)) {
     let mut rng = Rng::new(case_seed);
@@ -179,6 +198,54 @@ mod tests {
         let count = Cell::new(0u32);
         cases(17, 3, |_| count.set(count.get() + 1));
         assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn cases_par_runs_the_requested_count() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let count = AtomicU32::new(0);
+        cases_par(17, 3, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn cases_par_sees_the_sequential_streams() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        cases_par(8, 0xBEEF, |rng| {
+            let v = rng.u64();
+            seen.lock().unwrap().push(v);
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = (0..8)
+            .map(|i| Rng::new(case_seed(0xBEEF, i)).u64())
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn cases_par_reports_the_lowest_failing_case() {
+        let caught = std::panic::catch_unwind(|| {
+            cases_par(32, 7, |rng| {
+                let tag = rng.u64();
+                // Roughly half the cases fail; index order decides the winner.
+                assert!(tag.is_multiple_of(2), "odd tag {tag:#x}");
+            });
+        });
+        let payload = caught.expect_err("some tags are odd");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        let first_odd = (0..32)
+            .map(|i| Rng::new(case_seed(7, i)).u64())
+            .find(|t| !t.is_multiple_of(2))
+            .expect("some odd tag in 32 cases");
+        assert_eq!(msg, format!("odd tag {first_odd:#x}"));
     }
 
     #[test]

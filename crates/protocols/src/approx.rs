@@ -125,7 +125,8 @@ impl Device for DlpswDevice {
         if tick < self.rounds {
             let mut w = Writer::new();
             w.f64(self.value);
-            let payload = w.finish();
+            // One encode; each port's Some(...) is an Arc refcount bump.
+            let payload: Payload = w.finish().into();
             return inbox.iter().map(|_| Some(payload.clone())).collect();
         }
         inbox.iter().map(|_| None).collect()

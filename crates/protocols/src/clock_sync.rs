@@ -18,7 +18,7 @@
 use flm_graph::{Graph, NodeId};
 use flm_sim::clock::{ClockAction, ClockDevice, ClockEvent, TimeFn};
 use flm_sim::wire::{Reader, Writer};
-use flm_sim::ClockProtocol;
+use flm_sim::{ClockProtocol, Payload};
 
 /// The optimal communication-free device: logical clock = lower envelope of
 /// the hardware clock.
@@ -139,7 +139,7 @@ impl ClockDevice for AveragingSync {
             ClockEvent::Start | ClockEvent::Timer { .. } => {
                 let mut w = Writer::new();
                 w.f64(hw);
-                let payload = w.finish();
+                let payload: Payload = w.finish().into();
                 let mut actions: Vec<ClockAction> = (0..self.estimates.len())
                     .map(|port| ClockAction::Send {
                         port,

@@ -140,7 +140,7 @@ impl DolevStrongDevice {
                 w.u32(node).u64(sig);
             }
         }
-        w.finish()
+        w.finish().into()
     }
 
     fn decode(payload: &[u8]) -> Vec<Chain> {

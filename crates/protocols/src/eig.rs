@@ -117,7 +117,7 @@ impl EigDevice {
             }
             w.bool(*v);
         }
-        w.finish()
+        w.finish().into()
     }
 
     /// Applies the receive rule for round `round` to a payload from node
@@ -209,7 +209,7 @@ impl Device for EigDevice {
             // Round 1: broadcast the input as the empty-label report.
             let mut w = Writer::new();
             w.u32(1).u8(0).bool(self.input);
-            let payload = w.finish();
+            let payload: Payload = w.finish().into();
             return inbox.iter().map(|_| Some(payload.clone())).collect();
         }
         if tick <= self.f {

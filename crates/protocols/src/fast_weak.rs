@@ -73,7 +73,7 @@ impl FastWeakDevice {
         (0..self.seen.len())
             .map(|port| ClockAction::SendWithDelay {
                 port,
-                payload: vec![TAG_ALERT],
+                payload: vec![TAG_ALERT].into(),
                 hw_delay: delay,
             })
             .collect()
@@ -100,7 +100,7 @@ impl ClockDevice for FastWeakDevice {
                 let mut actions: Vec<ClockAction> = (0..self.seen.len())
                     .map(|port| ClockAction::SendWithDelay {
                         port,
-                        payload: vec![TAG_VALUE, u8::from(self.input)],
+                        payload: vec![TAG_VALUE, u8::from(self.input)].into(),
                         hw_delay: 0.5,
                     })
                     .collect();
@@ -222,31 +222,31 @@ mod tests {
                 (Attack::Equivocate, ClockEvent::Start) => (0..self.ports)
                     .map(|port| ClockAction::SendWithDelay {
                         port,
-                        payload: vec![TAG_VALUE, (port % 2) as u8],
+                        payload: vec![TAG_VALUE, (port % 2) as u8].into(),
                         hw_delay: 0.5,
                     })
                     .collect(),
                 (Attack::LateAlert, ClockEvent::Start) => vec![
                     ClockAction::SendWithDelay {
                         port: 0,
-                        payload: vec![TAG_VALUE, 1],
+                        payload: vec![TAG_VALUE, 1].into(),
                         hw_delay: 0.5,
                     },
                     ClockAction::SendWithDelay {
                         port: 1,
-                        payload: vec![TAG_VALUE, 1],
+                        payload: vec![TAG_VALUE, 1].into(),
                         hw_delay: 0.5,
                     },
                     ClockAction::SendWithDelay {
                         port: 0,
-                        payload: vec![TAG_ALERT],
+                        payload: vec![TAG_ALERT].into(),
                         hw_delay: 0.97,
                     },
                 ],
                 (Attack::Liar, ClockEvent::Start) => (0..self.ports)
                     .map(|port| ClockAction::SendWithDelay {
                         port,
-                        payload: vec![TAG_VALUE, 1],
+                        payload: vec![TAG_VALUE, 1].into(),
                         hw_delay: 0.5,
                     })
                     .collect(),

@@ -92,7 +92,7 @@ impl FiringSquadDevice {
         for s in &sections {
             w.bytes(s);
         }
-        w.finish()
+        w.finish().into()
     }
 
     fn unbundle(&self, payload: &[u8]) -> Vec<Option<Payload>> {
@@ -100,7 +100,7 @@ impl FiringSquadDevice {
         let mut r = Reader::new(payload);
         for slot in out.iter_mut() {
             match r.bytes() {
-                Ok(b) => *slot = Some(b.to_vec()),
+                Ok(b) => *slot = Some(Payload::from(b)),
                 Err(_) => break,
             }
         }
@@ -125,7 +125,7 @@ impl Device for FiringSquadDevice {
             // Announce the stimulus bit.
             return inbox
                 .iter()
-                .map(|_| Some(vec![u8::from(self.stimulus)]))
+                .map(|_| Some(vec![u8::from(self.stimulus)].into()))
                 .collect();
         }
         if tick == 1 {

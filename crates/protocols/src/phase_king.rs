@@ -118,7 +118,7 @@ impl Device for PhaseKingDevice {
             // First round of phase: broadcast current value.
             return inbox
                 .iter()
-                .map(|_| Some(vec![u8::from(self.value)]))
+                .map(|_| Some(vec![u8::from(self.value)].into()))
                 .collect();
         }
         // Odd tick: second round of phase `tick / 2`.
@@ -138,7 +138,7 @@ impl Device for PhaseKingDevice {
             // I am this phase's king: broadcast the majority.
             return inbox
                 .iter()
-                .map(|_| Some(vec![u8::from(self.maj)]))
+                .map(|_| Some(vec![u8::from(self.maj)].into()))
                 .collect();
         }
         inbox.iter().map(|_| None).collect()

@@ -125,7 +125,7 @@ impl Packet {
                 }
             }
         }
-        w.finish()
+        w.finish().into()
     }
 
     fn decode_bundle(payload: &[u8]) -> Vec<Packet> {
@@ -140,7 +140,7 @@ impl Packet {
             };
             let body = match r.u8() {
                 Ok(1) => match r.bytes() {
-                    Ok(b) => Some(b.to_vec()),
+                    Ok(b) => Some(Payload::from(b)),
                     Err(_) => return out,
                 },
                 Ok(0) => None,
@@ -429,7 +429,7 @@ mod tests {
                 dst: 4,
                 path_idx: 2,
                 hop: 1,
-                body: Some(vec![1, 2, 3]),
+                body: Some(vec![1, 2, 3].into()),
             },
             Packet {
                 round: 3,

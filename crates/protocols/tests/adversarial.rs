@@ -161,26 +161,33 @@ fn fault_injector_matrix_preserves_agreement_on_adequate_graphs() {
         }
         plans.push(("composite".into(), all));
 
+        // Fan the plan × strategy matrix across the worker pool: each combo
+        // builds its own devices and system, so runs share nothing but the
+        // protocol factory. A failing combo panics with the same message as
+        // the sequential loop, and flm-par re-raises the lowest-indexed one.
+        let mut combos: Vec<(String, FaultPlan, usize)> = Vec::new();
         for (label, plan) in &plans {
             assert_eq!(
                 plan.faulty_nodes().into_iter().collect::<Vec<_>>(),
                 vec![victim]
             );
             for strat in 0..=STRATEGY_COUNT {
-                // strat == STRATEGY_COUNT wraps the honest device; the rest
-                // stack the injector on a zoo adversary.
-                let inner = if strat == STRATEGY_COUNT {
-                    proto.device(g, victim)
-                } else {
-                    let honest = || proto.device(g, victim);
-                    strategy(strat, 5 + strat as u64, &honest)
-                };
-                let faulty = vec![(victim, plan.wrap(victim, inner))];
-                let b = testkit::run_with_faults(proto.as_ref(), g, &inputs, faulty);
-                testkit::check_byzantine_agreement(&b, &correct).unwrap_or_else(|e| {
-                    panic!("{} plan {label} strat {strat}: {e:?}", proto.name())
-                });
+                combos.push((label.clone(), plan.clone(), strat));
             }
         }
+        flm_par::par_map(combos, |(label, plan, strat)| {
+            // strat == STRATEGY_COUNT wraps the honest device; the rest
+            // stack the injector on a zoo adversary.
+            let inner = if strat == STRATEGY_COUNT {
+                proto.device(g, victim)
+            } else {
+                let honest = || proto.device(g, victim);
+                strategy(strat, 5 + strat as u64, &honest)
+            };
+            let faulty = vec![(victim, plan.wrap(victim, inner))];
+            let b = testkit::run_with_faults(proto.as_ref(), g, &inputs, faulty);
+            testkit::check_byzantine_agreement(&b, &correct)
+                .unwrap_or_else(|e| panic!("{} plan {label} strat {strat}: {e:?}", proto.name()));
+        });
     }
 }

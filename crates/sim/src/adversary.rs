@@ -108,9 +108,9 @@ impl Device for RandomAdversary {
                 let h = mix64(self.seed ^ self.heard ^ ((p as u64) << 40) ^ u64::from(t.0));
                 match h % 4 {
                     0 => None,
-                    1 => Some(vec![h as u8]),
-                    2 => Some(vec![h as u8, (h >> 8) as u8]),
-                    _ => Some(vec![u8::from(h.is_multiple_of(2))]),
+                    1 => Some(vec![h as u8].into()),
+                    2 => Some(vec![h as u8, (h >> 8) as u8].into()),
+                    _ => Some(vec![u8::from(h.is_multiple_of(2))].into()),
                 }
             })
             .collect()
@@ -259,8 +259,8 @@ mod tests {
         let b = sys.run(1);
         // Port order at node 0 is [1, 2, 3]; half = 1 → port to node 1 gets
         // the zero face, ports to 2 and 3 get the one face.
-        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0]));
-        assert_eq!(b.edge(NodeId(0), NodeId(3))[0], Some(vec![1]));
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0].into()));
+        assert_eq!(b.edge(NodeId(0), NodeId(3))[0], Some(vec![1].into()));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use flm_graph::{Graph, NodeId};
 
@@ -129,9 +130,13 @@ impl NodeBehavior {
 }
 
 /// The complete behavior of one system run.
+///
+/// The graph is held behind an `Arc`, so cloning a behavior (or the system
+/// handing its graph to the behavior at the end of a run) never copies the
+/// adjacency structure.
 #[derive(Debug, Clone)]
 pub struct SystemBehavior {
-    graph: Graph,
+    graph: Arc<Graph>,
     nodes: Vec<NodeBehavior>,
     edges: BTreeMap<(NodeId, NodeId), EdgeBehavior>,
     horizon: u32,
@@ -140,7 +145,7 @@ pub struct SystemBehavior {
 
 impl SystemBehavior {
     pub(crate) fn new(
-        graph: Graph,
+        graph: Arc<Graph>,
         nodes: Vec<NodeBehavior>,
         edges: BTreeMap<(NodeId, NodeId), EdgeBehavior>,
         horizon: u32,

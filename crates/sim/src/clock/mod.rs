@@ -547,7 +547,7 @@ mod tests {
                     vec![
                         ClockAction::Send {
                             port: 0,
-                            payload: vec![self.pings as u8],
+                            payload: vec![self.pings as u8].into(),
                         },
                         ClockAction::SetTimer {
                             id: 0,
@@ -650,8 +650,10 @@ mod tests {
     fn replay_hits_prescribed_arrivals() {
         let g = builders::path(2);
         let clock = TimeFn::linear(2.0);
-        let replay =
-            ClockReplayDevice::for_arrivals(&clock, &[vec![(1.0, vec![7]), (3.5, vec![8])]]);
+        let replay = ClockReplayDevice::for_arrivals(
+            &clock,
+            &[vec![(1.0, vec![7].into()), (3.5, vec![8].into())]],
+        );
         let mut sys = ClockSystem::new(g);
         sys.assign(NodeId(0), Box::new(replay), clock);
         sys.assign(NodeId(1), ping(), TimeFn::identity());
@@ -659,7 +661,7 @@ mod tests {
         let recs = b.edge_sends(NodeId(0), NodeId(1));
         assert_eq!(recs.len(), 2);
         assert!((recs[0].arrived - 1.0).abs() < 1e-9);
-        assert_eq!(recs[0].payload, vec![7]);
+        assert_eq!(recs[0].payload, vec![7].into());
         assert!((recs[1].arrived - 3.5).abs() < 1e-9);
     }
 }

@@ -24,11 +24,101 @@
 //! trace — never from the live device.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use flm_graph::NodeId;
 
-/// A message payload: canonical bytes (see [`crate::wire`]).
-pub type Payload = Vec<u8>;
+/// A message payload: canonical bytes (see [`crate::wire`]) behind a
+/// cheaply-clonable handle.
+///
+/// Payloads are immutable once constructed, so the simulator's message plane
+/// is zero-copy: recording a payload on an edge trace, delivering it to an
+/// inbox next tick, replaying it through a
+/// [`crate::replay::ReplayDevice`] masquerade, and copying it into a
+/// certificate's chain all clone the same `Arc<[u8]>` — a reference-count
+/// bump, never a byte copy. Devices that want to *modify* received bytes
+/// copy them out explicitly ([`Payload::to_vec`]) and build a new payload,
+/// which keeps mutation visible at the call site.
+///
+/// Equality, ordering, and hashing are byte-wise, matching the refuters'
+/// byte-for-byte behavior comparisons.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Wraps canonical bytes in a payload.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        Payload(bytes.into())
+    }
+
+    /// The payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes out for modification; the only way to "mutate" a
+    /// payload is to build a new one from the copy.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(bytes.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(bytes: [u8; N]) -> Self {
+        Payload(Arc::from(&bytes[..]))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(bytes: &[u8; N]) -> Self {
+        Payload(Arc::from(&bytes[..]))
+    }
+}
+
+impl<'a> IntoIterator for &'a Payload {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the byte list, like the `Vec<u8>` it replaced, so debug
+        // output (and the determinism tests diffing it) stays readable.
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
 
 /// The input assigned to a node (FLM §2: Booleans, reals, or clocks; clocks
 /// live in the separate [`crate::clock`] simulator).
@@ -235,6 +325,23 @@ mod tests {
             Some(Decision::Fire)
         );
         assert_eq!(snapshot::decision_in(&[]), None);
+    }
+
+    #[test]
+    fn payload_is_bytewise_and_zero_copy() {
+        let p: Payload = vec![1, 2, 3].into();
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(&p[..], &[1, 2, 3]);
+        assert!(std::ptr::eq(p.as_bytes(), q.as_bytes())); // clone = Arc bump
+        let mut bytes = p.to_vec();
+        bytes.push(4);
+        let r: Payload = bytes.into();
+        assert_eq!(&p[..], &[1, 2, 3]); // original untouched
+        assert!(p < r);
+        assert_eq!(format!("{p:?}"), "[1, 2, 3]");
+        assert!(Payload::default().is_empty());
+        assert_eq!(Payload::from([7u8]), Payload::from(&[7u8][..]));
     }
 
     #[test]

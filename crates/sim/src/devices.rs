@@ -94,7 +94,7 @@ impl Device for NaiveMajorityDevice {
                 }
                 inbox
                     .iter()
-                    .map(|_| Some(vec![u8::from(self.input)]))
+                    .map(|_| Some(vec![u8::from(self.input)].into()))
                     .collect()
             }
             1 => {
@@ -199,7 +199,7 @@ impl Device for TableDevice {
                 if h.is_multiple_of(5) {
                     None
                 } else {
-                    Some(vec![(h >> 8) as u8, (h >> 16) as u8])
+                    Some(vec![(h >> 8) as u8, (h >> 16) as u8].into())
                 }
             })
             .collect()

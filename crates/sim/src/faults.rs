@@ -253,18 +253,22 @@ impl FaultInjector {
         if !equivocating.is_empty() {
             let base: Payload = out.iter().flatten().next().cloned().unwrap_or_default();
             for p in equivocating {
-                let mut m = base.clone();
+                // Payloads are immutable (shared bytes): copy out, salt,
+                // rewrap.
+                let mut m = base.to_vec();
                 m.push(mix64(self.seed ^ u64::from(self.ports[p].0) ^ u64::from(t.0)) as u8);
-                out[p] = Some(m);
+                out[p] = Some(m.into());
             }
         }
         // Corrupt: XOR with a keystream keyed on (seed, edge, tick).
         for p in self.active(t, |a| *a == FaultAction::Corrupt) {
             if let Some(m) = &mut out[p] {
                 let key = self.seed ^ (u64::from(self.ports[p].0) << 32) ^ u64::from(t.0);
-                for (i, b) in m.iter_mut().enumerate() {
+                let mut bytes = m.to_vec();
+                for (i, b) in bytes.iter_mut().enumerate() {
                     *b ^= mix64(key ^ (i as u64)) as u8;
                 }
+                *m = bytes.into();
             }
         }
         // Drop: silence.

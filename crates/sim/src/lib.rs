@@ -65,7 +65,7 @@ pub mod wire;
 pub use behavior::{
     DeviceMisbehavior, EdgeBehavior, MisbehaviorKind, NodeBehavior, Scenario, SystemBehavior,
 };
-pub use device::{Decision, Device, Input, NodeCtx};
+pub use device::{Decision, Device, Input, NodeCtx, Payload};
 pub use faults::{FaultAction, FaultPlan, FaultRule};
 pub use protocol::{ClockProtocol, Protocol};
 pub use system::{RunPolicy, System};

@@ -17,7 +17,11 @@ use crate::device::Device;
 /// Calling [`Protocol::device`] twice with the same arguments must produce
 /// devices with identical behavior — the refuters rely on re-instantiating
 /// "the same" device in several systems.
-pub trait Protocol {
+///
+/// `Send + Sync` is a supertrait: a protocol is an immutable device factory,
+/// so the refuters may instantiate devices from several worker threads at
+/// once (each *device* stays thread-local; only the factory is shared).
+pub trait Protocol: Send + Sync {
     /// Human-readable protocol name for reports.
     fn name(&self) -> String;
 
@@ -35,8 +39,9 @@ pub trait Protocol {
 ///
 /// The synchronization claim (envelopes, agreement constant α, stabilization
 /// time t′) lives with the problem statement in `flm-core`; this trait only
-/// manufactures the devices.
-pub trait ClockProtocol {
+/// manufactures the devices. `Send + Sync` for the same reason as
+/// [`Protocol`]: the factory may be shared across worker threads.
+pub trait ClockProtocol: Send + Sync {
     /// Human-readable protocol name for reports.
     fn name(&self) -> String;
 

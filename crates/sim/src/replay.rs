@@ -24,10 +24,10 @@ use crate::Tick;
 /// use flm_graph::NodeId;
 ///
 /// // Replay "7" then silence on a single port.
-/// let mut f = ReplayDevice::masquerade(vec![vec![Some(vec![7]), None]]);
+/// let mut f = ReplayDevice::masquerade(vec![vec![Some(vec![7].into()), None]]);
 /// f.init(&NodeCtx { node: NodeId(0), ports: vec![NodeId(1)], input: Input::None });
-/// assert_eq!(f.step(Tick(0), &[None]), vec![Some(vec![7])]);
-/// assert_eq!(f.step(Tick(1), &[Some(vec![9])]), vec![None]);
+/// assert_eq!(f.step(Tick(0), &[None]), vec![Some(vec![7].into())]);
+/// assert_eq!(f.step(Tick(1), &[Some(vec![9].into())]), vec![None]);
 /// assert_eq!(f.step(Tick(2), &[None]), vec![None]); // past the recording
 /// ```
 #[derive(Debug, Clone)]
@@ -111,7 +111,7 @@ mod tests {
     fn fault_axiom_replays_exactly() {
         // Record an arbitrary trace, install it at a faulty node, and check
         // the neighbor observes exactly the recorded edge behavior.
-        let recorded: EdgeBehavior = vec![Some(vec![1]), None, Some(vec![2, 3])];
+        let recorded: EdgeBehavior = vec![Some(vec![1].into()), None, Some(vec![2, 3].into())];
         let g = builders::path(2);
         let mut sys = System::new(g);
         sys.assign(

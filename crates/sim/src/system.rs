@@ -8,10 +8,10 @@
 //! [`System::assign_lifted`].
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, NodeId};
@@ -124,19 +124,33 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 struct Slot {
     device: Box<dyn Device>,
     ctx: NodeCtx,
-    /// `wiring[p]` = the physical neighbor connected to port `p`.
-    wiring: Vec<NodeId>,
+    /// `wiring[p]` = the physical neighbor connected to port `p`, when it
+    /// differs from the identity; `None` means port `p` is wired to
+    /// `ctx.ports[p]` itself, so identity assignments don't hold a second
+    /// copy of the neighbor list.
+    wiring: Option<Vec<NodeId>>,
+}
+
+impl Slot {
+    fn wiring(&self) -> &[NodeId] {
+        self.wiring.as_deref().unwrap_or(&self.ctx.ports)
+    }
 }
 
 /// A communication graph with devices and inputs at its nodes.
 pub struct System {
-    graph: Graph,
+    graph: Arc<Graph>,
     slots: Vec<Option<Slot>>,
 }
 
 impl System {
     /// Creates a system over `graph` with no devices assigned yet.
-    pub fn new(graph: Graph) -> Self {
+    ///
+    /// Accepts either a `Graph` or an `Arc<Graph>`; passing an `Arc` lets
+    /// many systems (e.g. the parallel refuter's transplants) share one
+    /// graph allocation.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        let graph = graph.into();
         let n = graph.node_count();
         System {
             graph,
@@ -156,17 +170,16 @@ impl System {
     ///
     /// Panics if `v` is out of range.
     pub fn assign(&mut self, v: NodeId, mut device: Box<dyn Device>, input: Input) {
-        let neighbors: Vec<NodeId> = self.graph.neighbors(v).collect();
         let ctx = NodeCtx {
             node: v,
-            ports: neighbors.clone(),
+            ports: self.graph.neighbors(v).collect(),
             input,
         };
         device.init(&ctx);
         self.slots[v.index()] = Some(Slot {
             device,
             ctx,
-            wiring: neighbors,
+            wiring: None,
         });
     }
 
@@ -194,14 +207,14 @@ impl System {
                 reason: format!("{} ports but {} wires", base_ports.len(), wiring.len()),
             });
         }
-        let mut sorted = wiring.clone();
-        sorted.sort();
-        sorted.dedup();
-        let actual: Vec<NodeId> = self.graph.neighbors(v).collect();
-        if sorted != actual {
+        let provided: BTreeSet<NodeId> = wiring.iter().copied().collect();
+        if provided.len() != wiring.len() || !provided.iter().copied().eq(self.graph.neighbors(v)) {
             return Err(SystemError::BadWiring {
                 node: v,
-                reason: format!("wiring {sorted:?} is not the neighbor set {actual:?}"),
+                reason: format!(
+                    "wiring {provided:?} is not the neighbor set {:?}",
+                    self.graph.neighbors(v).collect::<BTreeSet<_>>()
+                ),
             });
         }
         let ctx = NodeCtx {
@@ -213,7 +226,7 @@ impl System {
         self.slots[v.index()] = Some(Slot {
             device,
             ctx,
-            wiring,
+            wiring: Some(wiring),
         });
         Ok(())
     }
@@ -238,7 +251,7 @@ impl System {
         input: Input,
     ) -> Result<(), SystemError> {
         assert_eq!(
-            &self.graph,
+            self.graph.as_ref(),
             cov.cover(),
             "system graph must be the covering's cover graph"
         );
@@ -320,43 +333,68 @@ impl System {
         if policy.is_some() {
             install_quiet_panic_hook();
         }
-        let mut edges: BTreeMap<(NodeId, NodeId), Vec<Option<Vec<u8>>>> = self
-            .graph
-            .directed_edges()
-            .into_iter()
-            .map(|e| (e, Vec::with_capacity(horizon as usize)))
+        // Dense message plane: the tick loop never touches a map. Directed
+        // edges get consecutive indices (lexicographic, the order of
+        // `Graph::directed_edges`), every port is resolved to its receive and
+        // send edge index once up front, and each node's inbox buffer is
+        // allocated once and overwritten in place every tick. Delivering a
+        // payload is an `Arc` bump of last tick's send, never a byte copy.
+        //
+        // Port resolution can only fail for a wiring that is not a bijection
+        // onto the node's physical neighbors, which `assign`/`assign_wired`
+        // already reject — the error path below keeps that invariant
+        // structural (a `SystemError`, not an `expect`) for slots assembled
+        // some other way.
+        let edge_list = self.graph.directed_edges();
+        let edge_index: BTreeMap<(NodeId, NodeId), usize> =
+            edge_list.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let mut in_edges: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut out_edges: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for v in self.graph.nodes() {
+            let slot = self.slots[v.index()]
+                .as_ref()
+                .expect("run_inner is only reached after every node is assigned");
+            let wiring = slot.wiring();
+            let mut ins = Vec::with_capacity(wiring.len());
+            let mut outs = Vec::with_capacity(wiring.len());
+            for &w in wiring {
+                let bad_wire = || SystemError::BadWiring {
+                    node: v,
+                    reason: format!("port wired to {w}, which is not a neighbor of {v}"),
+                };
+                ins.push(*edge_index.get(&(w, v)).ok_or_else(bad_wire)?);
+                outs.push(*edge_index.get(&(v, w)).ok_or_else(bad_wire)?);
+            }
+            in_edges.push(ins);
+            out_edges.push(outs);
+        }
+        let mut traces: Vec<Vec<Option<Payload>>> = edge_list
+            .iter()
+            .map(|_| Vec::with_capacity(horizon as usize))
             .collect();
         let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
         let mut misbehavior: Vec<DeviceMisbehavior> = Vec::new();
         let mut quarantined = vec![false; n];
+        let mut inboxes: Vec<Vec<Option<Payload>>> =
+            in_edges.iter().map(|ins| vec![None; ins.len()]).collect();
 
         for t in 0..horizon {
             let tick = Tick(t);
-            // Gather this tick's inboxes from last tick's edge traces.
-            let mut inboxes: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(n);
-            for v in self.graph.nodes() {
-                let slot = self.slots[v.index()]
-                    .as_ref()
-                    .expect("run_inner is only reached after every node is assigned");
-                let inbox = slot
-                    .wiring
-                    .iter()
-                    .map(|&w| {
-                        if t == 0 {
-                            None
-                        } else {
-                            edges[&(w, v)][t as usize - 1].clone()
-                        }
-                    })
-                    .collect();
-                inboxes.push(inbox);
+            // Refill the reused inboxes from last tick's edge traces (tick 0
+            // keeps the initial all-`None` buffers).
+            if t > 0 {
+                for (inbox, ins) in inboxes.iter_mut().zip(&in_edges) {
+                    for (cell, &e) in inbox.iter_mut().zip(ins) {
+                        *cell = traces[e][t as usize - 1].clone();
+                    }
+                }
             }
             // Step devices and record sends + snapshots.
             for v in self.graph.nodes() {
                 let slot = self.slots[v.index()]
                     .as_mut()
                     .expect("run_inner is only reached after every node is assigned");
-                let ports = slot.wiring.len();
+                let ports = out_edges[v.index()].len();
                 let mut incident: Option<MisbehaviorKind> = None;
                 let out: Vec<Option<Payload>> = if quarantined[v.index()] {
                     vec![None; ports]
@@ -423,12 +461,11 @@ impl System {
                     });
                     quarantined[v.index()] = true;
                 }
+                // Sends land directly in the dense trace table; `out_edges`
+                // was fully resolved before the loop, so every port has an
+                // edge by construction.
                 for (p, payload) in out.into_iter().enumerate() {
-                    let w = slot.wiring[p];
-                    edges
-                        .get_mut(&(v, w))
-                        .expect("edge traces were pre-created for every wiring entry")
-                        .push(payload);
+                    traces[out_edges[v.index()][p]].push(payload);
                 }
                 // A quarantined device is never touched again — its state may
                 // be poisoned mid-panic, so the marker stands in for it.
@@ -454,12 +491,116 @@ impl System {
                 }
             })
             .collect();
+        // The public edge map is assembled once, after the run; `zip` pairs
+        // each directed edge with its dense trace because both follow the
+        // `directed_edges` order.
+        let edges: BTreeMap<(NodeId, NodeId), Vec<Option<Payload>>> =
+            edge_list.into_iter().zip(traces).collect();
         Ok(SystemBehavior::new(
-            self.graph.clone(),
+            Arc::clone(&self.graph),
             nodes,
             edges,
             horizon,
             misbehavior,
+        ))
+    }
+
+    /// Runs the system with the pre-zero-copy loop: a `BTreeMap`-keyed edge
+    /// plane, fresh inbox allocations every tick, and a deep byte copy for
+    /// every delivered payload.
+    ///
+    /// No production path uses this — it is kept as the differential
+    /// reference for the dense zero-copy plane: tests assert
+    /// [`System::try_run`] produces byte-identical behaviors, and
+    /// `crates/bench` measures the dense loop's speedup against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Unassigned`] or [`SystemError::PortMismatch`]
+    /// exactly like [`System::try_run`]; containment is not replicated.
+    pub fn run_reference(&mut self, horizon: u32) -> Result<SystemBehavior, SystemError> {
+        let n = self.graph.node_count();
+        for v in self.graph.nodes() {
+            if self.slots[v.index()].is_none() {
+                return Err(SystemError::Unassigned { node: v });
+            }
+        }
+        let mut edges: BTreeMap<(NodeId, NodeId), Vec<Option<Payload>>> = self
+            .graph
+            .directed_edges()
+            .into_iter()
+            .map(|e| (e, Vec::with_capacity(horizon as usize)))
+            .collect();
+        let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
+
+        for t in 0..horizon {
+            let tick = Tick(t);
+            let mut inboxes: Vec<Vec<Option<Payload>>> = Vec::with_capacity(n);
+            for v in self.graph.nodes() {
+                let slot = self.slots[v.index()]
+                    .as_ref()
+                    .expect("run_reference is only reached after every node is assigned");
+                let inbox = slot
+                    .wiring()
+                    .iter()
+                    .map(|&w| {
+                        if t == 0 {
+                            None
+                        } else {
+                            // Deliberate deep copy — the cost the zero-copy
+                            // plane removed.
+                            edges[&(w, v)][t as usize - 1]
+                                .as_ref()
+                                .map(|m| Payload::from(m.to_vec()))
+                        }
+                    })
+                    .collect();
+                inboxes.push(inbox);
+            }
+            for v in self.graph.nodes() {
+                let slot = self.slots[v.index()]
+                    .as_mut()
+                    .expect("run_reference is only reached after every node is assigned");
+                let ports = slot.wiring().len();
+                let out = slot.device.step(tick, &inboxes[v.index()]);
+                if out.len() != ports {
+                    return Err(SystemError::PortMismatch {
+                        node: v,
+                        expected: ports,
+                        got: out.len(),
+                    });
+                }
+                for (p, payload) in out.into_iter().enumerate() {
+                    let w = slot.wiring()[p];
+                    edges
+                        .get_mut(&(v, w))
+                        .expect("edge traces were pre-created for every wiring entry")
+                        .push(payload);
+                }
+                snaps[v.index()].push(slot.device.snapshot());
+            }
+        }
+
+        let nodes = self
+            .graph
+            .nodes()
+            .map(|v| {
+                let slot = self.slots[v.index()]
+                    .as_ref()
+                    .expect("run_reference is only reached after every node is assigned");
+                NodeBehavior {
+                    device_name: slot.device.name().to_string(),
+                    input: slot.ctx.input,
+                    snaps: std::mem::take(&mut snaps[v.index()]),
+                }
+            })
+            .collect();
+        Ok(SystemBehavior::new(
+            Arc::clone(&self.graph),
+            nodes,
+            edges,
+            horizon,
+            Vec::new(),
         ))
     }
 }
@@ -497,7 +638,10 @@ mod tests {
         }
         fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
             self.received += inbox.iter().flatten().count() as u32;
-            inbox.iter().map(|_| Some(vec![self.me as u8])).collect()
+            inbox
+                .iter()
+                .map(|_| Some(vec![self.me as u8].into()))
+                .collect()
         }
         fn snapshot(&self) -> Vec<u8> {
             snapshot::undecided(&self.received.to_be_bytes())
@@ -530,7 +674,7 @@ mod tests {
         );
         // Edge traces record the sends.
         assert_eq!(b.edge(NodeId(0), NodeId(1)).len(), 3);
-        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0]));
+        assert_eq!(b.edge(NodeId(0), NodeId(1))[0], Some(vec![0].into()));
     }
 
     #[test]
@@ -595,10 +739,10 @@ mod tests {
                 match self.mode {
                     0 => panic!("hostile device detonated"),
                     1 => return vec![None; inbox.len() + 3],
-                    _ => return vec![Some(vec![0xAB; 64]); inbox.len()],
+                    _ => return vec![Some(vec![0xAB; 64].into()); inbox.len()],
                 }
             }
-            inbox.iter().map(|_| Some(vec![7])).collect()
+            inbox.iter().map(|_| Some(vec![7].into())).collect()
         }
         fn snapshot(&self) -> Vec<u8> {
             snapshot::undecided(b"hostile")
@@ -720,6 +864,37 @@ mod tests {
         assert_eq!(strict.edges(), contained.edges());
         for v in strict.graph().nodes() {
             assert_eq!(strict.node(v), contained.node(v));
+        }
+    }
+
+    #[test]
+    fn dense_plane_matches_reference_loop() {
+        // The zero-copy dense plane must be byte-identical to the seed's
+        // copy-per-delivery loop on every observable.
+        use crate::devices::TableDevice;
+        for (seed, g) in [
+            (1u64, builders::triangle()),
+            (2, builders::complete(5)),
+            (3, builders::cycle(9)),
+            (4, builders::path(4)),
+        ] {
+            let build = || {
+                let mut sys = System::new(g.clone());
+                for v in g.nodes() {
+                    sys.assign(
+                        v,
+                        Box::new(TableDevice::new(seed ^ u64::from(v.0), 6)),
+                        Input::Bool(v.0.is_multiple_of(2)),
+                    );
+                }
+                sys
+            };
+            let dense = build().try_run(8).unwrap();
+            let reference = build().run_reference(8).unwrap();
+            assert_eq!(dense.edges(), reference.edges());
+            for v in g.nodes() {
+                assert_eq!(dense.node(v), reference.node(v));
+            }
         }
     }
 

@@ -86,7 +86,7 @@ fn replay_reproduces_arbitrary_traces() {
                 (0..horizon as usize)
                     .map(|t| {
                         let h = flm_sim::auth::mix64(seed ^ ((p as u64) << 8) ^ t as u64);
-                        (!h.is_multiple_of(4)).then(|| vec![h as u8])
+                        (!h.is_multiple_of(4)).then(|| vec![h as u8].into())
                     })
                     .collect()
             })

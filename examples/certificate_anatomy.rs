@@ -45,7 +45,7 @@ fn main() {
             let sent: usize = traces
                 .iter()
                 .flat_map(|t| t.iter().flatten())
-                .map(Vec::len)
+                .map(|m| m.len())
                 .sum();
             println!(
                 "  faulty {v}     : replays {} recorded edge traces ({sent} bytes) \

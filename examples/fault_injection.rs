@@ -37,7 +37,7 @@ impl Device for Detonator {
         assert!(t.0 < 1, "detonated at tick {}", t.0);
         inbox
             .iter()
-            .map(|_| Some(vec![u8::from(self.input)]))
+            .map(|_| Some(vec![u8::from(self.input)].into()))
             .collect()
     }
     fn snapshot(&self) -> Vec<u8> {

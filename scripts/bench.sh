@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable perf snapshots at the repo root:
+#
+#   BENCH_substrate.json — dense message plane vs the reference loop
+#   BENCH_refuters.json  — worker-pool refuters vs flm_par::sequential
+#
+# Medians are in ns/op; the "speedups" arrays carry the headline ratios.
+# Usage: scripts/bench.sh [samples]   (default 25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES="${1:-25}"
+
+echo "==> cargo build --release -p flm-bench"
+cargo build --release -p flm-bench
+
+echo "==> substrate suite (${SAMPLES} samples)"
+./target/release/regen --bench substrate --samples "$SAMPLES" --out BENCH_substrate.json
+
+echo "==> refuter suite (${SAMPLES} samples)"
+./target/release/regen --bench refuters --samples "$SAMPLES" --out BENCH_refuters.json
+
+echo "Wrote BENCH_substrate.json and BENCH_refuters.json."

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, build, and the full test suite.
 # Everything must pass with zero warnings.
+#
+# `--smoke` runs the fast subset only — debug build plus the core and
+# simulator unit tests — for a quick pre-push signal; the default (full)
+# mode is the gate that counts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "==> smoke: cargo build"
+    cargo build --workspace
+    echo "==> smoke: cargo test (core + sim + par libs)"
+    cargo test -p flm-core -p flm-sim -p flm-par --lib --quiet
+    echo "Smoke checks passed (run without --smoke for the full gate)."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -38,7 +38,7 @@ fn arb_graph(rng: &mut Rng) -> Graph {
 
 #[test]
 fn locality_axiom_holds() {
-    flm_prop::cases(40, 0xA71, |rng| {
+    flm_prop::cases_par(40, 0xA71, |rng| {
         let g = arb_graph(rng);
         let seed = rng.u64();
         let mask = rng.u32() % 99 + 1;
@@ -58,7 +58,7 @@ fn locality_axiom_holds() {
 
 #[test]
 fn fault_axiom_holds() {
-    flm_prop::cases(40, 0xA72, |rng| {
+    flm_prop::cases_par(40, 0xA72, |rng| {
         let g = arb_graph(rng);
         let seed = rng.u64();
         let node_pick = rng.usize(0..100);
@@ -66,7 +66,7 @@ fn fault_axiom_holds() {
         let node = NodeId((node_pick % n) as u32);
         let degree = g.degree(node);
         // Arbitrary traces derived from the seed.
-        let traces: Vec<Vec<Option<Vec<u8>>>> = (0..degree)
+        let traces: Vec<Vec<Option<flm_sim::Payload>>> = (0..degree)
             .map(|p| {
                 (0..4)
                     .map(|t| {
@@ -74,7 +74,7 @@ fn fault_axiom_holds() {
                         if h.is_multiple_of(3) {
                             None
                         } else {
-                            Some(vec![h as u8, (h >> 8) as u8])
+                            Some(vec![h as u8, (h >> 8) as u8].into())
                         }
                     })
                     .collect()
@@ -87,7 +87,7 @@ fn fault_axiom_holds() {
 
 #[test]
 fn bounded_delay_axiom_holds() {
-    flm_prop::cases(40, 0xA73, |rng| {
+    flm_prop::cases_par(40, 0xA73, |rng| {
         let g = arb_graph(rng);
         let seed = rng.u64();
         let flip = rng.usize(0..100);
@@ -107,7 +107,7 @@ fn bounded_delay_axiom_holds() {
 
 #[test]
 fn scaling_axiom_holds() {
-    flm_prop::cases(40, 0xA74, |rng| {
+    flm_prop::cases_par(40, 0xA74, |rng| {
         // Power-of-two clock rates and scale factors keep every hardware
         // reading bit-exact across the scaled run — the axiom holds exactly
         // when the arithmetic does (and only approximately otherwise, since

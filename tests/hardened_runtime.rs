@@ -31,12 +31,12 @@ impl Device for HostileDevice {
             match self.mode {
                 0 => panic!("hostile device detonated at tick {}", t.0),
                 1 => return vec![None; inbox.len() + 1],
-                _ => return vec![Some(vec![0xAB; 100_000]); inbox.len()],
+                _ => return vec![Some(vec![0xAB; 100_000].into()); inbox.len()],
             }
         }
         inbox
             .iter()
-            .map(|_| Some(vec![u8::from(self.input)]))
+            .map(|_| Some(vec![u8::from(self.input)].into()))
             .collect()
     }
     fn snapshot(&self) -> Vec<u8> {

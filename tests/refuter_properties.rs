@@ -45,7 +45,7 @@ fn arb_protocol(rng: &mut Rng) -> RandomProtocol {
 
 #[test]
 fn every_random_protocol_falls_on_the_triangle() {
-    flm_prop::cases(48, 0x2EF1, |rng| {
+    flm_prop::cases_par(48, 0x2EF1, |rng| {
         let proto = arb_protocol(rng);
         let cert = refute::ba_nodes(&proto, &builders::triangle(), 1)
             .expect("inadequate graphs always yield a certificate");
@@ -56,7 +56,7 @@ fn every_random_protocol_falls_on_the_triangle() {
 
 #[test]
 fn every_random_protocol_falls_on_k5_with_f2() {
-    flm_prop::cases(48, 0x2EF2, |rng| {
+    flm_prop::cases_par(48, 0x2EF2, |rng| {
         let proto = arb_protocol(rng);
         let cert =
             refute::ba_nodes(&proto, &builders::complete(5), 2).expect("5 ≤ 3·2 is inadequate");
@@ -66,7 +66,7 @@ fn every_random_protocol_falls_on_k5_with_f2() {
 
 #[test]
 fn every_random_protocol_falls_on_thin_graphs() {
-    flm_prop::cases(48, 0x2EF3, |rng| {
+    flm_prop::cases_par(48, 0x2EF3, |rng| {
         let proto = arb_protocol(rng);
         let n = rng.usize(4..8);
         let g = builders::cycle(n);
@@ -77,7 +77,7 @@ fn every_random_protocol_falls_on_thin_graphs() {
 
 #[test]
 fn simple_approx_falls_for_random_protocols() {
-    flm_prop::cases(48, 0x2EF4, |rng| {
+    flm_prop::cases_par(48, 0x2EF4, |rng| {
         // TableDevice decides Booleans; treat as degenerate reals? No — the
         // simple-approx conditions demand real decisions, so the refuter
         // reports a termination violation at worst. Either way: refuted.
@@ -89,7 +89,7 @@ fn simple_approx_falls_for_random_protocols() {
 
 #[test]
 fn refuters_never_fire_on_adequate_graphs() {
-    flm_prop::cases(48, 0x2EF5, |rng| {
+    flm_prop::cases_par(48, 0x2EF5, |rng| {
         let proto = arb_protocol(rng);
         let f = rng.usize(1..3);
         let g = builders::complete(3 * f + 1);
@@ -103,7 +103,7 @@ fn refuters_never_fire_on_adequate_graphs() {
 
 #[test]
 fn certificates_are_deterministic() {
-    flm_prop::cases(48, 0x2EF6, |rng| {
+    flm_prop::cases_par(48, 0x2EF6, |rng| {
         let proto = arb_protocol(rng);
         let a = refute::ba_nodes(&proto, &builders::triangle(), 1).unwrap();
         let b = refute::ba_nodes(&proto, &builders::triangle(), 1).unwrap();
@@ -119,7 +119,7 @@ fn certificates_are_deterministic() {
 /// determinism the model demands. The refuter must detect it instead of
 /// producing a bogus certificate.
 struct FlipFlop {
-    counter: std::cell::Cell<u64>,
+    counter: std::sync::atomic::AtomicU64,
 }
 
 impl Protocol for FlipFlop {
@@ -127,8 +127,9 @@ impl Protocol for FlipFlop {
         "FlipFlop".into()
     }
     fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
-        let c = self.counter.get();
-        self.counter.set(c + 1);
+        let c = self
+            .counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Box::new(TableDevice::new(c, 2))
     }
     fn horizon(&self, _g: &Graph) -> u32 {
@@ -139,7 +140,7 @@ impl Protocol for FlipFlop {
 #[test]
 fn nondeterministic_protocols_are_detected() {
     let proto = FlipFlop {
-        counter: std::cell::Cell::new(0),
+        counter: std::sync::atomic::AtomicU64::new(0),
     };
     match refute::ba_nodes(&proto, &builders::triangle(), 1) {
         Err(RefuteError::ModelViolation { reason }) => {
@@ -151,7 +152,7 @@ fn nondeterministic_protocols_are_detected() {
 
 #[test]
 fn weak_refuters_fall_for_random_protocols() {
-    flm_prop::cases(24, 0x2EF7, |rng| {
+    flm_prop::cases_par(24, 0x2EF7, |rng| {
         // Triangle core, direct general, and direct connectivity.
         let proto = arb_protocol(rng);
         let cert = refute::weak_agreement(&proto, &builders::triangle(), 1).unwrap();
@@ -165,7 +166,7 @@ fn weak_refuters_fall_for_random_protocols() {
 
 #[test]
 fn firing_squad_refuters_fall_for_random_protocols() {
-    flm_prop::cases(24, 0x2EF8, |rng| {
+    flm_prop::cases_par(24, 0x2EF8, |rng| {
         // TableDevice never fires, so the stimulus validity pin catches it
         // immediately — still a certificate, still verifiable.
         let proto = arb_protocol(rng);
