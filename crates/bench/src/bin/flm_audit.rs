@@ -1,0 +1,160 @@
+//! `flm-audit` — standalone certificate checker.
+//!
+//! Loads an `FLMC` certificate file (written by `regen --emit-cert`),
+//! resolves the recorded protocol through the `flm-protocols` registry, and
+//! re-verifies the certificate from the bytes alone. The exit code is the
+//! result:
+//!
+//! | exit | meaning |
+//! |---|---|
+//! | 0 | certificate decoded and the violation reproduced |
+//! | 1 | certificate decoded but verification failed (not reproduced) |
+//! | 2 | file unreadable, malformed bytes, or unresolvable protocol |
+//!
+//! ```text
+//! flm-audit CERT.flmc [--timeline] [--quiet]
+//! ```
+//!
+//! `--timeline` re-executes the violating behavior and prints its full
+//! message timeline; `--quiet` suppresses everything but errors.
+
+use std::process::ExitCode;
+
+use flm_core::certificate::VerifyError;
+use flm_core::codec::AnyCertificate;
+use flm_protocols::{resolve, resolve_clock};
+
+const EXIT_VERIFIED: u8 = 0;
+const EXIT_NOT_REPRODUCED: u8 = 1;
+const EXIT_MALFORMED: u8 = 2;
+
+struct Args {
+    path: String,
+    timeline: bool,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut path = None;
+    let mut timeline = false;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--timeline" => timeline = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err("exactly one certificate file expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("no certificate file given")?,
+        timeline,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("flm-audit: {msg}");
+            eprintln!("usage: flm-audit CERT [--timeline] [--quiet]");
+            return ExitCode::from(EXIT_MALFORMED);
+        }
+    };
+    ExitCode::from(audit(&args))
+}
+
+fn audit(args: &Args) -> u8 {
+    let bytes = match std::fs::read(&args.path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("flm-audit: reading {}: {e}", args.path);
+            return EXIT_MALFORMED;
+        }
+    };
+    let cert = match flm_core::codec::decode_any(&bytes) {
+        Ok(cert) => cert,
+        Err(e) => {
+            eprintln!("flm-audit: {}: {e}", args.path);
+            return EXIT_MALFORMED;
+        }
+    };
+    // Canonicality check before anything runs: accepted bytes must re-encode
+    // to themselves, or the file's hash is not a fingerprint of its content.
+    if cert.to_bytes() != bytes {
+        eprintln!(
+            "flm-audit: {}: decoded certificate does not re-encode to the input bytes",
+            args.path
+        );
+        return EXIT_MALFORMED;
+    }
+    match cert {
+        AnyCertificate::Discrete(cert) => {
+            let protocol = match resolve(&cert.protocol) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("flm-audit: {e}");
+                    return EXIT_MALFORMED;
+                }
+            };
+            match cert.verify(&*protocol) {
+                Ok(()) => {
+                    if !args.quiet {
+                        println!("{cert}");
+                        println!("VERIFIED: violation reproduced against {}", cert.protocol);
+                    }
+                    if args.timeline {
+                        match cert.replay_violating_behavior(&*protocol) {
+                            Ok(behavior) => print!("{}", behavior.render_timeline()),
+                            Err(e) => eprintln!("flm-audit: timeline replay failed: {e}"),
+                        }
+                    }
+                    EXIT_VERIFIED
+                }
+                Err(VerifyError::NotReproduced { reason }) => {
+                    eprintln!("flm-audit: NOT REPRODUCED: {reason}");
+                    EXIT_NOT_REPRODUCED
+                }
+                Err(VerifyError::Malformed { reason }) => {
+                    eprintln!("flm-audit: malformed certificate: {reason}");
+                    EXIT_MALFORMED
+                }
+            }
+        }
+        AnyCertificate::Clock(cert) => {
+            let protocol = match resolve_clock(&cert.protocol) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("flm-audit: {e}");
+                    return EXIT_MALFORMED;
+                }
+            };
+            match cert.verify(&*protocol) {
+                Ok(()) => {
+                    if !args.quiet {
+                        println!("{cert}");
+                        println!("VERIFIED: violation reproduced against {}", cert.protocol);
+                    }
+                    if args.timeline && !args.quiet {
+                        eprintln!("flm-audit: --timeline applies to discrete certificates only");
+                    }
+                    EXIT_VERIFIED
+                }
+                Err(VerifyError::NotReproduced { reason }) => {
+                    eprintln!("flm-audit: NOT REPRODUCED: {reason}");
+                    EXIT_NOT_REPRODUCED
+                }
+                Err(VerifyError::Malformed { reason }) => {
+                    eprintln!("flm-audit: malformed certificate: {reason}");
+                    EXIT_MALFORMED
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Regenerates the tables recorded in EXPERIMENTS.md, and — with `--bench` —
 //! the machine-readable perf snapshots `BENCH_substrate.json` and
-//! `BENCH_refuters.json`.
+//! `BENCH_refuters.json`. With `--refute`, runs one refuter and writes the
+//! resulting certificate to disk in the portable `FLMC` format, where
+//! `flm-audit` can re-verify it independently.
 //!
 //! Run with:
 //!
@@ -8,21 +10,52 @@
 //! cargo run -p flm-bench --bin regen                    # markdown tables
 //! cargo run -p flm-bench --bin regen -- --bench substrate [--samples N] [--out FILE]
 //! cargo run -p flm-bench --bin regen -- --bench refuters  [--samples N] [--out FILE]
+//! cargo run -p flm-bench --bin regen -- --refute THEOREM --emit-cert FILE \
+//!     [--protocol NAME] [--f N] [--graph GRAPH] \
+//!     [--max-ticks N] [--max-payload-bytes N]
 //! ```
+//!
+//! `THEOREM` is one of `ba-nodes`, `ba-connectivity`, `weak-agreement`,
+//! `firing-squad`, `simple-approx`, `eps-delta-gamma`, `clock-sync`;
+//! `GRAPH` is `triangle`, `cycleN`, `completeN`, or `pathN`. The protocol
+//! name is resolved through the `flm-protocols` registry, so anything the
+//! registry accepts can be refuted; defaults are canonical per theorem.
+//! The `--max-*` flags tighten the run policy recorded in the certificate.
 
 use flm_bench::{experiments, suites};
+use flm_core::refute;
+use flm_graph::{builders, Graph};
+use flm_protocols::{resolve, resolve_clock};
+use flm_sim::clock::TimeFn;
+use flm_sim::RunPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse(&args) {
-        Ok(None) => print_tables(),
-        Ok(Some(bench)) => run_bench(&bench),
+        Ok(Mode::Tables) => print_tables(),
+        Ok(Mode::Bench(bench)) => run_bench(&bench),
+        Ok(Mode::Refute(refute)) => {
+            if let Err(msg) = run_refute(&refute) {
+                eprintln!("regen: {msg}");
+                std::process::exit(1);
+            }
+        }
         Err(msg) => {
             eprintln!("regen: {msg}");
-            eprintln!("usage: regen [--bench substrate|refuters] [--samples N] [--out FILE]");
+            eprintln!(
+                "usage: regen [--bench substrate|refuters] [--samples N] [--out FILE]\n\
+                 \x20      regen --refute THEOREM --emit-cert FILE [--protocol NAME] [--f N] \
+                 [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]"
+            );
             std::process::exit(2);
         }
     }
+}
+
+enum Mode {
+    Tables,
+    Bench(BenchArgs),
+    Refute(RefuteArgs),
 }
 
 struct BenchArgs {
@@ -31,10 +64,27 @@ struct BenchArgs {
     out: Option<String>,
 }
 
-fn parse(args: &[String]) -> Result<Option<BenchArgs>, String> {
+struct RefuteArgs {
+    theorem: String,
+    emit_cert: String,
+    protocol: Option<String>,
+    f: usize,
+    graph: Option<String>,
+    max_ticks: Option<u32>,
+    max_payload_bytes: Option<usize>,
+}
+
+fn parse(args: &[String]) -> Result<Mode, String> {
     let mut suite = None;
     let mut samples = 15usize;
     let mut out = None;
+    let mut theorem = None;
+    let mut emit_cert = None;
+    let mut protocol = None;
+    let mut f = 1usize;
+    let mut graph = None;
+    let mut max_ticks = None;
+    let mut max_payload_bytes = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| {
@@ -57,11 +107,53 @@ fn parse(args: &[String]) -> Result<Option<BenchArgs>, String> {
                 }
             }
             "--out" => out = Some(value(&mut it)?),
+            "--refute" => theorem = Some(value(&mut it)?),
+            "--emit-cert" => emit_cert = Some(value(&mut it)?),
+            "--protocol" => protocol = Some(value(&mut it)?),
+            "--f" => {
+                f = value(&mut it)?.parse().map_err(|e| format!("--f: {e}"))?;
+                if f == 0 {
+                    return Err("--f must be positive".into());
+                }
+            }
+            "--graph" => graph = Some(value(&mut it)?),
+            "--max-ticks" => {
+                max_ticks = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| format!("--max-ticks: {e}"))?,
+                );
+            }
+            "--max-payload-bytes" => {
+                max_payload_bytes = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| format!("--max-payload-bytes: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if let Some(theorem) = theorem {
+        if suite.is_some() || out.is_some() {
+            return Err("--bench/--out do not apply with --refute".into());
+        }
+        let emit_cert = emit_cert.ok_or("--refute needs --emit-cert FILE")?;
+        return Ok(Mode::Refute(RefuteArgs {
+            theorem,
+            emit_cert,
+            protocol,
+            f,
+            graph,
+            max_ticks,
+            max_payload_bytes,
+        }));
+    }
+    if emit_cert.is_some() || protocol.is_some() || graph.is_some() {
+        return Err("--emit-cert/--protocol/--graph only apply with --refute".into());
+    }
     match suite {
-        Some(suite) => Ok(Some(BenchArgs {
+        Some(suite) => Ok(Mode::Bench(BenchArgs {
             suite,
             samples,
             out,
@@ -69,8 +161,109 @@ fn parse(args: &[String]) -> Result<Option<BenchArgs>, String> {
         None if samples != 15 || out.is_some() => {
             Err("--samples/--out only apply with --bench".into())
         }
-        None => Ok(None),
+        None => Ok(Mode::Tables),
     }
+}
+
+fn parse_graph(name: &str) -> Result<Graph, String> {
+    if name == "triangle" {
+        return Ok(builders::triangle());
+    }
+    for (prefix, build) in [
+        ("cycle", builders::cycle as fn(usize) -> Graph),
+        ("complete", builders::complete),
+        ("path", builders::path),
+    ] {
+        if let Some(n) = name.strip_prefix(prefix) {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("--graph: bad size in {name:?}"))?;
+            if !(2..=64).contains(&n) {
+                return Err(format!("--graph: size {n} out of range (2..=64)"));
+            }
+            return Ok(build(n));
+        }
+    }
+    Err(format!(
+        "--graph: unknown graph {name:?} (want triangle, cycleN, completeN, or pathN)"
+    ))
+}
+
+fn run_refute(args: &RefuteArgs) -> Result<(), String> {
+    let mut policy = RunPolicy::default();
+    if let Some(t) = args.max_ticks {
+        policy.max_ticks = t;
+    }
+    if let Some(b) = args.max_payload_bytes {
+        policy.max_payload_bytes = b;
+    }
+    let f = args.f;
+
+    // Clock certificates take a different refuter and certificate type.
+    if args.theorem == "clock-sync" {
+        let name = args.protocol.as_deref().unwrap_or("TrivialClockSync");
+        let protocol = resolve_clock(name).map_err(|e| e.to_string())?;
+        let claim = flm_core::problems::ClockSyncClaim {
+            p: TimeFn::identity(),
+            q: TimeFn::linear(2.0),
+            l: TimeFn::identity(),
+            u: TimeFn::affine(2.0, 8.0),
+            alpha: 2.0,
+            t_prime: 1.0,
+        };
+        let g = match &args.graph {
+            Some(name) => parse_graph(name)?,
+            None => builders::triangle(),
+        };
+        let cert = refute::clock_sync(&*protocol, &g, f, &claim).map_err(|e| e.to_string())?;
+        cert.verify(&*protocol)
+            .map_err(|e| format!("fresh certificate failed verification: {e}"))?;
+        std::fs::write(&args.emit_cert, cert.to_bytes())
+            .map_err(|e| format!("writing {}: {e}", args.emit_cert))?;
+        eprintln!("wrote {} ({})", args.emit_cert, cert.protocol);
+        return Ok(());
+    }
+
+    let (default_protocol, default_graph): (String, Graph) = match args.theorem.as_str() {
+        "ba-nodes" => (format!("EIG(f={f})"), builders::triangle()),
+        "ba-connectivity" => ("NaiveMajority".into(), builders::cycle(4)),
+        "weak-agreement" => (format!("WeakViaBA(EIG(f={f}))"), builders::triangle()),
+        "firing-squad" => (format!("FiringSquadViaBA(f={f})"), builders::triangle()),
+        "simple-approx" | "eps-delta-gamma" => (format!("DLPSW(f={f}, R=4)"), builders::triangle()),
+        other => {
+            return Err(format!(
+                "unknown theorem {other:?} (want ba-nodes, ba-connectivity, weak-agreement, \
+                 firing-squad, simple-approx, eps-delta-gamma, or clock-sync)"
+            ))
+        }
+    };
+    let name = args.protocol.clone().unwrap_or(default_protocol);
+    let protocol = resolve(&name).map_err(|e| e.to_string())?;
+    let g = match &args.graph {
+        Some(name) => parse_graph(name)?,
+        None => default_graph,
+    };
+
+    let cert = flm_core::with_policy(policy, || match args.theorem.as_str() {
+        "ba-nodes" => refute::ba_nodes(&*protocol, &g, f),
+        "ba-connectivity" => refute::ba_connectivity(&*protocol, &g, f),
+        "weak-agreement" => refute::weak_agreement(&*protocol, &g, f),
+        "firing-squad" => refute::firing_squad(&*protocol, &g, f),
+        "simple-approx" => refute::simple_approx(&*protocol, &g, f),
+        _ => refute::eps_delta_gamma(&*protocol, &g, f, 0.25, 1.0, 1.0),
+    })
+    .map_err(|e| e.to_string())?;
+    cert.verify(&*protocol)
+        .map_err(|e| format!("fresh certificate failed verification: {e}"))?;
+    std::fs::write(&args.emit_cert, cert.to_bytes())
+        .map_err(|e| format!("writing {}: {e}", args.emit_cert))?;
+    eprintln!(
+        "wrote {} ({}, {} chain links)",
+        args.emit_cert,
+        cert.protocol,
+        cert.chain.len()
+    );
+    Ok(())
 }
 
 fn run_bench(args: &BenchArgs) {

@@ -78,4 +78,22 @@ mod tests {
         let _ = NaiveUnderTest.device(&g, NodeId(1));
         let _ = TableUnderTest { seed: 3 }.device(&g, NodeId(2));
     }
+
+    /// The adapters' names must stay resolvable by the `flm-protocols`
+    /// registry, or certificates naming them cannot be audited.
+    #[test]
+    fn adapter_names_resolve_in_the_registry() {
+        let adapters: [&dyn Protocol; 3] = [
+            &EigUnderTest { f: 2 },
+            &NaiveUnderTest,
+            &TableUnderTest { seed: 99 },
+        ];
+        for p in adapters {
+            let resolved =
+                flm_protocols::resolve(&p.name()).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert_eq!(resolved.name(), p.name());
+            let g = builders::complete(4);
+            assert_eq!(resolved.horizon(&g), p.horizon(&g));
+        }
+    }
 }

@@ -156,6 +156,33 @@ pub fn refuter_suite(samples: usize) -> Suite {
         stats: seq,
     });
 
+    // Certificate audit path: encode to the portable FLMC bytes, decode
+    // them back, and re-verify — the three legs `flm-audit` runs per file.
+    let eig1 = EigUnderTest { f: 1 };
+    let cert = refute::ba_nodes(&eig1, &tri, 1).unwrap();
+    let bytes = cert.to_bytes();
+    let encode = measure(config, || cert.to_bytes());
+    let decode = measure(config, || {
+        flm_core::Certificate::from_bytes(&bytes).unwrap()
+    });
+    let verify = measure(config, || cert.verify(&eig1).unwrap());
+    speedups.push((
+        "certificate_ba_triangle: verify vs decode".into(),
+        ratio(verify, decode),
+    ));
+    rows.push(BenchRow {
+        name: "certificate_ba_triangle/encode".into(),
+        stats: encode,
+    });
+    rows.push(BenchRow {
+        name: "certificate_ba_triangle/decode".into(),
+        stats: decode,
+    });
+    rows.push(BenchRow {
+        name: "certificate_ba_triangle/verify".into(),
+        stats: verify,
+    });
+
     Suite { rows, speedups }
 }
 

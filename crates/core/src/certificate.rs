@@ -17,7 +17,7 @@ use std::fmt;
 use flm_graph::NodeId;
 use flm_sim::behavior::EdgeBehavior;
 use flm_sim::replay::ReplayDevice;
-use flm_sim::{Decision, DeviceMisbehavior, Input, Protocol, RunPolicy, System};
+use flm_sim::{contain_panics, Decision, DeviceMisbehavior, Input, Protocol, RunPolicy, System};
 
 /// Which theorem of the paper a certificate instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,6 +140,12 @@ pub struct Certificate {
     pub covering: String,
     /// The chain of correct behaviors of the base graph.
     pub chain: Vec<ChainLink>,
+    /// The run policy every behavior in the chain was executed under.
+    /// Verification replays with the same budgets — a certificate built
+    /// under a non-default policy (tighter tick caps, smaller payload
+    /// limits) carries misbehavior and quarantine evidence that only
+    /// reproduces under that policy.
+    pub policy: RunPolicy,
     /// The condition that failed, and where.
     pub violation: Violation,
 }
@@ -203,7 +209,32 @@ impl Certificate {
             });
         }
         let recorded: BTreeMap<NodeId, Option<Decision>> = link.decisions.iter().cloned().collect();
-        for (v, d) in replayed.decisions() {
+        if recorded.len() != link.decisions.len() {
+            return Err(VerifyError::Malformed {
+                reason: format!(
+                    "chain link records {} decisions over {} distinct nodes",
+                    link.decisions.len(),
+                    recorded.len()
+                ),
+            });
+        }
+        // Exact coverage, both directions: every replayed node must have a
+        // recorded decision that matches, and every recorded decision must
+        // be for a node that was actually replayed. The replay covers the
+        // whole base graph, so the converse reduces to a cardinality check —
+        // without it, decisions invented for nonexistent nodes would verify
+        // silently.
+        let replayed_decisions = replayed.decisions();
+        if recorded.len() != replayed_decisions.len() {
+            return Err(VerifyError::Malformed {
+                reason: format!(
+                    "chain link records decisions for {} nodes, base graph has {}",
+                    recorded.len(),
+                    replayed_decisions.len()
+                ),
+            });
+        }
+        for (v, d) in replayed_decisions {
             let want = recorded.get(&v).ok_or_else(|| VerifyError::Malformed {
                 reason: format!("no recorded decision for {v}"),
             })?;
@@ -247,14 +278,44 @@ impl Certificate {
     }
 
     /// Re-executes one chain link and returns the behavior.
+    ///
+    /// The audit path is panic-free by construction: node ids and input
+    /// shapes are validated before any indexed access or `System::assign`,
+    /// device construction runs under panic containment (constructors may
+    /// assert graph-shape invariants a corrupted base graph violates), and
+    /// the run itself is contained under the certificate's recorded policy.
     fn rebuild(
         &self,
         protocol: &dyn Protocol,
         link: &ChainLink,
     ) -> Result<flm_sim::SystemBehavior, VerifyError> {
+        let n = self.base.node_count();
+        let malformed = |reason: String| VerifyError::Malformed { reason };
+        if link.inputs.len() != n {
+            return Err(malformed(format!(
+                "chain link carries {} inputs for a {}-node base graph",
+                link.inputs.len(),
+                n
+            )));
+        }
+        let mut assigned = vec![false; n];
+        let faulty = link.masquerade.iter().map(|(v, _)| v);
+        for &v in link.correct.iter().chain(faulty) {
+            if v.index() >= n {
+                return Err(malformed(format!(
+                    "{v} is not a node of the {n}-node base graph"
+                )));
+            }
+            if assigned[v.index()] {
+                return Err(malformed(format!("{v} is assigned more than once")));
+            }
+            assigned[v.index()] = true;
+        }
         let mut sys = System::new(self.base.clone());
         for &v in &link.correct {
-            sys.assign(v, protocol.device(&self.base, v), link.inputs[v.index()]);
+            let device = contain_panics(|| protocol.device(&self.base, v))
+                .map_err(|msg| malformed(format!("device construction for {v} panicked: {msg}")))?;
+            sys.assign(v, device, link.inputs[v.index()]);
         }
         for (v, traces) in &link.masquerade {
             sys.assign(
@@ -265,8 +326,10 @@ impl Certificate {
         }
         // Contained, like the refuter's own runs: a certificate over a
         // hostile protocol must verify without aborting, reproducing the
-        // recorded misbehavior instead.
-        sys.run_contained(link.horizon, &RunPolicy::default())
+        // recorded misbehavior instead. The recorded policy matters — it
+        // caps the horizon and sets the payload budget the evidence was
+        // collected under.
+        sys.run_contained(link.horizon, &self.policy)
             .map_err(|e| VerifyError::Malformed {
                 reason: format!("re-execution failed: {e}"),
             })
@@ -284,6 +347,13 @@ impl fmt::Display for Certificate {
             self.f
         )?;
         writeln!(f, "  covering: {}", self.covering)?;
+        if self.policy != RunPolicy::default() {
+            writeln!(
+                f,
+                "  policy: max {} ticks, {} B payloads",
+                self.policy.max_ticks, self.policy.max_payload_bytes
+            )?;
+        }
         for (i, link) in self.chain.iter().enumerate() {
             writeln!(
                 f,

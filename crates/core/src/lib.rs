@@ -62,9 +62,11 @@
 pub mod axioms;
 pub mod certificate;
 pub mod clock_reduction;
+pub mod codec;
 pub mod problems;
 pub mod reduction;
 pub mod refute;
 
 pub use certificate::{Certificate, ChainLink, Condition, Violation};
-pub use refute::RefuteError;
+pub use codec::CertDecodeError;
+pub use refute::{current_policy, with_policy, RefuteError};

@@ -37,8 +37,9 @@ pub fn simple_approx(
     let [a, b, c] = partition_with_crossing_link(g, f)?;
     let cov = Covering::double_cover_crossing(g, &a, &c)?;
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let inputs = move |s: NodeId| Input::Real(if s.index() >= n { 1.0 } else { 0.0 });
-    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon, &policy)?;
 
     let off = n as u32;
     let lift = |class: &BTreeSet<NodeId>, copy: u32| {
@@ -65,6 +66,7 @@ pub fn simple_approx(
             Input::Real(*faulty_in),
             horizon,
             f,
+            &policy,
         )?;
         if violation.is_none() {
             violation = problems::simple_approx(&behavior, &correct, i).err();
@@ -83,6 +85,7 @@ pub fn simple_approx(
         f,
         covering: format!("double cover crossing a–c links; a={a:?} b={b:?} c={c:?}"),
         chain,
+        policy,
         violation,
     })
 }
@@ -103,6 +106,7 @@ pub fn simple_approx_connectivity(
 ) -> Result<Certificate, RefuteError> {
     let plan = crate::refute::ba::connectivity_plan(g, f)?;
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     // Real inputs replacing the Boolean pattern: the "0 side" gets 0.0 and
     // the "1 side" 1.0, per the same copy/class rule as Theorem 1.
     let bool_inputs = plan.inputs.clone();
@@ -112,7 +116,7 @@ pub fn simple_approx_connectivity(
             _ => 0.0,
         })
     };
-    let cover_behavior = run_cover(protocol, &plan.cov, &inputs, horizon)?;
+    let cover_behavior = run_cover(protocol, &plan.cov, &inputs, horizon, &policy)?;
     let mut chain = Vec::new();
     let mut violation: Option<Violation> = None;
     // Faulty inputs keep each link's input range tight: all-0 in E1,
@@ -126,6 +130,7 @@ pub fn simple_approx_connectivity(
             Input::Real(faulty_in),
             horizon,
             f,
+            &policy,
         )?;
         if violation.is_none() {
             violation = problems::simple_approx(&behavior, &correct, i).err();
@@ -142,6 +147,7 @@ pub fn simple_approx_connectivity(
         f,
         covering: plan.description,
         chain,
+        policy,
         violation,
     })
 }
@@ -191,8 +197,9 @@ pub fn eps_delta_gamma(
     let m = k.div_ceil(3);
     let cov = Covering::cyclic_cover(3, m)?;
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let inputs = move |s: NodeId| Input::Real(s.index() as f64 * delta);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, horizon, &policy)?;
 
     // Scenario S_i = ring nodes {i, i+1}, for 0 ≤ i ≤ k. Faulty third node
     // of the triangle gets an input inside the correct range so validity
@@ -209,6 +216,7 @@ pub fn eps_delta_gamma(
             Input::Real(i as f64 * delta),
             horizon,
             f,
+            &policy,
         )?;
         if violation.is_none() {
             violation = problems::eps_delta_gamma(&behavior, &correct, eps, gamma, i).err();
@@ -235,6 +243,7 @@ pub fn eps_delta_gamma(
             k + 2
         ),
         chain,
+        policy,
         violation,
     })
 }

@@ -46,7 +46,11 @@ fn chain_certificate(
     scenarios: Vec<BTreeSet<NodeId>>,
 ) -> Result<Certificate, RefuteError> {
     let horizon = protocol.horizon(cov.base());
-    let cover_behavior = run_cover(protocol, cov, inputs, horizon)?;
+    // Captured once at entry: `with_policy` is thread-local, and the
+    // transplants below fan out to pool workers that never see this
+    // thread's scope.
+    let policy = super::current_policy();
+    let cover_behavior = run_cover(protocol, cov, inputs, horizon, &policy)?;
 
     // The chain links are independent re-executions against the same cover
     // behavior: fan them out, then fold the results in input order so the
@@ -61,6 +65,7 @@ fn chain_certificate(
             Input::None,
             horizon,
             f,
+            &policy,
         )
     });
     let mut chain = Vec::new();
@@ -84,6 +89,7 @@ fn chain_certificate(
         f,
         covering: covering_desc,
         chain,
+        policy,
         violation,
     })
 }

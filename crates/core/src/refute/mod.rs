@@ -122,6 +122,36 @@ impl From<GraphError> for RefuteError {
     }
 }
 
+thread_local! {
+    static ACTIVE_POLICY: std::cell::Cell<Option<RunPolicy>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with every refuter invoked on *this thread* executing (and
+/// certifying) under `policy` instead of [`RunPolicy::default`].
+///
+/// Each refuter reads the policy exactly once at entry ([`current_policy`])
+/// and passes it explicitly into its cover runs, transplants, and the
+/// certificate it emits — so the scope composes with [`flm_par::par_map`]
+/// even though worker threads never see this thread's scope: by the time
+/// work fans out, the policy is a captured value, not thread state.
+pub fn with_policy<R>(policy: RunPolicy, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<RunPolicy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE_POLICY.with(|c| c.set(self.0));
+        }
+    }
+    let previous = ACTIVE_POLICY.with(|c| c.replace(Some(policy)));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The run policy refuters started on this thread will execute under: the
+/// innermost [`with_policy`] scope, or [`RunPolicy::default`] outside one.
+pub fn current_policy() -> RunPolicy {
+    ACTIVE_POLICY.with(std::cell::Cell::get).unwrap_or_default()
+}
+
 /// Installs `protocol`'s devices in the covering graph (wired along edge
 /// lifts) with per-cover-node `inputs`, and runs for `horizon` ticks.
 pub(crate) fn run_cover(
@@ -129,6 +159,7 @@ pub(crate) fn run_cover(
     cov: &Covering,
     inputs: &dyn Fn(NodeId) -> Input,
     horizon: u32,
+    policy: &RunPolicy,
 ) -> Result<SystemBehavior, RefuteError> {
     let mut sys = System::new(cov.cover().clone());
     for s in cov.cover().nodes() {
@@ -142,7 +173,7 @@ pub(crate) fn run_cover(
     // that misbehaves is quarantined; determinism means its base-graph twin
     // misbehaves identically in the transplants, where the degradation
     // policy charges it against the fault budget.
-    sys.run_contained(horizon, &RunPolicy::default())
+    sys.run_contained(horizon, policy)
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("cover run failed: {e}"),
         })
@@ -174,6 +205,9 @@ pub(crate) fn run_cover(
 /// [`RefuteError::ModelViolation`] when the projection of `u_set` is not
 /// injective or the transplanted scenario fails to match the cover's;
 /// [`RefuteError::Misbehavior`] when degradation would exceed `f`.
+// The argument list is the transplant construction's full parameter set;
+// bundling unrelated items into an ad-hoc struct would obscure it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn transplant(
     protocol: &dyn Protocol,
     cov: &Covering,
@@ -182,6 +216,7 @@ pub(crate) fn transplant(
     faulty_input: Input,
     horizon: u32,
     f: usize,
+    policy: &RunPolicy,
 ) -> Result<(ChainLink, SystemBehavior, BTreeSet<NodeId>), RefuteError> {
     let base = cov.base();
     // φ restricted to u_set must be injective (one representative per base
@@ -240,7 +275,7 @@ pub(crate) fn transplant(
     }
 
     let behavior = sys
-        .run_contained(horizon, &RunPolicy::default())
+        .run_contained(horizon, policy)
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("base run failed: {e}"),
         })?;

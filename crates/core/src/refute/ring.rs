@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, NodeId};
-use flm_sim::{Decision, Input, Protocol, System, Tick};
+use flm_sim::{Decision, Input, Protocol, RunPolicy, System, Tick};
 
 use crate::certificate::{Certificate, ChainLink, Condition, Theorem, Violation};
 use crate::refute::{run_cover, transplant, RefuteError};
@@ -48,13 +48,14 @@ fn all_correct_run(
     input: Input,
     horizon: u32,
     f: usize,
+    policy: &RunPolicy,
 ) -> Result<(ChainLink, flm_sim::SystemBehavior, BTreeSet<NodeId>), RefuteError> {
     let mut sys = System::new(g.clone());
     for v in g.nodes() {
         sys.assign(v, protocol.device(g, v), input);
     }
     let behavior = sys
-        .run_contained(horizon, &flm_sim::RunPolicy::default())
+        .run_contained(horizon, policy)
         .map_err(|e| RefuteError::ModelViolation {
             reason: format!("all-correct run failed: {e}"),
         })?;
@@ -94,9 +95,10 @@ fn all_correct_pair(
     inputs: [Input; 2],
     horizon: u32,
     f: usize,
+    policy: &RunPolicy,
 ) -> [AllCorrectRun; 2] {
     let mut results = flm_par::par_map(inputs.to_vec(), |input| {
-        all_correct_run(protocol, g, input, horizon, f)
+        all_correct_run(protocol, g, input, horizon, f, policy)
     });
     let second = results.pop().expect("two runs");
     let first = results.pop().expect("two runs");
@@ -132,6 +134,8 @@ pub fn weak_agreement(
 ) -> Result<Certificate, RefuteError> {
     require_triangle(g, f)?;
     let horizon = protocol.horizon(g);
+    // Captured once at entry; see `chain_certificate` in refute::ba.
+    let policy = crate::refute::current_policy();
 
     // The two validity pins: all-correct all-0 and all-1 runs of G.
     let mut chain = Vec::new();
@@ -142,6 +146,7 @@ pub fn weak_agreement(
         [Input::Bool(false), Input::Bool(true)],
         horizon,
         f,
+        &policy,
     );
     for (b, run) in [false, true].into_iter().zip(pair) {
         let (link, behavior, pins) = run?;
@@ -162,7 +167,7 @@ pub fn weak_agreement(
                         ),
                     };
                     chain.push(link);
-                    return Ok(weak_cert(protocol, g, chain, violation, 0));
+                    return Ok(weak_cert(protocol, g, chain, policy, violation, 0));
                 }
                 other => {
                     let violation = Violation {
@@ -174,7 +179,7 @@ pub fn weak_agreement(
                         ),
                     };
                     chain.push(link);
-                    return Ok(weak_cert(protocol, g, chain, violation, 0));
+                    return Ok(weak_cert(protocol, g, chain, policy, violation, 0));
                 }
             }
         }
@@ -188,7 +193,7 @@ pub fn weak_agreement(
     debug_assert_eq!(ring_n, 4 * k);
     let ring_horizon = horizon.max(k as u32 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() < ring_n / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
 
     // Find an adjacent pair with differing (or missing) decisions. Lemma 3
     // guarantees one: the deep-1 pair decides 1 and the deep-0 pair 0.
@@ -224,6 +229,7 @@ pub fn weak_agreement(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -231,7 +237,7 @@ pub fn weak_agreement(
             reason: "transplanted pair satisfied weak agreement despite differing decisions".into(),
         })?;
     chain.push(link);
-    Ok(weak_cert(protocol, g, chain, violation, k))
+    Ok(weak_cert(protocol, g, chain, policy, violation, k))
 }
 
 /// Theorem 2, general case, proven *directly* (no collapse): for any graph
@@ -257,6 +263,7 @@ pub fn weak_agreement_direct_general(
     f: usize,
 ) -> Result<Certificate, RefuteError> {
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let classes = crate::refute::partition_with_crossing_link(g, f)?;
     let [a, b, c] = classes;
 
@@ -269,6 +276,7 @@ pub fn weak_agreement_direct_general(
         [Input::Bool(false), Input::Bool(true)],
         horizon,
         f,
+        &policy,
     );
     for (bit, run) in [false, true].into_iter().zip(pair) {
         let (link, behavior, pins) = run?;
@@ -299,6 +307,7 @@ pub fn weak_agreement_direct_general(
                         f,
                         covering: "no covering needed: an all-correct run already violates".into(),
                         chain,
+                        policy,
                         violation,
                     });
                 }
@@ -314,7 +323,7 @@ pub fn weak_agreement_direct_general(
     let n = g.node_count();
     let ring_horizon = horizon.max(m as u32 / 4 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() / n < m / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
 
     // Scenario walk: (a_i b_i), (b_i c_i), (c_i a_{i+1}) around the ring of
     // copies. Find the first whose correct decisions are not uniform.
@@ -363,6 +372,7 @@ pub fn weak_agreement_direct_general(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -383,6 +393,7 @@ pub fn weak_agreement_direct_general(
             m * n
         ),
         chain,
+        policy,
         violation,
     })
 }
@@ -406,6 +417,7 @@ pub fn weak_agreement_direct_connectivity(
     f: usize,
 ) -> Result<Certificate, RefuteError> {
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let classes = crate::refute::ba::cut_classes(g, f)?;
     let (a, b, c, d) = (classes.a, classes.b, classes.c, classes.d);
 
@@ -418,6 +430,7 @@ pub fn weak_agreement_direct_connectivity(
         [Input::Bool(false), Input::Bool(true)],
         horizon,
         f,
+        &policy,
     );
     for (bit, run) in [false, true].into_iter().zip(pair) {
         let (link, behavior, pins) = run?;
@@ -448,6 +461,7 @@ pub fn weak_agreement_direct_connectivity(
                         f,
                         covering: "no covering needed: an all-correct run already violates".into(),
                         chain,
+                        policy,
                         violation,
                     });
                 }
@@ -461,7 +475,7 @@ pub fn weak_agreement_direct_connectivity(
     let n = g.node_count();
     let ring_horizon = horizon.max(m as u32 / 4 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() / n < m / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
 
     let lift = |class: &BTreeSet<NodeId>, copy: usize| {
         class
@@ -515,6 +529,7 @@ pub fn weak_agreement_direct_connectivity(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::weak_agreement(&behavior, &correct, false, chain.len())
         .err()
@@ -535,6 +550,7 @@ pub fn weak_agreement_direct_connectivity(
             classes.kappa
         ),
         chain,
+        policy,
         violation,
     })
 }
@@ -582,6 +598,7 @@ fn firing_squad_pins(
     g: &Graph,
     f: usize,
     horizon: u32,
+    policy: &RunPolicy,
     chain: &mut Vec<ChainLink>,
 ) -> Result<Result<u32, Certificate>, RefuteError> {
     let [stim_run, quiet_run] = all_correct_pair(
@@ -590,6 +607,7 @@ fn firing_squad_pins(
         [Input::Bool(true), Input::Bool(false)],
         horizon,
         f,
+        policy,
     );
     let (stim_link, stim_behavior, stim_pins) = stim_run?;
     let fire_ticks: Vec<Option<Tick>> = stim_pins
@@ -605,6 +623,7 @@ fn firing_squad_pins(
             f,
             covering: "no covering needed: an all-correct run already violates".into(),
             chain: std::mem::take(chain),
+            policy: *policy,
             violation,
         }
     };
@@ -662,8 +681,9 @@ pub fn firing_squad_direct_general(
 ) -> Result<Certificate, RefuteError> {
     let [a, b, c] = crate::refute::partition_with_crossing_link(g, f)?;
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let mut chain = Vec::new();
-    let t_fire = match firing_squad_pins(protocol, g, f, horizon, &mut chain)? {
+    let t_fire = match firing_squad_pins(protocol, g, f, horizon, &policy, &mut chain)? {
         Ok(t) => t,
         Err(cert) => return Ok(cert),
     };
@@ -672,7 +692,7 @@ pub fn firing_squad_direct_general(
     let n = g.node_count();
     let ring_horizon = horizon.max(m as u32 / 4 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() / n < m / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
     let lift = |class: &BTreeSet<NodeId>, copy: usize| {
         class
             .iter()
@@ -707,6 +727,7 @@ pub fn firing_squad_direct_general(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()
@@ -723,6 +744,7 @@ pub fn firing_squad_direct_general(
             "cyclic crossed cover: {m} copies of the {n}-node graph, a-c links crossed"
         ),
         chain,
+        policy,
         violation,
     })
 }
@@ -741,8 +763,9 @@ pub fn firing_squad_direct_connectivity(
     let classes = crate::refute::ba::cut_classes(g, f)?;
     let (a, b, c, d) = (classes.a, classes.b, classes.c, classes.d);
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
     let mut chain = Vec::new();
-    let t_fire = match firing_squad_pins(protocol, g, f, horizon, &mut chain)? {
+    let t_fire = match firing_squad_pins(protocol, g, f, horizon, &policy, &mut chain)? {
         Ok(t) => t,
         Err(cert) => return Ok(cert),
     };
@@ -751,7 +774,7 @@ pub fn firing_squad_direct_connectivity(
     let n = g.node_count();
     let ring_horizon = horizon.max(m as u32 / 4 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() / n < m / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
     let lift = |class: &BTreeSet<NodeId>, copy: usize| {
         class
             .iter()
@@ -788,6 +811,7 @@ pub fn firing_squad_direct_connectivity(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()
@@ -806,6 +830,7 @@ pub fn firing_squad_direct_connectivity(
             classes.kappa
         ),
         chain,
+        policy,
         violation,
     })
 }
@@ -855,6 +880,7 @@ fn weak_cert(
     protocol: &dyn Protocol,
     g: &Graph,
     chain: Vec<ChainLink>,
+    policy: RunPolicy,
     violation: Violation,
     k: usize,
 ) -> Certificate {
@@ -869,6 +895,7 @@ fn weak_cert(
             format!("{}-node ring cover of the triangle (k = {k})", 4 * k)
         },
         chain,
+        policy,
         violation,
     }
 }
@@ -887,6 +914,7 @@ pub fn firing_squad(
 ) -> Result<Certificate, RefuteError> {
     require_triangle(g, f)?;
     let horizon = protocol.horizon(g);
+    let policy = crate::refute::current_policy();
 
     let mut chain = Vec::new();
     // Validity pins: with stimulus everywhere all must fire, simultaneously
@@ -897,6 +925,7 @@ pub fn firing_squad(
         [Input::Bool(true), Input::Bool(false)],
         horizon,
         f,
+        &policy,
     );
     let (stim_link, stim_behavior, stim_pins) = stim_run?;
     let fire_ticks: Vec<Option<Tick>> = stim_pins
@@ -913,7 +942,7 @@ pub fn firing_squad(
             ),
         };
         chain.push(stim_link);
-        return Ok(fs_cert(protocol, g, chain, violation, 0));
+        return Ok(fs_cert(protocol, g, chain, policy, violation, 0));
     }
     if fire_ticks.windows(2).any(|w| w[0] != w[1]) {
         let violation = Violation {
@@ -922,7 +951,7 @@ pub fn firing_squad(
             evidence: format!("correct nodes fired at different times: {fire_ticks:?}"),
         };
         chain.push(stim_link);
-        return Ok(fs_cert(protocol, g, chain, violation, 0));
+        return Ok(fs_cert(protocol, g, chain, policy, violation, 0));
     }
     let t_fire = fire_ticks[0]
         .expect("pins are non-empty and every None fire tick returned early above")
@@ -941,7 +970,7 @@ pub fn firing_squad(
             evidence: format!("no stimulus occurred yet {v} fired"),
         };
         chain.push(quiet_link);
-        return Ok(fs_cert(protocol, g, chain, violation, 0));
+        return Ok(fs_cert(protocol, g, chain, policy, violation, 0));
     }
     chain.push(quiet_link);
 
@@ -951,7 +980,7 @@ pub fn firing_squad(
     let ring_n = cov.cover().node_count();
     let ring_horizon = horizon.max(k as u32 + 1);
     let inputs = move |s: NodeId| Input::Bool(s.index() < ring_n / 2);
-    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon)?;
+    let cover_behavior = run_cover(protocol, &cov, &inputs, ring_horizon, &policy)?;
 
     // Find an adjacent pair with different fire ticks. The deep-stimulated
     // pair fires at t_fire; the deep-quiet pair cannot fire by tick k.
@@ -978,6 +1007,7 @@ pub fn firing_squad(
         Input::None,
         ring_horizon,
         f,
+        &policy,
     )?;
     let violation = crate::problems::firing_squad(&behavior, &correct, false, chain.len())
         .err()
@@ -987,13 +1017,14 @@ pub fn firing_squad(
                 .into(),
         })?;
     chain.push(link);
-    Ok(fs_cert(protocol, g, chain, violation, k))
+    Ok(fs_cert(protocol, g, chain, policy, violation, k))
 }
 
 fn fs_cert(
     protocol: &dyn Protocol,
     g: &Graph,
     chain: Vec<ChainLink>,
+    policy: RunPolicy,
     violation: Violation,
     k: usize,
 ) -> Certificate {
@@ -1008,6 +1039,7 @@ fn fs_cert(
             format!("{}-node ring cover of the triangle (k = {k})", 4 * k)
         },
         chain,
+        policy,
         violation,
     }
 }

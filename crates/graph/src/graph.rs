@@ -64,6 +64,11 @@ impl Graph {
         }
     }
 
+    /// Largest node count [`Graph::from_bytes`] will accept. Hostile byte
+    /// streams can claim any `u32` node count in four bytes; capping it keeps
+    /// the decoder's allocations proportional to honest inputs.
+    pub const MAX_DECODED_NODES: usize = 1 << 16;
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.neighbors.len()
@@ -99,6 +104,89 @@ impl Graph {
         self.neighbors[u.index()].insert(v);
         self.neighbors[v.index()].insert(u);
         Ok(())
+    }
+
+    /// Encodes the graph into the canonical byte form read back by
+    /// [`Graph::from_bytes`].
+    ///
+    /// Layout (all integers big-endian): node count as `u32`, link count as
+    /// `u32`, then each undirected link as a `(u32, u32)` pair with
+    /// `u < v`, sorted lexicographically. The link list is exactly
+    /// [`Graph::links`], so equal graphs encode to identical bytes and the
+    /// encoding is its own canonical form: `from_bytes` rejects any stream
+    /// that `to_bytes` would not have produced.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let links = self.links();
+        let mut out = Vec::with_capacity(8 + links.len() * 8);
+        out.extend_from_slice(&(self.node_count() as u32).to_be_bytes());
+        out.extend_from_slice(&(links.len() as u32).to_be_bytes());
+        for (u, v) in links {
+            out.extend_from_slice(&u.0.to_be_bytes());
+            out.extend_from_slice(&v.0.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes a graph from the canonical byte form of [`Graph::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadParameter`] if the stream is truncated, has
+    /// trailing bytes, or is not canonical: every link must satisfy `u < v`,
+    /// refer to in-range nodes, and the list must be strictly increasing in
+    /// lexicographic order (which also rules out duplicates). Rejecting
+    /// non-canonical streams makes `to_bytes ∘ from_bytes` the identity on
+    /// bytes, which the certificate codec relies on for byte-identical
+    /// re-encoding.
+    ///
+    /// The node count is additionally capped at [`Graph::MAX_DECODED_NODES`]:
+    /// adjacency storage is allocated per node before any link is read, so an
+    /// unchecked count would let a four-byte header demand gigabytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Graph, GraphError> {
+        let malformed = |reason: String| GraphError::BadParameter { reason };
+        let read_u32 = |at: usize| -> Result<u32, GraphError> {
+            let chunk = bytes
+                .get(at..at + 4)
+                .ok_or_else(|| malformed(format!("graph bytes truncated at offset {at}")))?;
+            Ok(u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+        };
+        let n = read_u32(0)?;
+        if n as usize > Graph::MAX_DECODED_NODES {
+            return Err(malformed(format!(
+                "node count {n} exceeds the decode cap of {}",
+                Graph::MAX_DECODED_NODES
+            )));
+        }
+        let link_count = read_u32(4)? as usize;
+        let expected_len = 8 + link_count * 8;
+        if bytes.len() != expected_len {
+            return Err(malformed(format!(
+                "graph bytes length {} does not match {} links over {} nodes (expected {})",
+                bytes.len(),
+                link_count,
+                n,
+                expected_len
+            )));
+        }
+        let mut g = Graph::new(n as usize);
+        let mut previous: Option<(u32, u32)> = None;
+        for i in 0..link_count {
+            let u = read_u32(8 + i * 8)?;
+            let v = read_u32(12 + i * 8)?;
+            if u >= v {
+                return Err(malformed(format!(
+                    "link ({u}, {v}) is not in canonical u < v form"
+                )));
+            }
+            if previous.is_some_and(|p| p >= (u, v)) {
+                return Err(malformed(format!(
+                    "link ({u}, {v}) breaks the canonical lexicographic order"
+                )));
+            }
+            previous = Some((u, v));
+            g.add_link(NodeId(u), NodeId(v))?;
+        }
+        Ok(g)
     }
 
     /// True if the anti-parallel edge pair between `u` and `v` is present.
@@ -361,5 +449,54 @@ mod tests {
     fn empty_graph_is_connected() {
         assert!(Graph::new(0).is_connected());
         assert_eq!(Graph::new(0).components().len(), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_identity() {
+        for g in [Graph::new(0), Graph::new(5), path3()] {
+            let bytes = g.to_bytes();
+            let back = Graph::from_bytes(&bytes).unwrap();
+            assert_eq!(back, g);
+            assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let bytes = path3().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Graph::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(Graph::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_links() {
+        let encode = |n: u32, links: &[(u32, u32)]| {
+            let mut out = Vec::new();
+            out.extend_from_slice(&n.to_be_bytes());
+            out.extend_from_slice(&(links.len() as u32).to_be_bytes());
+            for &(u, v) in links {
+                out.extend_from_slice(&u.to_be_bytes());
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            out
+        };
+        // Reversed endpoints, self loop, out-of-range node, duplicate link,
+        // and out-of-order list are all non-canonical.
+        for (n, links) in [
+            (3, vec![(1u32, 0u32)]),
+            (3, vec![(1, 1)]),
+            (3, vec![(1, 3)]),
+            (3, vec![(0, 1), (0, 1)]),
+            (3, vec![(1, 2), (0, 1)]),
+        ] {
+            assert!(
+                Graph::from_bytes(&encode(n, &links)).is_err(),
+                "{links:?} must be rejected"
+            );
+        }
     }
 }

@@ -72,20 +72,34 @@ pub fn is_sequential() -> bool {
 ///
 /// `FLM_PAR_THREADS` (parsed once, process-wide) overrides the detected
 /// [`std::thread::available_parallelism`]; values below 1 are clamped to 1,
-/// and 1 means "run inline, never spawn". Without an override the default is
-/// at least 2, so the threaded path (and its ordering/panic machinery) is
-/// exercised even on single-core hosts.
+/// and 1 means "run inline, never spawn". Without an override the rule is:
+/// a host that *detects* a single core resolves to 1 (inline sequential,
+/// same as `FLM_PAR_THREADS=1` — spawning a pool there only adds overhead),
+/// while a host where detection *fails* falls back to 2 so the threaded
+/// path's ordering/panic machinery still gets exercised.
 pub fn worker_count() -> usize {
     static COUNT: OnceLock<usize> = OnceLock::new();
     *COUNT.get_or_init(|| {
-        if let Some(n) = std::env::var("FLM_PAR_THREADS")
+        let override_threads = std::env::var("FLM_PAR_THREADS")
             .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            return n.max(1);
-        }
-        thread::available_parallelism().map_or(2, |n| n.get().max(2))
+            .and_then(|v| v.trim().parse::<usize>().ok());
+        let detected = thread::available_parallelism()
+            .ok()
+            .map(std::num::NonZeroUsize::get);
+        resolve_worker_count(override_threads, detected)
     })
+}
+
+/// Pure worker-count rule behind [`worker_count`], split out so the
+/// single-core and detection-failure branches are unit-testable without
+/// faking the host topology: an explicit override wins (clamped to ≥ 1), a
+/// detected count is used as-is (so 1 core ⇒ inline sequential), and a
+/// failed detection falls back to 2 workers.
+fn resolve_worker_count(override_threads: Option<usize>, detected: Option<usize>) -> usize {
+    if let Some(n) = override_threads {
+        return n.max(1);
+    }
+    detected.unwrap_or(2)
 }
 
 /// Maps `f` over `items` on the worker pool, returning results in input
@@ -106,7 +120,19 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let workers = worker_count().min(items.len());
+    par_map_indexed_with(worker_count(), items, f)
+}
+
+/// [`par_map_indexed`] with an explicit pool size, so the threaded path's
+/// ordering/panic contracts stay testable on hosts where [`worker_count`]
+/// resolves to 1 (single detected core ⇒ inline sequential).
+fn par_map_indexed_with<T, R, F>(pool: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = pool.min(items.len());
     if is_sequential() || workers <= 1 {
         return items
             .into_iter()
@@ -165,11 +191,25 @@ mod tests {
     use std::sync::atomic::AtomicU32;
 
     #[test]
+    fn worker_count_rule() {
+        // Explicit override wins and is clamped to at least 1.
+        assert_eq!(resolve_worker_count(Some(0), Some(8)), 1);
+        assert_eq!(resolve_worker_count(Some(1), Some(8)), 1);
+        assert_eq!(resolve_worker_count(Some(6), Some(2)), 6);
+        // A detected single core resolves to the inline sequential path,
+        // exactly as FLM_PAR_THREADS=1 would.
+        assert_eq!(resolve_worker_count(None, Some(1)), 1);
+        assert_eq!(resolve_worker_count(None, Some(4)), 4);
+        // Detection *failure* (not single-core detection) falls back to 2.
+        assert_eq!(resolve_worker_count(None, None), 2);
+    }
+
+    #[test]
     fn results_are_input_ordered() {
         let items: Vec<u64> = (0..200).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
         // Stagger work so completion order scrambles under real parallelism.
-        let got = par_map(items, |x| {
+        let got = par_map_indexed_with(4, items, |_, x| {
             let mut acc = x;
             for _ in 0..((x * 7919) % 256) {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -196,7 +236,7 @@ mod tests {
     #[test]
     fn lowest_index_panic_wins() {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            par_map_indexed((0..64).collect::<Vec<u32>>(), |_, x| {
+            par_map_indexed_with(4, (0..64).collect::<Vec<u32>>(), |_, x| {
                 if x == 13 || x == 50 {
                     panic!("boom at {x}");
                 }
@@ -216,7 +256,7 @@ mod tests {
         // only the re-raise is deferred to the ordered sweep.
         let ran = AtomicU32::new(0);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            par_map((0..32).collect::<Vec<u32>>(), |x| {
+            par_map_indexed_with(4, (0..32).collect::<Vec<u32>>(), |_, x| {
                 ran.fetch_add(1, Ordering::Relaxed);
                 if x == 0 {
                     panic!("early");
@@ -251,8 +291,8 @@ mod tests {
 
     #[test]
     fn nested_par_map_completes() {
-        let got = par_map((0..8u32).collect::<Vec<_>>(), |x| {
-            par_map((0..8u32).collect::<Vec<_>>(), move |y| x * 8 + y)
+        let got = par_map_indexed_with(4, (0..8u32).collect::<Vec<_>>(), |_, x| {
+            par_map_indexed_with(4, (0..8u32).collect::<Vec<_>>(), move |_, y| x * 8 + y)
                 .into_iter()
                 .sum::<u32>()
         });
@@ -264,7 +304,7 @@ mod tests {
     fn parallel_equals_sequential_byte_for_byte() {
         let items: Vec<u64> = (0..100).collect();
         let f = |x: u64| format!("{:x}", x.wrapping_mul(0x9E3779B97F4A7C15));
-        let par: Vec<String> = par_map(items.clone(), f);
+        let par: Vec<String> = par_map_indexed_with(4, items.clone(), |_, x| f(x));
         let seq: Vec<String> = sequential(|| par_map(items, f));
         assert_eq!(par, seq);
     }

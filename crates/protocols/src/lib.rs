@@ -40,6 +40,7 @@ pub mod eig;
 pub mod fast_weak;
 pub mod firing_squad;
 pub mod phase_king;
+pub mod registry;
 pub mod relay;
 pub mod weak;
 
@@ -50,5 +51,6 @@ pub use dolev_strong::DolevStrong;
 pub use eig::Eig;
 pub use firing_squad::FiringSquadViaBa;
 pub use phase_king::PhaseKing;
+pub use registry::{resolve, resolve_clock, RegistryError};
 pub use relay::Relayed;
 pub use weak::WeakViaBa;

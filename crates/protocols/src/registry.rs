@@ -1,0 +1,300 @@
+//! Named protocol constructors: from a certificate's recorded protocol
+//! string back to a runnable protocol.
+//!
+//! A [`crate::Certificate`-style](flm_sim::Protocol) audit trail records
+//! only the protocol's *name* — `EIG(f=1)`, `DLPSW(f=1, R=4)` — because a
+//! certificate file must stay portable: no trait objects, no closures. This
+//! registry is the inverse map. [`resolve`] parses every name the in-tree
+//! protocols produce and returns the protocol it names, so `flm-audit` can
+//! re-verify a certificate from the file alone.
+//!
+//! The grammar is exactly the set of `Protocol::name` outputs:
+//!
+//! | name | protocol |
+//! |---|---|
+//! | `EIG(f=N)` | [`Eig`] |
+//! | `PhaseKing(f=N)` | [`PhaseKing`] |
+//! | `DolevStrong(f=N)` | [`DolevStrong`] (canonical signature seed 0) |
+//! | `DLPSW(f=N, R=M)` | [`Dlpsw`] |
+//! | `WeakViaBA(EIG(f=N))` | [`WeakViaBa`] |
+//! | `FiringSquadViaBA(f=N)` | [`FiringSquadViaBa`] |
+//! | `Relayed(INNER, f=N)` | [`Relayed`] over a resolved `INNER` |
+//! | `NaiveMajority` | [`NaiveMajority`] |
+//! | `Table(SEED)` | [`Table`] |
+//!
+//! and, for clock certificates ([`resolve_clock`]):
+//!
+//! | name | protocol |
+//! |---|---|
+//! | `TrivialClockSync` | [`TrivialClockSync`] with the identity envelope |
+//! | `AveragingClockSync(period=P)` | [`AveragingClockSync`], identity envelope |
+//!
+//! Two names are lossy on purpose: `DolevStrong` does not record its
+//! signature-domain seed (any seed yields the same message *shapes*, and
+//! certificates replay faulty traffic byte-for-byte, so re-verification
+//! needs the canonical seed 0 build to be the one audited), and the clock
+//! protocols do not record their envelope function `l` — the registry
+//! builds them with the identity envelope the canonical claims use.
+
+use std::fmt;
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::devices::{NaiveMajorityDevice, TableDevice};
+use flm_sim::{ClockProtocol, Device, Protocol};
+
+use crate::clock_sync::{AveragingClockSync, TrivialClockSync};
+use crate::{Dlpsw, DolevStrong, Eig, FiringSquadViaBa, PhaseKing, Relayed, WeakViaBa};
+
+/// Error from [`resolve`]/[`resolve_clock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name matches no registered protocol pattern.
+    UnknownProtocol {
+        /// The unparseable name.
+        name: String,
+    },
+    /// The name matched a pattern but a parameter is out of range.
+    BadParameter {
+        /// The offending name.
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownProtocol { name } => {
+                write!(f, "no registered protocol is named {name:?}")
+            }
+            RegistryError::BadParameter { name, reason } => {
+                write!(f, "bad parameter in protocol name {name:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One-round majority voting (the connectivity-experiment candidate); runs
+/// on any graph, horizon 3.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveMajority;
+
+impl Protocol for NaiveMajority {
+    fn name(&self) -> String {
+        "NaiveMajority".into()
+    }
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+        Box::new(NaiveMajorityDevice::new())
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        3
+    }
+}
+
+/// A seeded pseudo-random table protocol; the experiment sweeps use it to
+/// approximate the theorems' universal quantifier, horizon 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Table {
+    /// Seed selecting the protocol; node `v` runs a table seeded
+    /// `seed ^ v`.
+    pub seed: u64,
+}
+
+impl Protocol for Table {
+    fn name(&self) -> String {
+        format!("Table({})", self.seed)
+    }
+    fn device(&self, _g: &Graph, v: NodeId) -> Box<dyn Device> {
+        Box::new(TableDevice::new(self.seed ^ u64::from(v.0), 3))
+    }
+    fn horizon(&self, _g: &Graph) -> u32 {
+        5
+    }
+}
+
+/// A resolved protocol as a trait object, so [`Relayed`] can wrap it.
+struct BoxedProtocol(Box<dyn Protocol>);
+
+impl Protocol for BoxedProtocol {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn device(&self, g: &Graph, v: NodeId) -> Box<dyn Device> {
+        self.0.device(g, v)
+    }
+    fn horizon(&self, g: &Graph) -> u32 {
+        self.0.horizon(g)
+    }
+}
+
+/// Strips `prefix` and a trailing `)`, returning the parameter text.
+fn params<'a>(name: &'a str, prefix: &str) -> Option<&'a str> {
+    name.strip_prefix(prefix)?.strip_suffix(')')
+}
+
+fn parse_usize(name: &str, text: &str) -> Result<usize, RegistryError> {
+    text.parse().map_err(|_| RegistryError::BadParameter {
+        name: name.into(),
+        reason: format!("{text:?} is not a valid count"),
+    })
+}
+
+/// Resolves a discrete protocol by its recorded name.
+///
+/// # Errors
+///
+/// [`RegistryError::UnknownProtocol`] when the name matches no pattern;
+/// [`RegistryError::BadParameter`] when a matched parameter fails to parse.
+pub fn resolve(name: &str) -> Result<Box<dyn Protocol>, RegistryError> {
+    if name == "NaiveMajority" {
+        return Ok(Box::new(NaiveMajority));
+    }
+    if let Some(p) = params(name, "EIG(f=") {
+        return Ok(Box::new(Eig::new(parse_usize(name, p)?)));
+    }
+    if let Some(p) = params(name, "PhaseKing(f=") {
+        return Ok(Box::new(PhaseKing::new(parse_usize(name, p)?)));
+    }
+    if let Some(p) = params(name, "DolevStrong(f=") {
+        // Canonical signature seed: certificates do not record the domain.
+        return Ok(Box::new(DolevStrong::new(parse_usize(name, p)?, 0)));
+    }
+    if let Some(p) = params(name, "FiringSquadViaBA(f=") {
+        return Ok(Box::new(FiringSquadViaBa::new(parse_usize(name, p)?)));
+    }
+    if let Some(p) = params(name, "DLPSW(f=") {
+        let (f_text, r_text) = p
+            .split_once(", R=")
+            .ok_or_else(|| RegistryError::UnknownProtocol { name: name.into() })?;
+        let f = parse_usize(name, f_text)?;
+        let rounds = parse_usize(name, r_text)? as u32;
+        return Ok(Box::new(Dlpsw::new(f, rounds)));
+    }
+    if let Some(p) = params(name, "WeakViaBA(") {
+        // The wrapper is EIG-backed; its name embeds the inner EIG's.
+        if let Some(f_text) = params(p, "EIG(f=") {
+            return Ok(Box::new(WeakViaBa::new(parse_usize(name, f_text)?)));
+        }
+        return Err(RegistryError::UnknownProtocol { name: name.into() });
+    }
+    if let Some(p) = params(name, "Table(") {
+        let seed: u64 = p.parse().map_err(|_| RegistryError::BadParameter {
+            name: name.into(),
+            reason: format!("{p:?} is not a valid seed"),
+        })?;
+        return Ok(Box::new(Table { seed }));
+    }
+    if let Some(p) = params(name, "Relayed(") {
+        // The inner name may itself contain ", f=" (e.g. a nested DLPSW),
+        // so split at the *last* occurrence — the wrapper's own budget.
+        let (inner_name, f_text) = p
+            .rsplit_once(", f=")
+            .ok_or_else(|| RegistryError::UnknownProtocol { name: name.into() })?;
+        let f = parse_usize(name, f_text)?;
+        let inner = BoxedProtocol(resolve(inner_name)?);
+        return Ok(Box::new(Relayed::new(inner, f)));
+    }
+    Err(RegistryError::UnknownProtocol { name: name.into() })
+}
+
+/// Resolves a clock-synchronization protocol by its recorded name.
+///
+/// # Errors
+///
+/// See [`resolve`].
+pub fn resolve_clock(name: &str) -> Result<Box<dyn ClockProtocol>, RegistryError> {
+    use flm_sim::clock::TimeFn;
+    if name == "TrivialClockSync" {
+        return Ok(Box::new(TrivialClockSync {
+            l: TimeFn::identity(),
+        }));
+    }
+    if let Some(p) = params(name, "AveragingClockSync(period=") {
+        let period: f64 = p.parse().map_err(|_| RegistryError::BadParameter {
+            name: name.into(),
+            reason: format!("{p:?} is not a valid period"),
+        })?;
+        if !(period.is_finite() && period > 0.0) {
+            return Err(RegistryError::BadParameter {
+                name: name.into(),
+                reason: format!("period must be positive and finite, got {period}"),
+            });
+        }
+        return Ok(Box::new(AveragingClockSync {
+            l: TimeFn::identity(),
+            period,
+        }));
+    }
+    Err(RegistryError::UnknownProtocol { name: name.into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+
+    /// Every registered protocol's name must resolve back to a protocol
+    /// with the *same* name — the property `flm-audit` relies on.
+    #[test]
+    fn resolution_inverts_naming() {
+        let names = [
+            "EIG(f=1)",
+            "EIG(f=2)",
+            "PhaseKing(f=1)",
+            "DolevStrong(f=1)",
+            "DLPSW(f=1, R=4)",
+            "WeakViaBA(EIG(f=1))",
+            "FiringSquadViaBA(f=1)",
+            "NaiveMajority",
+            "Table(42)",
+            "Relayed(EIG(f=1), f=1)",
+            "Relayed(DLPSW(f=1, R=4), f=1)",
+        ];
+        for name in names {
+            let p = resolve(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn resolved_protocols_are_runnable() {
+        let g = builders::complete(4);
+        for name in ["EIG(f=1)", "NaiveMajority", "Table(7)"] {
+            let p = resolve(name).unwrap();
+            let _ = p.device(&g, NodeId(0));
+            assert!(p.horizon(&g) >= 1);
+        }
+    }
+
+    #[test]
+    fn clock_resolution_inverts_naming() {
+        for name in ["TrivialClockSync", "AveragingClockSync(period=2)"] {
+            let p = resolve_clock(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn malformed_names_are_structured_errors() {
+        for name in [
+            "",
+            "EIG",
+            "EIG(f=)",
+            "EIG(f=x)",
+            "EIG(f=1",
+            "DLPSW(f=1)",
+            "WeakViaBA(PhaseKing(f=1))",
+            "Relayed(EIG(f=1))",
+            "Mystery(f=1)",
+            "Table(-3)",
+        ] {
+            assert!(resolve(name).is_err(), "{name:?} should not resolve");
+        }
+        assert!(resolve_clock("AveragingClockSync(period=-1)").is_err());
+        assert!(resolve_clock("AveragingClockSync(period=NaN)").is_err());
+        assert!(resolve_clock("Mystery").is_err());
+    }
+}

@@ -68,6 +68,80 @@ impl TimeFn {
         TimeFn::Affine { rate, offset }
     }
 
+    /// Maximum `Compose`/`Inverse` nesting depth [`TimeFn::decode`] accepts.
+    ///
+    /// Refuter-built functions are shallow (a handful of compositions); the
+    /// cap exists so a hostile certificate cannot make the decoder recurse
+    /// unboundedly. Encoding has no cap — anything encodable in practice is
+    /// far below it.
+    pub const MAX_DECODE_DEPTH: u32 = 64;
+
+    /// Appends this function to a wire writer: a tag byte per constructor
+    /// (`0` affine, `1` log₂, `2` compose, `3` inverse), affine parameters
+    /// as raw IEEE-754 bit patterns.
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        match self {
+            TimeFn::Affine { rate, offset } => {
+                w.u8(0).u64(rate.to_bits()).u64(offset.to_bits());
+            }
+            TimeFn::Log2 => {
+                w.u8(1);
+            }
+            TimeFn::Compose(f, g) => {
+                w.u8(2);
+                f.encode(w);
+                g.encode(w);
+            }
+            TimeFn::Inverse(f) => {
+                w.u8(3);
+                f.encode(w);
+            }
+        }
+    }
+
+    /// Reads a function written by [`TimeFn::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::wire::DecodeError`] on truncation, an unknown tag,
+    /// nesting deeper than [`TimeFn::MAX_DECODE_DEPTH`], or affine
+    /// parameters that violate the type's invariant (the rate must be
+    /// positive and finite, the offset finite) — hostile bytes must not
+    /// construct a value [`TimeFn::affine`] would have panicked on.
+    pub fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::DecodeError> {
+        Self::decode_at_depth(r, 0)
+    }
+
+    fn decode_at_depth(
+        r: &mut crate::wire::Reader<'_>,
+        depth: u32,
+    ) -> Result<Self, crate::wire::DecodeError> {
+        if depth > Self::MAX_DECODE_DEPTH {
+            return Err(crate::wire::DecodeError);
+        }
+        match r.u8()? {
+            0 => {
+                let rate = f64::from_bits(r.u64()?);
+                let offset = f64::from_bits(r.u64()?);
+                if !(rate.is_finite() && rate > 0.0 && offset.is_finite()) {
+                    return Err(crate::wire::DecodeError);
+                }
+                Ok(TimeFn::Affine { rate, offset })
+            }
+            1 => Ok(TimeFn::Log2),
+            2 => {
+                let f = Self::decode_at_depth(r, depth + 1)?;
+                let g = Self::decode_at_depth(r, depth + 1)?;
+                Ok(TimeFn::Compose(Box::new(f), Box::new(g)))
+            }
+            3 => Ok(TimeFn::Inverse(Box::new(Self::decode_at_depth(
+                r,
+                depth + 1,
+            )?))),
+            _ => Err(crate::wire::DecodeError),
+        }
+    }
+
     /// Evaluates the function at `t`.
     pub fn eval(&self, t: f64) -> f64 {
         match self {

@@ -89,6 +89,30 @@ impl Default for RunPolicy {
     }
 }
 
+impl RunPolicy {
+    /// Appends this policy to a wire writer (`max_payload_bytes` as `u64`,
+    /// then `max_ticks`). Certificates record the policy their refuter ran
+    /// under so verification replays with the same budgets.
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        w.u64(self.max_payload_bytes as u64).u32(self.max_ticks);
+    }
+
+    /// Reads a policy written by [`RunPolicy::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::wire::DecodeError`] on truncation or a payload
+    /// limit that does not fit in `usize`.
+    pub fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::DecodeError> {
+        let max_payload_bytes = usize::try_from(r.u64()?).map_err(|_| crate::wire::DecodeError)?;
+        let max_ticks = r.u32()?;
+        Ok(RunPolicy {
+            max_payload_bytes,
+            max_ticks,
+        })
+    }
+}
+
 thread_local! {
     /// True while a contained run is executing a device step — tells the
     /// quiet panic hook to swallow the report (the panic is caught, recorded
@@ -108,6 +132,32 @@ fn install_quiet_panic_hook() {
             }
         }));
     });
+}
+
+/// Runs `f` with the same panic containment a contained run gives device
+/// steps: a panic is caught and returned as its rendered message, and the
+/// quiet hook keeps it off stderr.
+///
+/// The certificate audit path uses this around `Protocol::device`
+/// construction — device constructors may assert graph-shape invariants
+/// (completeness, minimum size) that a hostile or corrupted certificate's
+/// base graph violates, and the auditor must turn that into a structured
+/// error rather than abort.
+///
+/// # Errors
+///
+/// Returns the panic payload rendered as a string if `f` panicked.
+pub fn contain_panics<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_panic_hook();
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CONTAINING.with(|c| c.set(self.0));
+        }
+    }
+    let previous = CONTAINING.with(|c| c.replace(true));
+    let _restore = Restore(previous);
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(panic_message)
 }
 
 /// Renders a caught panic payload as a message string.

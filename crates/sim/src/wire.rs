@@ -76,6 +76,12 @@ impl Writer {
         self
     }
 
+    /// Appends a length-prefixed UTF-8 string (same layout as
+    /// [`Writer::bytes`]).
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
     /// Appends an `Option<bool>` as one byte (0 = none, 1 = false, 2 = true).
     pub fn opt_bool(&mut self, v: Option<bool>) -> &mut Self {
         self.buf.push(match v {
@@ -192,6 +198,15 @@ impl<'a> Reader<'a> {
         self.take(n)
     }
 
+    /// Reads a length-prefixed UTF-8 string (see [`Writer::str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input or invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| DecodeError)
+    }
+
     /// Reads an `Option<bool>` (see [`Writer::opt_bool`]).
     ///
     /// # Errors
@@ -209,6 +224,13 @@ impl<'a> Reader<'a> {
     /// True when all bytes have been consumed.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Number of unconsumed bytes. Decoders of length-prefixed collections
+    /// check claimed element counts against this before allocating, so a
+    /// corrupted count can never provoke an oversized allocation.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
     }
 }
 
@@ -254,6 +276,31 @@ mod tests {
         assert_eq!(r.bool(), Err(DecodeError));
         let mut r = Reader::new(&[9]);
         assert_eq!(r.opt_bool(), Err(DecodeError));
+    }
+
+    #[test]
+    fn str_roundtrip_and_invalid_utf8() {
+        let mut w = Writer::new();
+        w.str("κ-connectivity").str("");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str().unwrap(), "κ-connectivity");
+        assert_eq!(r.str().unwrap(), "");
+        assert!(r.is_empty());
+        // A length-prefixed byte string that is not UTF-8 must error.
+        let mut r = Reader::new(&[0, 0, 0, 2, 0xFF, 0xFE]);
+        assert_eq!(r.str(), Err(DecodeError));
+    }
+
+    #[test]
+    fn remaining_tracks_consumption() {
+        let mut r = Reader::new(&[1, 2, 3, 4, 5]);
+        assert_eq!(r.remaining(), 5);
+        r.u8().unwrap();
+        assert_eq!(r.remaining(), 4);
+        r.u32().unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.is_empty());
     }
 
     #[test]

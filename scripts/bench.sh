@@ -2,7 +2,9 @@
 # Regenerates the machine-readable perf snapshots at the repo root:
 #
 #   BENCH_substrate.json — dense message plane vs the reference loop
-#   BENCH_refuters.json  — worker-pool refuters vs flm_par::sequential
+#   BENCH_refuters.json  — worker-pool refuters vs flm_par::sequential,
+#                          plus certificate encode/decode/verify throughput
+#                          (the three legs flm-audit runs per file)
 #
 # Medians are in ns/op; the "speedups" arrays carry the headline ratios.
 # Usage: scripts/bench.sh [samples]   (default 25)

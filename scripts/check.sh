@@ -24,9 +24,31 @@ echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace --quiet
+
+echo "==> audit round-trip smoke"
+# A refuter-emitted certificate must audit clean (exit 0), and damaged
+# bytes must be rejected as malformed (exit 2) — the flm-audit contract.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/regen --refute ba-nodes --emit-cert "$tmpdir/ba.flmc"
+./target/release/flm-audit "$tmpdir/ba.flmc" --quiet
+./target/release/regen --refute clock-sync --emit-cert "$tmpdir/clock.flmc"
+./target/release/flm-audit "$tmpdir/clock.flmc" --quiet
+head -c 40 "$tmpdir/ba.flmc" > "$tmpdir/truncated.flmc"
+cat "$tmpdir/ba.flmc" <(printf 'junk') > "$tmpdir/trailing.flmc"
+for mutant in truncated trailing; do
+    set +e
+    ./target/release/flm-audit "$tmpdir/$mutant.flmc" --quiet
+    rc=$?
+    set -e
+    if [[ $rc -ne 2 ]]; then
+        echo "flm-audit exited $rc on $mutant.flmc (expected 2: malformed)"
+        exit 1
+    fi
+done
 
 echo "All checks passed."

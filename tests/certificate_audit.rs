@@ -1,0 +1,144 @@
+//! End-to-end audit-trail properties: every refuter's certificate survives
+//! the portable `FLMC` byte format and re-verifies from the bytes alone,
+//! with the protocol recovered through the registry — the exact path
+//! `flm-audit` takes on a file it has never seen before.
+
+use flm_core::codec::AnyCertificate;
+use flm_core::problems::ClockSyncClaim;
+use flm_core::{refute, Certificate};
+use flm_graph::builders;
+use flm_protocols::clock_sync::TrivialClockSync;
+use flm_protocols::registry::NaiveMajority;
+use flm_protocols::{resolve, resolve_clock, Dlpsw, Eig, FiringSquadViaBa, WeakViaBa};
+use flm_sim::clock::TimeFn;
+use flm_sim::RunPolicy;
+
+/// Encode → decode → re-encode must be byte-identical, and the decoded
+/// certificate must verify against the registry-resolved protocol.
+fn audit_round_trip(cert: &Certificate) {
+    let bytes = cert.to_bytes();
+    let decoded = Certificate::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{}: decode failed: {e}", cert.protocol));
+    assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "{}: re-encode is not byte-identical",
+        cert.protocol
+    );
+    let protocol =
+        resolve(&decoded.protocol).unwrap_or_else(|e| panic!("{}: registry: {e}", cert.protocol));
+    decoded
+        .verify(&*protocol)
+        .unwrap_or_else(|e| panic!("{}: decoded cert failed verification: {e}", cert.protocol));
+}
+
+#[test]
+fn ba_nodes_certificate_round_trips() {
+    let cert = refute::ba_nodes(&Eig::new(1), &builders::triangle(), 1).unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn ba_connectivity_certificate_round_trips() {
+    let cert = refute::ba_connectivity(&NaiveMajority, &builders::cycle(4), 1).unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn weak_agreement_certificate_round_trips() {
+    let cert = refute::weak_agreement(&WeakViaBa::new(1), &builders::triangle(), 1).unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn firing_squad_certificate_round_trips() {
+    let cert = refute::firing_squad(&FiringSquadViaBa::new(1), &builders::triangle(), 1).unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn simple_approx_certificate_round_trips() {
+    let cert = refute::simple_approx(&Dlpsw::new(1, 4), &builders::triangle(), 1).unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn eps_delta_gamma_certificate_round_trips() {
+    let cert = refute::eps_delta_gamma(&Dlpsw::new(1, 4), &builders::triangle(), 1, 0.25, 1.0, 1.0)
+        .unwrap();
+    audit_round_trip(&cert);
+}
+
+#[test]
+fn clock_certificate_round_trips() {
+    let proto = TrivialClockSync {
+        l: TimeFn::identity(),
+    };
+    let claim = ClockSyncClaim {
+        p: TimeFn::identity(),
+        q: TimeFn::linear(2.0),
+        l: TimeFn::identity(),
+        u: TimeFn::affine(2.0, 8.0),
+        alpha: 2.0,
+        t_prime: 1.0,
+    };
+    let cert = refute::clock_sync(&proto, &builders::triangle(), 1, &claim).unwrap();
+    let bytes = cert.to_bytes();
+    let decoded = match flm_core::codec::decode_any(&bytes).unwrap() {
+        AnyCertificate::Clock(c) => c,
+        AnyCertificate::Discrete(_) => panic!("clock cert decoded as discrete"),
+    };
+    assert_eq!(decoded.to_bytes(), bytes);
+    let resolved = resolve_clock(&decoded.protocol).unwrap();
+    decoded.verify(&*resolved).unwrap();
+}
+
+/// A certificate built under a non-default run policy records it, replays
+/// under it, and does *not* verify under the default policy: the tick cap
+/// changes what the chain behaviors look like, so the policy is part of the
+/// evidence.
+#[test]
+fn non_default_policy_is_recorded_and_required() {
+    let tight = RunPolicy {
+        max_ticks: 2,
+        ..RunPolicy::default()
+    };
+    let protocol = Eig::new(1); // decides at tick 3, after the cap
+    let cert = flm_core::with_policy(tight, || {
+        refute::ba_nodes(&protocol, &builders::triangle(), 1)
+    })
+    .unwrap();
+    assert_eq!(cert.policy, tight);
+    audit_round_trip(&cert);
+
+    // Forging the policy back to the default must break reproduction: with
+    // the cap lifted the devices run to their real horizon and decide.
+    let mut forged = cert.clone();
+    forged.policy = RunPolicy::default();
+    assert!(
+        forged.verify(&protocol).is_err(),
+        "forged policy still verified; the recorded policy is not load-bearing"
+    );
+}
+
+/// The recorded policy travels with the bytes, not a thread-local: decoding
+/// on a fresh thread with no `with_policy` scope still replays correctly.
+#[test]
+fn decoded_policy_survives_thread_boundaries() {
+    let tight = RunPolicy {
+        max_ticks: 2,
+        ..RunPolicy::default()
+    };
+    let cert = flm_core::with_policy(tight, || {
+        refute::ba_nodes(&Eig::new(1), &builders::triangle(), 1)
+    })
+    .unwrap();
+    let bytes = cert.to_bytes();
+    std::thread::spawn(move || {
+        let decoded = Certificate::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.policy, tight);
+        decoded.verify(&Eig::new(1)).unwrap();
+    })
+    .join()
+    .unwrap();
+}
