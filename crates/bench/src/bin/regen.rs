@@ -43,7 +43,7 @@ fn main() {
         Err(msg) => {
             eprintln!("regen: {msg}");
             eprintln!(
-                "usage: regen [--bench substrate|refuters] [--samples N] [--out FILE]\n\
+                "usage: regen [--bench substrate|refuters|runcache] [--samples N] [--out FILE]\n\
                  \x20      regen --refute THEOREM --emit-cert FILE [--protocol NAME] [--f N] \
                  [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]"
             );
@@ -93,8 +93,10 @@ fn parse(args: &[String]) -> Result<Mode, String> {
         match arg.as_str() {
             "--bench" => {
                 let s = value(&mut it)?;
-                if s != "substrate" && s != "refuters" {
-                    return Err(format!("unknown suite {s:?} (want substrate or refuters)"));
+                if s != "substrate" && s != "refuters" && s != "runcache" {
+                    return Err(format!(
+                        "unknown suite {s:?} (want substrate, refuters, or runcache)"
+                    ));
                 }
                 suite = Some(s);
             }
@@ -221,6 +223,7 @@ fn run_refute(args: &RefuteArgs) -> Result<(), String> {
         std::fs::write(&args.emit_cert, cert.to_bytes())
             .map_err(|e| format!("writing {}: {e}", args.emit_cert))?;
         eprintln!("wrote {} ({})", args.emit_cert, cert.protocol);
+        print_profile();
         return Ok(());
     }
 
@@ -263,12 +266,22 @@ fn run_refute(args: &RefuteArgs) -> Result<(), String> {
         cert.protocol,
         cert.chain.len()
     );
+    print_profile();
     Ok(())
+}
+
+/// With `FLM_PROFILE=1`, prints the per-phase timing and run-cache summary
+/// accumulated over the refutation (and its verification) to stderr.
+fn print_profile() {
+    if flm_core::profile::enabled() {
+        eprint!("{}", flm_core::profile::report());
+    }
 }
 
 fn run_bench(args: &BenchArgs) {
     let suite = match args.suite.as_str() {
         "substrate" => suites::substrate_suite(args.samples),
+        "runcache" => suites::runcache_suite(args.samples),
         _ => suites::refuter_suite(args.samples),
     };
     let json = suites::to_json(&args.suite, &suite);

@@ -192,6 +192,10 @@ impl Certificate {
     ///
     /// Returns [`VerifyError`] when re-execution diverges from the record.
     pub fn verify(&self, protocol: &dyn Protocol) -> Result<(), VerifyError> {
+        crate::profile::span("verify", || self.verify_inner(protocol))
+    }
+
+    fn verify_inner(&self, protocol: &dyn Protocol) -> Result<(), VerifyError> {
         let link = self
             .chain
             .get(self.violation.link)
@@ -267,7 +271,7 @@ impl Certificate {
     pub fn replay_violating_behavior(
         &self,
         protocol: &dyn Protocol,
-    ) -> Result<flm_sim::SystemBehavior, VerifyError> {
+    ) -> Result<std::sync::Arc<flm_sim::SystemBehavior>, VerifyError> {
         let link = self
             .chain
             .get(self.violation.link)
@@ -288,7 +292,7 @@ impl Certificate {
         &self,
         protocol: &dyn Protocol,
         link: &ChainLink,
-    ) -> Result<flm_sim::SystemBehavior, VerifyError> {
+    ) -> Result<std::sync::Arc<flm_sim::SystemBehavior>, VerifyError> {
         let n = self.base.node_count();
         let malformed = |reason: String| VerifyError::Malformed { reason };
         if link.inputs.len() != n {
@@ -311,28 +315,45 @@ impl Certificate {
             }
             assigned[v.index()] = true;
         }
-        let mut sys = System::new(self.base.clone());
-        for &v in &link.correct {
-            let device = contain_panics(|| protocol.device(&self.base, v))
-                .map_err(|msg| malformed(format!("device construction for {v} panicked: {msg}")))?;
-            sys.assign(v, device, link.inputs[v.index()]);
-        }
-        for (v, traces) in &link.masquerade {
-            sys.assign(
-                *v,
-                Box::new(ReplayDevice::masquerade(traces.clone())),
-                link.inputs[v.index()],
-            );
-        }
-        // Contained, like the refuter's own runs: a certificate over a
-        // hostile protocol must verify without aborting, reproducing the
-        // recorded misbehavior instead. The recorded policy matters — it
-        // caps the horizon and sets the payload budget the evidence was
-        // collected under.
-        sys.run_contained(link.horizon, &self.policy)
-            .map_err(|e| VerifyError::Malformed {
-                reason: format!("re-execution failed: {e}"),
-            })
+        // Keyed off the *actual* protocol's name (not the recorded string),
+        // so the cache never aliases two protocols under one recorded name —
+        // and a refute-then-verify sequence in one process, which derives
+        // the identical key in `refute::transplant`, replays from the cache
+        // instead of re-running the system.
+        let key = crate::runkey::link_key(
+            &protocol.name(),
+            &self.base,
+            &link.correct,
+            &link.masquerade,
+            &link.inputs,
+            link.horizon,
+            &self.policy,
+        );
+        flm_sim::runcache::memoize_discrete(&key, || {
+            let mut sys = System::new(self.base.clone());
+            for &v in &link.correct {
+                let device = contain_panics(|| protocol.device(&self.base, v)).map_err(|msg| {
+                    malformed(format!("device construction for {v} panicked: {msg}"))
+                })?;
+                sys.assign(v, device, link.inputs[v.index()]);
+            }
+            for (v, traces) in &link.masquerade {
+                sys.assign(
+                    *v,
+                    Box::new(ReplayDevice::masquerade(traces.clone())),
+                    link.inputs[v.index()],
+                );
+            }
+            // Contained, like the refuter's own runs: a certificate over a
+            // hostile protocol must verify without aborting, reproducing the
+            // recorded misbehavior instead. The recorded policy matters — it
+            // caps the horizon and sets the payload budget the evidence was
+            // collected under.
+            sys.run_contained(link.horizon, &self.policy)
+                .map_err(|e| VerifyError::Malformed {
+                    reason: format!("re-execution failed: {e}"),
+                })
+        })
     }
 }
 

@@ -64,8 +64,10 @@ pub mod certificate;
 pub mod clock_reduction;
 pub mod codec;
 pub mod problems;
+pub mod profile;
 pub mod reduction;
 pub mod refute;
+mod runkey;
 
 pub use certificate::{Certificate, ChainLink, Condition, Violation};
 pub use codec::CertDecodeError;

@@ -53,10 +53,12 @@ fn chain_certificate(
     let cover_behavior = run_cover(protocol, cov, inputs, horizon, &policy)?;
 
     // The chain links are independent re-executions against the same cover
-    // behavior: fan them out, then fold the results in input order so the
-    // certificate (first error, first violated link) is byte-identical to
-    // the sequential scan.
-    let transplants = flm_par::par_map(scenarios, |u_set| {
+    // behavior: fan them out (the adaptive mapper inlines when the base runs
+    // are too small to amortize thread dispatch), then fold the results in
+    // input order so the certificate (first error, first violated link) is
+    // byte-identical to the sequential scan.
+    let cost_hint = super::run_cost_hint_ns(cov.base().node_count(), horizon);
+    let transplants = flm_par::par_map_adaptive(scenarios, cost_hint, |u_set| {
         transplant(
             protocol,
             cov,
@@ -105,7 +107,9 @@ fn chain_certificate(
 pub fn ba_nodes(protocol: &dyn Protocol, g: &Graph, f: usize) -> Result<Certificate, RefuteError> {
     let n = g.node_count();
     let [a, b, c] = partition_with_crossing_link(g, f)?;
-    let cov = Covering::double_cover_crossing(g, &a, &c)?;
+    let cov = crate::profile::span("build-covering", || {
+        Covering::double_cover_crossing(g, &a, &c)
+    })?;
     let inputs = move |s: NodeId| Input::Bool(s.index() >= n);
     // The hexagon walk: (b₀ c₀) with a faulty, (c₀ a₁) with b faulty,
     // (a₁ b₁) with c faulty.
@@ -220,7 +224,9 @@ pub(crate) fn connectivity_plan(g: &Graph, f: usize) -> Result<ConnectivityPlan,
     let n = g.node_count();
     let CutClasses { a, b, c, d, kappa } = cut_classes(g, f)?;
 
-    let cov = Covering::double_cover_crossing(g, &a, &b)?;
+    let cov = crate::profile::span("build-covering", || {
+        Covering::double_cover_crossing(g, &a, &b)
+    })?;
     // Inputs: a₀=0, b₀=1, c₀=1, d₀=0 and the complement on copy 1.
     let (a2, b2, c2, d2) = (a.clone(), b.clone(), c.clone(), d.clone());
     let inputs = move |s: NodeId| {

@@ -73,23 +73,32 @@ impl fmt::Display for ClockCertificate {
 
 /// Builds the ring system (triangle devices, clocks `q∘h^{−j}`) and runs it
 /// to `t_eval`, probing logical clocks there.
+///
+/// Memoized: the refuter and [`ClockCertificate::verify`] invoke the ring
+/// with identical parameters, so an in-process refute-then-verify sequence
+/// runs the continuous simulation once.
 fn run_ring(
     protocol: &dyn ClockProtocol,
     g: &Graph,
     claim: &ClockSyncClaim,
     k: usize,
     t_eval: f64,
-) -> Result<ClockBehavior, RefuteError> {
-    let m = k.div_ceil(3);
-    let cov = Covering::cyclic_cover(3, m)?;
-    let mut sys = ClockSystem::new(cov.cover().clone());
-    let h_inv = claim.h().inverse();
-    for j in 0..(k + 2) {
-        let clock = claim.q.compose(&h_inv.iterate(j));
-        let s = NodeId(j as u32);
-        sys.assign_lifted(&cov, s, protocol.device(g, cov.project(s)), clock);
-    }
-    Ok(sys.run(t_eval * (1.0 + 1e-9) + 1e-9, &[t_eval]))
+) -> Result<std::sync::Arc<ClockBehavior>, RefuteError> {
+    crate::profile::span("clock-ring", || {
+        let key = crate::runkey::clock_ring_key(&protocol.name(), g, claim, k, t_eval);
+        flm_sim::runcache::memoize_clock(&key, || {
+            let m = k.div_ceil(3);
+            let cov = Covering::cyclic_cover(3, m)?;
+            let mut sys = ClockSystem::new(cov.cover().clone());
+            let h_inv = claim.h().inverse();
+            for j in 0..(k + 2) {
+                let clock = claim.q.compose(&h_inv.iterate(j));
+                let s = NodeId(j as u32);
+                sys.assign_lifted(&cov, s, protocol.device(g, cov.project(s)), clock);
+            }
+            Ok(sys.run(t_eval * (1.0 + 1e-9) + 1e-9, &[t_eval]))
+        })
+    })
 }
 
 /// Theorem 8: refutes any nontrivial clock-synchronization claim on the

@@ -37,6 +37,7 @@ pub use ring::{
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, GraphError, NodeId};
@@ -152,31 +153,53 @@ pub fn current_policy() -> RunPolicy {
     ACTIVE_POLICY.with(std::cell::Cell::get).unwrap_or_default()
 }
 
+/// Rough wall-clock estimate of one contained run, for
+/// [`flm_par::par_map_adaptive`]'s dispatch decision: the simulator touches
+/// every node each tick at roughly 2 µs per node-tick (device construction
+/// included). Only the order of magnitude matters — the mapper compares the
+/// estimate against thread-dispatch overhead.
+pub(crate) fn run_cost_hint_ns(nodes: usize, horizon: u32) -> u64 {
+    (nodes as u64)
+        .saturating_mul(u64::from(horizon) + 1)
+        .saturating_mul(2_000)
+}
+
 /// Installs `protocol`'s devices in the covering graph (wired along edge
 /// lifts) with per-cover-node `inputs`, and runs for `horizon` ticks.
+///
+/// Memoized: refuters that share a covering run — chain links transplanting
+/// different scenarios out of the same `S`, or a refute-then-verify
+/// sequence — execute it once and share the behavior through the run cache.
 pub(crate) fn run_cover(
     protocol: &dyn Protocol,
     cov: &Covering,
     inputs: &dyn Fn(NodeId) -> Input,
     horizon: u32,
     policy: &RunPolicy,
-) -> Result<SystemBehavior, RefuteError> {
-    let mut sys = System::new(cov.cover().clone());
-    for s in cov.cover().nodes() {
-        let device = protocol.device(cov.base(), cov.project(s));
-        sys.assign_lifted(cov, s, device, inputs(s))
-            .map_err(|e| RefuteError::ModelViolation {
-                reason: format!("installing device at cover node {s}: {e}"),
-            })?;
-    }
-    // Contained: a hostile device must not abort the refuter. A cover node
-    // that misbehaves is quarantined; determinism means its base-graph twin
-    // misbehaves identically in the transplants, where the degradation
-    // policy charges it against the fault budget.
-    sys.run_contained(horizon, policy)
-        .map_err(|e| RefuteError::ModelViolation {
-            reason: format!("cover run failed: {e}"),
+) -> Result<Arc<SystemBehavior>, RefuteError> {
+    crate::profile::span("run-cover", || {
+        let key = crate::runkey::cover_key(&protocol.name(), cov, inputs, horizon, policy);
+        flm_sim::runcache::memoize_discrete(&key, || {
+            let mut sys = System::new(cov.cover().clone());
+            for s in cov.cover().nodes() {
+                let device = protocol.device(cov.base(), cov.project(s));
+                sys.assign_lifted(cov, s, device, inputs(s)).map_err(|e| {
+                    RefuteError::ModelViolation {
+                        reason: format!("installing device at cover node {s}: {e}"),
+                    }
+                })?;
+            }
+            // Contained: a hostile device must not abort the refuter. A cover
+            // node that misbehaves is quarantined; determinism means its
+            // base-graph twin misbehaves identically in the transplants,
+            // where the degradation policy charges it against the fault
+            // budget.
+            sys.run_contained(horizon, policy)
+                .map_err(|e| RefuteError::ModelViolation {
+                    reason: format!("cover run failed: {e}"),
+                })
         })
+    })
 }
 
 /// Transplants the scenario of cover-node set `u_set` into a behavior of
@@ -217,7 +240,32 @@ pub(crate) fn transplant(
     horizon: u32,
     f: usize,
     policy: &RunPolicy,
-) -> Result<(ChainLink, SystemBehavior, BTreeSet<NodeId>), RefuteError> {
+) -> Result<(ChainLink, Arc<SystemBehavior>, BTreeSet<NodeId>), RefuteError> {
+    crate::profile::span("transplant", || {
+        transplant_inner(
+            protocol,
+            cov,
+            cover_behavior,
+            u_set,
+            faulty_input,
+            horizon,
+            f,
+            policy,
+        )
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transplant_inner(
+    protocol: &dyn Protocol,
+    cov: &Covering,
+    cover_behavior: &SystemBehavior,
+    u_set: &BTreeSet<NodeId>,
+    faulty_input: Input,
+    horizon: u32,
+    f: usize,
+    policy: &RunPolicy,
+) -> Result<(ChainLink, Arc<SystemBehavior>, BTreeSet<NodeId>), RefuteError> {
     let base = cov.base();
     // φ restricted to u_set must be injective (one representative per base
     // node) for the scenario to live in the base graph.
@@ -234,13 +282,11 @@ pub(crate) fn transplant(
     }
     let correct: BTreeSet<NodeId> = rep.keys().copied().collect();
 
-    // Assemble the base system.
-    let mut sys = System::new(base.clone());
+    // Harvest the link's assembly first — inputs and masquerade traces pin
+    // the base run completely, so they double as its cache key.
     let mut inputs = vec![faulty_input; base.node_count()];
     for (&t, &u) in &rep {
-        let input = cover_behavior.node(u).input;
-        inputs[t.index()] = input;
-        sys.assign(t, protocol.device(base, t), input);
+        inputs[t.index()] = cover_behavior.node(u).input;
     }
     let mut masquerade: Vec<(NodeId, Vec<EdgeBehavior>)> = Vec::new();
     for alpha in base.nodes() {
@@ -266,19 +312,38 @@ pub(crate) fn transplant(
                 cover_behavior.edge(source_edge.0, source_edge.1).clone()
             })
             .collect();
-        sys.assign(
-            alpha,
-            Box::new(ReplayDevice::masquerade(traces.clone())),
-            faulty_input,
-        );
         masquerade.push((alpha, traces));
     }
 
-    let behavior = sys
-        .run_contained(horizon, policy)
-        .map_err(|e| RefuteError::ModelViolation {
-            reason: format!("base run failed: {e}"),
-        })?;
+    // The same key `Certificate::rebuild` derives from the finished link, so
+    // verification of a freshly minted certificate replays from the cache.
+    let correct_sorted: Vec<NodeId> = correct.iter().copied().collect();
+    let key = crate::runkey::link_key(
+        &protocol.name(),
+        base,
+        &correct_sorted,
+        &masquerade,
+        &inputs,
+        horizon,
+        policy,
+    );
+    let behavior = flm_sim::runcache::memoize_discrete(&key, || {
+        let mut sys = System::new(base.clone());
+        for &t in &correct_sorted {
+            sys.assign(t, protocol.device(base, t), inputs[t.index()]);
+        }
+        for (alpha, traces) in &masquerade {
+            sys.assign(
+                *alpha,
+                Box::new(ReplayDevice::masquerade(traces.clone())),
+                faulty_input,
+            );
+        }
+        sys.run_contained(horizon, policy)
+            .map_err(|e| RefuteError::ModelViolation {
+                reason: format!("base run failed: {e}"),
+            })
+    })?;
 
     // The Locality axiom, checked: the transplanted scenario must equal the
     // cover scenario byte for byte (under φ). Quarantined devices pass this

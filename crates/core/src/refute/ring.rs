@@ -23,7 +23,7 @@ use flm_graph::{Graph, NodeId};
 use flm_sim::{Decision, Input, Protocol, RunPolicy, System, Tick};
 
 use crate::certificate::{Certificate, ChainLink, Condition, Theorem, Violation};
-use crate::refute::{run_cover, transplant, RefuteError};
+use crate::refute::{run_cost_hint_ns, run_cover, transplant, RefuteError};
 
 /// Requires the triangle with `f = 1`.
 fn require_triangle(g: &Graph, f: usize) -> Result<(), RefuteError> {
@@ -49,16 +49,18 @@ fn all_correct_run(
     horizon: u32,
     f: usize,
     policy: &RunPolicy,
-) -> Result<(ChainLink, flm_sim::SystemBehavior, BTreeSet<NodeId>), RefuteError> {
-    let mut sys = System::new(g.clone());
-    for v in g.nodes() {
-        sys.assign(v, protocol.device(g, v), input);
-    }
-    let behavior = sys
-        .run_contained(horizon, policy)
-        .map_err(|e| RefuteError::ModelViolation {
-            reason: format!("all-correct run failed: {e}"),
-        })?;
+) -> AllCorrectRun {
+    let key = crate::runkey::all_correct_key(&protocol.name(), g, input, horizon, policy);
+    let behavior = flm_sim::runcache::memoize_discrete(&key, || {
+        let mut sys = System::new(g.clone());
+        for v in g.nodes() {
+            sys.assign(v, protocol.device(g, v), input);
+        }
+        sys.run_contained(horizon, policy)
+            .map_err(|e| RefuteError::ModelViolation {
+                reason: format!("all-correct run failed: {e}"),
+            })
+    })?;
     let degraded = behavior.misbehaving_nodes();
     if degraded.len() > f || degraded.len() == g.node_count() {
         return Err(RefuteError::Misbehavior {
@@ -84,11 +86,20 @@ fn all_correct_run(
     Ok((link, behavior, effective))
 }
 
-type AllCorrectRun = Result<(ChainLink, flm_sim::SystemBehavior, BTreeSet<NodeId>), RefuteError>;
+type AllCorrectRun = Result<
+    (
+        ChainLink,
+        std::sync::Arc<flm_sim::SystemBehavior>,
+        BTreeSet<NodeId>,
+    ),
+    RefuteError,
+>;
 
 /// Runs both validity-pin executions concurrently and hands the results
 /// back in input order. Call sites consume `[0]` before `[1]`, so errors
 /// and early-exit certificates surface exactly as in the sequential code.
+/// The adaptive mapper inlines the pair when the pool is idle-sized or the
+/// runs are too small to amortize a dispatch.
 fn all_correct_pair(
     protocol: &dyn Protocol,
     g: &Graph,
@@ -97,7 +108,8 @@ fn all_correct_pair(
     f: usize,
     policy: &RunPolicy,
 ) -> [AllCorrectRun; 2] {
-    let mut results = flm_par::par_map(inputs.to_vec(), |input| {
+    let cost_hint = run_cost_hint_ns(g.node_count(), horizon);
+    let mut results = flm_par::par_map_adaptive(inputs.to_vec(), cost_hint, |input| {
         all_correct_run(protocol, g, input, horizon, f, policy)
     });
     let second = results.pop().expect("two runs");
@@ -108,7 +120,9 @@ fn all_correct_pair(
 /// The ring cover of the triangle with `4k` nodes (`k` a multiple of 3).
 fn ring_cover(k: usize) -> Result<Covering, RefuteError> {
     debug_assert_eq!(k % 3, 0);
-    Ok(Covering::cyclic_cover(3, 4 * k / 3)?)
+    crate::profile::span("build-covering", || {
+        Ok(Covering::cyclic_cover(3, 4 * k / 3)?)
+    })
 }
 
 /// Smallest multiple of 3 strictly greater than `t`.

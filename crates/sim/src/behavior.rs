@@ -343,6 +343,24 @@ impl SystemBehavior {
         self.misbehavior.iter().map(|m| m.node).collect()
     }
 
+    /// Approximate heap footprint of this behavior in bytes (snapshots,
+    /// device names, and edge payloads). The run cache uses it for its
+    /// byte-savings counter and its size bound — an estimate, not an exact
+    /// allocator account.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for nb in &self.nodes {
+            total += nb.device_name.len() as u64;
+            total += nb.snaps.iter().map(|s| s.len() as u64 + 8).sum::<u64>();
+        }
+        for trace in self.edges.values() {
+            for payload in trace {
+                total += payload.as_ref().map_or(1, |m| m.len() as u64 + 8);
+            }
+        }
+        total
+    }
+
     /// Decisions of all nodes, by node id.
     pub fn decisions(&self) -> Vec<(NodeId, Option<Decision>)> {
         self.graph

@@ -183,6 +183,31 @@ impl ClockBehavior {
     pub fn edge_sends(&self, u: NodeId, v: NodeId) -> &[SendRecord] {
         self.sends.get(&(u, v)).map_or(&[], Vec::as_slice)
     }
+
+    /// Approximate heap footprint in bytes (probes, logical-clock tables,
+    /// send records, and event logs); see
+    /// [`crate::behavior::SystemBehavior::approx_bytes`].
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = (self.probes.len() as u64) * 8;
+        total += self
+            .logical
+            .iter()
+            .map(|row| row.len() as u64 * 8)
+            .sum::<u64>();
+        for records in self.sends.values() {
+            total += records
+                .iter()
+                .map(|r| 16 + r.payload.len() as u64 + 8)
+                .sum::<u64>();
+        }
+        for log in &self.node_logs {
+            total += log
+                .iter()
+                .map(|e| 8 + (e.kind.len() + e.snap.len()) as u64)
+                .sum::<u64>();
+        }
+        total
+    }
 }
 
 struct ClockSlot {

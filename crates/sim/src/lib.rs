@@ -58,6 +58,7 @@ pub mod devices;
 pub mod faults;
 pub mod protocol;
 pub mod replay;
+pub mod runcache;
 pub mod system;
 pub mod time;
 pub mod wire;
@@ -68,5 +69,5 @@ pub use behavior::{
 pub use device::{Decision, Device, Input, NodeCtx, Payload};
 pub use faults::{FaultAction, FaultPlan, FaultRule};
 pub use protocol::{ClockProtocol, Protocol};
-pub use system::{contain_panics, RunPolicy, System};
+pub use system::{contain_panics, RunPolicy, RunScratch, System};
 pub use time::Tick;

@@ -171,6 +171,32 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Reusable buffers for the dense message plane: the per-node edge tables,
+/// inbox buffers, and quarantine flags [`System::run_inner`] builds for
+/// every run. A sweep that executes thousands of small systems (the
+/// adversarial matrix, the property suites, the refuter chains) can hold
+/// one `RunScratch` and pass it to [`System::try_run_with_scratch`] /
+/// [`System::run_contained_with_scratch`] to amortize those allocations;
+/// the buffers are resized and overwritten per run, never carried between
+/// runs as state, so scratch reuse cannot change a behavior.
+///
+/// Edge traces and snapshots are *outputs* (they move into the returned
+/// [`SystemBehavior`]) and are always freshly allocated.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    in_edges: Vec<Vec<usize>>,
+    out_edges: Vec<Vec<usize>>,
+    inboxes: Vec<Vec<Option<Payload>>>,
+    quarantined: Vec<bool>,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch; buffers grow to fit the first run.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+}
+
 struct Slot {
     device: Box<dyn Device>,
     ctx: NodeCtx,
@@ -340,7 +366,22 @@ impl System {
     ///
     /// Returns [`SystemError::Unassigned`] or [`SystemError::PortMismatch`].
     pub fn try_run(&mut self, horizon: u32) -> Result<SystemBehavior, SystemError> {
-        self.run_inner(horizon, None)
+        self.run_inner(horizon, None, &mut RunScratch::new())
+    }
+
+    /// [`System::try_run`] with caller-provided scratch buffers, so sweeps
+    /// over many systems amortize the edge-table and inbox allocations.
+    /// Byte-identical to [`System::try_run`] for the same system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Unassigned`] or [`SystemError::PortMismatch`].
+    pub fn try_run_with_scratch(
+        &mut self,
+        horizon: u32,
+        scratch: &mut RunScratch,
+    ) -> Result<SystemBehavior, SystemError> {
+        self.run_inner(horizon, None, scratch)
     }
 
     /// Runs the system with every device step *contained*: a device that
@@ -366,13 +407,33 @@ impl System {
         horizon: u32,
         policy: &RunPolicy,
     ) -> Result<SystemBehavior, SystemError> {
-        self.run_inner(horizon.min(policy.max_ticks), Some(policy))
+        self.run_inner(
+            horizon.min(policy.max_ticks),
+            Some(policy),
+            &mut RunScratch::new(),
+        )
+    }
+
+    /// [`System::run_contained`] with caller-provided scratch buffers; see
+    /// [`System::try_run_with_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Unassigned`] if a node has no device.
+    pub fn run_contained_with_scratch(
+        &mut self,
+        horizon: u32,
+        policy: &RunPolicy,
+        scratch: &mut RunScratch,
+    ) -> Result<SystemBehavior, SystemError> {
+        self.run_inner(horizon.min(policy.max_ticks), Some(policy), scratch)
     }
 
     fn run_inner(
         &mut self,
         horizon: u32,
         policy: Option<&RunPolicy>,
+        scratch: &mut RunScratch,
     ) -> Result<SystemBehavior, SystemError> {
         let n = self.graph.node_count();
         for v in self.graph.nodes() {
@@ -385,10 +446,15 @@ impl System {
         }
         // Dense message plane: the tick loop never touches a map. Directed
         // edges get consecutive indices (lexicographic, the order of
-        // `Graph::directed_edges`), every port is resolved to its receive and
-        // send edge index once up front, and each node's inbox buffer is
-        // allocated once and overwritten in place every tick. Delivering a
-        // payload is an `Arc` bump of last tick's send, never a byte copy.
+        // `Graph::directed_edges`, so ports resolve by binary search over the
+        // sorted list rather than through a per-run map), every port is
+        // resolved to its receive and send edge index once up front, and each
+        // node's inbox buffer is allocated once and overwritten in place
+        // every tick. Delivering a payload is an `Arc` bump of last tick's
+        // send, never a byte copy. The per-node tables, inbox buffers, and
+        // quarantine flags live in `scratch` — resized and overwritten here,
+        // so a reused scratch amortizes their allocations without carrying
+        // any state between runs.
         //
         // Port resolution can only fail for a wiring that is not a bijection
         // onto the node's physical neighbors, which `assign`/`assign_wired`
@@ -396,44 +462,50 @@ impl System {
         // structural (a `SystemError`, not an `expect`) for slots assembled
         // some other way.
         let edge_list = self.graph.directed_edges();
-        let edge_index: BTreeMap<(NodeId, NodeId), usize> =
-            edge_list.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-        let mut in_edges: Vec<Vec<usize>> = Vec::with_capacity(n);
-        let mut out_edges: Vec<Vec<usize>> = Vec::with_capacity(n);
+        scratch.in_edges.resize_with(n, Vec::new);
+        scratch.out_edges.resize_with(n, Vec::new);
         for v in self.graph.nodes() {
             let slot = self.slots[v.index()]
                 .as_ref()
                 .expect("run_inner is only reached after every node is assigned");
             let wiring = slot.wiring();
-            let mut ins = Vec::with_capacity(wiring.len());
-            let mut outs = Vec::with_capacity(wiring.len());
+            let ins = &mut scratch.in_edges[v.index()];
+            let outs = &mut scratch.out_edges[v.index()];
+            ins.clear();
+            outs.clear();
             for &w in wiring {
-                let bad_wire = || SystemError::BadWiring {
+                let bad_wire = |_| SystemError::BadWiring {
                     node: v,
                     reason: format!("port wired to {w}, which is not a neighbor of {v}"),
                 };
-                ins.push(*edge_index.get(&(w, v)).ok_or_else(bad_wire)?);
-                outs.push(*edge_index.get(&(v, w)).ok_or_else(bad_wire)?);
+                ins.push(edge_list.binary_search(&(w, v)).map_err(bad_wire)?);
+                outs.push(edge_list.binary_search(&(v, w)).map_err(bad_wire)?);
             }
-            in_edges.push(ins);
-            out_edges.push(outs);
         }
+        let in_edges = &scratch.in_edges;
+        let out_edges = &scratch.out_edges;
         let mut traces: Vec<Vec<Option<Payload>>> = edge_list
             .iter()
             .map(|_| Vec::with_capacity(horizon as usize))
             .collect();
         let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
         let mut misbehavior: Vec<DeviceMisbehavior> = Vec::new();
-        let mut quarantined = vec![false; n];
-        let mut inboxes: Vec<Vec<Option<Payload>>> =
-            in_edges.iter().map(|ins| vec![None; ins.len()]).collect();
+        scratch.quarantined.clear();
+        scratch.quarantined.resize(n, false);
+        let quarantined = &mut scratch.quarantined;
+        scratch.inboxes.resize_with(n, Vec::new);
+        for (inbox, ins) in scratch.inboxes.iter_mut().zip(in_edges) {
+            inbox.clear();
+            inbox.resize(ins.len(), None);
+        }
+        let inboxes = &mut scratch.inboxes;
 
         for t in 0..horizon {
             let tick = Tick(t);
             // Refill the reused inboxes from last tick's edge traces (tick 0
             // keeps the initial all-`None` buffers).
             if t > 0 {
-                for (inbox, ins) in inboxes.iter_mut().zip(&in_edges) {
+                for (inbox, ins) in inboxes.iter_mut().zip(in_edges.iter()) {
                     for (cell, &e) in inbox.iter_mut().zip(ins) {
                         *cell = traces[e][t as usize - 1].clone();
                     }

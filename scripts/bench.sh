@@ -2,11 +2,17 @@
 # Regenerates the machine-readable perf snapshots at the repo root:
 #
 #   BENCH_substrate.json — dense message plane vs the reference loop
-#   BENCH_refuters.json  — worker-pool refuters vs flm_par::sequential,
-#                          plus certificate encode/decode/verify throughput
+#   BENCH_refuters.json  — run-reuse engine (adaptive dispatch, warm run
+#                          cache) vs the cold sequential baseline, plus
+#                          certificate encode/decode/verify throughput
 #                          (the three legs flm-audit runs per file)
+#   BENCH_runcache.json  — each engine layer isolated: warm vs cold cache,
+#                          scratch arena vs fresh buffers, adaptive vs
+#                          naive pool dispatch
 #
-# Medians are in ns/op; the "speedups" arrays carry the headline ratios.
+# Timings are ns/op (min/median/mean); the "speedups" arrays carry the
+# headline ratios, computed over the minima — the noise-floor estimator —
+# (scripts/check.sh --bench-gate fails on a >25% regression against them).
 # Usage: scripts/bench.sh [samples]   (default 25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,4 +28,7 @@ echo "==> substrate suite (${SAMPLES} samples)"
 echo "==> refuter suite (${SAMPLES} samples)"
 ./target/release/regen --bench refuters --samples "$SAMPLES" --out BENCH_refuters.json
 
-echo "Wrote BENCH_substrate.json and BENCH_refuters.json."
+echo "==> runcache suite (${SAMPLES} samples)"
+./target/release/regen --bench runcache --samples "$SAMPLES" --out BENCH_runcache.json
+
+echo "Wrote BENCH_substrate.json, BENCH_refuters.json, and BENCH_runcache.json."

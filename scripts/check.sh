@@ -5,6 +5,11 @@
 # `--smoke` runs the fast subset only — debug build plus the core and
 # simulator unit tests — for a quick pre-push signal; the default (full)
 # mode is the gate that counts.
+#
+# `--bench-gate` re-measures every labeled speedup ratio and compares it
+# against the committed BENCH_*.json snapshots: any ratio that lands below
+# 75% of its committed value fails the gate. Run it on the bench host that
+# produced the committed numbers; other machines carry different constants.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +19,55 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> smoke: cargo test (core + sim + par libs)"
     cargo test -p flm-core -p flm-sim -p flm-par --lib --quiet
     echo "Smoke checks passed (run without --smoke for the full gate)."
+    exit 0
+fi
+
+# Extracts "label<TAB>ratio" pairs from a suite JSON's speedups array
+# (the snapshots are hand-rolled JSON with one speedup object per line).
+extract_ratios() {
+    sed -n 's/.*"label": "\(.*\)", "ratio": \([0-9.]*\).*/\1\t\2/p' "$1"
+}
+
+if [[ "${1:-}" == "--bench-gate" ]]; then
+    samples="${2:-9}"
+    echo "==> bench gate: cargo build --release -p flm-bench"
+    cargo build --release -p flm-bench
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    failed=0
+    for suite in substrate refuters runcache; do
+        committed="BENCH_${suite}.json"
+        if [[ ! -f "$committed" ]]; then
+            echo "bench gate: missing $committed"
+            failed=1
+            continue
+        fi
+        echo "==> bench gate: $suite suite ($samples samples)"
+        ./target/release/regen --bench "$suite" --samples "$samples" \
+            --out "$tmpdir/$suite.json" 2>/dev/null
+        while IFS=$'\t' read -r label committed_ratio; do
+            fresh_ratio="$(extract_ratios "$tmpdir/$suite.json" \
+                | awk -F'\t' -v l="$label" '$1 == l {print $2}')"
+            if [[ -z "$fresh_ratio" ]]; then
+                echo "FAIL  $suite: \"$label\" missing from fresh measurement"
+                failed=1
+                continue
+            fi
+            verdict="$(awk -v f="$fresh_ratio" -v c="$committed_ratio" \
+                'BEGIN {print (f < 0.75 * c) ? "regressed" : "ok"}')"
+            if [[ "$verdict" == "regressed" ]]; then
+                echo "FAIL  $suite: \"$label\" regressed: ${fresh_ratio}x vs committed ${committed_ratio}x (>25% drop)"
+                failed=1
+            else
+                echo "ok    $suite: \"$label\": ${fresh_ratio}x (committed ${committed_ratio}x)"
+            fi
+        done < <(extract_ratios "$committed")
+    done
+    if [[ $failed -ne 0 ]]; then
+        echo "Bench gate failed."
+        exit 1
+    fi
+    echo "Bench gate passed."
     exit 0
 fi
 
