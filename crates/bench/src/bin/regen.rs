@@ -1,8 +1,9 @@
 //! Regenerates the tables recorded in EXPERIMENTS.md, and — with `--bench` —
-//! the machine-readable perf snapshots `BENCH_substrate.json` and
-//! `BENCH_refuters.json`. With `--refute`, runs one refuter and writes the
-//! resulting certificate to disk in the portable `FLMC` format, where
-//! `flm-audit` can re-verify it independently.
+//! the machine-readable perf snapshots `BENCH_substrate.json`,
+//! `BENCH_refuters.json`, `BENCH_runcache.json`, and `BENCH_serve.json`.
+//! With `--refute`, runs one refuter and writes the resulting certificate to
+//! disk in the portable `FLMC` format, where `flm-audit` can re-verify it
+//! independently.
 //!
 //! Run with:
 //!
@@ -21,12 +22,15 @@
 //! name is resolved through the `flm-protocols` registry, so anything the
 //! registry accepts can be refuted; defaults are canonical per theorem.
 //! The `--max-*` flags tighten the run policy recorded in the certificate.
+//!
+//! The theorem/graph grammar and the refutation code path live in
+//! `flm_serve::query` — the same module the `flm-serve` RPC handler runs —
+//! so a certificate written here is byte-identical to one served over the
+//! wire for the same query.
 
 use flm_bench::{experiments, suites};
-use flm_core::refute;
-use flm_graph::{builders, Graph};
-use flm_protocols::{resolve, resolve_clock};
-use flm_sim::clock::TimeFn;
+use flm_core::codec::AnyCertificate;
+use flm_serve::query::{self, Theorem};
 use flm_sim::RunPolicy;
 
 fn main() {
@@ -43,7 +47,7 @@ fn main() {
         Err(msg) => {
             eprintln!("regen: {msg}");
             eprintln!(
-                "usage: regen [--bench substrate|refuters|runcache] [--samples N] [--out FILE]\n\
+                "usage: regen [--bench substrate|refuters|runcache|serve] [--samples N] [--out FILE]\n\
                  \x20      regen --refute THEOREM --emit-cert FILE [--protocol NAME] [--f N] \
                  [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]"
             );
@@ -93,9 +97,9 @@ fn parse(args: &[String]) -> Result<Mode, String> {
         match arg.as_str() {
             "--bench" => {
                 let s = value(&mut it)?;
-                if s != "substrate" && s != "refuters" && s != "runcache" {
+                if s != "substrate" && s != "refuters" && s != "runcache" && s != "serve" {
                     return Err(format!(
-                        "unknown suite {s:?} (want substrate, refuters, or runcache)"
+                        "unknown suite {s:?} (want substrate, refuters, runcache, or serve)"
                     ));
                 }
                 suite = Some(s);
@@ -167,30 +171,6 @@ fn parse(args: &[String]) -> Result<Mode, String> {
     }
 }
 
-fn parse_graph(name: &str) -> Result<Graph, String> {
-    if name == "triangle" {
-        return Ok(builders::triangle());
-    }
-    for (prefix, build) in [
-        ("cycle", builders::cycle as fn(usize) -> Graph),
-        ("complete", builders::complete),
-        ("path", builders::path),
-    ] {
-        if let Some(n) = name.strip_prefix(prefix) {
-            let n: usize = n
-                .parse()
-                .map_err(|_| format!("--graph: bad size in {name:?}"))?;
-            if !(2..=64).contains(&n) {
-                return Err(format!("--graph: size {n} out of range (2..=64)"));
-            }
-            return Ok(build(n));
-        }
-    }
-    Err(format!(
-        "--graph: unknown graph {name:?} (want triangle, cycleN, completeN, or pathN)"
-    ))
-}
-
 fn run_refute(args: &RefuteArgs) -> Result<(), String> {
     let mut policy = RunPolicy::default();
     if let Some(t) = args.max_ticks {
@@ -199,73 +179,30 @@ fn run_refute(args: &RefuteArgs) -> Result<(), String> {
     if let Some(b) = args.max_payload_bytes {
         policy.max_payload_bytes = b;
     }
-    let f = args.f;
-
-    // Clock certificates take a different refuter and certificate type.
-    if args.theorem == "clock-sync" {
-        let name = args.protocol.as_deref().unwrap_or("TrivialClockSync");
-        let protocol = resolve_clock(name).map_err(|e| e.to_string())?;
-        let claim = flm_core::problems::ClockSyncClaim {
-            p: TimeFn::identity(),
-            q: TimeFn::linear(2.0),
-            l: TimeFn::identity(),
-            u: TimeFn::affine(2.0, 8.0),
-            alpha: 2.0,
-            t_prime: 1.0,
-        };
-        let g = match &args.graph {
-            Some(name) => parse_graph(name)?,
-            None => builders::triangle(),
-        };
-        let cert = refute::clock_sync(&*protocol, &g, f, &claim).map_err(|e| e.to_string())?;
-        cert.verify(&*protocol)
-            .map_err(|e| format!("fresh certificate failed verification: {e}"))?;
-        std::fs::write(&args.emit_cert, cert.to_bytes())
-            .map_err(|e| format!("writing {}: {e}", args.emit_cert))?;
-        eprintln!("wrote {} ({})", args.emit_cert, cert.protocol);
-        print_profile();
-        return Ok(());
-    }
-
-    let (default_protocol, default_graph): (String, Graph) = match args.theorem.as_str() {
-        "ba-nodes" => (format!("EIG(f={f})"), builders::triangle()),
-        "ba-connectivity" => ("NaiveMajority".into(), builders::cycle(4)),
-        "weak-agreement" => (format!("WeakViaBA(EIG(f={f}))"), builders::triangle()),
-        "firing-squad" => (format!("FiringSquadViaBA(f={f})"), builders::triangle()),
-        "simple-approx" | "eps-delta-gamma" => (format!("DLPSW(f={f}, R=4)"), builders::triangle()),
-        other => {
-            return Err(format!(
-                "unknown theorem {other:?} (want ba-nodes, ba-connectivity, weak-agreement, \
-                 firing-squad, simple-approx, eps-delta-gamma, or clock-sync)"
-            ))
-        }
+    let theorem = Theorem::parse(&args.theorem).map_err(|e| e.to_string())?;
+    let graph = match &args.graph {
+        Some(name) => Some(query::parse_graph(name).map_err(|e| e.to_string())?),
+        None => None,
     };
-    let name = args.protocol.clone().unwrap_or(default_protocol);
-    let protocol = resolve(&name).map_err(|e| e.to_string())?;
-    let g = match &args.graph {
-        Some(name) => parse_graph(name)?,
-        None => default_graph,
-    };
-
-    let cert = flm_core::with_policy(policy, || match args.theorem.as_str() {
-        "ba-nodes" => refute::ba_nodes(&*protocol, &g, f),
-        "ba-connectivity" => refute::ba_connectivity(&*protocol, &g, f),
-        "weak-agreement" => refute::weak_agreement(&*protocol, &g, f),
-        "firing-squad" => refute::firing_squad(&*protocol, &g, f),
-        "simple-approx" => refute::simple_approx(&*protocol, &g, f),
-        _ => refute::eps_delta_gamma(&*protocol, &g, f, 0.25, 1.0, 1.0),
-    })
+    let bytes = query::refute_to_bytes(
+        theorem,
+        args.protocol.as_deref(),
+        graph.as_ref(),
+        args.f,
+        policy,
+    )
     .map_err(|e| e.to_string())?;
-    cert.verify(&*protocol)
-        .map_err(|e| format!("fresh certificate failed verification: {e}"))?;
-    std::fs::write(&args.emit_cert, cert.to_bytes())
+    std::fs::write(&args.emit_cert, &bytes)
         .map_err(|e| format!("writing {}: {e}", args.emit_cert))?;
-    eprintln!(
-        "wrote {} ({}, {} chain links)",
-        args.emit_cert,
-        cert.protocol,
-        cert.chain.len()
-    );
+    match flm_core::codec::decode_any(&bytes).map_err(|e| e.to_string())? {
+        AnyCertificate::Discrete(cert) => eprintln!(
+            "wrote {} ({}, {} chain links)",
+            args.emit_cert,
+            cert.protocol,
+            cert.chain.len()
+        ),
+        AnyCertificate::Clock(cert) => eprintln!("wrote {} ({})", args.emit_cert, cert.protocol),
+    }
     print_profile();
     Ok(())
 }
@@ -282,6 +219,7 @@ fn run_bench(args: &BenchArgs) {
     let suite = match args.suite.as_str() {
         "substrate" => suites::substrate_suite(args.samples),
         "runcache" => suites::runcache_suite(args.samples),
+        "serve" => suites::serve_suite(args.samples),
         _ => suites::refuter_suite(args.samples),
     };
     let json = suites::to_json(&args.suite, &suite);

@@ -1,5 +1,5 @@
 //! Machine-readable perf suites: the numbers behind `BENCH_substrate.json`,
-//! `BENCH_refuters.json`, and `BENCH_runcache.json`.
+//! `BENCH_refuters.json`, `BENCH_runcache.json`, and `BENCH_serve.json`.
 //!
 //! Each suite measures a small, stable set of hot paths and reports
 //! min/median/mean ns/op via [`crate::harness::measure`]. The substrate suite pits the dense
@@ -8,9 +8,11 @@
 //! The refuter suite pits the full run-reuse engine (adaptive dispatch,
 //! warm run cache) against the cold sequential baseline, and the runcache
 //! suite isolates each engine layer — memoization, scratch arena, adaptive
-//! dispatch — so regressions in any direction show up as a speedup ratio
-//! drifting in the JSON snapshots (`scripts/check.sh --bench-gate` fails on
-//! a >25% drop against the committed numbers).
+//! dispatch — and the serve suite round-trips FLMC-RPC requests against an
+//! in-process `flm-serve` server — so regressions in any direction show up
+//! as a speedup ratio drifting in the JSON snapshots
+//! (`scripts/check.sh --bench-gate` fails on a >25% drop against the
+//! committed numbers).
 
 use crate::harness::{measure, Config, Stats};
 use crate::protocols_under_test::{EigUnderTest, TableUnderTest};
@@ -302,6 +304,81 @@ pub fn runcache_suite(samples: usize) -> Suite {
     Suite { rows, speedups }
 }
 
+/// The service suite: FLMC-RPC round trips against an in-process
+/// `flm-serve` server on a loopback socket — raw frame/socket overhead
+/// (ping), refutation requests warm vs cold (the cross-connection
+/// cache-sharing payoff), and mixed-load throughput via the load generator.
+pub fn serve_suite(samples: usize) -> Suite {
+    use flm_serve::client::Client;
+    use flm_serve::loadgen::{self, Mix};
+    use flm_serve::query::Theorem;
+    use flm_serve::server::{ServeConfig, Server};
+
+    let config = cfg(samples);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    let server = Server::start(ServeConfig::default()).expect("bind loopback bench server");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect to bench server");
+
+    // Ping: the floor — one frame each way, no work behind it.
+    let ping = measure(config, || client.ping(b"bench", 0).unwrap());
+    rows.push(BenchRow {
+        name: "serve_ping/round_trip".into(),
+        stats: ping,
+    });
+
+    // The runcache suite's k6/f2 workload, now over RPC. Warm requests are
+    // answered from the process-global run cache the server's workers
+    // share; cold clears that cache before every request, so each one pays
+    // the full refutation. The gap is the service's warm-hit payoff.
+    let k6 = builders::complete(6);
+    let refute_rpc = |client: &mut Client| {
+        client
+            .refute("ba-nodes", Some("EIG(f=2)"), Some(&k6), 2, None)
+            .unwrap()
+    };
+    let warm = measure(config, || refute_rpc(&mut client));
+    let cold = measure(config, || {
+        flm_sim::runcache::clear();
+        refute_rpc(&mut client)
+    });
+    speedups.push((
+        "refute_rpc_ba_nodes_k6_f2: warm run cache vs cold, over RPC".into(),
+        ratio(cold, warm),
+    ));
+    rows.push(BenchRow {
+        name: "refute_rpc_ba_nodes_k6_f2/warm".into(),
+        stats: warm,
+    });
+    rows.push(BenchRow {
+        name: "refute_rpc_ba_nodes_k6_f2/cold".into(),
+        stats: cold,
+    });
+
+    // Mixed load: 4 connections × 8 requests, equal refute/verify/audit
+    // mix — the flm-client load generator end to end. The row's unit is
+    // ns per whole batch (32 requests), not per request.
+    let load = measure(config, || {
+        let report = loadgen::run(&addr.to_string(), 4, 8, Mix::default(), Theorem::BaNodes)
+            .expect("load generation");
+        assert_eq!(
+            report.transport_errors + report.abandoned,
+            0,
+            "load run dropped requests: {report}"
+        );
+        report
+    });
+    rows.push(BenchRow {
+        name: "serve_load_mixed_c4_r8/batch".into(),
+        stats: load,
+    });
+
+    server.shutdown();
+    Suite { rows, speedups }
+}
+
 /// Renders a suite as a small, stable JSON document (median ns/op).
 pub fn to_json(suite_name: &str, suite: &Suite) -> String {
     let mut s = String::new();
@@ -370,6 +447,21 @@ mod tests {
             assert!(suite.rows.iter().any(|r| r.name == name), "missing {name}");
         }
         assert_eq!(suite.speedups.len(), 3);
+        assert!(suite.speedups.iter().all(|(_, r)| *r > 0.0));
+    }
+
+    #[test]
+    fn serve_suite_measures_rpc_warm_against_cold() {
+        let suite = serve_suite(2);
+        for name in [
+            "serve_ping/round_trip",
+            "refute_rpc_ba_nodes_k6_f2/warm",
+            "refute_rpc_ba_nodes_k6_f2/cold",
+            "serve_load_mixed_c4_r8/batch",
+        ] {
+            assert!(suite.rows.iter().any(|r| r.name == name), "missing {name}");
+        }
+        assert_eq!(suite.speedups.len(), 1);
         assert!(suite.speedups.iter().all(|(_, r)| *r > 0.0));
     }
 

@@ -1,0 +1,244 @@
+//! The audit path as a library: decode, canonicality check, registry
+//! resolve, re-verify — exactly what the `flm-audit` binary does, factored
+//! out so the `flm-serve` Audit RPC and the binary share one code path and
+//! one exit-code contract.
+//!
+//! | exit | meaning |
+//! |---|---|
+//! | 0 | certificate decoded and the violation reproduced |
+//! | 1 | certificate decoded but verification failed (not reproduced) |
+//! | 2 | malformed bytes, non-canonical encoding, or unresolvable protocol |
+
+use std::fmt::Write as _;
+
+use flm_core::certificate::VerifyError;
+use flm_core::codec::AnyCertificate;
+use flm_protocols::{resolve, resolve_clock};
+
+use crate::rpc::Verdict;
+
+/// `flm-audit` exit code: violation reproduced.
+pub const EXIT_VERIFIED: u8 = 0;
+/// `flm-audit` exit code: well-formed but not reproduced.
+pub const EXIT_NOT_REPRODUCED: u8 = 1;
+/// `flm-audit` exit code: malformed input.
+pub const EXIT_MALFORMED: u8 = 2;
+
+/// Outcome of one audit: the exit code plus what the binary would print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// 0 verified / 1 not reproduced / 2 malformed.
+    pub exit_code: u8,
+    /// What `flm-audit` prints to stdout (the certificate rendering and the
+    /// verdict line; empty on failure).
+    pub report: String,
+    /// What `flm-audit` prints to stderr (failure explanations, timeline
+    /// replay problems; empty on clean success).
+    pub diagnostics: String,
+}
+
+/// Audits a certificate file image: decode, canonicality check, resolve the
+/// recorded protocol, re-verify, and (optionally, discrete certificates
+/// only) replay the violating behavior's timeline into the report.
+///
+/// Never panics on hostile bytes — every failure is a structured exit code
+/// with a diagnostic, the same contract `tests/hostile_certificates.rs`
+/// pins for the underlying decoder.
+pub fn audit_bytes(bytes: &[u8], timeline: bool) -> AuditReport {
+    let mut report = String::new();
+    let mut diagnostics = String::new();
+    let exit_code = audit_into(bytes, timeline, &mut report, &mut diagnostics);
+    AuditReport {
+        exit_code,
+        report,
+        diagnostics,
+    }
+}
+
+fn audit_into(bytes: &[u8], timeline: bool, report: &mut String, diagnostics: &mut String) -> u8 {
+    let cert = match flm_core::codec::decode_any(bytes) {
+        Ok(cert) => cert,
+        Err(e) => {
+            let _ = writeln!(diagnostics, "{e}");
+            return EXIT_MALFORMED;
+        }
+    };
+    // Canonicality check before anything runs: accepted bytes must re-encode
+    // to themselves, or the file's hash is not a fingerprint of its content.
+    if cert.to_bytes() != bytes {
+        let _ = writeln!(
+            diagnostics,
+            "decoded certificate does not re-encode to the input bytes"
+        );
+        return EXIT_MALFORMED;
+    }
+    match cert {
+        AnyCertificate::Discrete(cert) => {
+            let protocol = match resolve(&cert.protocol) {
+                Ok(p) => p,
+                Err(e) => {
+                    let _ = writeln!(diagnostics, "{e}");
+                    return EXIT_MALFORMED;
+                }
+            };
+            match cert.verify(&*protocol) {
+                Ok(()) => {
+                    let _ = writeln!(report, "{cert}");
+                    let _ = writeln!(
+                        report,
+                        "VERIFIED: violation reproduced against {}",
+                        cert.protocol
+                    );
+                    if timeline {
+                        match cert.replay_violating_behavior(&*protocol) {
+                            Ok(behavior) => {
+                                let _ = write!(report, "{}", behavior.render_timeline());
+                            }
+                            Err(e) => {
+                                let _ = writeln!(diagnostics, "timeline replay failed: {e}");
+                            }
+                        }
+                    }
+                    EXIT_VERIFIED
+                }
+                Err(VerifyError::NotReproduced { reason }) => {
+                    let _ = writeln!(diagnostics, "NOT REPRODUCED: {reason}");
+                    EXIT_NOT_REPRODUCED
+                }
+                Err(VerifyError::Malformed { reason }) => {
+                    let _ = writeln!(diagnostics, "malformed certificate: {reason}");
+                    EXIT_MALFORMED
+                }
+            }
+        }
+        AnyCertificate::Clock(cert) => {
+            let protocol = match resolve_clock(&cert.protocol) {
+                Ok(p) => p,
+                Err(e) => {
+                    let _ = writeln!(diagnostics, "{e}");
+                    return EXIT_MALFORMED;
+                }
+            };
+            match cert.verify(&*protocol) {
+                Ok(()) => {
+                    let _ = writeln!(report, "{cert}");
+                    let _ = writeln!(
+                        report,
+                        "VERIFIED: violation reproduced against {}",
+                        cert.protocol
+                    );
+                    if timeline {
+                        let _ = writeln!(
+                            diagnostics,
+                            "--timeline applies to discrete certificates only"
+                        );
+                    }
+                    EXIT_VERIFIED
+                }
+                Err(VerifyError::NotReproduced { reason }) => {
+                    let _ = writeln!(diagnostics, "NOT REPRODUCED: {reason}");
+                    EXIT_NOT_REPRODUCED
+                }
+                Err(VerifyError::Malformed { reason }) => {
+                    let _ = writeln!(diagnostics, "malformed certificate: {reason}");
+                    EXIT_MALFORMED
+                }
+            }
+        }
+    }
+}
+
+/// The lighter verification path behind the Verify RPC: decode, resolve,
+/// re-verify — no canonicality requirement, no rendering. Returns the
+/// verdict plus a detail string (the protocol name on success, the failure
+/// reason otherwise).
+pub fn verify_bytes(bytes: &[u8]) -> (Verdict, String) {
+    let cert = match flm_core::codec::decode_any(bytes) {
+        Ok(cert) => cert,
+        Err(e) => return (Verdict::Malformed, e.to_string()),
+    };
+    let (protocol_name, outcome) = match &cert {
+        AnyCertificate::Discrete(cert) => (
+            cert.protocol.clone(),
+            match resolve(&cert.protocol) {
+                Ok(p) => cert.verify(&*p),
+                Err(e) => return (Verdict::Malformed, e.to_string()),
+            },
+        ),
+        AnyCertificate::Clock(cert) => (
+            cert.protocol.clone(),
+            match resolve_clock(&cert.protocol) {
+                Ok(p) => cert.verify(&*p),
+                Err(e) => return (Verdict::Malformed, e.to_string()),
+            },
+        ),
+    };
+    match outcome {
+        Ok(()) => (Verdict::Verified, protocol_name),
+        Err(VerifyError::NotReproduced { reason }) => (Verdict::NotReproduced, reason),
+        Err(VerifyError::Malformed { reason }) => (Verdict::Malformed, reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{refute_to_bytes, Theorem};
+    use flm_sim::RunPolicy;
+
+    fn sample_bytes() -> Vec<u8> {
+        refute_to_bytes(Theorem::BaNodes, None, None, 1, RunPolicy::default()).unwrap()
+    }
+
+    #[test]
+    fn fresh_certificate_audits_clean() {
+        let report = audit_bytes(&sample_bytes(), false);
+        assert_eq!(report.exit_code, EXIT_VERIFIED, "{}", report.diagnostics);
+        assert!(report.report.contains("VERIFIED"));
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn timeline_lands_in_report() {
+        let report = audit_bytes(&sample_bytes(), true);
+        assert_eq!(report.exit_code, EXIT_VERIFIED);
+        assert!(
+            report.report.contains("tick"),
+            "no timeline: {}",
+            report.report
+        );
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let report = audit_bytes(b"not a certificate", false);
+        assert_eq!(report.exit_code, EXIT_MALFORMED);
+        assert!(report.report.is_empty());
+        assert!(!report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut bytes = sample_bytes();
+        bytes.extend_from_slice(b"junk");
+        assert_eq!(audit_bytes(&bytes, false).exit_code, EXIT_MALFORMED);
+    }
+
+    #[test]
+    fn verify_bytes_matches_audit_verdicts() {
+        let bytes = sample_bytes();
+        let (verdict, detail) = verify_bytes(&bytes);
+        assert_eq!(verdict, Verdict::Verified);
+        assert!(detail.contains("EIG"), "detail {detail:?}");
+        let (verdict, _) = verify_bytes(b"garbage");
+        assert_eq!(verdict, Verdict::Malformed);
+    }
+
+    #[test]
+    fn clock_certificates_audit_clean_too() {
+        let bytes =
+            refute_to_bytes(Theorem::ClockSync, None, None, 1, RunPolicy::default()).unwrap();
+        let report = audit_bytes(&bytes, false);
+        assert_eq!(report.exit_code, EXIT_VERIFIED, "{}", report.diagnostics);
+    }
+}

@@ -1,0 +1,83 @@
+//! `flm-audit` — standalone certificate checker.
+//!
+//! Loads an `FLMC` certificate file (written by `regen --emit-cert` or
+//! `flm-client refute --out`), resolves the recorded protocol through the
+//! `flm-protocols` registry, and re-verifies the certificate from the bytes
+//! alone. The exit code is the result:
+//!
+//! | exit | meaning |
+//! |---|---|
+//! | 0 | certificate decoded and the violation reproduced |
+//! | 1 | certificate decoded but verification failed (not reproduced) |
+//! | 2 | file unreadable, malformed bytes, or unresolvable protocol |
+//!
+//! ```text
+//! flm-audit CERT.flmc [--timeline] [--quiet]
+//! ```
+//!
+//! `--timeline` re-executes the violating behavior and prints its full
+//! message timeline; `--quiet` suppresses everything but errors.
+//!
+//! The verdict logic lives in [`flm_serve::audit`] — the same code path the
+//! `flm-serve` Audit RPC runs, so a certificate accepted here is accepted
+//! over the wire and vice versa.
+
+use std::process::ExitCode;
+
+use flm_serve::audit::{audit_bytes, EXIT_MALFORMED};
+
+struct Args {
+    path: String,
+    timeline: bool,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut path = None;
+    let mut timeline = false;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--timeline" => timeline = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err("exactly one certificate file expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("no certificate file given")?,
+        timeline,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("flm-audit: {msg}");
+            eprintln!("usage: flm-audit CERT [--timeline] [--quiet]");
+            return ExitCode::from(EXIT_MALFORMED);
+        }
+    };
+    let bytes = match std::fs::read(&args.path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("flm-audit: reading {}: {e}", args.path);
+            return ExitCode::from(EXIT_MALFORMED);
+        }
+    };
+    let outcome = audit_bytes(&bytes, args.timeline);
+    if !args.quiet {
+        print!("{}", outcome.report);
+    }
+    for line in outcome.diagnostics.lines() {
+        eprintln!("flm-audit: {line}");
+    }
+    ExitCode::from(outcome.exit_code)
+}

@@ -1,0 +1,237 @@
+//! `flm-client` — command-line client and load generator for `flm-serve`.
+//!
+//! ```text
+//! flm-client refute THEOREM [--addr HOST:PORT] [--protocol NAME]
+//!                           [--graph NAME] [--f N] [--out FILE]
+//! flm-client verify CERT    [--addr HOST:PORT]
+//! flm-client audit CERT     [--addr HOST:PORT] [--timeline is server-side: none]
+//! flm-client stats          [--addr HOST:PORT]
+//! flm-client ping           [--addr HOST:PORT] [--hold-ms N]
+//! flm-client load           [--addr HOST:PORT] [--connections N]
+//!                           [--requests M] [--mix R:V:A] [--theorem NAME]
+//! ```
+//!
+//! `refute` prints the certificate bytes to stdout (or `--out FILE`) so the
+//! result pipes straight into `flm-audit`. `audit` mirrors the `flm-audit`
+//! exit-code contract: 0 verified, 1 not reproduced, 2 malformed. `load` is
+//! the generator behind `BENCH_serve.json`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use flm_serve::client::Client;
+use flm_serve::loadgen::{self, Mix};
+use flm_serve::query::{parse_graph, Theorem};
+use flm_serve::rpc::Verdict;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7415";
+
+fn usage() -> &'static str {
+    "usage: flm-client refute THEOREM [--addr A] [--protocol P] [--graph G] [--f N] [--out FILE]\n\
+     \x20      flm-client verify CERT [--addr A]\n\
+     \x20      flm-client audit CERT [--addr A]\n\
+     \x20      flm-client stats [--addr A]\n\
+     \x20      flm-client ping [--addr A] [--hold-ms N]\n\
+     \x20      flm-client load [--addr A] [--connections N] [--requests M] [--mix R:V:A] [--theorem T]"
+}
+
+/// Flag parser: positional operands plus `--flag value` pairs.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{flag} wants a value"))?;
+                pairs.push((flag.to_owned(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn addr(&self) -> &str {
+        self.get("addr").unwrap_or(DEFAULT_ADDR)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{flag}: bad value {raw:?}")),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (flag, _) in &self.pairs {
+            if !known.contains(&flag.as_str()) {
+                return Err(format!("unknown flag --{flag}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("flm-client: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "refute" => cmd_refute(&flags),
+        "verify" => cmd_verify(&flags),
+        "audit" => cmd_audit(&flags),
+        "stats" => cmd_stats(&flags),
+        "ping" => cmd_ping(&flags),
+        "load" => cmd_load(&flags),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("flm-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn connect(flags: &Flags) -> Result<Client, String> {
+    Client::connect(flags.addr()).map_err(|e| format!("connecting to {}: {e}", flags.addr()))
+}
+
+fn cmd_refute(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr", "protocol", "graph", "f", "out"])?;
+    let [theorem] = flags.positional.as_slice() else {
+        return Err("refute wants exactly one THEOREM operand".into());
+    };
+    // Validate the family and graph locally for a friendly error before any
+    // bytes hit the wire; the server re-validates anyway.
+    Theorem::parse(theorem).map_err(|e| e.to_string())?;
+    let graph = match flags.get("graph") {
+        Some(name) => Some(parse_graph(name).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let f: u32 = flags.parsed("f", 1)?;
+    let mut client = connect(flags)?;
+    let bytes = client
+        .refute(theorem, flags.get("protocol"), graph.as_ref(), f, None)
+        .map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", bytes.len());
+        }
+        None => {
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn read_cert(flags: &Flags) -> Result<Vec<u8>, String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("exactly one certificate file expected".into());
+    };
+    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_verify(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr"])?;
+    let cert = read_cert(flags)?;
+    let mut client = connect(flags)?;
+    let (verdict, detail) = client.verify(&cert).map_err(|e| e.to_string())?;
+    match verdict {
+        Verdict::Verified => {
+            println!("VERIFIED: violation reproduced against {detail}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Verdict::NotReproduced => {
+            eprintln!("NOT REPRODUCED: {detail}");
+            Ok(ExitCode::from(1))
+        }
+        Verdict::Malformed => {
+            eprintln!("malformed certificate: {detail}");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn cmd_audit(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr"])?;
+    let cert = read_cert(flags)?;
+    let mut client = connect(flags)?;
+    let (exit_code, report, diagnostics) = client.audit(&cert).map_err(|e| e.to_string())?;
+    print!("{report}");
+    eprint!("{diagnostics}");
+    Ok(ExitCode::from(exit_code))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr"])?;
+    let mut client = connect(flags)?;
+    let report = client.stats().map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_ping(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr", "hold-ms"])?;
+    let hold_ms: u32 = flags.parsed("hold-ms", 0)?;
+    let mut client = connect(flags)?;
+    let echoed = client.ping(b"flm", hold_ms).map_err(|e| e.to_string())?;
+    if echoed != b"flm" {
+        return Err("ping payload came back mangled".into());
+    }
+    println!("pong from {}", flags.addr());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_load(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["addr", "connections", "requests", "mix", "theorem"])?;
+    if !flags.positional.is_empty() {
+        return Err("load takes flags only".into());
+    }
+    let connections: usize = flags.parsed("connections", 4)?;
+    let requests: usize = flags.parsed("requests", 16)?;
+    let mix = match flags.get("mix") {
+        Some(raw) => Mix::parse(raw)?,
+        None => Mix::default(),
+    };
+    let theorem = match flags.get("theorem") {
+        Some(name) => Theorem::parse(name).map_err(|e| e.to_string())?,
+        None => Theorem::BaNodes,
+    };
+    let report = loadgen::run(flags.addr(), connections, requests, mix, theorem)?;
+    println!("{report}");
+    // Abandoned requests or transport errors mean the server dropped load —
+    // the one thing a load-shedding server must never do.
+    if report.abandoned > 0 || report.transport_errors > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,122 @@
+//! `flm-serve` — refutation-as-a-service over framed FLMC-RPC.
+//!
+//! Binds a TCP listener and answers refute / verify / audit / stats
+//! requests with a bounded worker pool. A saturated server answers a typed
+//! `Overloaded` frame instead of dropping the socket.
+//!
+//! ```text
+//! flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!           [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]
+//!           [--max-requests N] [--port-file FILE]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` (the default) binds an ephemeral port;
+//! `--port-file` writes the actual bound address to a file, which is how
+//! `scripts/check.sh --serve-smoke` finds the server it just started.
+
+use std::process::ExitCode;
+
+use flm_serve::server::{ServeConfig, Server};
+
+fn usage() -> &'static str {
+    "usage: flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+     \x20                [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]\n\
+     \x20                [--max-requests N] [--port-file FILE]"
+}
+
+fn parse(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers wants a positive integer".to_string())?;
+                if config.workers == 0 {
+                    return Err("--workers wants a positive integer".into());
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth wants an integer".to_string())?;
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = value("--max-body-bytes")?
+                    .parse()
+                    .map_err(|_| "--max-body-bytes wants an integer".to_string())?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms wants an integer".to_string())?;
+                config.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--max-hold-ms" => {
+                config.max_hold_ms = value("--max-hold-ms")?
+                    .parse()
+                    .map_err(|_| "--max-hold-ms wants an integer".to_string())?;
+            }
+            "--max-requests" => {
+                config.max_requests_per_conn = value("--max-requests")?
+                    .parse()
+                    .map_err(|_| "--max-requests wants an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // --port-file is peeled off first so `parse` deals only with ServeConfig
+    // fields.
+    let mut args = Vec::new();
+    let mut port_file = None;
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--port-file" {
+            match it.next() {
+                Some(path) => port_file = Some(path),
+                None => {
+                    eprintln!("flm-serve: --port-file wants a value");
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
+    let config = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("flm-serve: {msg}");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("flm-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("flm-serve: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("listening on {addr}");
+    server.wait();
+    ExitCode::SUCCESS
+}

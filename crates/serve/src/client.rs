@@ -1,0 +1,235 @@
+//! The FLMC-RPC client: a blocking connection speaking [`crate::frame`]
+//! frames, with typed convenience wrappers for every request kind.
+//!
+//! The same type backs the `flm-client` binary, the load generator, and the
+//! embedded-server tests — there is exactly one implementation of "send a
+//! request, read the matching response".
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use flm_graph::Graph;
+use flm_sim::RunPolicy;
+
+use crate::frame::{read_frame, write_frame, FrameReadError, DEFAULT_MAX_BODY_BYTES};
+use crate::rpc::{ErrorCode, RefuteParams, Request, Response, StatsReport, Verdict};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's bytes were not a valid frame or response.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    ErrorResponse {
+        /// The server's failure classification.
+        code: ErrorCode,
+        /// The server's explanation.
+        detail: String,
+    },
+    /// The server shed this connection: it is saturated.
+    Overloaded {
+        /// Connections waiting in the accept queue when the server shed.
+        queued: u32,
+        /// The server's explanation.
+        detail: String,
+    },
+    /// The server answered with a well-formed response of the wrong kind.
+    Unexpected {
+        /// A description of what arrived.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::ErrorResponse { code, detail } => {
+                write!(f, "server error ({code}): {detail}")
+            }
+            ClientError::Overloaded { queued, detail } => {
+                write!(f, "server overloaded ({queued} queued): {detail}")
+            }
+            ClientError::Unexpected { got } => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connected FLMC-RPC client.
+pub struct Client {
+    stream: TcpStream,
+    max_body_bytes: usize,
+}
+
+impl Client {
+    /// Connects to an `flm-serve` address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        })
+    }
+
+    /// Sets a read timeout for responses; `None` (the default) blocks until
+    /// the server answers — refutations on cold caches take as long as they
+    /// take.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends a request and reads the server's single response frame.
+    /// [`Response::Error`] and [`Response::Overloaded`] are returned as
+    /// values here; the typed wrappers below turn them into
+    /// [`ClientError`]s.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed response frames.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_frame())?;
+        let frame = read_frame(&mut self.stream, self.max_body_bytes)?;
+        Response::from_frame(&frame).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, detail } => Err(ClientError::ErrorResponse { code, detail }),
+            Response::Overloaded { queued, detail } => {
+                Err(ClientError::Overloaded { queued, detail })
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Round-trips a ping, returning the echoed payload.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn ping(&mut self, payload: &[u8], hold_ms: u32) -> Result<Vec<u8>, ClientError> {
+        match self.expect(&Request::Ping {
+            payload: payload.to_vec(),
+            hold_ms,
+        })? {
+            Response::Pong { payload } => Ok(payload),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests a refutation, returning portable `FLMC` certificate bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors (unknown theorem,
+    /// unresolvable protocol, refuter declined), and overload shedding.
+    pub fn refute(
+        &mut self,
+        theorem: &str,
+        protocol: Option<&str>,
+        graph: Option<&Graph>,
+        f: u32,
+        policy: Option<RunPolicy>,
+    ) -> Result<Vec<u8>, ClientError> {
+        match self.expect(&Request::Refute(RefuteParams {
+            theorem: theorem.into(),
+            protocol: protocol.map(str::to_owned),
+            graph: graph.cloned(),
+            f,
+            policy,
+        }))? {
+            Response::Certificate { bytes } => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to re-verify a certificate.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn verify(&mut self, cert: &[u8]) -> Result<(Verdict, String), ClientError> {
+        match self.expect(&Request::Verify {
+            cert: cert.to_vec(),
+        })? {
+            Response::Verify { verdict, detail } => Ok((verdict, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs the full audit path server-side, returning `(exit_code, stdout,
+    /// stderr)` exactly as the local `flm-audit` binary would produce them.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn audit(&mut self, cert: &[u8]) -> Result<(u8, String, String), ClientError> {
+        match self.expect(&Request::Audit {
+            cert: cert.to_vec(),
+        })? {
+            Response::Audit {
+                exit_code,
+                report,
+                diagnostics,
+            } => Ok((exit_code, report, diagnostics)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's counters and cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    let got = match response {
+        Response::Pong { .. } => "pong",
+        Response::Certificate { .. } => "certificate",
+        Response::Verify { .. } => "verify result",
+        Response::Audit { .. } => "audit result",
+        Response::Stats(_) => "stats",
+        Response::Error { .. } => "error",
+        Response::Overloaded { .. } => "overloaded",
+    };
+    ClientError::Unexpected { got: got.into() }
+}

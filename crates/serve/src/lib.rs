@@ -1,0 +1,38 @@
+//! flm-serve: refutation-as-a-service over framed FLMC-RPC.
+//!
+//! A small, std-only network subsystem that serves the repository's
+//! impossibility refutations over TCP. Requests name a theorem family, a
+//! protocol (via [`flm_protocols::resolve`]), and a graph; responses carry
+//! portable `FLMC` certificate bytes that pipe straight into `flm-audit`.
+//!
+//! The layering, bottom to top:
+//!
+//! * [`frame`] — the `FLMR` length-prefixed frame: magic, version, kind
+//!   byte, `u32` body length. Bounded reads; hostile prefixes cannot force
+//!   allocation.
+//! * [`rpc`] — request/response bodies encoded with [`flm_sim::wire`], the
+//!   same primitives the certificate codec uses.
+//! * [`query`] — the theorem-family grammar and the single refutation code
+//!   path shared with `regen --refute`.
+//! * [`audit`] — the `flm-audit` verdict logic as a library, so the Audit
+//!   RPC and the binary cannot drift.
+//! * [`server`] — bounded-accept thread pool with typed load shedding: a
+//!   saturated server answers [`rpc::Response::Overloaded`] instead of
+//!   dropping the socket.
+//! * [`client`] / [`loadgen`] — the blocking client and the deterministic
+//!   load generator behind `flm-client` and `BENCH_serve.json`.
+//!
+//! Every worker shares the process-global run cache, so a certificate one
+//! connection paid to compute is a warm hit for every later connection
+//! asking the same canonical query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod query;
+pub mod rpc;
+pub mod server;

@@ -1,0 +1,325 @@
+//! Load generation: `N` client connections firing a deterministic mix of
+//! refute/verify/audit requests at a server, with retry-on-overload.
+//!
+//! This is both a CLI feature (`flm-client load`) and the machinery behind
+//! the `BENCH_serve.json` throughput rows. The request schedule is a pure
+//! function of the mix and the connection index, so two runs against the
+//! same server issue byte-identical request streams — warm-cache behavior
+//! is reproducible.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flm_sim::RunPolicy;
+
+use crate::client::{Client, ClientError};
+use crate::query::{self, Theorem};
+use crate::rpc::Verdict;
+
+/// Relative weights of the request kinds in the generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of refute requests.
+    pub refute: u32,
+    /// Weight of verify requests.
+    pub verify: u32,
+    /// Weight of audit requests.
+    pub audit: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix {
+            refute: 1,
+            verify: 1,
+            audit: 1,
+        }
+    }
+}
+
+impl Mix {
+    /// Parses a `refute:verify:audit` weight triple, e.g. `2:1:1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the string is not three `:`-separated
+    /// non-negative integers with a positive sum.
+    pub fn parse(s: &str) -> Result<Mix, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--mix wants REFUTE:VERIFY:AUDIT, got {s:?}"));
+        }
+        let parse = |p: &str| -> Result<u32, String> {
+            p.parse().map_err(|_| format!("--mix: bad weight {p:?}"))
+        };
+        let mix = Mix {
+            refute: parse(parts[0])?,
+            verify: parse(parts[1])?,
+            audit: parse(parts[2])?,
+        };
+        if mix.refute + mix.verify + mix.audit == 0 {
+            return Err("--mix: at least one weight must be positive".into());
+        }
+        Ok(mix)
+    }
+
+    /// The deterministic request schedule: one kind per slot, weights
+    /// interleaved round-robin (`2:1:1` yields `R R V A R R V A …`).
+    fn schedule(&self, len: usize) -> Vec<Kind> {
+        let mut pattern = Vec::new();
+        for _ in 0..self.refute {
+            pattern.push(Kind::Refute);
+        }
+        for _ in 0..self.verify {
+            pattern.push(Kind::Verify);
+        }
+        for _ in 0..self.audit {
+            pattern.push(Kind::Audit);
+        }
+        (0..len).map(|i| pattern[i % pattern.len()]).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Refute,
+    Verify,
+    Audit,
+}
+
+/// What one load run observed, aggregated over every connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests attempted (including retried ones once each).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Overloaded answers observed (each is followed by a reconnect and a
+    /// retry; an overload is shed load, not an error).
+    pub overloaded: u64,
+    /// Typed error responses.
+    pub errors: u64,
+    /// Transport failures (connection reset, timeout) — real *dropped*
+    /// connections, which a healthy load-shedding server never produces.
+    pub transport_errors: u64,
+    /// Requests abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Response payload bytes received.
+    pub bytes_received: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Successful requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} connections, {} requests in {:.3}s ({:.0} req/s)",
+            self.connections,
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+        )?;
+        write!(
+            f,
+            "ok {}, overloaded {}, errors {}, transport errors {}, abandoned {}, {} KiB received",
+            self.ok,
+            self.overloaded,
+            self.errors,
+            self.transport_errors,
+            self.abandoned,
+            self.bytes_received / 1024,
+        )
+    }
+}
+
+/// Retries per logical request before counting it abandoned.
+const MAX_ATTEMPTS: u32 = 5;
+
+/// Drives `connections` concurrent clients, each issuing `requests_per_conn`
+/// requests drawn from `mix` against `addr`. Refute requests query
+/// `theorem`'s canonical defaults; verify/audit requests carry a locally
+/// pre-built certificate for the same query, so the server's answer stream
+/// exercises all three code paths. Overloaded answers reconnect and retry
+/// with linear backoff.
+///
+/// # Errors
+///
+/// Returns a message when the local certificate pre-build fails (the server
+/// is never contacted in that case).
+pub fn run(
+    addr: &str,
+    connections: usize,
+    requests_per_conn: usize,
+    mix: Mix,
+    theorem: Theorem,
+) -> Result<LoadReport, String> {
+    // Verify/audit payloads are built locally, once: the same bytes the
+    // server would serve for this query (byte-determinism is the whole
+    // point), so the load stream needs no warm-up request.
+    let cert: Arc<Vec<u8>> = Arc::new(
+        query::refute_to_bytes(theorem, None, None, 1, RunPolicy::default())
+            .map_err(|e| format!("pre-building the verify/audit payload: {e}"))?,
+    );
+    let start = Instant::now();
+    let worker = |conn_index: usize| -> LoadReport {
+        let mut report = LoadReport::default();
+        let schedule = mix.schedule(requests_per_conn);
+        // Stagger each connection's schedule so simultaneous connections
+        // don't issue identical request sequences in lock-step.
+        let offset = conn_index % schedule.len().max(1);
+        let mut client = None;
+        for slot in 0..schedule.len() {
+            let kind = schedule[(slot + offset) % schedule.len()];
+            report.requests += 1;
+            let mut done = false;
+            for attempt in 0..MAX_ATTEMPTS {
+                let c = match client.as_mut() {
+                    Some(c) => c,
+                    None => match Client::connect(addr) {
+                        Ok(c) => {
+                            client = Some(c);
+                            client.as_mut().expect("just inserted")
+                        }
+                        Err(_) => {
+                            report.transport_errors += 1;
+                            std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1));
+                            continue;
+                        }
+                    },
+                };
+                let outcome = match kind {
+                    Kind::Refute => c
+                        .refute(theorem.name(), None, None, 1, None)
+                        .map(|bytes| bytes.len()),
+                    Kind::Verify => c.verify(&cert).map(|(verdict, detail)| {
+                        if verdict == Verdict::Verified {
+                            detail.len()
+                        } else {
+                            0
+                        }
+                    }),
+                    Kind::Audit => c
+                        .audit(&cert)
+                        .map(|(_, report, diagnostics)| report.len() + diagnostics.len()),
+                };
+                match outcome {
+                    Ok(bytes) => {
+                        report.ok += 1;
+                        report.bytes_received += bytes as u64;
+                        done = true;
+                        break;
+                    }
+                    Err(ClientError::Overloaded { .. }) => {
+                        // Shed: the server answered and closed. Reconnect
+                        // with a linear backoff and retry the same request.
+                        report.overloaded += 1;
+                        client = None;
+                        std::thread::sleep(Duration::from_millis(u64::from(attempt) * 2 + 1));
+                    }
+                    Err(ClientError::ErrorResponse { .. }) => {
+                        report.errors += 1;
+                        done = true;
+                        break;
+                    }
+                    Err(_) => {
+                        report.transport_errors += 1;
+                        client = None;
+                        std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1));
+                    }
+                }
+            }
+            if !done {
+                report.abandoned += 1;
+            }
+        }
+        report
+    };
+    let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| scope.spawn(move || worker(i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut total = LoadReport {
+        connections,
+        elapsed: start.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in reports {
+        total.requests += r.requests;
+        total.ok += r.ok;
+        total.overloaded += r.overloaded;
+        total.errors += r.errors;
+        total.transport_errors += r.transport_errors;
+        total.abandoned += r.abandoned;
+        total.bytes_received += r.bytes_received;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        assert_eq!(
+            Mix::parse("2:1:1").unwrap(),
+            Mix {
+                refute: 2,
+                verify: 1,
+                audit: 1
+            }
+        );
+        assert!(Mix::parse("1:1").is_err());
+        assert!(Mix::parse("0:0:0").is_err());
+        assert!(Mix::parse("a:1:1").is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_weighted() {
+        let mix = Mix {
+            refute: 2,
+            verify: 1,
+            audit: 1,
+        };
+        let s = mix.schedule(8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.iter().filter(|k| **k == Kind::Refute).count(), 4);
+        assert_eq!(s.iter().filter(|k| **k == Kind::Verify).count(), 2);
+        assert_eq!(s.iter().filter(|k| **k == Kind::Audit).count(), 2);
+        assert_eq!(s, mix.schedule(8));
+    }
+
+    #[test]
+    fn report_renders_throughput() {
+        let report = LoadReport {
+            connections: 2,
+            requests: 10,
+            ok: 10,
+            elapsed: Duration::from_secs(2),
+            ..LoadReport::default()
+        };
+        assert!((report.throughput_rps() - 5.0).abs() < 1e-9);
+        assert!(report.to_string().contains("2 connections"));
+    }
+}

@@ -1,0 +1,763 @@
+//! The FLMC-RPC message vocabulary: typed requests and responses encoded
+//! into [`crate::frame`] bodies with the same [`flm_sim::wire`] codec the
+//! certificate format uses.
+//!
+//! A request names a theorem family, a protocol (through the
+//! `flm-protocols` registry grammar), a graph (as `Graph::to_bytes`), and a
+//! fault budget; the matching response carries a portable `FLMC`
+//! certificate, so anything a server returns can be piped straight into
+//! `flm-audit`. Malformed bodies decode to a structured
+//! [`RpcDecodeError`] — the server answers those with a typed
+//! [`Response::Error`] frame, never a dropped socket.
+//!
+//! Kind bytes: requests occupy `0x01..=0x05`, successful responses mirror
+//! them at `0x81..=0x85`, and the two failure responses live at `0xE0`
+//! (error) and `0xE1` (overloaded — the load-shedding answer).
+
+use std::fmt;
+
+use flm_graph::Graph;
+use flm_sim::wire::{Reader, Writer};
+use flm_sim::RunPolicy;
+
+use crate::frame::Frame;
+
+/// Request kind bytes.
+pub mod kind {
+    /// Liveness probe / load-generator pacing primitive.
+    pub const REQ_PING: u8 = 0x01;
+    /// Run a refuter, answer with a certificate.
+    pub const REQ_REFUTE: u8 = 0x02;
+    /// Re-verify a certificate's violation.
+    pub const REQ_VERIFY: u8 = 0x03;
+    /// Full audit path (decode, canonicality, resolve, re-verify).
+    pub const REQ_AUDIT: u8 = 0x04;
+    /// Server counters and cache statistics.
+    pub const REQ_STATS: u8 = 0x05;
+    /// Response to [`REQ_PING`].
+    pub const RESP_PONG: u8 = 0x81;
+    /// Response to [`REQ_REFUTE`]: a portable `FLMC` certificate.
+    pub const RESP_CERTIFICATE: u8 = 0x82;
+    /// Response to [`REQ_VERIFY`].
+    pub const RESP_VERIFY: u8 = 0x83;
+    /// Response to [`REQ_AUDIT`].
+    pub const RESP_AUDIT: u8 = 0x84;
+    /// Response to [`REQ_STATS`].
+    pub const RESP_STATS: u8 = 0x85;
+    /// Typed failure response.
+    pub const RESP_ERROR: u8 = 0xE0;
+    /// Load-shedding response: the server is saturated, try again later.
+    pub const RESP_OVERLOADED: u8 = 0xE1;
+}
+
+/// Structured decode failure for RPC bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcDecodeError {
+    /// The frame kind byte names no known message.
+    UnknownKind(u8),
+    /// The body ran out of bytes or had an invalid tag in the named field.
+    Corrupt {
+        /// Which field was being decoded.
+        context: &'static str,
+    },
+    /// The bytes decoded but describe an impossible value.
+    Invalid {
+        /// Which field was being decoded.
+        context: &'static str,
+        /// Why the value is impossible.
+        reason: String,
+    },
+    /// Well-formed message followed by extra bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl fmt::Display for RpcDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcDecodeError::UnknownKind(k) => write!(f, "unknown message kind 0x{k:02X}"),
+            RpcDecodeError::Corrupt { context } => {
+                write!(f, "corrupt message: truncated or bad tag in {context}")
+            }
+            RpcDecodeError::Invalid { context, reason } => {
+                write!(f, "invalid message: {context}: {reason}")
+            }
+            RpcDecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after message body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcDecodeError {}
+
+fn corrupt(context: &'static str) -> impl Fn(flm_sim::wire::DecodeError) -> RpcDecodeError {
+    move |_| RpcDecodeError::Corrupt { context }
+}
+
+fn finish(r: &Reader<'_>) -> Result<(), RpcDecodeError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(RpcDecodeError::TrailingBytes {
+            count: r.remaining(),
+        })
+    }
+}
+
+/// A refutation query: everything `regen --refute` takes, over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefuteParams {
+    /// Theorem family name (`ba-nodes`, …, `clock-sync`); the grammar of
+    /// [`crate::query::Theorem::parse`].
+    pub theorem: String,
+    /// Protocol name for the registry; `None` uses the family's canonical
+    /// default.
+    pub protocol: Option<String>,
+    /// Base graph; `None` uses the family's canonical default.
+    pub graph: Option<Graph>,
+    /// Fault budget.
+    pub f: u32,
+    /// Requested run policy; the server clamps it to its configured
+    /// ceiling. `None` means "server default".
+    pub policy: Option<RunPolicy>,
+}
+
+/// One FLMC-RPC request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Echo `payload` after holding a worker for `hold_ms` milliseconds
+    /// (clamped by the server's configured cap). The hold is the load
+    /// generator's knob for simulating expensive work and the saturation
+    /// tests' knob for provoking load-shedding.
+    Ping {
+        /// Bytes echoed back in the pong.
+        payload: Vec<u8>,
+        /// Requested worker-hold duration in milliseconds.
+        hold_ms: u32,
+    },
+    /// Run a refuter and return the resulting certificate.
+    Refute(RefuteParams),
+    /// Re-verify the violation recorded in the given certificate bytes.
+    Verify {
+        /// A portable `FLMC` certificate file image.
+        cert: Vec<u8>,
+    },
+    /// Full `flm-audit` path over the given certificate bytes.
+    Audit {
+        /// A portable `FLMC` certificate file image.
+        cert: Vec<u8>,
+    },
+    /// Fetch server counters, cache statistics, and per-phase timings.
+    Stats,
+}
+
+impl Request {
+    /// Encodes the request into its frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut w = Writer::new();
+        let kind = match self {
+            Request::Ping { payload, hold_ms } => {
+                w.bytes(payload).u32(*hold_ms);
+                kind::REQ_PING
+            }
+            Request::Refute(p) => {
+                w.str(&p.theorem);
+                match &p.protocol {
+                    Some(name) => w.bool(true).str(name),
+                    None => w.bool(false),
+                };
+                match &p.graph {
+                    Some(g) => w.bool(true).bytes(&g.to_bytes()),
+                    None => w.bool(false),
+                };
+                w.u32(p.f);
+                match &p.policy {
+                    Some(policy) => {
+                        w.bool(true);
+                        policy.encode(&mut w);
+                    }
+                    None => {
+                        w.bool(false);
+                    }
+                };
+                kind::REQ_REFUTE
+            }
+            Request::Verify { cert } => {
+                w.bytes(cert);
+                kind::REQ_VERIFY
+            }
+            Request::Audit { cert } => {
+                w.bytes(cert);
+                kind::REQ_AUDIT
+            }
+            Request::Stats => kind::REQ_STATS,
+        };
+        Frame::new(kind, w.finish())
+    }
+
+    /// Decodes a request from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`RpcDecodeError`] on unknown kinds, truncated
+    /// or invalid bodies (including graphs rejected by
+    /// [`Graph::from_bytes`]), and trailing bytes.
+    pub fn from_frame(frame: &Frame) -> Result<Request, RpcDecodeError> {
+        let mut r = Reader::new(&frame.body);
+        let req = match frame.kind {
+            kind::REQ_PING => Request::Ping {
+                payload: r.bytes().map_err(corrupt("ping.payload"))?.to_vec(),
+                hold_ms: r.u32().map_err(corrupt("ping.hold_ms"))?,
+            },
+            kind::REQ_REFUTE => {
+                let theorem = r.str().map_err(corrupt("refute.theorem"))?.to_owned();
+                let protocol = if r.bool().map_err(corrupt("refute.protocol tag"))? {
+                    Some(r.str().map_err(corrupt("refute.protocol"))?.to_owned())
+                } else {
+                    None
+                };
+                let graph = if r.bool().map_err(corrupt("refute.graph tag"))? {
+                    let bytes = r.bytes().map_err(corrupt("refute.graph"))?;
+                    Some(
+                        Graph::from_bytes(bytes).map_err(|e| RpcDecodeError::Invalid {
+                            context: "refute.graph",
+                            reason: e.to_string(),
+                        })?,
+                    )
+                } else {
+                    None
+                };
+                let f = r.u32().map_err(corrupt("refute.f"))?;
+                let policy = if r.bool().map_err(corrupt("refute.policy tag"))? {
+                    Some(RunPolicy::decode(&mut r).map_err(corrupt("refute.policy"))?)
+                } else {
+                    None
+                };
+                Request::Refute(RefuteParams {
+                    theorem,
+                    protocol,
+                    graph,
+                    f,
+                    policy,
+                })
+            }
+            kind::REQ_VERIFY => Request::Verify {
+                cert: r.bytes().map_err(corrupt("verify.cert"))?.to_vec(),
+            },
+            kind::REQ_AUDIT => Request::Audit {
+                cert: r.bytes().map_err(corrupt("audit.cert"))?.to_vec(),
+            },
+            kind::REQ_STATS => Request::Stats,
+            other => return Err(RpcDecodeError::UnknownKind(other)),
+        };
+        finish(&r)?;
+        Ok(req)
+    }
+}
+
+/// Verification verdict, mirroring `flm-audit`'s exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Certificate decoded and the violation reproduced (exit 0).
+    Verified,
+    /// Certificate decoded but the violation did not reproduce (exit 1).
+    NotReproduced,
+    /// Bytes malformed or protocol unresolvable (exit 2).
+    Malformed,
+}
+
+impl Verdict {
+    /// The `flm-audit` exit code this verdict maps to.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            Verdict::Verified => 0,
+            Verdict::NotReproduced => 1,
+            Verdict::Malformed => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Verdict> {
+        match v {
+            0 => Some(Verdict::Verified),
+            1 => Some(Verdict::NotReproduced),
+            2 => Some(Verdict::Malformed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => write!(f, "VERIFIED"),
+            Verdict::NotReproduced => write!(f, "NOT REPRODUCED"),
+            Verdict::Malformed => write!(f, "MALFORMED"),
+        }
+    }
+}
+
+/// Typed failure codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or its body failed to decode.
+    MalformedFrame,
+    /// The request decoded but names something the server cannot serve
+    /// (unknown theorem, unresolvable protocol, bad graph).
+    BadRequest,
+    /// The refuter itself declined (adequate graph, model violation, …).
+    RefuteFailed,
+    /// The connection exhausted its per-connection request budget.
+    ConnectionBudget,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::MalformedFrame => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::RefuteFailed => 3,
+            ErrorCode::ConnectionBudget => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::MalformedFrame),
+            2 => Some(ErrorCode::BadRequest),
+            3 => Some(ErrorCode::RefuteFailed),
+            4 => Some(ErrorCode::ConnectionBudget),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::RefuteFailed => "refute-failed",
+            ErrorCode::ConnectionBudget => "connection-budget",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Server counters and cache statistics, the body of [`Response::Stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    /// Connections the acceptor admitted to the pool.
+    pub connections_accepted: u64,
+    /// Connections answered with [`Response::Overloaded`] instead of being
+    /// queued.
+    pub connections_shed: u64,
+    /// Ping requests served.
+    pub requests_ping: u64,
+    /// Refute requests served (successfully or not).
+    pub requests_refute: u64,
+    /// Verify requests served.
+    pub requests_verify: u64,
+    /// Audit requests served.
+    pub requests_audit: u64,
+    /// Stats requests served.
+    pub requests_stats: u64,
+    /// Typed error responses sent.
+    pub responses_error: u64,
+    /// Frames (or bodies) rejected as malformed.
+    pub malformed_frames: u64,
+    /// Process-global run-cache hits (see `flm_sim::runcache::stats`).
+    pub cache_hits: u64,
+    /// Process-global run-cache misses.
+    pub cache_misses: u64,
+    /// Behaviors currently stored in the run cache.
+    pub cache_entries: u64,
+    /// Approximate behavior bytes served from the cache instead of re-run.
+    pub cache_bytes_saved: u64,
+    /// `flm_core::profile::report()` output when `FLM_PROFILE` is enabled
+    /// in the server process; empty otherwise.
+    pub profile: String,
+}
+
+impl StatsReport {
+    /// Total requests served across every kind.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_ping
+            + self.requests_refute
+            + self.requests_verify
+            + self.requests_audit
+            + self.requests_stats
+    }
+
+    /// Run-cache hit rate in `[0, 1]`; 0 when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "connections: {} accepted, {} shed",
+            self.connections_accepted, self.connections_shed
+        )?;
+        writeln!(
+            f,
+            "requests: {} served (ping {}, refute {}, verify {}, audit {}, stats {})",
+            self.requests_served(),
+            self.requests_ping,
+            self.requests_refute,
+            self.requests_verify,
+            self.requests_audit,
+            self.requests_stats,
+        )?;
+        writeln!(
+            f,
+            "rejections: {} typed errors, {} malformed frames",
+            self.responses_error, self.malformed_frames
+        )?;
+        write!(
+            f,
+            "run cache: {} hits / {} misses ({:.1}% hit rate), {} entries, ~{} KiB reused",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache_entries,
+            self.cache_bytes_saved / 1024,
+        )?;
+        if !self.profile.is_empty() {
+            write!(f, "\n{}", self.profile.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// One FLMC-RPC response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Echo of a [`Request::Ping`].
+    Pong {
+        /// The echoed payload.
+        payload: Vec<u8>,
+    },
+    /// A successful refutation: portable `FLMC` certificate bytes, ready
+    /// for `flm-audit`.
+    Certificate {
+        /// The certificate file image.
+        bytes: Vec<u8>,
+    },
+    /// Outcome of a [`Request::Verify`].
+    Verify {
+        /// The verdict.
+        verdict: Verdict,
+        /// Human-readable detail (failure reason, or the protocol name on
+        /// success).
+        detail: String,
+    },
+    /// Outcome of a [`Request::Audit`]: what `flm-audit` would have done.
+    Audit {
+        /// The `flm-audit` exit code (0 verified, 1 not reproduced, 2
+        /// malformed).
+        exit_code: u8,
+        /// What the binary would print to stdout.
+        report: String,
+        /// What the binary would print to stderr.
+        diagnostics: String,
+    },
+    /// Server statistics.
+    Stats(StatsReport),
+    /// Typed failure.
+    Error {
+        /// Failure classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Load-shedding answer: the pool and queue are full. The connection is
+    /// closed after this frame, but it is *answered*, never silently
+    /// dropped.
+    Overloaded {
+        /// Connections waiting in the accept queue when this was sent.
+        queued: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response into its frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut w = Writer::new();
+        let kind = match self {
+            Response::Pong { payload } => {
+                w.bytes(payload);
+                kind::RESP_PONG
+            }
+            Response::Certificate { bytes } => {
+                w.bytes(bytes);
+                kind::RESP_CERTIFICATE
+            }
+            Response::Verify { verdict, detail } => {
+                w.u8(verdict.exit_code()).str(detail);
+                kind::RESP_VERIFY
+            }
+            Response::Audit {
+                exit_code,
+                report,
+                diagnostics,
+            } => {
+                w.u8(*exit_code).str(report).str(diagnostics);
+                kind::RESP_AUDIT
+            }
+            Response::Stats(s) => {
+                w.u64(s.connections_accepted)
+                    .u64(s.connections_shed)
+                    .u64(s.requests_ping)
+                    .u64(s.requests_refute)
+                    .u64(s.requests_verify)
+                    .u64(s.requests_audit)
+                    .u64(s.requests_stats)
+                    .u64(s.responses_error)
+                    .u64(s.malformed_frames)
+                    .u64(s.cache_hits)
+                    .u64(s.cache_misses)
+                    .u64(s.cache_entries)
+                    .u64(s.cache_bytes_saved)
+                    .str(&s.profile);
+                kind::RESP_STATS
+            }
+            Response::Error { code, detail } => {
+                w.u8(code.to_u8()).str(detail);
+                kind::RESP_ERROR
+            }
+            Response::Overloaded { queued, detail } => {
+                w.u32(*queued).str(detail);
+                kind::RESP_OVERLOADED
+            }
+        };
+        Frame::new(kind, w.finish())
+    }
+
+    /// Decodes a response from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`RpcDecodeError`] on unknown kinds, truncated
+    /// or invalid bodies, and trailing bytes.
+    pub fn from_frame(frame: &Frame) -> Result<Response, RpcDecodeError> {
+        let mut r = Reader::new(&frame.body);
+        let resp = match frame.kind {
+            kind::RESP_PONG => Response::Pong {
+                payload: r.bytes().map_err(corrupt("pong.payload"))?.to_vec(),
+            },
+            kind::RESP_CERTIFICATE => Response::Certificate {
+                bytes: r.bytes().map_err(corrupt("certificate.bytes"))?.to_vec(),
+            },
+            kind::RESP_VERIFY => {
+                let raw = r.u8().map_err(corrupt("verify.verdict"))?;
+                let verdict = Verdict::from_u8(raw).ok_or(RpcDecodeError::Invalid {
+                    context: "verify.verdict",
+                    reason: format!("unknown verdict tag {raw}"),
+                })?;
+                Response::Verify {
+                    verdict,
+                    detail: r.str().map_err(corrupt("verify.detail"))?.to_owned(),
+                }
+            }
+            kind::RESP_AUDIT => Response::Audit {
+                exit_code: r.u8().map_err(corrupt("audit.exit_code"))?,
+                report: r.str().map_err(corrupt("audit.report"))?.to_owned(),
+                diagnostics: r.str().map_err(corrupt("audit.diagnostics"))?.to_owned(),
+            },
+            kind::RESP_STATS => {
+                let mut next = |context: &'static str| r.u64().map_err(corrupt(context));
+                let s = StatsReport {
+                    connections_accepted: next("stats.connections_accepted")?,
+                    connections_shed: next("stats.connections_shed")?,
+                    requests_ping: next("stats.requests_ping")?,
+                    requests_refute: next("stats.requests_refute")?,
+                    requests_verify: next("stats.requests_verify")?,
+                    requests_audit: next("stats.requests_audit")?,
+                    requests_stats: next("stats.requests_stats")?,
+                    responses_error: next("stats.responses_error")?,
+                    malformed_frames: next("stats.malformed_frames")?,
+                    cache_hits: next("stats.cache_hits")?,
+                    cache_misses: next("stats.cache_misses")?,
+                    cache_entries: next("stats.cache_entries")?,
+                    cache_bytes_saved: next("stats.cache_bytes_saved")?,
+                    profile: String::new(),
+                };
+                let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
+                Response::Stats(StatsReport { profile, ..s })
+            }
+            kind::RESP_ERROR => {
+                let raw = r.u8().map_err(corrupt("error.code"))?;
+                let code = ErrorCode::from_u8(raw).ok_or(RpcDecodeError::Invalid {
+                    context: "error.code",
+                    reason: format!("unknown error code {raw}"),
+                })?;
+                Response::Error {
+                    code,
+                    detail: r.str().map_err(corrupt("error.detail"))?.to_owned(),
+                }
+            }
+            kind::RESP_OVERLOADED => Response::Overloaded {
+                queued: r.u32().map_err(corrupt("overloaded.queued"))?,
+                detail: r.str().map_err(corrupt("overloaded.detail"))?.to_owned(),
+            },
+            other => return Err(RpcDecodeError::UnknownKind(other)),
+        };
+        finish(&r)?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+
+    fn round_trip_request(req: Request) {
+        let frame = req.to_frame();
+        assert_eq!(Request::from_frame(&frame).unwrap(), req);
+        // Canonical: re-encoding the decoded value yields the same frame.
+        assert_eq!(Request::from_frame(&frame).unwrap().to_frame(), frame);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let frame = resp.to_frame();
+        assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+        assert_eq!(Response::from_frame(&frame).unwrap().to_frame(), frame);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping {
+            payload: b"hello".to_vec(),
+            hold_ms: 25,
+        });
+        round_trip_request(Request::Refute(RefuteParams {
+            theorem: "ba-nodes".into(),
+            protocol: Some("EIG(f=1)".into()),
+            graph: Some(builders::triangle()),
+            f: 1,
+            policy: Some(RunPolicy::default()),
+        }));
+        round_trip_request(Request::Refute(RefuteParams {
+            theorem: "clock-sync".into(),
+            protocol: None,
+            graph: None,
+            f: 1,
+            policy: None,
+        }));
+        round_trip_request(Request::Verify {
+            cert: vec![1, 2, 3],
+        });
+        round_trip_request(Request::Audit { cert: vec![] });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong {
+            payload: b"hello".to_vec(),
+        });
+        round_trip_response(Response::Certificate { bytes: vec![9; 64] });
+        round_trip_response(Response::Verify {
+            verdict: Verdict::NotReproduced,
+            detail: "decision mismatch".into(),
+        });
+        round_trip_response(Response::Audit {
+            exit_code: 2,
+            report: String::new(),
+            diagnostics: "bad magic".into(),
+        });
+        round_trip_response(Response::Stats(StatsReport {
+            connections_accepted: 3,
+            requests_refute: 2,
+            cache_hits: 40,
+            cache_misses: 2,
+            profile: "phase table".into(),
+            ..StatsReport::default()
+        }));
+        round_trip_response(Response::Error {
+            code: ErrorCode::BadRequest,
+            detail: "unknown theorem".into(),
+        });
+        round_trip_response(Response::Overloaded {
+            queued: 16,
+            detail: "pool saturated".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_kind_is_structured() {
+        let frame = Frame::new(0x7F, vec![]);
+        assert_eq!(
+            Request::from_frame(&frame),
+            Err(RpcDecodeError::UnknownKind(0x7F))
+        );
+        assert_eq!(
+            Response::from_frame(&frame),
+            Err(RpcDecodeError::UnknownKind(0x7F))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Request::Stats.to_frame();
+        frame.body.extend_from_slice(b"junk");
+        assert_eq!(
+            Request::from_frame(&frame),
+            Err(RpcDecodeError::TrailingBytes { count: 4 })
+        );
+    }
+
+    #[test]
+    fn hostile_graph_bytes_rejected_structurally() {
+        // A refute request whose embedded graph claims 2^31 nodes must be
+        // rejected by Graph::from_bytes's caps, not by an allocation.
+        let mut w = Writer::new();
+        w.str("ba-nodes").bool(false).bool(true);
+        let mut g = Writer::new();
+        g.u32(1 << 31);
+        w.bytes(&g.finish()).u32(1).bool(false);
+        let frame = Frame::new(kind::REQ_REFUTE, w.finish());
+        match Request::from_frame(&frame) {
+            Err(RpcDecodeError::Invalid { context, .. }) => {
+                assert_eq!(context, "refute.graph");
+            }
+            other => panic!("hostile graph accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_totals_and_hit_rate() {
+        let s = StatsReport {
+            requests_ping: 1,
+            requests_refute: 2,
+            requests_verify: 3,
+            requests_audit: 4,
+            requests_stats: 5,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..StatsReport::default()
+        };
+        assert_eq!(s.requests_served(), 15);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(StatsReport::default().cache_hit_rate(), 0.0);
+    }
+}

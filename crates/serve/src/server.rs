@@ -1,0 +1,545 @@
+//! The `flm-serve` server: a bounded-accept thread-pool TCP server speaking
+//! FLMC-RPC.
+//!
+//! # Architecture
+//!
+//! One acceptor thread owns the listener; `workers` handler threads own a
+//! bounded connection queue. The acceptor is the backpressure valve: a
+//! connection arriving while every worker is busy *and* the queue is full is
+//! answered with a typed [`Response::Overloaded`] frame and closed — load is
+//! shed with an answer, never a silently dropped socket. Everything else is
+//! queued and served in arrival order.
+//!
+//! # Budgets
+//!
+//! Per-connection hostile-input budgets reuse the hardening from the
+//! certificate layer: a frame-body byte cap (checked before allocation), a
+//! per-frame read timeout (an idle or trickling peer cannot pin a worker),
+//! a per-connection request budget, and a server-side [`RunPolicy`] ceiling
+//! clamped onto every refutation request (a query cannot demand a bigger
+//! simulation budget than the operator configured).
+//!
+//! # Cache sharing
+//!
+//! Workers share the process-global `flm_sim::runcache`, so byte-identical
+//! queries from *different* connections are warm hits. That is sound for
+//! exactly the reason the cache itself is: a hit requires the full canonical
+//! run key to match byte-for-byte, and under the determinism axiom that key
+//! fixes the behavior — which client asked is irrelevant. The [`Request::Stats`]
+//! RPC exposes the hit counters so the sharing is observable.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use flm_sim::RunPolicy;
+
+use crate::audit;
+use crate::frame::{read_frame, write_frame, FrameReadError, DEFAULT_MAX_BODY_BYTES};
+use crate::query::{self, Theorem};
+use crate::rpc::{ErrorCode, Request, Response, StatsReport};
+
+/// Server configuration. [`ServeConfig::default`] is sized for the loopback
+/// quickstart; production deployments tune every knob.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7115` or `127.0.0.1:0` (ephemeral).
+    pub addr: String,
+    /// Handler threads. Refutations themselves additionally fan out on the
+    /// process-wide `flm-par` pool.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// acceptor sheds load.
+    pub queue_depth: usize,
+    /// Frame-body byte cap, enforced before any allocation.
+    pub max_body_bytes: usize,
+    /// Per-frame read timeout; a connection idle past it is closed.
+    pub read_timeout: Duration,
+    /// Requests one connection may issue before it is asked to reconnect
+    /// (answered with a typed `connection-budget` error).
+    pub max_requests_per_conn: u64,
+    /// Cap on [`Request::Ping`] worker holds, milliseconds.
+    pub max_hold_ms: u32,
+    /// Ceiling clamped onto every requested [`RunPolicy`]: a query may
+    /// tighten the simulation budget, never raise it past this.
+    pub policy_ceiling: RunPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 32,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 4096,
+            max_hold_ms: 100,
+            policy_ceiling: RunPolicy::default(),
+        }
+    }
+}
+
+/// Monotonic service counters, shared across workers and surfaced by the
+/// Stats RPC.
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_shed: AtomicU64,
+    requests_ping: AtomicU64,
+    requests_refute: AtomicU64,
+    requests_verify: AtomicU64,
+    requests_audit: AtomicU64,
+    requests_stats: AtomicU64,
+    responses_error: AtomicU64,
+    malformed_frames: AtomicU64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    counters: Counters,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    busy_workers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsReport {
+        let c = &self.counters;
+        let cache = flm_sim::runcache::stats();
+        StatsReport {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_shed: c.connections_shed.load(Ordering::Relaxed),
+            requests_ping: c.requests_ping.load(Ordering::Relaxed),
+            requests_refute: c.requests_refute.load(Ordering::Relaxed),
+            requests_verify: c.requests_verify.load(Ordering::Relaxed),
+            requests_audit: c.requests_audit.load(Ordering::Relaxed),
+            requests_stats: c.requests_stats.load(Ordering::Relaxed),
+            responses_error: c.responses_error.load(Ordering::Relaxed),
+            malformed_frames: c.malformed_frames.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u64,
+            cache_bytes_saved: cache.bytes_saved,
+            profile: if flm_core::profile::enabled() {
+                flm_core::profile::report()
+            } else {
+                String::new()
+            },
+        }
+    }
+}
+
+/// A running FLMC-RPC server. Dropping without [`Server::shutdown`] leaves
+/// the threads serving until the process exits (the `flm-serve` binary's
+/// mode); tests call `shutdown` for a clean join.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config: ServeConfig { workers, ..config },
+            counters: Counters::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            busy_workers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the service counters and cache statistics —
+    /// the same report the Stats RPC returns, without a connection.
+    pub fn stats(&self) -> StatsReport {
+        self.shared.snapshot()
+    }
+
+    /// Workers currently handling a connection. The saturation tests use
+    /// this to wait for the pool to be provably busy before expecting
+    /// [`Response::Overloaded`].
+    pub fn busy_workers(&self) -> usize {
+        self.shared.busy_workers.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server is shut down (never, unless another thread
+    /// holds a handle). The `flm-serve` binary parks here.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, wakes every thread, and joins them. In-flight
+    /// requests complete; queued connections are served before the workers
+    /// exit.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.available.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor may have queued the wake-up connection; wake workers
+        // again so they observe the flag once the queue drains.
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort: stop the threads without joining (join may deadlock
+        // if drop runs on a worker panic path). `shutdown` is the clean way.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.available.notify_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let busy = shared.busy_workers.load(Ordering::SeqCst);
+        let saturated = busy >= shared.config.workers && queue.len() >= shared.config.queue_depth;
+        if saturated {
+            let queued = queue.len() as u32;
+            drop(queue);
+            shared
+                .counters
+                .connections_shed
+                .fetch_add(1, Ordering::Relaxed);
+            shed(stream, queued, shared);
+            continue;
+        }
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+/// Answers a connection the pool cannot take with a typed Overloaded frame,
+/// then closes it. Shedding with an answer is the contract: clients always
+/// learn *why* the connection ended.
+fn shed(mut stream: TcpStream, queued: u32, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let response = Response::Overloaded {
+        queued,
+        detail: format!(
+            "all {} workers busy and {} connections queued; retry later",
+            shared.config.workers, queued
+        ),
+    };
+    let _ = write_frame(&mut stream, &response.to_frame());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        handle_connection(stream, shared);
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let mut served: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream, shared.config.max_body_bytes) {
+            Ok(frame) => frame,
+            Err(FrameReadError::Eof) => return,
+            Err(FrameReadError::Io(_)) => return,
+            Err(FrameReadError::Frame(e)) => {
+                // Bytes arrived but they are not a frame: answer with a
+                // typed error, then drop the connection — after a framing
+                // violation the stream offset can no longer be trusted.
+                shared
+                    .counters
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                respond_error(
+                    &mut stream,
+                    shared,
+                    ErrorCode::MalformedFrame,
+                    &e.to_string(),
+                );
+                // Drain (bounded) whatever else the peer already sent before
+                // closing: closing with unread bytes in the receive buffer
+                // turns into a TCP RST that can destroy the error frame
+                // before the peer reads it.
+                drain(&mut stream);
+                return;
+            }
+        };
+        if served >= shared.config.max_requests_per_conn {
+            respond_error(
+                &mut stream,
+                shared,
+                ErrorCode::ConnectionBudget,
+                &format!(
+                    "connection exhausted its {}-request budget; reconnect",
+                    shared.config.max_requests_per_conn
+                ),
+            );
+            return;
+        }
+        let request = match Request::from_frame(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame was sound but the body was not: typed error,
+                // keep the connection (framing is still in sync).
+                shared
+                    .counters
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                respond_error(
+                    &mut stream,
+                    shared,
+                    ErrorCode::MalformedFrame,
+                    &e.to_string(),
+                );
+                served += 1;
+                continue;
+            }
+        };
+        let response = dispatch(request, shared);
+        if matches!(response, Response::Error { .. }) {
+            shared
+                .counters
+                .responses_error
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut stream, &response.to_frame()).is_err() {
+            return;
+        }
+        served += 1;
+    }
+}
+
+/// Reads and discards up to 64 KiB of leftover input (until EOF, error, or
+/// the read timeout), so the subsequent close sends FIN, not RST.
+fn drain(stream: &mut TcpStream) {
+    use std::io::Read as _;
+    let mut buf = [0u8; 4096];
+    let mut total = 0;
+    while total < 64 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, shared: &Shared, code: ErrorCode, detail: &str) {
+    shared
+        .counters
+        .responses_error
+        .fetch_add(1, Ordering::Relaxed);
+    let response = Response::Error {
+        code,
+        detail: detail.into(),
+    };
+    let _ = write_frame(stream, &response.to_frame());
+}
+
+fn dispatch(request: Request, shared: &Shared) -> Response {
+    let c = &shared.counters;
+    match request {
+        Request::Ping { payload, hold_ms } => {
+            c.requests_ping.fetch_add(1, Ordering::Relaxed);
+            let hold = hold_ms.min(shared.config.max_hold_ms);
+            if hold > 0 {
+                std::thread::sleep(Duration::from_millis(u64::from(hold)));
+            }
+            Response::Pong { payload }
+        }
+        Request::Refute(params) => {
+            c.requests_refute.fetch_add(1, Ordering::Relaxed);
+            let theorem = match Theorem::parse(&params.theorem) {
+                Ok(theorem) => theorem,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: e.to_string(),
+                    }
+                }
+            };
+            let policy = clamp_policy(params.policy, shared.config.policy_ceiling);
+            match query::refute_to_bytes(
+                theorem,
+                params.protocol.as_deref(),
+                params.graph.as_ref(),
+                params.f as usize,
+                policy,
+            ) {
+                Ok(bytes) => Response::Certificate { bytes },
+                Err(e @ query::QueryError::BadRequest { .. })
+                | Err(e @ query::QueryError::UnknownTheorem { .. }) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: e.to_string(),
+                },
+                Err(e @ query::QueryError::Refute { .. }) => Response::Error {
+                    code: ErrorCode::RefuteFailed,
+                    detail: e.to_string(),
+                },
+                Err(e @ query::QueryError::SelfCheck { .. }) => Response::Error {
+                    code: ErrorCode::Internal,
+                    detail: e.to_string(),
+                },
+            }
+        }
+        Request::Verify { cert } => {
+            c.requests_verify.fetch_add(1, Ordering::Relaxed);
+            let (verdict, detail) = audit::verify_bytes(&cert);
+            Response::Verify { verdict, detail }
+        }
+        Request::Audit { cert } => {
+            c.requests_audit.fetch_add(1, Ordering::Relaxed);
+            let report = audit::audit_bytes(&cert, false);
+            Response::Audit {
+                exit_code: report.exit_code,
+                report: report.report,
+                diagnostics: report.diagnostics,
+            }
+        }
+        Request::Stats => {
+            c.requests_stats.fetch_add(1, Ordering::Relaxed);
+            Response::Stats(shared.snapshot())
+        }
+    }
+}
+
+/// Clamps a requested policy to the server's ceiling, fieldwise: queries may
+/// tighten their simulation budget but never exceed the operator's.
+fn clamp_policy(requested: Option<RunPolicy>, ceiling: RunPolicy) -> RunPolicy {
+    match requested {
+        None => ceiling,
+        Some(p) => RunPolicy {
+            max_payload_bytes: p.max_payload_bytes.min(ceiling.max_payload_bytes),
+            max_ticks: p.max_ticks.min(ceiling.max_ticks),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_clamp_is_fieldwise_min() {
+        let ceiling = RunPolicy {
+            max_payload_bytes: 1000,
+            max_ticks: 50,
+        };
+        assert_eq!(clamp_policy(None, ceiling), ceiling);
+        let clamped = clamp_policy(
+            Some(RunPolicy {
+                max_payload_bytes: 4000,
+                max_ticks: 10,
+            }),
+            ceiling,
+        );
+        assert_eq!(clamped.max_payload_bytes, 1000);
+        assert_eq!(clamped.max_ticks, 10);
+    }
+
+    #[test]
+    fn server_binds_ephemeral_and_shuts_down() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.stats().requests_served(), 0);
+        server.shutdown();
+    }
+}

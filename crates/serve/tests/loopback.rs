@@ -1,0 +1,243 @@
+//! End-to-end loopback tests: an in-process server driven by real TCP
+//! clients.
+//!
+//! The load-bearing assertion is *byte identity*: a certificate served over
+//! the wire is exactly the bytes the library path produces for the same
+//! query, for all seven theorem families, even under concurrent clients.
+//! That is what makes `flm-serve` a transport for the proofs rather than a
+//! second implementation of them.
+
+use std::time::{Duration, Instant};
+
+use flm_serve::audit::{audit_bytes, EXIT_VERIFIED};
+use flm_serve::client::{Client, ClientError};
+use flm_serve::query::{refute_to_bytes, Theorem};
+use flm_serve::rpc::Verdict;
+use flm_serve::server::{ServeConfig, Server};
+use flm_sim::RunPolicy;
+
+/// ≥8 simultaneous clients, each sweeping all 7 theorem families: every
+/// wire certificate is byte-identical to the library path, re-verifies over
+/// the Verify RPC, and audits clean over the Audit RPC.
+#[test]
+fn concurrent_clients_get_byte_identical_certificates_across_all_families() {
+    const CLIENTS: usize = 8;
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The library-path reference bytes, computed once up front.
+    let reference: Vec<(Theorem, Vec<u8>)> = Theorem::ALL
+        .into_iter()
+        .map(|t| {
+            let bytes = refute_to_bytes(t, None, None, 1, RunPolicy::default())
+                .unwrap_or_else(|e| panic!("library refutation for {t} failed: {e}"));
+            (t, bytes)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Stagger the family order per client so different families
+                // are in flight simultaneously.
+                for i in 0..reference.len() {
+                    let (theorem, expected) = &reference[(i + client_index) % reference.len()];
+                    let wire = client
+                        .refute(theorem.name(), None, None, 1, None)
+                        .unwrap_or_else(|e| panic!("wire refutation for {theorem} failed: {e}"));
+                    assert_eq!(
+                        &wire, expected,
+                        "wire certificate for {theorem} differs from the library path"
+                    );
+                    let (verdict, _) = client.verify(&wire).unwrap();
+                    assert_eq!(verdict, Verdict::Verified, "verify RPC for {theorem}");
+                    let (exit_code, report, diagnostics) = client.audit(&wire).unwrap();
+                    assert_eq!(
+                        exit_code, EXIT_VERIFIED,
+                        "audit RPC for {theorem}: {diagnostics}"
+                    );
+                    assert!(report.contains("VERIFIED"), "audit report for {theorem}");
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests_refute, (CLIENTS * Theorem::ALL.len()) as u64);
+    assert_eq!(stats.requests_verify, (CLIENTS * Theorem::ALL.len()) as u64);
+    assert_eq!(stats.requests_audit, (CLIENTS * Theorem::ALL.len()) as u64);
+    assert_eq!(stats.connections_shed, 0, "default config must not shed");
+    server.shutdown();
+}
+
+/// Wire certificates also satisfy the *local* audit entry point — the same
+/// function behind the `flm-audit` binary — closing the loop with PR 3's
+/// certificate tooling.
+#[test]
+fn wire_certificates_pass_local_audit() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for theorem in Theorem::ALL {
+        let wire = client.refute(theorem.name(), None, None, 1, None).unwrap();
+        let outcome = audit_bytes(&wire, false);
+        assert_eq!(
+            outcome.exit_code, EXIT_VERIFIED,
+            "local audit of wire cert for {theorem}: {}",
+            outcome.diagnostics
+        );
+    }
+    server.shutdown();
+}
+
+/// A saturated pool answers `Overloaded` — it never hangs and never drops
+/// the socket — and recovers once the load clears.
+#[test]
+fn saturated_pool_sheds_with_a_typed_answer_then_recovers() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        // Let the ping hold long enough to provably saturate the one worker.
+        max_hold_ms: 10_000,
+        read_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the only worker with a long-held ping.
+    let holder = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.ping(b"hold", 2_000).unwrap()
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.busy_workers() == 0 {
+        assert!(Instant::now() < deadline, "worker never became busy");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The pool is provably saturated (1 busy worker, queue depth 0): the
+    // next connection must be answered with a typed Overloaded frame.
+    let mut shed_client = Client::connect(addr).unwrap();
+    shed_client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match shed_client.ping(b"shed me", 0) {
+        Err(ClientError::Overloaded { detail, .. }) => {
+            assert!(detail.contains("busy"), "detail: {detail}");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The held ping still completes: shedding one connection never disturbs
+    // an in-flight one.
+    assert_eq!(holder.join().unwrap(), b"hold");
+
+    // And once the worker frees up, new connections are served again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.busy_workers() != 0 {
+        assert!(Instant::now() < deadline, "worker never freed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.ping(b"back", 0).unwrap(), b"back");
+
+    let stats = server.stats();
+    assert_eq!(stats.connections_shed, 1, "stats: {stats:?}");
+    server.shutdown();
+}
+
+/// The Stats RPC reports the counters the server actually incremented, and
+/// repeated identical refutations are visible as run-cache traffic.
+#[test]
+fn stats_rpc_reflects_served_requests() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let first = client.refute("ba-nodes", None, None, 1, None).unwrap();
+    let second = client.refute("ba-nodes", None, None, 1, None).unwrap();
+    assert_eq!(
+        first, second,
+        "identical queries must serve identical bytes"
+    );
+    client.verify(&first).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests_refute, 2);
+    assert_eq!(stats.requests_verify, 1);
+    assert_eq!(stats.requests_stats, 1);
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.connections_shed, 0);
+    // The run cache is process-global (other tests in this binary also feed
+    // it), so only monotone claims are safe: traffic exists.
+    assert!(stats.cache_hits + stats.cache_misses > 0);
+    server.shutdown();
+}
+
+/// A connection that exhausts its request budget is told so with a typed
+/// error, and a fresh connection keeps working.
+#[test]
+fn connection_budget_is_a_typed_error() {
+    let server = Server::start(ServeConfig {
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..3 {
+        client.ping(b"x", 0).unwrap();
+    }
+    match client.ping(b"one too many", 0) {
+        Err(ClientError::ErrorResponse { code, detail }) => {
+            assert_eq!(code, flm_serve::rpc::ErrorCode::ConnectionBudget);
+            assert!(detail.contains("reconnect"), "detail: {detail}");
+        }
+        other => panic!("expected ConnectionBudget, got {other:?}"),
+    }
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(fresh.ping(b"fresh", 0).unwrap(), b"fresh");
+    server.shutdown();
+}
+
+/// Refute requests with explicit protocol/graph/f round-trip, and bad
+/// requests come back as typed errors rather than closed sockets.
+#[test]
+fn explicit_query_parameters_and_typed_failures() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Explicit parameters matching the ba-connectivity defaults.
+    let graph = flm_graph::builders::cycle(4);
+    let wire = client
+        .refute(
+            "ba-connectivity",
+            Some("NaiveMajority"),
+            Some(&graph),
+            1,
+            None,
+        )
+        .unwrap();
+    let expected = refute_to_bytes(
+        Theorem::BaConnectivity,
+        Some("NaiveMajority"),
+        Some(&graph),
+        1,
+        RunPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(wire, expected);
+
+    // Unknown theorem and unresolvable protocol are BadRequest.
+    for (theorem, protocol) in [("no-such-theorem", None), ("ba-nodes", Some("Nope(f=1)"))] {
+        match client.refute(theorem, protocol, None, 1, None) {
+            Err(ClientError::ErrorResponse { code, .. }) => {
+                assert_eq!(code, flm_serve::rpc::ErrorCode::BadRequest);
+            }
+            other => panic!("expected BadRequest for {theorem}/{protocol:?}, got {other:?}"),
+        }
+    }
+    // The connection survived both rejections.
+    assert_eq!(client.ping(b"alive", 0).unwrap(), b"alive");
+    server.shutdown();
+}

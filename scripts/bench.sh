@@ -9,6 +9,9 @@
 #   BENCH_runcache.json  — each engine layer isolated: warm vs cold cache,
 #                          scratch arena vs fresh buffers, adaptive vs
 #                          naive pool dispatch
+#   BENCH_serve.json     — FLMC-RPC round trips against an in-process
+#                          flm-serve server: ping floor, refute requests
+#                          warm vs cold, mixed-load generator throughput
 #
 # Timings are ns/op (min/median/mean); the "speedups" arrays carry the
 # headline ratios, computed over the minima — the noise-floor estimator —
@@ -31,4 +34,7 @@ echo "==> refuter suite (${SAMPLES} samples)"
 echo "==> runcache suite (${SAMPLES} samples)"
 ./target/release/regen --bench runcache --samples "$SAMPLES" --out BENCH_runcache.json
 
-echo "Wrote BENCH_substrate.json, BENCH_refuters.json, and BENCH_runcache.json."
+echo "==> serve suite (${SAMPLES} samples)"
+./target/release/regen --bench serve --samples "$SAMPLES" --out BENCH_serve.json
+
+echo "Wrote BENCH_substrate.json, BENCH_refuters.json, BENCH_runcache.json, and BENCH_serve.json."

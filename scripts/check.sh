@@ -10,8 +10,50 @@
 # against the committed BENCH_*.json snapshots: any ratio that lands below
 # 75% of its committed value fails the gate. Run it on the bench host that
 # produced the committed numbers; other machines carry different constants.
+#
+# `--serve-smoke` runs only the flm-serve round-trip smoke (also part of the
+# full gate): start flm-serve on an ephemeral port, drive a refute + verify +
+# audit round trip through flm-client, and audit the wire certificate with
+# the local flm-audit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Starts flm-serve on an ephemeral port, round-trips refute/verify/audit
+# through flm-client, and checks the wire certificate against the local
+# flm-audit. Expects release binaries to be built already.
+serve_smoke() {
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/flm-serve --addr 127.0.0.1:0 --port-file "$tmpdir/addr" &
+    local serve_pid=$!
+    # shellcheck disable=SC2064  # expand tmpdir/serve_pid now, not at exit
+    trap "kill $serve_pid 2>/dev/null || true; wait $serve_pid 2>/dev/null || true; rm -rf '$tmpdir'" RETURN
+    for _ in $(seq 1 100); do
+        [[ -s "$tmpdir/addr" ]] && break
+        sleep 0.05
+    done
+    [[ -s "$tmpdir/addr" ]] || { echo "flm-serve never wrote its port file"; return 1; }
+    local addr
+    addr="$(cat "$tmpdir/addr")"
+
+    ./target/release/flm-client ping --addr "$addr"
+    ./target/release/flm-client refute ba-nodes --addr "$addr" --out "$tmpdir/wire.flmc"
+    ./target/release/flm-client verify "$tmpdir/wire.flmc" --addr "$addr"
+    ./target/release/flm-client audit "$tmpdir/wire.flmc" --addr "$addr" > /dev/null
+    # The wire certificate must satisfy the *local* auditor too.
+    ./target/release/flm-audit "$tmpdir/wire.flmc" --quiet
+    # Damaged wire bytes must be rejected (exit 2) by the remote audit path.
+    head -c 40 "$tmpdir/wire.flmc" > "$tmpdir/damaged.flmc"
+    set +e
+    ./target/release/flm-client audit "$tmpdir/damaged.flmc" --addr "$addr" 2>/dev/null
+    local rc=$?
+    set -e
+    if [[ $rc -ne 2 ]]; then
+        echo "flm-client audit exited $rc on damaged bytes (expected 2: malformed)"
+        return 1
+    fi
+    ./target/release/flm-client stats --addr "$addr"
+}
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> smoke: cargo build"
@@ -19,6 +61,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> smoke: cargo test (core + sim + par libs)"
     cargo test -p flm-core -p flm-sim -p flm-par --lib --quiet
     echo "Smoke checks passed (run without --smoke for the full gate)."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve-smoke" ]]; then
+    echo "==> serve smoke: cargo build --release -p flm-serve -p flm-bench"
+    cargo build --release -p flm-serve -p flm-bench
+    echo "==> serve smoke: flm-serve round trip on an ephemeral port"
+    serve_smoke
+    echo "Serve smoke passed."
     exit 0
 fi
 
@@ -35,7 +86,7 @@ if [[ "${1:-}" == "--bench-gate" ]]; then
     tmpdir="$(mktemp -d)"
     trap 'rm -rf "$tmpdir"' EXIT
     failed=0
-    for suite in substrate refuters runcache; do
+    for suite in substrate refuters runcache serve; do
         committed="BENCH_${suite}.json"
         if [[ ! -f "$committed" ]]; then
             echo "bench gate: missing $committed"
@@ -104,5 +155,8 @@ for mutant in truncated trailing; do
         exit 1
     fi
 done
+
+echo "==> serve round-trip smoke"
+serve_smoke
 
 echo "All checks passed."
