@@ -7,6 +7,11 @@
 //!
 //! Run with:
 //!
+//! With `--campaign`, runs a seed-deterministic chaos campaign over the
+//! protocol zoo × graph families × fault plans, shrinks every violation,
+//! and writes the certificates plus `campaign_report.json` to a directory
+//! (`flm-audit --batch DIR` checks the lot).
+//!
 //! ```text
 //! cargo run -p flm-bench --bin regen                    # markdown tables
 //! cargo run -p flm-bench --bin regen -- --bench substrate [--samples N] [--out FILE]
@@ -14,6 +19,8 @@
 //! cargo run -p flm-bench --bin regen -- --refute THEOREM --emit-cert FILE \
 //!     [--protocol NAME] [--f N] [--graph GRAPH] \
 //!     [--max-ticks N] [--max-payload-bytes N]
+//! cargo run -p flm-bench --bin regen -- --campaign --out-dir DIR \
+//!     [--seed N] [--scale smoke|full]
 //! ```
 //!
 //! `THEOREM` is one of `ba-nodes`, `ba-connectivity`, `weak-agreement`,
@@ -28,7 +35,7 @@
 //! so a certificate written here is byte-identical to one served over the
 //! wire for the same query.
 
-use flm_bench::{experiments, suites};
+use flm_bench::{campaign, experiments, suites};
 use flm_core::codec::AnyCertificate;
 use flm_serve::query::{self, Theorem};
 use flm_sim::RunPolicy;
@@ -44,12 +51,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Ok(Mode::Campaign(campaign)) => {
+            if let Err(msg) = run_campaign_cli(&campaign) {
+                eprintln!("regen: {msg}");
+                std::process::exit(1);
+            }
+        }
         Err(msg) => {
             eprintln!("regen: {msg}");
             eprintln!(
-                "usage: regen [--bench substrate|refuters|runcache|serve] [--samples N] [--out FILE]\n\
+                "usage: regen [--bench substrate|refuters|runcache|serve|campaign] [--samples N] [--out FILE]\n\
                  \x20      regen --refute THEOREM --emit-cert FILE [--protocol NAME] [--f N] \
-                 [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]"
+                 [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]\n\
+                 \x20      regen --campaign --out-dir DIR [--seed N] [--scale smoke|full]"
             );
             std::process::exit(2);
         }
@@ -60,6 +74,13 @@ enum Mode {
     Tables,
     Bench(BenchArgs),
     Refute(RefuteArgs),
+    Campaign(CampaignArgs),
+}
+
+struct CampaignArgs {
+    out_dir: String,
+    seed: u64,
+    scale: String,
 }
 
 struct BenchArgs {
@@ -89,6 +110,12 @@ fn parse(args: &[String]) -> Result<Mode, String> {
     let mut graph = None;
     let mut max_ticks = None;
     let mut max_payload_bytes = None;
+    let mut campaign_mode = false;
+    let mut out_dir = None;
+    let mut seed = 0xF1Au64;
+    let mut seed_given = false;
+    let mut scale = "full".to_string();
+    let mut scale_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| {
@@ -97,12 +124,34 @@ fn parse(args: &[String]) -> Result<Mode, String> {
         match arg.as_str() {
             "--bench" => {
                 let s = value(&mut it)?;
-                if s != "substrate" && s != "refuters" && s != "runcache" && s != "serve" {
+                if !["substrate", "refuters", "runcache", "serve", "campaign"].contains(&s.as_str())
+                {
                     return Err(format!(
-                        "unknown suite {s:?} (want substrate, refuters, runcache, or serve)"
+                        "unknown suite {s:?} (want substrate, refuters, runcache, serve, or \
+                         campaign)"
                     ));
                 }
                 suite = Some(s);
+            }
+            "--campaign" => campaign_mode = true,
+            "--out-dir" => out_dir = Some(value(&mut it)?),
+            "--seed" => {
+                let raw = value(&mut it)?;
+                // Accept both decimal and the 0x-prefixed hex the campaign
+                // report prints, so a seed can be pasted back verbatim.
+                seed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => raw.parse(),
+                }
+                .map_err(|e| format!("--seed {raw:?}: {e}"))?;
+                seed_given = true;
+            }
+            "--scale" => {
+                scale = value(&mut it)?;
+                if scale != "smoke" && scale != "full" {
+                    return Err(format!("unknown scale {scale:?} (want smoke or full)"));
+                }
+                scale_given = true;
             }
             "--samples" => {
                 samples = value(&mut it)?
@@ -139,6 +188,20 @@ fn parse(args: &[String]) -> Result<Mode, String> {
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if campaign_mode {
+        if theorem.is_some() || suite.is_some() || out.is_some() || emit_cert.is_some() {
+            return Err("--refute/--bench/--out/--emit-cert do not apply with --campaign".into());
+        }
+        let out_dir = out_dir.ok_or("--campaign needs --out-dir DIR")?;
+        return Ok(Mode::Campaign(CampaignArgs {
+            out_dir,
+            seed,
+            scale,
+        }));
+    }
+    if out_dir.is_some() || seed_given || scale_given {
+        return Err("--out-dir/--seed/--scale only apply with --campaign".into());
     }
     if let Some(theorem) = theorem {
         if suite.is_some() || out.is_some() {
@@ -215,11 +278,39 @@ fn print_profile() {
     }
 }
 
+fn run_campaign_cli(args: &CampaignArgs) -> Result<(), String> {
+    let config = match args.scale.as_str() {
+        "smoke" => campaign::smoke_config(args.seed),
+        _ => campaign::full_config(args.seed),
+    };
+    let outcome = campaign::run_campaign(&config);
+    let report_path = campaign::write_campaign(&outcome, std::path::Path::new(&args.out_dir))
+        .map_err(|e| format!("writing {}: {e}", args.out_dir))?;
+    eprintln!(
+        "campaign seed {:#x} ({} scale): {} runs, {} violations (mean shrink ratio {:.2}x in \
+         nodes), {} incidents",
+        outcome.report.seed,
+        args.scale,
+        outcome.report.runs,
+        outcome.report.violations.len(),
+        outcome.report.mean_shrink_ratio(),
+        outcome.report.incidents.len(),
+    );
+    eprintln!(
+        "wrote {} certificates and {}",
+        outcome.certs.len(),
+        report_path.display()
+    );
+    print_profile();
+    Ok(())
+}
+
 fn run_bench(args: &BenchArgs) {
     let suite = match args.suite.as_str() {
         "substrate" => suites::substrate_suite(args.samples),
         "runcache" => suites::runcache_suite(args.samples),
         "serve" => suites::serve_suite(args.samples),
+        "campaign" => suites::campaign_suite(args.samples),
         _ => suites::refuter_suite(args.samples),
     };
     let json = suites::to_json(&args.suite, &suite);

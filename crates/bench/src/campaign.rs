@@ -1,0 +1,607 @@
+//! The chaos-campaign driver: sweep, probe, shrink, emit.
+//!
+//! A campaign takes a [`CampaignConfig`] (see [`flm_sim::campaign`] for the
+//! sweep grammar), probes every cell of the protocol × topology ×
+//! fault-plan cross-product in parallel, and turns what it finds into two
+//! artifacts:
+//!
+//! * **certificates** — every violation is shrunk by greedy delta-debugging
+//!   ([`flm_core::shrink`]) and emitted as a portable `FLMC` file that
+//!   passes `flm-audit` exit 0;
+//! * **a report** — deterministic JSON recording the seed, the sweep, run
+//!   and incident counts, and per-violation shrink ratios.
+//!
+//! Every probe runs under [`System::run_contained`], so a panicking device,
+//! an oversized payload, or a blown tick budget becomes a structured
+//! [`Incident`], never a crash. The whole campaign is a pure function of
+//! its config: the same seed reproduces byte-identical certificates and
+//! report, which is asserted by the integration tests and the
+//! `check.sh --campaign-smoke` gate.
+//!
+//! # Anatomy of a probe
+//!
+//! 1. Build the topology from its seeded family; resolve the protocol.
+//! 2. Run the system with the spec's fault plan wrapped around the faulty
+//!    senders (the *faulted run*), and harvest the faulty nodes' outedge
+//!    traces.
+//! 3. Re-run with correct nodes afresh and the faulty nodes *replaying*
+//!    the harvested traces ([`ReplayDevice::masquerade`]) — exactly the
+//!    behavior [`Certificate::verify`] will later reconstruct, which is
+//!    what makes the certificate reproduce bit-for-bit.
+//! 4. Check the spec's agreement condition over the correct nodes minus
+//!    any the degradation policy reclassified; if the faulty + degraded
+//!    set exceeds the budget `f`, the probe is an incident (the finding
+//!    would be outside the claimed fault model), not a violation.
+//! 5. Wrap a violation as a single-link [`Certificate`] and self-verify
+//!    it before reporting anything.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use flm_core::certificate::{Certificate, ChainLink, Theorem, Violation};
+use flm_core::problems;
+use flm_core::shrink;
+use flm_graph::{Graph, NodeId};
+use flm_protocols::registry;
+use flm_sim::campaign::{
+    CampaignConfig, CampaignReport, GraphFamily, Incident, ProblemKind, RunSpec, ScenarioDims,
+    ViolationRecord,
+};
+use flm_sim::replay::ReplayDevice;
+use flm_sim::system::System;
+use flm_sim::{
+    contain_panics, EdgeBehavior, FaultPlan, Input, Protocol, RunPolicy, SystemBehavior,
+};
+
+/// Shrink-probe budget per violation: generous enough to walk a ring down
+/// from hundreds of nodes (halving), small enough to bound campaign time.
+const MAX_SHRINK_ATTEMPTS: usize = 64;
+
+/// A concrete probed scenario: the topology (by family + seed, so it can
+/// shrink within the family), the fault plan, and the run horizon.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Topology family.
+    pub family: GraphFamily,
+    /// Seed the family is built under.
+    pub graph_seed: u64,
+    /// The fault plan injected.
+    pub plan: FaultPlan,
+    /// Ticks the system runs.
+    pub horizon: u32,
+}
+
+impl Scenario {
+    /// The scenario's size in the shrinker's partial order.
+    pub fn dims(&self) -> ScenarioDims {
+        ScenarioDims {
+            nodes: self.family.node_count(),
+            rules: self.plan.rules().len(),
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// The FLM theorem family a campaign certificate is filed under.
+fn theorem_for(problem: ProblemKind) -> Theorem {
+    match problem {
+        ProblemKind::ByzantineAgreement => Theorem::BaNodes,
+        ProblemKind::WeakAgreement => Theorem::WeakAgreement,
+        ProblemKind::FiringSquad => Theorem::FiringSquad,
+        ProblemKind::ApproxAgreement => Theorem::SimpleApprox,
+    }
+}
+
+/// The campaign's fixed input pattern per problem kind (deterministic, so
+/// certificates reproduce): split boolean inputs for the agreement
+/// problems, a stimulus at node 0 for the firing squad, evenly spread
+/// reals for approximate agreement.
+fn input_for(problem: ProblemKind, v: NodeId, n: usize) -> Input {
+    match problem {
+        ProblemKind::ByzantineAgreement | ProblemKind::WeakAgreement => {
+            Input::Bool(v.0.is_multiple_of(2))
+        }
+        ProblemKind::FiringSquad => Input::Bool(v.0 == 0),
+        ProblemKind::ApproxAgreement => Input::Real(f64::from(v.0) / n.max(1) as f64),
+    }
+}
+
+/// Builds the system for a run: correct nodes get fresh protocol devices
+/// (wrapped by the plan where it names them as senders), every device
+/// construction contained.
+fn faulted_system(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    plan: &FaultPlan,
+    problem: ProblemKind,
+) -> Result<System, String> {
+    let n = g.node_count();
+    let mut sys = System::new(g.clone());
+    for v in g.nodes() {
+        let device = contain_panics(|| protocol.device(g, v))
+            .map_err(|msg| format!("device construction for {v} panicked: {msg}"))?;
+        sys.assign(v, plan.wrap(v, device), input_for(problem, v, n));
+    }
+    Ok(sys)
+}
+
+/// Probes one scenario. `Ok(Some(cert))` is a self-verified violation
+/// certificate; `Ok(None)` means the protocol survived; `Err((stage,
+/// detail))` is incident material.
+pub fn probe(
+    problem: ProblemKind,
+    protocol: &dyn Protocol,
+    scenario: &Scenario,
+    f: usize,
+    policy: &RunPolicy,
+) -> Result<Option<Certificate>, (String, String)> {
+    let stage = |s: &'static str| move |detail: String| (s.to_string(), detail);
+    let g = scenario
+        .family
+        .build(scenario.graph_seed)
+        .map_err(|e| ("build".into(), e.to_string()))?;
+
+    // Faulted run: the plan's injectors distort what the faulty senders
+    // put on the wire; harvest those distorted outedge traces.
+    let mut sys = faulted_system(protocol, &g, &scenario.plan, problem).map_err(stage("run"))?;
+    let faulted = sys
+        .run_contained(scenario.horizon, policy)
+        .map_err(|e| ("run".into(), e.to_string()))?;
+    let faulty: BTreeSet<NodeId> = scenario
+        .plan
+        .faulty_nodes()
+        .into_iter()
+        .filter(|v| v.index() < g.node_count())
+        .collect();
+    let correct: Vec<NodeId> = g.nodes().filter(|v| !faulty.contains(v)).collect();
+    let masquerade: Vec<(NodeId, Vec<EdgeBehavior>)> = faulty
+        .iter()
+        .map(|&v| {
+            let traces: Vec<EdgeBehavior> =
+                g.neighbors(v).map(|w| faulted.edge(v, w).clone()).collect();
+            (v, traces)
+        })
+        .collect();
+
+    // Replay run: fresh correct devices, faulty nodes masquerading — the
+    // exact behavior `Certificate::verify` reconstructs.
+    let n = g.node_count();
+    let mut sys = System::new(g.clone());
+    for &v in &correct {
+        let device = contain_panics(|| protocol.device(&g, v))
+            .map_err(|msg| ("replay".into(), format!("device for {v} panicked: {msg}")))?;
+        sys.assign(v, device, input_for(problem, v, n));
+    }
+    for (v, traces) in &masquerade {
+        sys.assign(
+            *v,
+            Box::new(ReplayDevice::masquerade(traces.clone())),
+            input_for(problem, *v, n),
+        );
+    }
+    let behavior = sys
+        .run_contained(scenario.horizon, policy)
+        .map_err(|e| ("replay".into(), e.to_string()))?;
+
+    // Degradation accounting: nodes the containment policy quarantined
+    // count against the fault budget. Blowing the budget means any
+    // violation would sit outside the claimed fault model — incident.
+    let degraded: Vec<NodeId> = behavior
+        .misbehaving_nodes()
+        .into_iter()
+        .filter(|v| !faulty.contains(v))
+        .collect();
+    if faulty.len() + degraded.len() > f {
+        return Err((
+            "budget".into(),
+            format!(
+                "{} planned faulty + {} degraded nodes exceed f={f}",
+                faulty.len(),
+                degraded.len()
+            ),
+        ));
+    }
+    let effective: BTreeSet<NodeId> = correct
+        .iter()
+        .copied()
+        .filter(|v| !degraded.contains(v))
+        .collect();
+    if effective.is_empty() {
+        return Err(("budget".into(), "no effective correct nodes left".into()));
+    }
+    let all_correct = faulty.is_empty() && degraded.is_empty();
+
+    let violation = match check(problem, &behavior, &effective, all_correct) {
+        Ok(()) => return Ok(None),
+        Err(v) => v,
+    };
+
+    let cert = Certificate {
+        theorem: theorem_for(problem),
+        protocol: protocol.name(),
+        base: g,
+        f,
+        covering: format!(
+            "chaos campaign: {} under {} fault rules (plan seed {:#x}); the faulted run's \
+             outedge traces are the masquerade, so the Fault axiom licenses this behavior \
+             directly — no covering transplant involved",
+            scenario.family.name(),
+            scenario.plan.rules().len(),
+            scenario.plan.seed(),
+        ),
+        chain: vec![ChainLink {
+            correct,
+            masquerade,
+            inputs: (0..n)
+                .map(|i| input_for(problem, NodeId(i as u32), n))
+                .collect(),
+            scenario_matched: true,
+            decisions: behavior.decisions(),
+            horizon: scenario.horizon,
+            misbehavior: behavior.misbehavior().to_vec(),
+            degraded,
+        }],
+        policy: *policy,
+        violation,
+    };
+    // Self-check before reporting anything: a certificate the audit path
+    // would reject is a campaign bug, not a finding.
+    cert.verify(protocol)
+        .map_err(|e| ("self-check".into(), e.to_string()))?;
+    Ok(Some(cert))
+}
+
+/// Runs the problem's condition checker over the effective correct set.
+fn check(
+    problem: ProblemKind,
+    behavior: &SystemBehavior,
+    effective: &BTreeSet<NodeId>,
+    all_correct: bool,
+) -> Result<(), Violation> {
+    match problem {
+        ProblemKind::ByzantineAgreement => problems::byzantine_agreement(behavior, effective, 0),
+        ProblemKind::WeakAgreement => problems::weak_agreement(behavior, effective, all_correct, 0),
+        ProblemKind::FiringSquad => problems::firing_squad(behavior, effective, all_correct, 0),
+        ProblemKind::ApproxAgreement => problems::simple_approx(behavior, effective, 0),
+    }
+}
+
+/// Strictly smaller scenario candidates, in the deterministic order the
+/// shrinker probes them: drop one fault rule (each index), shrink the
+/// graph within its family (restricting the plan to surviving edges),
+/// halve or decrement the horizon.
+fn shrink_candidates(s: &Scenario) -> Vec<(Scenario, ScenarioDims)> {
+    let mut out = Vec::new();
+    for i in 0..s.plan.rules().len() {
+        let cand = Scenario {
+            plan: s.plan.clone().without_rule(i),
+            ..s.clone()
+        };
+        let dims = cand.dims();
+        out.push((cand, dims));
+    }
+    for family in s.family.shrink_candidates() {
+        if let Ok(g) = family.build(s.graph_seed) {
+            let cand = Scenario {
+                family,
+                graph_seed: s.graph_seed,
+                plan: s.plan.clone().restricted_to(&g),
+                horizon: s.horizon,
+            };
+            let dims = cand.dims();
+            out.push((cand, dims));
+        }
+    }
+    if s.horizon > 1 {
+        for h in [s.horizon / 2, s.horizon - 1] {
+            if h >= 1 && h < s.horizon {
+                let cand = Scenario {
+                    horizon: h,
+                    ..s.clone()
+                };
+                let dims = cand.dims();
+                out.push((cand, dims));
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks a violating scenario to a local minimum that still refutes the
+/// *same condition* through the full verify path.
+pub fn shrink_violation(
+    problem: ProblemKind,
+    protocol: &dyn Protocol,
+    scenario: Scenario,
+    certificate: Certificate,
+    f: usize,
+    policy: &RunPolicy,
+) -> shrink::ShrinkOutcome<Scenario> {
+    let original = certificate.violation.condition;
+    let dims = scenario.dims();
+    shrink::greedy(
+        scenario,
+        certificate,
+        dims,
+        shrink_candidates,
+        |cand| {
+            let cert = probe(problem, protocol, cand, f, policy).ok()??;
+            shrink::reverify_same_condition(&cert, protocol, original).ok()?;
+            Some(cert)
+        },
+        MAX_SHRINK_ATTEMPTS,
+    )
+}
+
+/// What a campaign produced: the report plus the shrunk certificates as
+/// `(file name, FLMC bytes)` pairs, in spec order. Pure data — writing to
+/// disk is [`write_campaign`]'s job, so tests can assert byte-identity
+/// without touching the filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// The deterministic campaign report.
+    pub report: CampaignReport,
+    /// Certificate files: deterministic names, portable FLMC bytes.
+    pub certs: Vec<(String, Vec<u8>)>,
+}
+
+enum ProbeResult {
+    Clean,
+    Violation(Box<(Scenario, Certificate)>),
+    Incident(Incident),
+}
+
+/// Runs the full campaign: probe every spec in parallel (input-ordered,
+/// so parallelism never perturbs the output), shrink every violation,
+/// emit certificates and the report.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
+    let specs = config.specs();
+    let runs = specs.len();
+    let results: Vec<(RunSpec, ProbeResult)> = flm_par::par_map(specs, |spec| {
+        let result = probe_spec(&spec, config);
+        (spec, result)
+    });
+
+    let mut incidents = Vec::new();
+    let mut found: Vec<(RunSpec, Scenario, Certificate)> = Vec::new();
+    for (spec, result) in results {
+        match result {
+            ProbeResult::Clean => {}
+            ProbeResult::Incident(incident) => incidents.push(incident),
+            ProbeResult::Violation(boxed) => {
+                let (scenario, cert) = *boxed;
+                found.push((spec, scenario, cert));
+            }
+        }
+    }
+
+    let shrunk: Vec<Option<(RunSpec, Scenario, shrink::ShrinkOutcome<Scenario>)>> =
+        flm_par::par_map(found, |(spec, scenario, cert)| {
+            let protocol = match flm_protocols::resolve(&spec.protocol) {
+                Ok(p) => p,
+                Err(_) => return None,
+            };
+            let original = scenario.clone();
+            let outcome = shrink_violation(
+                spec.problem,
+                &*protocol,
+                scenario,
+                cert,
+                spec.f,
+                &config.policy,
+            );
+            Some((spec, original, outcome))
+        });
+
+    let mut violations = Vec::new();
+    let mut certs = Vec::new();
+    for (spec, original, outcome) in shrunk.into_iter().flatten() {
+        let cert_file = format!("c{:03}-{}.flmc", spec.index, spec.problem.name());
+        violations.push(ViolationRecord {
+            spec: spec.index,
+            problem: spec.problem.name().into(),
+            protocol: spec.protocol.clone(),
+            graph: original.family.name(),
+            condition: outcome.certificate.violation.condition.to_string(),
+            original: original.dims(),
+            shrunk: outcome.dims,
+            shrink_attempts: outcome.attempts,
+            shrink_accepted: outcome.accepted,
+            cert_file: cert_file.clone(),
+        });
+        certs.push((cert_file, outcome.certificate.to_bytes()));
+    }
+
+    CampaignOutcome {
+        report: CampaignReport {
+            seed: config.seed,
+            protocols: config.protocols.len(),
+            graphs: config.graphs.len(),
+            rule_counts: config.rule_counts.len(),
+            runs,
+            violations,
+            incidents,
+        },
+        certs,
+    }
+}
+
+/// Probes one spec end to end, folding every failure into an incident.
+fn probe_spec(spec: &RunSpec, config: &CampaignConfig) -> ProbeResult {
+    let incident = |stage: &str, detail: String| {
+        ProbeResult::Incident(Incident {
+            spec: spec.index,
+            stage: stage.into(),
+            detail,
+        })
+    };
+    let protocol = match flm_protocols::resolve(&spec.protocol) {
+        Ok(p) => p,
+        Err(e) => return incident("resolve", e.to_string()),
+    };
+    let g = match spec.graph.build(spec.graph_seed) {
+        Ok(g) => g,
+        Err(e) => return incident("build", e.to_string()),
+    };
+    let horizon = protocol
+        .horizon(&g)
+        .clamp(1, config.policy.max_ticks.max(1));
+    let scenario = Scenario {
+        family: spec.graph,
+        graph_seed: spec.graph_seed,
+        plan: spec.plan(&g, horizon),
+        horizon,
+    };
+    match probe(spec.problem, &*protocol, &scenario, spec.f, &config.policy) {
+        Ok(Some(cert)) => ProbeResult::Violation(Box::new((scenario, cert))),
+        Ok(None) => ProbeResult::Clean,
+        Err((stage, detail)) => incident(&stage, detail),
+    }
+}
+
+/// The fixed smoke campaign `check.sh --campaign-smoke` and the
+/// integration tests run: the full protocol zoo over four small topology
+/// families, fault-free and 2-rule plans, `f = 1`.
+pub fn smoke_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        protocols: registry::zoo(1),
+        graphs: vec![
+            GraphFamily::Ring { n: 6 },
+            GraphFamily::Complete { n: 4 },
+            GraphFamily::RandomRegular { n: 8, d: 3 },
+            GraphFamily::Expander { n: 8 },
+        ],
+        rule_counts: vec![0, 2],
+        f: 1,
+        policy: RunPolicy::default(),
+    }
+}
+
+/// The default full campaign `regen --campaign` runs: the smoke families
+/// plus larger seeded graphs, a giant 1200-node covering ring, and deeper
+/// fault plans.
+pub fn full_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        protocols: registry::zoo(1),
+        graphs: vec![
+            GraphFamily::Ring { n: 6 },
+            GraphFamily::Complete { n: 4 },
+            GraphFamily::Complete { n: 7 },
+            GraphFamily::RandomRegular { n: 12, d: 3 },
+            GraphFamily::Expander { n: 16 },
+            GraphFamily::RingCover {
+                base: 3,
+                weight: 400,
+            },
+            GraphFamily::RingCover { base: 4, weight: 4 },
+        ],
+        rule_counts: vec![0, 2, 4],
+        f: 1,
+        policy: RunPolicy::default(),
+    }
+}
+
+/// Writes a campaign's certificates and `campaign_report.json` under
+/// `dir` (created if absent) and returns the report path.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing a file.
+pub fn write_campaign(outcome: &CampaignOutcome, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    for (name, bytes) in &outcome.certs {
+        std::fs::write(dir.join(name), bytes)?;
+    }
+    let report_path = dir.join("campaign_report.json");
+    std::fs::write(&report_path, outcome.report.to_json())?;
+    Ok(report_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_finds_table_protocol_breaking_agreement() {
+        let protocol = flm_protocols::resolve("Table(7)").unwrap();
+        let scenario = Scenario {
+            family: GraphFamily::Ring { n: 6 },
+            graph_seed: 1,
+            plan: FaultPlan::new(1),
+            horizon: protocol.horizon(&GraphFamily::Ring { n: 6 }.build(1).unwrap()),
+        };
+        let cert = probe(
+            ProblemKind::ByzantineAgreement,
+            &*protocol,
+            &scenario,
+            1,
+            &RunPolicy::default(),
+        )
+        .unwrap()
+        .expect("a random decision table must break agreement on 6 nodes");
+        assert!(cert.verify(&*protocol).is_ok());
+    }
+
+    #[test]
+    fn shrink_reduces_the_table_scenario() {
+        let protocol = flm_protocols::resolve("Table(7)").unwrap();
+        let family = GraphFamily::Ring { n: 6 };
+        let g = family.build(1).unwrap();
+        let horizon = protocol.horizon(&g);
+        let scenario = Scenario {
+            family,
+            graph_seed: 1,
+            plan: FaultPlan::new(1),
+            horizon,
+        };
+        let cert = probe(
+            ProblemKind::ByzantineAgreement,
+            &*protocol,
+            &scenario,
+            1,
+            &RunPolicy::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let outcome = shrink_violation(
+            ProblemKind::ByzantineAgreement,
+            &*protocol,
+            scenario.clone(),
+            cert,
+            1,
+            &RunPolicy::default(),
+        );
+        assert!(
+            outcome.dims.nodes < scenario.dims().nodes || outcome.dims.horizon < scenario.horizon,
+            "a table violation on ring6 should shrink, got {:?}",
+            outcome.dims
+        );
+        assert!(outcome.certificate.verify(&*protocol).is_ok());
+    }
+
+    #[test]
+    fn adequate_protocol_survives_its_home_graph() {
+        // EIG(f=1) on K4 is the positive control: the campaign must NOT
+        // report a violation for a correct protocol on an adequate graph
+        // with no faults.
+        let protocol = flm_protocols::resolve("EIG(f=1)").unwrap();
+        let family = GraphFamily::Complete { n: 4 };
+        let g = family.build(0).unwrap();
+        let scenario = Scenario {
+            family,
+            graph_seed: 0,
+            plan: FaultPlan::new(0),
+            horizon: protocol.horizon(&g),
+        };
+        let result = probe(
+            ProblemKind::ByzantineAgreement,
+            &*protocol,
+            &scenario,
+            1,
+            &RunPolicy::default(),
+        );
+        assert!(matches!(result, Ok(None)), "EIG on K4 must survive");
+    }
+}

@@ -68,6 +68,7 @@ pub mod profile;
 pub mod reduction;
 pub mod refute;
 mod runkey;
+pub mod shrink;
 
 pub use certificate::{Certificate, ChainLink, Condition, Violation};
 pub use codec::CertDecodeError;

@@ -1,0 +1,222 @@
+//! Greedy delta-debugging for campaign violations.
+//!
+//! A sprawling counterexample schedule is weak evidence; a minimal one is a
+//! proof artifact. This module shrinks a violating scenario along three
+//! axes — graph nodes, fault-plan rules, run horizon — by repeatedly
+//! probing strictly smaller candidate scenarios and keeping the first that
+//! *still refutes*. The probe re-runs the candidate through the full
+//! certificate-verification path, so every accepted step is as trustworthy
+//! as the original finding; the shrinker never trades soundness for size.
+//!
+//! The loop is deterministic: candidates are probed in the order the
+//! generator yields them, the first success is taken (greedy descent), and
+//! the attempt budget bounds total work. Same inputs, same minimum.
+
+use flm_sim::campaign::ScenarioDims;
+use flm_sim::Protocol;
+
+use crate::certificate::{Certificate, Condition};
+
+/// True when `a` is no larger than `b` in every dimension and strictly
+/// smaller in at least one — the shrinker's acceptance partial order.
+pub fn strictly_smaller(a: &ScenarioDims, b: &ScenarioDims) -> bool {
+    a.nodes <= b.nodes
+        && a.rules <= b.rules
+        && a.horizon <= b.horizon
+        && (a.nodes < b.nodes || a.rules < b.rules || a.horizon < b.horizon)
+}
+
+/// The re-verification hook the shrinker's probes funnel through: the
+/// candidate certificate must pass [`Certificate::verify`] *and* refute
+/// the same condition kind as the original. Without the second check,
+/// shrinking a horizon would degenerate every violation into a trivial
+/// termination failure ("nobody decided in 1 tick") — smaller, but a
+/// different and far weaker counterexample.
+///
+/// # Errors
+///
+/// Returns the rejection reason: a verify failure or a condition drift.
+pub fn reverify_same_condition(
+    cert: &Certificate,
+    protocol: &dyn Protocol,
+    original: Condition,
+) -> Result<(), String> {
+    if cert.violation.condition != original {
+        return Err(format!(
+            "condition drifted: {} became {}",
+            original, cert.violation.condition
+        ));
+    }
+    cert.verify(protocol).map_err(|e| e.to_string())
+}
+
+/// The result of a shrink run: the smallest scenario that still refutes,
+/// its certificate, and how hard the search worked.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome<S> {
+    /// The minimized scenario.
+    pub scenario: S,
+    /// The verified certificate of the minimized scenario.
+    pub certificate: Certificate,
+    /// Final scenario size.
+    pub dims: ScenarioDims,
+    /// Probes attempted (including rejected candidates).
+    pub attempts: usize,
+    /// Shrink steps accepted.
+    pub accepted: usize,
+}
+
+/// Greedy descent: repeatedly ask `candidates` for strictly smaller
+/// variants of the current scenario, probe them in order, and move to the
+/// first one `probe` accepts; stop when a full pass yields no improvement
+/// or `max_attempts` probes have run.
+///
+/// `probe`'s contract: return `Some(certificate)` only when the candidate
+/// still refutes — verified end to end and for the same condition (see
+/// [`reverify_same_condition`]). Candidates not strictly smaller than the
+/// current best (per [`strictly_smaller`]) are skipped without spending an
+/// attempt, so generators may over-produce.
+pub fn greedy<S: Clone>(
+    scenario: S,
+    certificate: Certificate,
+    dims: ScenarioDims,
+    candidates: impl Fn(&S) -> Vec<(S, ScenarioDims)>,
+    probe: impl Fn(&S) -> Option<Certificate>,
+    max_attempts: usize,
+) -> ShrinkOutcome<S> {
+    let mut out = ShrinkOutcome {
+        scenario,
+        certificate,
+        dims,
+        attempts: 0,
+        accepted: 0,
+    };
+    'descent: loop {
+        for (cand, cand_dims) in candidates(&out.scenario) {
+            if out.attempts >= max_attempts {
+                break 'descent;
+            }
+            if !strictly_smaller(&cand_dims, &out.dims) {
+                continue;
+            }
+            out.attempts += 1;
+            if let Some(cert) = probe(&cand) {
+                out.scenario = cand;
+                out.certificate = cert;
+                out.dims = cand_dims;
+                out.accepted += 1;
+                continue 'descent;
+            }
+        }
+        break;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::{Theorem, Violation};
+    use flm_graph::builders;
+    use flm_sim::RunPolicy;
+
+    fn dummy_cert() -> Certificate {
+        Certificate {
+            theorem: Theorem::BaNodes,
+            protocol: "Dummy".into(),
+            base: builders::triangle(),
+            f: 1,
+            covering: "test".into(),
+            chain: Vec::new(),
+            policy: RunPolicy::default(),
+            violation: Violation {
+                condition: Condition::Agreement,
+                link: 0,
+                evidence: String::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn partial_order_requires_componentwise_and_strict() {
+        let d = |nodes, rules, horizon| ScenarioDims {
+            nodes,
+            rules,
+            horizon,
+        };
+        assert!(strictly_smaller(&d(3, 2, 8), &d(4, 2, 8)));
+        assert!(strictly_smaller(&d(4, 1, 8), &d(4, 2, 8)));
+        assert!(!strictly_smaller(&d(4, 2, 8), &d(4, 2, 8)), "not strict");
+        assert!(
+            !strictly_smaller(&d(3, 3, 8), &d(4, 2, 8)),
+            "trade-offs are not shrinks"
+        );
+    }
+
+    #[test]
+    fn greedy_descends_to_the_probe_floor() {
+        // Scenario = a number; candidates halve or decrement it; the probe
+        // accepts anything >= 3. Greedy must land exactly on 3.
+        let dims = |n: usize| ScenarioDims {
+            nodes: n,
+            rules: 0,
+            horizon: 1,
+        };
+        let outcome = greedy(
+            40usize,
+            dummy_cert(),
+            dims(40),
+            |&n| vec![(n / 2, dims(n / 2)), (n.saturating_sub(1), dims(n - 1))],
+            |&n| if n >= 3 { Some(dummy_cert()) } else { None },
+            1000,
+        );
+        assert_eq!(outcome.scenario, 3);
+        assert_eq!(outcome.dims.nodes, 3);
+        assert!(outcome.accepted >= 4, "40→20→10→5→4→3");
+        assert!(outcome.attempts >= outcome.accepted);
+    }
+
+    #[test]
+    fn greedy_respects_the_attempt_budget() {
+        let dims = |n: usize| ScenarioDims {
+            nodes: n,
+            rules: 0,
+            horizon: 1,
+        };
+        let outcome = greedy(
+            1000usize,
+            dummy_cert(),
+            dims(1000),
+            |&n| vec![(n - 1, dims(n - 1))],
+            |&n| if n > 0 { Some(dummy_cert()) } else { None },
+            5,
+        );
+        assert_eq!(outcome.attempts, 5);
+        assert_eq!(outcome.scenario, 995);
+    }
+
+    #[test]
+    fn reverify_rejects_condition_drift() {
+        // A certificate whose condition differs from the original must be
+        // rejected before any replay happens.
+        let cert = dummy_cert();
+        struct Dummy;
+        impl Protocol for Dummy {
+            fn name(&self) -> String {
+                "Dummy".into()
+            }
+            fn device(
+                &self,
+                _g: &flm_graph::Graph,
+                _v: flm_graph::NodeId,
+            ) -> Box<dyn flm_sim::Device> {
+                Box::new(flm_sim::devices::NaiveMajorityDevice::new())
+            }
+            fn horizon(&self, _g: &flm_graph::Graph) -> u32 {
+                3
+            }
+        }
+        let err = reverify_same_condition(&cert, &Dummy, Condition::Validity).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+    }
+}

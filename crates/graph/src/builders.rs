@@ -118,6 +118,175 @@ pub fn hypercube(d: usize) -> Graph {
     g
 }
 
+/// SplitMix64 — the seeded builders' mixing function. Pure, so every
+/// builder below is a function of its arguments: same seed, same graph,
+/// byte-identical adjacency.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seed-deterministic `d`-regular graph on `n` nodes.
+///
+/// Construction: start from the circulant `d`-regular graph (chords
+/// `±1 .. ±d/2`, plus the diameter when `d` is odd), then apply
+/// `n·d` seed-driven double-edge swaps — each swap exchanges the endpoints
+/// of two links, rejecting self-loops and duplicates, so regularity is
+/// preserved at every step. If the swapped graph ends up disconnected the
+/// swaps are retried under a derived seed (bounded), falling back to the
+/// plain circulant — so the result is always a connected `d`-regular graph
+/// and always the same one for the same `(n, d, seed)`.
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::BadParameter`] when `d == 0`, `d ≥ n`, or
+/// `n·d` is odd (no `d`-regular graph on `n` nodes exists).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, crate::GraphError> {
+    let bad = |reason: String| crate::GraphError::BadParameter { reason };
+    if d == 0 {
+        return Err(bad("a random regular graph needs degree d ≥ 1".into()));
+    }
+    if d >= n {
+        return Err(bad(format!(
+            "degree {d} needs at least {} nodes, got {n}",
+            d + 1
+        )));
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(bad(format!(
+            "no {d}-regular graph on {n} nodes: n·d = {} is odd",
+            n * d
+        )));
+    }
+    let circulant = circulant_regular(n, d);
+    for round in 0..8u64 {
+        let g = swap_links(&circulant, n * d, seed ^ mix64(round));
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    // The circulant itself is connected (it contains the cycle for d ≥ 2;
+    // for d = 1, n = 2 is the only valid size and K2 is connected).
+    Ok(circulant)
+}
+
+/// The circulant `d`-regular graph: node `i` links to `i ± 1 .. i ± d/2`
+/// (mod `n`), plus `i + n/2` when `d` is odd (valid since `n·d` even forces
+/// `n` even then).
+fn circulant_regular(n: usize, d: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for k in 1..=(d / 2) {
+            g.add_link(NodeId(i as u32), NodeId(((i + k) % n) as u32))
+                .expect("circulant links are in range");
+        }
+        if d % 2 == 1 {
+            g.add_link(NodeId(i as u32), NodeId(((i + n / 2) % n) as u32))
+                .expect("diametric links are in range");
+        }
+    }
+    g
+}
+
+/// Applies up to `swaps` seed-driven degree-preserving double-edge swaps.
+fn swap_links(g: &Graph, swaps: usize, seed: u64) -> Graph {
+    let mut links = g.links();
+    for i in 0..swaps {
+        let h = |k: u64| mix64(seed ^ ((i as u64) << 8) ^ k);
+        let a = (h(1) % links.len() as u64) as usize;
+        let b = (h(2) % links.len() as u64) as usize;
+        if a == b {
+            continue;
+        }
+        let (u1, v1) = links[a];
+        let (u2, v2) = links[b];
+        // Swap to (u1, u2), (v1, v2); normalize, reject loops/duplicates.
+        let mut e1 = (u1.min(u2), u1.max(u2));
+        let mut e2 = (v1.min(v2), v1.max(v2));
+        if h(3) % 2 == 0 {
+            e1 = (u1.min(v2), u1.max(v2));
+            e2 = (v1.min(u2), v1.max(u2));
+        }
+        if e1.0 == e1.1 || e2.0 == e2.1 || e1 == e2 {
+            continue;
+        }
+        let exists = |e: (NodeId, NodeId)| links.contains(&e);
+        if exists(e1) || exists(e2) {
+            continue;
+        }
+        links[a] = e1;
+        links[b] = e2;
+    }
+    let mut out = Graph::new(g.node_count());
+    for (u, v) in links {
+        out.add_link(u, v).expect("swapped links stay in range");
+    }
+    out
+}
+
+/// A seed-deterministic 3-regular expander candidate: the cycle `C_n` plus
+/// a seed-chosen perfect matching on its nodes (chords). The cycle
+/// guarantees connectivity; the random matching supplies the long-range
+/// chords that give the family its expansion in practice.
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::BadParameter`] when `n < 4` or `n` is odd
+/// (a perfect matching needs an even node count).
+pub fn expander(n: usize, seed: u64) -> Result<Graph, crate::GraphError> {
+    let bad = |reason: String| crate::GraphError::BadParameter { reason };
+    if n < 4 {
+        return Err(bad(format!("an expander needs at least 4 nodes, got {n}")));
+    }
+    if !n.is_multiple_of(2) {
+        return Err(bad(format!(
+            "an expander matching needs an even node count, got {n}"
+        )));
+    }
+    let mut g = cycle(n);
+    // Seeded Fisher–Yates over the node list, then pair consecutive
+    // entries. A pair that is already a cycle edge keeps the graph simple
+    // (add_link is idempotent) but costs a chord; acceptable and still
+    // deterministic.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (mix64(seed ^ 0xE8AD_DE57 ^ i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    for pair in order.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            g.add_link(NodeId(pair[0]), NodeId(pair[1]))
+                .expect("matching links are in range");
+        }
+    }
+    Ok(g)
+}
+
+/// The ring `C_{base·weight}` presented as the `weight`-fold covering of
+/// `C_base` — the paper's §4–§7 covering rings as a first-class, validated
+/// family. The campaign sweeps use it for its giant rings (`weight` in the
+/// hundreds), where the covering structure is what the ring refuters
+/// exploit.
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::BadParameter`] when `base < 3` or
+/// `weight == 0`.
+pub fn ring_cover(base: usize, weight: usize) -> Result<Graph, crate::GraphError> {
+    let bad = |reason: String| crate::GraphError::BadParameter { reason };
+    if base < 3 {
+        return Err(bad(format!(
+            "a covering ring needs a base cycle of at least 3 nodes, got {base}"
+        )));
+    }
+    if weight == 0 {
+        return Err(bad("a covering ring needs weight ≥ 1".into()));
+    }
+    Ok(cycle(base * weight))
+}
+
 /// A deterministic pseudo-random connected graph on `n` nodes with roughly
 /// `extra` links beyond a spanning random tree. Uses a fixed LCG keyed by
 /// `seed` so test failures reproduce exactly.
@@ -234,5 +403,98 @@ mod tests {
         let b = random_connected(12, 6, 42);
         assert_eq!(a, b);
         assert!(a.is_connected());
+    }
+
+    #[test]
+    fn random_regular_invariants_hold() {
+        for (n, d) in [(6, 3), (8, 3), (10, 4), (12, 5), (16, 3), (2, 1)] {
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let g = random_regular(n, d, seed).unwrap();
+                assert_eq!(g.node_count(), n, "n={n} d={d} seed={seed}");
+                for v in g.nodes() {
+                    assert_eq!(g.degree(v), d, "n={n} d={d} seed={seed} v={v:?}");
+                }
+                assert!(g.is_connected(), "n={n} d={d} seed={seed} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_same_seed_byte_identical() {
+        let a = random_regular(14, 3, 99).unwrap();
+        let b = random_regular(14, 3, 99).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // Different seeds should (for this size) actually shuffle links.
+        let c = random_regular(14, 3, 100).unwrap();
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn random_regular_degenerate_parameters_are_structured_errors() {
+        use crate::GraphError;
+        // d == 0, d >= n, odd n·d: structured errors, not panics.
+        for (n, d) in [(5, 0), (4, 4), (3, 5), (5, 3), (7, 1)] {
+            assert!(
+                matches!(
+                    random_regular(n, d, 0),
+                    Err(GraphError::BadParameter { .. })
+                ),
+                "random_regular({n}, {d}, 0) should be BadParameter"
+            );
+        }
+    }
+
+    #[test]
+    fn expander_invariants_hold() {
+        for n in [4usize, 6, 8, 16, 32] {
+            for seed in [0u64, 3, 41] {
+                let g = expander(n, seed).unwrap();
+                assert_eq!(g.node_count(), n);
+                assert!(g.is_connected());
+                // Cycle plus a matching: degree between 2 (matched with a
+                // cycle neighbor) and 3.
+                for v in g.nodes() {
+                    assert!((2..=3).contains(&g.degree(v)), "degree {}", g.degree(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expander_same_seed_byte_identical() {
+        let a = expander(16, 5).unwrap();
+        let b = expander(16, 5).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn expander_degenerate_parameters_are_structured_errors() {
+        use crate::GraphError;
+        for n in [0usize, 2, 3, 5, 9] {
+            assert!(
+                matches!(expander(n, 0), Err(GraphError::BadParameter { .. })),
+                "expander({n}, 0) should be BadParameter"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_cover_is_the_covering_ring() {
+        let g = ring_cover(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_connected());
+        assert_eq!(g.to_bytes(), cycle(12).to_bytes());
+        use crate::GraphError;
+        assert!(matches!(
+            ring_cover(2, 5),
+            Err(GraphError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            ring_cover(4, 0),
+            Err(GraphError::BadParameter { .. })
+        ));
     }
 }

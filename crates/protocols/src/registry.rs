@@ -231,6 +231,35 @@ pub fn resolve_clock(name: &str) -> Result<Box<dyn ClockProtocol>, RegistryError
     Err(RegistryError::UnknownProtocol { name: name.into() })
 }
 
+/// The protocol zoo for chaos campaigns: every in-tree discrete protocol
+/// worth sweeping, tagged with the agreement condition
+/// ([`flm_sim::campaign::ProblemKind`]) a campaign probe should check it
+/// against, for fault budget `f`. Every returned name resolves through
+/// [`resolve`] — the registry tests enforce it — so campaign certificates
+/// recording these names always re-verify.
+///
+/// The order is fixed (part of the campaign determinism contract):
+/// Byzantine agreement first (strong protocols, then the deliberately weak
+/// `NaiveMajority` and the random `Table` strawmen that give campaigns
+/// guaranteed prey), then weak agreement, the firing squad, and
+/// approximate agreement.
+pub fn zoo(f: usize) -> Vec<(flm_sim::campaign::ProblemKind, String)> {
+    use flm_sim::campaign::ProblemKind;
+    vec![
+        (ProblemKind::ByzantineAgreement, format!("EIG(f={f})")),
+        (ProblemKind::ByzantineAgreement, format!("PhaseKing(f={f})")),
+        (
+            ProblemKind::ByzantineAgreement,
+            format!("DolevStrong(f={f})"),
+        ),
+        (ProblemKind::ByzantineAgreement, "NaiveMajority".into()),
+        (ProblemKind::ByzantineAgreement, "Table(7)".into()),
+        (ProblemKind::WeakAgreement, format!("WeakViaBA(EIG(f={f}))")),
+        (ProblemKind::FiringSquad, format!("FiringSquadViaBA(f={f})")),
+        (ProblemKind::ApproxAgreement, format!("DLPSW(f={f}, R=4)")),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +325,24 @@ mod tests {
         assert!(resolve_clock("AveragingClockSync(period=-1)").is_err());
         assert!(resolve_clock("AveragingClockSync(period=NaN)").is_err());
         assert!(resolve_clock("Mystery").is_err());
+    }
+
+    #[test]
+    fn every_zoo_entry_resolves_and_round_trips() {
+        use flm_sim::campaign::ProblemKind;
+        for f in [1usize, 2] {
+            let entries = zoo(f);
+            assert!(entries.len() >= 8);
+            let kinds: std::collections::BTreeSet<ProblemKind> =
+                entries.iter().map(|(k, _)| *k).collect();
+            assert_eq!(kinds.len(), 4, "zoo must span all four problem kinds");
+            for (kind, name) in entries {
+                let p =
+                    resolve(&name).unwrap_or_else(|e| panic!("zoo entry {name:?} ({kind:?}): {e}"));
+                assert_eq!(p.name(), name, "zoo names must be canonical");
+            }
+        }
+        // Determinism: the zoo is a fixed list.
+        assert_eq!(zoo(1), zoo(1));
     }
 }

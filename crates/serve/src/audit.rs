@@ -148,6 +148,91 @@ fn audit_into(bytes: &[u8], timeline: bool, report: &mut String, diagnostics: &m
     }
 }
 
+/// One row of a batch audit: the file name (no directory) and its
+/// individual [`audit_bytes`] outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// File name within the audited directory.
+    pub file: String,
+    /// The per-file audit outcome (timeline rendering is never requested
+    /// in batch mode).
+    pub report: AuditReport,
+}
+
+/// Audits every `*.flmc` file in `dir` in sorted file-name order — the
+/// directory layout `regen --campaign` writes. Returns an error string if
+/// the directory cannot be read or contains no certificate files; an
+/// unreadable individual file becomes a malformed entry, not an error, so
+/// one bad file cannot hide the verdicts of the rest.
+pub fn audit_dir(dir: &std::path::Path) -> Result<Vec<BatchEntry>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.ends_with(".flmc"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no .flmc files in {}", dir.display()));
+    }
+    Ok(names
+        .into_iter()
+        .map(|file| {
+            let report = match std::fs::read(dir.join(&file)) {
+                Ok(bytes) => audit_bytes(&bytes, false),
+                Err(e) => AuditReport {
+                    exit_code: EXIT_MALFORMED,
+                    report: String::new(),
+                    diagnostics: format!("reading {file}: {e}\n"),
+                },
+            };
+            BatchEntry { file, report }
+        })
+        .collect())
+}
+
+/// The exit code for a whole batch: the worst per-file code, so `0` means
+/// every certificate in the directory reproduced its violation.
+pub fn batch_exit_code(entries: &[BatchEntry]) -> u8 {
+    entries
+        .iter()
+        .map(|e| e.report.exit_code)
+        .max()
+        .unwrap_or(EXIT_MALFORMED)
+}
+
+/// Renders the per-file verdict table `flm-audit --batch` prints: one row
+/// per certificate plus a summary line.
+pub fn render_batch_table(entries: &[BatchEntry]) -> String {
+    let width = entries
+        .iter()
+        .map(|e| e.file.len())
+        .max()
+        .unwrap_or(4)
+        .max("file".len());
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<width$}  verdict", "file");
+    let mut counts = [0usize; 3];
+    for entry in entries {
+        let verdict = match entry.report.exit_code {
+            EXIT_VERIFIED => "VERIFIED",
+            EXIT_NOT_REPRODUCED => "NOT REPRODUCED",
+            _ => "MALFORMED",
+        };
+        counts[usize::from(entry.report.exit_code.min(2))] += 1;
+        let _ = writeln!(out, "{:<width$}  {verdict}", entry.file);
+    }
+    let _ = writeln!(
+        out,
+        "{} audited: {} verified, {} not reproduced, {} malformed",
+        entries.len(),
+        counts[0],
+        counts[1],
+        counts[2]
+    );
+    out
+}
+
 /// The lighter verification path behind the Verify RPC: decode, resolve,
 /// re-verify — no canonicality requirement, no rendering. Returns the
 /// verdict plus a detail string (the protocol name on success, the failure
@@ -232,6 +317,46 @@ mod tests {
         assert!(detail.contains("EIG"), "detail {detail:?}");
         let (verdict, _) = verify_bytes(b"garbage");
         assert_eq!(verdict, Verdict::Malformed);
+    }
+
+    #[test]
+    fn batch_audit_tables_every_file_and_takes_the_worst_exit() {
+        let dir = std::env::temp_dir().join(format!("flm-audit-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b-good.flmc"), sample_bytes()).unwrap();
+        std::fs::write(dir.join("a-bad.flmc"), b"garbage").unwrap();
+        std::fs::write(dir.join("ignored.txt"), b"not a cert").unwrap();
+
+        let entries = audit_dir(&dir).unwrap();
+        assert_eq!(
+            entries.iter().map(|e| e.file.as_str()).collect::<Vec<_>>(),
+            ["a-bad.flmc", "b-good.flmc"],
+            "sorted, .flmc only"
+        );
+        assert_eq!(batch_exit_code(&entries), EXIT_MALFORMED);
+        let table = render_batch_table(&entries);
+        assert!(table.contains("a-bad.flmc"));
+        assert!(table.contains("MALFORMED"));
+        assert!(table.contains("b-good.flmc"));
+        assert!(table.contains("VERIFIED"));
+        assert!(table.contains("2 audited: 1 verified, 0 not reproduced, 1 malformed"));
+
+        std::fs::remove_file(dir.join("a-bad.flmc")).unwrap();
+        let entries = audit_dir(&dir).unwrap();
+        assert_eq!(batch_exit_code(&entries), EXIT_VERIFIED);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(audit_dir(&dir).is_err(), "unreadable dir is an error");
+    }
+
+    #[test]
+    fn empty_directory_is_an_error_not_a_silent_pass() {
+        let dir = std::env::temp_dir().join(format!("flm-audit-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = audit_dir(&dir).unwrap_err();
+        assert!(err.contains("no .flmc files"), "{err}");
+        assert_eq!(batch_exit_code(&[]), EXIT_MALFORMED);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

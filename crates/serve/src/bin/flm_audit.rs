@@ -13,10 +13,16 @@
 //!
 //! ```text
 //! flm-audit CERT.flmc [--timeline] [--quiet]
+//! flm-audit --batch DIR [--quiet]
 //! ```
 //!
 //! `--timeline` re-executes the violating behavior and prints its full
 //! message timeline; `--quiet` suppresses everything but errors.
+//!
+//! `--batch DIR` audits every `*.flmc` file in `DIR` (sorted by name — the
+//! layout `regen --campaign` writes), prints a per-file verdict table, and
+//! exits with the worst per-file code, so exit 0 certifies the whole
+//! directory.
 //!
 //! The verdict logic lives in [`flm_serve::audit`] — the same code path the
 //! `flm-serve` Audit RPC runs, so a certificate accepted here is accepted
@@ -24,22 +30,34 @@
 
 use std::process::ExitCode;
 
-use flm_serve::audit::{audit_bytes, EXIT_MALFORMED};
+use flm_serve::audit::{
+    audit_bytes, audit_dir, batch_exit_code, render_batch_table, EXIT_MALFORMED,
+};
 
 struct Args {
     path: String,
+    batch: bool,
     timeline: bool,
     quiet: bool,
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
     let mut path = None;
+    let mut batch = false;
     let mut timeline = false;
     let mut quiet = false;
-    for arg in args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--timeline" => timeline = true,
             "--quiet" => quiet = true,
+            "--batch" => {
+                let dir = iter.next().ok_or("--batch needs a directory")?;
+                if path.replace(dir.clone()).is_some() {
+                    return Err("give either one certificate file or --batch DIR".into());
+                }
+                batch = true;
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
             other => {
                 if path.replace(other.to_owned()).is_some() {
@@ -48,8 +66,12 @@ fn parse(args: &[String]) -> Result<Args, String> {
             }
         }
     }
+    if batch && timeline {
+        return Err("--timeline applies to single-certificate audits only".into());
+    }
     Ok(Args {
         path: path.ok_or("no certificate file given")?,
+        batch,
         timeline,
         quiet,
     })
@@ -62,9 +84,28 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("flm-audit: {msg}");
             eprintln!("usage: flm-audit CERT [--timeline] [--quiet]");
+            eprintln!("       flm-audit --batch DIR [--quiet]");
             return ExitCode::from(EXIT_MALFORMED);
         }
     };
+    if args.batch {
+        let entries = match audit_dir(std::path::Path::new(&args.path)) {
+            Ok(entries) => entries,
+            Err(msg) => {
+                eprintln!("flm-audit: {msg}");
+                return ExitCode::from(EXIT_MALFORMED);
+            }
+        };
+        if !args.quiet {
+            print!("{}", render_batch_table(&entries));
+        }
+        for entry in &entries {
+            for line in entry.report.diagnostics.lines() {
+                eprintln!("flm-audit: {}: {line}", entry.file);
+            }
+        }
+        return ExitCode::from(batch_exit_code(&entries));
+    }
     let bytes = match std::fs::read(&args.path) {
         Ok(bytes) => bytes,
         Err(e) => {

@@ -15,6 +15,21 @@
 //! device — the Fault axiom already licenses every behavior it can exhibit —
 //! so injection never steps outside the model; it just makes specific bad
 //! behaviors easy to schedule and reproduce.
+//!
+//! # Composition precedence
+//!
+//! Several rules (possibly from [`FaultPlan::merge`]d plans) may target the
+//! same edge at the same tick. The outcome is rule-order-independent, fixed
+//! by the per-tick action order **equivocate → corrupt → drop → delay**:
+//!
+//! * *Equivocate + corrupt*: the corruption keystream is applied to the
+//!   equivocated copy.
+//! * *Anything + drop*: drop wins — the edge is silent that tick, and a
+//!   dropped payload is **not** captured for later delayed delivery.
+//! * *Several delays*: the **minimum** delay wins (the payload is held the
+//!   shortest matched time), regardless of the order rules were added.
+//! * While any delay rule matches an edge, due held payloads stay queued;
+//!   they flush through the idle-port rule once no delay rule matches.
 
 use std::collections::{BTreeSet, VecDeque};
 
@@ -139,7 +154,35 @@ impl FaultPlan {
     /// edges of `g`, with windows inside `[0, horizon)`. The same arguments
     /// always produce the same plan.
     pub fn random(seed: u64, g: &Graph, horizon: u32, count: usize) -> Self {
-        let edges = g.directed_edges();
+        Self::random_from_edges(seed, g.directed_edges(), horizon, count)
+    }
+
+    /// Like [`FaultPlan::random`], but only edges whose *sender* is in
+    /// `senders` are eligible — so [`FaultPlan::faulty_nodes`] is a subset
+    /// of `senders` and the plan respects a fault budget chosen up front.
+    /// The campaign sweeps use this to keep every probed scenario inside
+    /// its declared `f`.
+    pub fn random_among(
+        seed: u64,
+        g: &Graph,
+        senders: &BTreeSet<NodeId>,
+        horizon: u32,
+        count: usize,
+    ) -> Self {
+        let edges = g
+            .directed_edges()
+            .into_iter()
+            .filter(|(from, _)| senders.contains(from))
+            .collect();
+        Self::random_from_edges(seed, edges, horizon, count)
+    }
+
+    fn random_from_edges(
+        seed: u64,
+        edges: Vec<(NodeId, NodeId)>,
+        horizon: u32,
+        count: usize,
+    ) -> Self {
         let mut plan = FaultPlan::new(seed);
         if edges.is_empty() || horizon == 0 {
             return plan;
@@ -174,6 +217,48 @@ impl FaultPlan {
     /// The rules of the plan.
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
+    }
+
+    /// The seed driving corruption and equivocation bytes.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Composes two plans: the result carries `self`'s seed and the
+    /// concatenated rule lists. Because per-tick action precedence is fixed
+    /// and several delays resolve to the minimum (see the module docs),
+    /// `a.merge(&b)` and `b.merge(&a)` inject identically whenever the two
+    /// plans share a seed.
+    pub fn merge(mut self, other: &FaultPlan) -> Self {
+        self.rules.extend(other.rules.iter().cloned());
+        self
+    }
+
+    /// The plan without rule `index` — the shrinker's "delete one fault"
+    /// move. Out-of-range indices return the plan unchanged.
+    pub fn without_rule(mut self, index: usize) -> Self {
+        if index < self.rules.len() {
+            self.rules.remove(index);
+        }
+        self
+    }
+
+    /// The plan restricted to edges that exist in `g`: rules naming an edge
+    /// absent from `g` (or an out-of-range node) are dropped. Used when a
+    /// shrink candidate rebuilds a smaller graph and the surviving rules
+    /// must still make sense on it.
+    pub fn restricted_to(mut self, g: &Graph) -> Self {
+        let n = g.node_count();
+        self.rules.retain(|r| {
+            if r.from.index() >= n {
+                return false;
+            }
+            match r.to {
+                Some(w) => w.index() < n && g.has_link(r.from, w),
+                None => g.degree(r.from) > 0,
+            }
+        });
+        self
     }
 
     /// The nodes the plan injects faults at — the set a test must budget as
@@ -275,12 +360,19 @@ impl FaultInjector {
         for p in self.active(t, |a| *a == FaultAction::Drop) {
             out[p] = None;
         }
-        // Delay: capture matched payloads into the port's queue.
+        // Delay: capture matched payloads into the port's queue. When
+        // several delay rules match the same edge this tick, the minimum
+        // wins — a set, not a list, of rules decides, so merged plans
+        // compose rule-order-independently.
         for (p, &to) in self.ports.iter().enumerate() {
-            let delay = self.rules.iter().find_map(|r| match r.action {
-                FaultAction::Delay(d) if r.applies(t, to) => Some(d),
-                _ => None,
-            });
+            let delay = self
+                .rules
+                .iter()
+                .filter_map(|r| match r.action {
+                    FaultAction::Delay(d) if r.applies(t, to) => Some(d),
+                    _ => None,
+                })
+                .min();
             match delay {
                 Some(d) => {
                     if let Some(m) = out[p].take() {

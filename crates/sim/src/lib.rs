@@ -52,6 +52,7 @@
 pub mod adversary;
 pub mod auth;
 pub mod behavior;
+pub mod campaign;
 pub mod clock;
 pub mod device;
 pub mod devices;

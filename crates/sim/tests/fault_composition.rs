@@ -1,0 +1,129 @@
+//! Regression tests for FaultPlan composition edge cases: several rules
+//! (possibly from merged plans) targeting the same edge at the same tick
+//! must inject deterministically and rule-order-independently, per the
+//! precedence documented in `flm_sim::faults` — equivocate → corrupt →
+//! drop → delay, with the minimum delay winning among delays.
+
+use std::collections::BTreeSet;
+
+use flm_graph::{builders, NodeId};
+use flm_sim::device::{Device, Input};
+use flm_sim::devices::NaiveMajorityDevice;
+use flm_sim::faults::FaultPlan;
+use flm_sim::system::System;
+use flm_sim::SystemBehavior;
+
+fn broadcaster() -> Box<dyn Device> {
+    Box::new(NaiveMajorityDevice::new())
+}
+
+fn run_plan(plan: &FaultPlan, horizon: u32) -> SystemBehavior {
+    let g = builders::triangle();
+    let mut sys = System::new(g);
+    for v in sys.graph().nodes() {
+        sys.assign(v, plan.wrap(v, broadcaster()), Input::Bool(v.0 == 0));
+    }
+    sys.run(horizon)
+}
+
+#[test]
+fn drop_beats_delay_on_the_same_edge_and_tick_in_either_order() {
+    let drop_then_delay = FaultPlan::new(7)
+        .drop_edge(NodeId(0), NodeId(1), 0, 1)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 2);
+    let delay_then_drop = FaultPlan::new(7)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 2)
+        .drop_edge(NodeId(0), NodeId(1), 0, 1);
+    let a = run_plan(&drop_then_delay, 4);
+    let b = run_plan(&delay_then_drop, 4);
+    assert_eq!(
+        a.edge(NodeId(0), NodeId(1)),
+        b.edge(NodeId(0), NodeId(1)),
+        "drop + delay must compose rule-order-independently"
+    );
+    // Drop wins: the payload is silenced, not held for later delivery, so
+    // nothing the clean run sent at tick 0 ever reappears on the edge.
+    let clean = run_plan(&FaultPlan::new(7), 4);
+    let held = clean.edge(NodeId(0), NodeId(1))[0].clone();
+    assert!(held.is_some(), "clean run should send at tick 0");
+    assert_eq!(a.edge(NodeId(0), NodeId(1))[0], None);
+    assert!(
+        !a.edge(NodeId(0), NodeId(1)).contains(&held),
+        "a dropped payload must not resurface via the delay queue"
+    );
+}
+
+#[test]
+fn minimum_delay_wins_regardless_of_rule_order() {
+    let small_first = FaultPlan::new(7)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 1)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 3);
+    let large_first = FaultPlan::new(7)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 3)
+        .delay_edge(NodeId(0), NodeId(1), 0, 1, 1);
+    let a = run_plan(&small_first, 6);
+    let b = run_plan(&large_first, 6);
+    assert_eq!(a.edge(NodeId(0), NodeId(1)), b.edge(NodeId(0), NodeId(1)));
+    // And the winning hold time is the minimum: the tick-0 payload is back
+    // on the wire no later than a run delayed only by the small rule.
+    let only_small = run_plan(
+        &FaultPlan::new(7).delay_edge(NodeId(0), NodeId(1), 0, 1, 1),
+        6,
+    );
+    assert_eq!(
+        a.edge(NodeId(0), NodeId(1)),
+        only_small.edge(NodeId(0), NodeId(1)),
+        "min delay must decide, not the first rule in the list"
+    );
+}
+
+#[test]
+fn merged_plans_inject_like_the_concatenated_plan_in_either_order() {
+    let a = FaultPlan::new(11)
+        .drop_edge(NodeId(0), NodeId(1), 1, 3)
+        .equivocate(NodeId(0), 0, 1);
+    let b = FaultPlan::new(11)
+        .corrupt_edge(NodeId(0), NodeId(2), 0, 2)
+        .delay_edge(NodeId(0), NodeId(1), 1, 3, 2);
+    let ab = run_plan(&a.clone().merge(&b), 6);
+    let ba = run_plan(&b.clone().merge(&a), 6);
+    assert_eq!(ab.edges(), ba.edges(), "merge must commute (same seed)");
+    assert_eq!(
+        a.clone().merge(&b).faulty_nodes(),
+        b.clone().merge(&a).faulty_nodes()
+    );
+}
+
+#[test]
+fn without_rule_and_restricted_to_shrink_the_plan() {
+    let plan = FaultPlan::new(5)
+        .drop_edge(NodeId(0), NodeId(1), 0, 2)
+        .corrupt_edge(NodeId(2), NodeId(3), 0, 2)
+        .equivocate(NodeId(1), 0, 2);
+    assert_eq!(plan.clone().without_rule(1).rules().len(), 2);
+    assert_eq!(plan.clone().without_rule(9).rules().len(), 3);
+    // Restricting to the triangle drops the rule naming node 3 but keeps
+    // the rest (all of 0, 1, 2 and the 0→1 link exist there).
+    let restricted = plan.restricted_to(&builders::triangle());
+    assert_eq!(restricted.rules().len(), 2);
+    assert!(restricted.faulty_nodes().iter().all(|v| v.0 < 3));
+}
+
+#[test]
+fn random_among_respects_the_sender_budget() {
+    let g = builders::complete(6);
+    let senders: BTreeSet<NodeId> = [NodeId(2), NodeId(4)].into_iter().collect();
+    for seed in 0..8u64 {
+        let plan = FaultPlan::random_among(seed, &g, &senders, 8, 12);
+        assert!(
+            plan.faulty_nodes().is_subset(&senders),
+            "seed {seed}: faulty nodes {:?} escape the sender budget",
+            plan.faulty_nodes()
+        );
+        assert_eq!(plan, FaultPlan::random_among(seed, &g, &senders, 8, 12));
+    }
+    // Empty sender set: an empty plan, not a panic.
+    assert!(FaultPlan::random_among(3, &g, &BTreeSet::new(), 8, 12)
+        .rules()
+        .is_empty());
+}

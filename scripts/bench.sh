@@ -12,6 +12,10 @@
 #   BENCH_serve.json     — FLMC-RPC round trips against an in-process
 #                          flm-serve server: ping floor, refute requests
 #                          warm vs cold, mixed-load generator throughput
+#   BENCH_campaign.json  — a trimmed fixed-seed chaos campaign (sweep +
+#                          shrink + certify), parallel vs forced
+#                          sequential, plus the deterministic mean shrink
+#                          ratio in nodes
 #
 # Timings are ns/op (min/median/mean); the "speedups" arrays carry the
 # headline ratios, computed over the minima — the noise-floor estimator —
@@ -37,4 +41,7 @@ echo "==> runcache suite (${SAMPLES} samples)"
 echo "==> serve suite (${SAMPLES} samples)"
 ./target/release/regen --bench serve --samples "$SAMPLES" --out BENCH_serve.json
 
-echo "Wrote BENCH_substrate.json, BENCH_refuters.json, BENCH_runcache.json, and BENCH_serve.json."
+echo "==> campaign suite (${SAMPLES} samples)"
+./target/release/regen --bench campaign --samples "$SAMPLES" --out BENCH_campaign.json
+
+echo "Wrote BENCH_substrate.json, BENCH_refuters.json, BENCH_runcache.json, BENCH_serve.json, and BENCH_campaign.json."

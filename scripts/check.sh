@@ -15,6 +15,12 @@
 # full gate): start flm-serve on an ephemeral port, drive a refute + verify +
 # audit round trip through flm-client, and audit the wire certificate with
 # the local flm-audit.
+#
+# `--campaign-smoke` runs a tiny fixed-seed chaos campaign end to end:
+# `regen --campaign --scale smoke` sweeps the protocol zoo across graph
+# families, shrinks every violation, and writes certificates plus a report;
+# `flm-audit --batch` must accept the whole directory (exit 0), and a second
+# run with the same seed must reproduce the certificates byte-for-byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +79,27 @@ if [[ "${1:-}" == "--serve-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--campaign-smoke" ]]; then
+    echo "==> campaign smoke: cargo build --release -p flm-bench -p flm-serve"
+    cargo build --release -p flm-bench -p flm-serve
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    echo "==> campaign smoke: regen --campaign (seed 0xF1A, smoke scale)"
+    ./target/release/regen --campaign --seed 0xF1A --scale smoke \
+        --out-dir "$tmpdir/run1"
+    ls "$tmpdir"/run1/*.flmc > /dev/null || {
+        echo "campaign produced no certificates"; exit 1; }
+    echo "==> campaign smoke: flm-audit --batch"
+    ./target/release/flm-audit --batch "$tmpdir/run1"
+    echo "==> campaign smoke: same seed reproduces byte-identically"
+    ./target/release/regen --campaign --seed 0xF1A --scale smoke \
+        --out-dir "$tmpdir/run2" 2>/dev/null
+    diff -r "$tmpdir/run1" "$tmpdir/run2" > /dev/null || {
+        echo "campaign is not reproducible: run1 and run2 differ"; exit 1; }
+    echo "Campaign smoke passed."
+    exit 0
+fi
+
 # Extracts "label<TAB>ratio" pairs from a suite JSON's speedups array
 # (the snapshots are hand-rolled JSON with one speedup object per line).
 extract_ratios() {
@@ -86,7 +113,7 @@ if [[ "${1:-}" == "--bench-gate" ]]; then
     tmpdir="$(mktemp -d)"
     trap 'rm -rf "$tmpdir"' EXIT
     failed=0
-    for suite in substrate refuters runcache serve; do
+    for suite in substrate refuters runcache serve campaign; do
         committed="BENCH_${suite}.json"
         if [[ ! -f "$committed" ]]; then
             echo "bench gate: missing $committed"
