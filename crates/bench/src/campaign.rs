@@ -125,6 +125,90 @@ fn faulted_system(
     Ok(sys)
 }
 
+/// Canonical bytes for the faulted run's assembly minus the horizon: the
+/// problem's input pattern, the protocol, the topology, the fault plan
+/// (seed and every rule), and the policy. The horizon stays out so shrink
+/// probes that shorten a scenario share the longer run's tick snapshots.
+fn faulted_static(
+    problem: ProblemKind,
+    protocol: &dyn Protocol,
+    g: &Graph,
+    scenario: &Scenario,
+    policy: &RunPolicy,
+) -> Vec<u8> {
+    use flm_sim::faults::FaultAction;
+    let mut w = flm_sim::wire::Writer::new();
+    w.str("campaignfaulted");
+    w.u8(match problem {
+        ProblemKind::ByzantineAgreement => 0,
+        ProblemKind::WeakAgreement => 1,
+        ProblemKind::FiringSquad => 2,
+        ProblemKind::ApproxAgreement => 3,
+    });
+    w.str(&protocol.name());
+    w.bytes(&g.to_bytes());
+    w.u64(scenario.plan.seed());
+    let rules = scenario.plan.rules();
+    w.u32(rules.len() as u32);
+    for r in rules {
+        w.u32(r.from.0);
+        match r.to {
+            None => {
+                w.u8(0);
+            }
+            Some(v) => {
+                w.u8(1).u32(v.0);
+            }
+        }
+        w.u32(r.from_tick).u32(r.until_tick);
+        match r.action {
+            FaultAction::Drop => {
+                w.u8(0);
+            }
+            FaultAction::Corrupt => {
+                w.u8(1);
+            }
+            FaultAction::Equivocate => {
+                w.u8(2);
+            }
+            FaultAction::Delay(d) => {
+                w.u8(3).u32(d);
+            }
+        }
+    }
+    policy.encode(&mut w);
+    w.finish()
+}
+
+/// Whole-run cache key for the faulted run: the static assembly plus the
+/// horizon.
+fn faulted_key(
+    problem: ProblemKind,
+    protocol: &dyn Protocol,
+    g: &Graph,
+    scenario: &Scenario,
+    policy: &RunPolicy,
+) -> flm_sim::runcache::RunKey {
+    let mut payload = faulted_static(problem, protocol, g, scenario, policy);
+    payload.extend_from_slice(&scenario.horizon.to_le_bytes());
+    flm_sim::runcache::RunKey::new("campaignfaulted", payload)
+}
+
+/// Prefix schedule for the faulted run: static assembly, no scripted nodes
+/// (the fault injectors wrap real devices, which fork with them).
+fn faulted_schedule(
+    problem: ProblemKind,
+    protocol: &dyn Protocol,
+    g: &Graph,
+    scenario: &Scenario,
+    policy: &RunPolicy,
+) -> flm_sim::prefixcache::PrefixSchedule {
+    flm_sim::prefixcache::PrefixSchedule::new(
+        faulted_static(problem, protocol, g, scenario, policy),
+        Vec::new(),
+    )
+}
+
 /// Probes one scenario. `Ok(Some(cert))` is a self-verified violation
 /// certificate; `Ok(None)` means the protocol survived; `Err((stage,
 /// detail))` is incident material.
@@ -142,11 +226,20 @@ pub fn probe(
         .map_err(|e| ("build".into(), e.to_string()))?;
 
     // Faulted run: the plan's injectors distort what the faulty senders
-    // put on the wire; harvest those distorted outedge traces.
-    let mut sys = faulted_system(protocol, &g, &scenario.plan, problem).map_err(stage("run"))?;
-    let faulted = sys
-        .run_contained(scenario.horizon, policy)
-        .map_err(|e| ("run".into(), e.to_string()))?;
+    // put on the wire; harvest those distorted outedge traces. Memoized
+    // with a horizon-free prefix schedule (no scripted nodes), so shrink
+    // probes that only shorten the horizon fork a stored tick snapshot —
+    // usually the completion snapshot, skipping re-simulation entirely.
+    let key = faulted_key(problem, protocol, &g, scenario, policy);
+    let schedule = faulted_schedule(problem, protocol, &g, scenario, policy);
+    let faulted = flm_sim::prefixcache::memoize_prefixed(
+        &key,
+        &schedule,
+        scenario.horizon,
+        policy,
+        || faulted_system(protocol, &g, &scenario.plan, problem).map_err(stage("run")),
+        |e| ("run".into(), e.to_string()),
+    )?;
     let faulty: BTreeSet<NodeId> = scenario
         .plan
         .faulty_nodes()
@@ -164,24 +257,39 @@ pub fn probe(
         .collect();
 
     // Replay run: fresh correct devices, faulty nodes masquerading — the
-    // exact behavior `Certificate::verify` reconstructs.
+    // exact behavior `Certificate::verify` reconstructs. Routed through the
+    // shared link-run memoizer, so a violation's self-check rebuild is a
+    // whole-run cache hit instead of a third simulation.
     let n = g.node_count();
-    let mut sys = System::new(g.clone());
-    for &v in &correct {
-        let device = contain_panics(|| protocol.device(&g, v))
-            .map_err(|msg| ("replay".into(), format!("device for {v} panicked: {msg}")))?;
-        sys.assign(v, device, input_for(problem, v, n));
-    }
-    for (v, traces) in &masquerade {
-        sys.assign(
-            *v,
-            Box::new(ReplayDevice::masquerade(traces.clone())),
-            input_for(problem, *v, n),
-        );
-    }
-    let behavior = sys
-        .run_contained(scenario.horizon, policy)
-        .map_err(|e| ("replay".into(), e.to_string()))?;
+    let replay_inputs: Vec<Input> = (0..n)
+        .map(|i| input_for(problem, NodeId(i as u32), n))
+        .collect();
+    let behavior = flm_core::refute::memoize_link_run(
+        &protocol.name(),
+        &g,
+        &correct,
+        &masquerade,
+        &replay_inputs,
+        scenario.horizon,
+        policy,
+        || {
+            let mut sys = System::new(g.clone());
+            for &v in &correct {
+                let device = contain_panics(|| protocol.device(&g, v))
+                    .map_err(|msg| ("replay".into(), format!("device for {v} panicked: {msg}")))?;
+                sys.assign(v, device, input_for(problem, v, n));
+            }
+            for (v, traces) in &masquerade {
+                sys.assign(
+                    *v,
+                    Box::new(ReplayDevice::masquerade(traces.clone())),
+                    input_for(problem, *v, n),
+                );
+            }
+            Ok(sys)
+        },
+        |e| ("replay".into(), e.to_string()),
+    )?;
 
     // Degradation accounting: nodes the containment policy quarantined
     // count against the fault budget. Blowing the budget means any
@@ -232,9 +340,7 @@ pub fn probe(
         chain: vec![ChainLink {
             correct,
             masquerade,
-            inputs: (0..n)
-                .map(|i| input_for(problem, NodeId(i as u32), n))
-                .collect(),
+            inputs: replay_inputs,
             scenario_matched: true,
             decisions: behavior.decisions(),
             horizon: scenario.horizon,

@@ -319,8 +319,10 @@ impl Certificate {
         // so the cache never aliases two protocols under one recorded name —
         // and a refute-then-verify sequence in one process, which derives
         // the identical key in `refute::transplant`, replays from the cache
-        // instead of re-running the system.
-        let key = crate::runkey::link_key(
+        // instead of re-running the system. Links that only extend or
+        // perturb another link's trace tail fork the shared prefix
+        // snapshot from the run-prefix trie.
+        crate::refute::memoize_link_run(
             &protocol.name(),
             &self.base,
             &link.correct,
@@ -328,32 +330,33 @@ impl Certificate {
             &link.inputs,
             link.horizon,
             &self.policy,
-        );
-        flm_sim::runcache::memoize_discrete(&key, || {
-            let mut sys = System::new(self.base.clone());
-            for &v in &link.correct {
-                let device = contain_panics(|| protocol.device(&self.base, v)).map_err(|msg| {
-                    malformed(format!("device construction for {v} panicked: {msg}"))
-                })?;
-                sys.assign(v, device, link.inputs[v.index()]);
-            }
-            for (v, traces) in &link.masquerade {
-                sys.assign(
-                    *v,
-                    Box::new(ReplayDevice::masquerade(traces.clone())),
-                    link.inputs[v.index()],
-                );
-            }
+            || {
+                let mut sys = System::new(self.base.clone());
+                for &v in &link.correct {
+                    let device =
+                        contain_panics(|| protocol.device(&self.base, v)).map_err(|msg| {
+                            malformed(format!("device construction for {v} panicked: {msg}"))
+                        })?;
+                    sys.assign(v, device, link.inputs[v.index()]);
+                }
+                for (v, traces) in &link.masquerade {
+                    sys.assign(
+                        *v,
+                        Box::new(ReplayDevice::masquerade(traces.clone())),
+                        link.inputs[v.index()],
+                    );
+                }
+                Ok(sys)
+            },
             // Contained, like the refuter's own runs: a certificate over a
             // hostile protocol must verify without aborting, reproducing the
             // recorded misbehavior instead. The recorded policy matters — it
             // caps the horizon and sets the payload budget the evidence was
             // collected under.
-            sys.run_contained(link.horizon, &self.policy)
-                .map_err(|e| VerifyError::Malformed {
-                    reason: format!("re-execution failed: {e}"),
-                })
-        })
+            |e| VerifyError::Malformed {
+                reason: format!("re-execution failed: {e}"),
+            },
+        )
     }
 }
 

@@ -278,6 +278,23 @@ impl Device for CollapsedDevice {
             None => snapshot::undecided(&state),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| d.fork())
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(CollapsedDevice {
+            base: self.base.clone(),
+            class_of: self.class_of.clone(),
+            me: self.me,
+            members: self.members.clone(),
+            devices,
+            internal: self.internal.clone(),
+            port_class: self.port_class.clone(),
+        }))
+    }
 }
 
 /// Collapses a protocol on `g` along the canonical node-bound partition

@@ -164,6 +164,50 @@ pub(crate) fn run_cost_hint_ns(nodes: usize, horizon: u32) -> u64 {
         .saturating_mul(2_000)
 }
 
+/// Memoizes a link-shaped contained run (correct protocol devices plus
+/// masquerading replayers) at both cache levels: the whole-run cache for
+/// byte-identical re-executions, and the run-prefix trie for runs that
+/// share the assembly and an initial stretch of masquerade trace ticks.
+///
+/// The key and schedule are derived from the arguments alone, so every
+/// caller that would execute the same link run shares one execution:
+/// [`transplant`] when it records a link, `Certificate::rebuild` when it
+/// re-executes one during verification, and the chaos-campaign probe
+/// driver's replay run (which is the behavior a campaign certificate's
+/// self-check later rebuilds). `build` assembles the system only on a
+/// whole-run miss; `map_err` wraps a [`flm_sim::system::SystemError`] from
+/// the run itself.
+///
+/// # Errors
+///
+/// Whatever `build` returns, or a run error through `map_err`; a cache hit
+/// never errors.
+#[allow(clippy::too_many_arguments)]
+pub fn memoize_link_run<E>(
+    protocol_name: &str,
+    base: &Graph,
+    correct: &[NodeId],
+    masquerade: &[(NodeId, Vec<EdgeBehavior>)],
+    inputs: &[Input],
+    horizon: u32,
+    policy: &RunPolicy,
+    build: impl FnOnce() -> Result<System, E>,
+    map_err: impl Fn(flm_sim::system::SystemError) -> E,
+) -> Result<Arc<SystemBehavior>, E> {
+    let key = crate::runkey::link_key(
+        protocol_name,
+        base,
+        correct,
+        masquerade,
+        inputs,
+        horizon,
+        policy,
+    );
+    let schedule =
+        crate::runkey::link_schedule(protocol_name, base, correct, masquerade, inputs, policy);
+    flm_sim::prefixcache::memoize_prefixed(&key, &schedule, horizon, policy, build, map_err)
+}
+
 /// Installs `protocol`'s devices in the covering graph (wired along edge
 /// lifts) with per-cover-node `inputs`, and runs for `horizon` ticks.
 ///
@@ -179,26 +223,32 @@ pub(crate) fn run_cover(
 ) -> Result<Arc<SystemBehavior>, RefuteError> {
     crate::profile::span("run-cover", || {
         let key = crate::runkey::cover_key(&protocol.name(), cov, inputs, horizon, policy);
-        flm_sim::runcache::memoize_discrete(&key, || {
-            let mut sys = System::new(cov.cover().clone());
-            for s in cov.cover().nodes() {
-                let device = protocol.device(cov.base(), cov.project(s));
-                sys.assign_lifted(cov, s, device, inputs(s)).map_err(|e| {
-                    RefuteError::ModelViolation {
-                        reason: format!("installing device at cover node {s}: {e}"),
-                    }
-                })?;
-            }
-            // Contained: a hostile device must not abort the refuter. A cover
-            // node that misbehaves is quarantined; determinism means its
-            // base-graph twin misbehaves identically in the transplants,
-            // where the degradation policy charges it against the fault
-            // budget.
-            sys.run_contained(horizon, policy)
-                .map_err(|e| RefuteError::ModelViolation {
-                    reason: format!("cover run failed: {e}"),
-                })
-        })
+        let schedule = crate::runkey::cover_schedule(&protocol.name(), cov, inputs, policy);
+        // Contained: a hostile device must not abort the refuter. A cover
+        // node that misbehaves is quarantined; determinism means its
+        // base-graph twin misbehaves identically in the transplants, where
+        // the degradation policy charges it against the fault budget.
+        flm_sim::prefixcache::memoize_prefixed(
+            &key,
+            &schedule,
+            horizon,
+            policy,
+            || {
+                let mut sys = System::new(cov.cover().clone());
+                for s in cov.cover().nodes() {
+                    let device = protocol.device(cov.base(), cov.project(s));
+                    sys.assign_lifted(cov, s, device, inputs(s)).map_err(|e| {
+                        RefuteError::ModelViolation {
+                            reason: format!("installing device at cover node {s}: {e}"),
+                        }
+                    })?;
+                }
+                Ok(sys)
+            },
+            |e| RefuteError::ModelViolation {
+                reason: format!("cover run failed: {e}"),
+            },
+        )
     })
 }
 
@@ -316,9 +366,11 @@ fn transplant_inner(
     }
 
     // The same key `Certificate::rebuild` derives from the finished link, so
-    // verification of a freshly minted certificate replays from the cache.
+    // verification of a freshly minted certificate replays from the cache;
+    // links diverging only near their traces' ends fork a shared prefix
+    // snapshot instead of re-simulating from tick 0.
     let correct_sorted: Vec<NodeId> = correct.iter().copied().collect();
-    let key = crate::runkey::link_key(
+    let behavior = memoize_link_run(
         &protocol.name(),
         base,
         &correct_sorted,
@@ -326,24 +378,24 @@ fn transplant_inner(
         &inputs,
         horizon,
         policy,
-    );
-    let behavior = flm_sim::runcache::memoize_discrete(&key, || {
-        let mut sys = System::new(base.clone());
-        for &t in &correct_sorted {
-            sys.assign(t, protocol.device(base, t), inputs[t.index()]);
-        }
-        for (alpha, traces) in &masquerade {
-            sys.assign(
-                *alpha,
-                Box::new(ReplayDevice::masquerade(traces.clone())),
-                faulty_input,
-            );
-        }
-        sys.run_contained(horizon, policy)
-            .map_err(|e| RefuteError::ModelViolation {
-                reason: format!("base run failed: {e}"),
-            })
-    })?;
+        || {
+            let mut sys = System::new(base.clone());
+            for &t in &correct_sorted {
+                sys.assign(t, protocol.device(base, t), inputs[t.index()]);
+            }
+            for (alpha, traces) in &masquerade {
+                sys.assign(
+                    *alpha,
+                    Box::new(ReplayDevice::masquerade(traces.clone())),
+                    faulty_input,
+                );
+            }
+            Ok(sys)
+        },
+        |e| RefuteError::ModelViolation {
+            reason: format!("base run failed: {e}"),
+        },
+    )?;
 
     // The Locality axiom, checked: the transplanted scenario must equal the
     // cover scenario byte for byte (under φ). Quarantined devices pass this

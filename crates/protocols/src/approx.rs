@@ -139,6 +139,10 @@ impl Device for DlpswDevice {
             None => snapshot::undecided(&state),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,7 @@ impl Chain {
 }
 
 /// The per-node Dolev–Strong state machine.
+#[derive(Clone)]
 pub struct DolevStrongDevice {
     n: usize,
     f: usize,
@@ -262,6 +263,10 @@ impl Device for DolevStrongDevice {
             Some(b) => snapshot::decided_bool(b, &state),
             None => snapshot::undecided(&state),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -245,6 +245,10 @@ impl Device for EigDevice {
             None => snapshot::undecided(&h.to_be_bytes()),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ impl Protocol for FiringSquadViaBa {
 
 /// The per-node firing-squad state machine: a stimulus-announcement phase
 /// followed by `n` parallel EIG instances.
+#[derive(Clone)]
 pub struct FiringSquadDevice {
     n: usize,
     f: usize,
@@ -204,6 +205,10 @@ impl Device for FiringSquadDevice {
         } else {
             snapshot::undecided(&state)
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 

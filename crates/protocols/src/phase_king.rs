@@ -151,6 +151,10 @@ impl Device for PhaseKingDevice {
             None => snapshot::undecided(&state),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -356,6 +356,21 @@ impl Device for RelayDevice {
         snap.extend_from_slice(&h.to_be_bytes());
         snap
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(RelayDevice {
+            inner: self.inner.fork()?,
+            graph: self.graph.clone(),
+            routes: self.routes.clone(),
+            round_len: self.round_len,
+            f: self.f,
+            me: self.me,
+            phys_ports: self.phys_ports.clone(),
+            peers: self.peers.clone(),
+            copies: self.copies.clone(),
+            inner_tick: self.inner_tick,
+        }))
+    }
 }
 
 /// Convenience: is `g` usable by [`Relayed`] with fault budget `f`?

@@ -381,6 +381,17 @@ pub struct StatsReport {
     pub cache_entries: u64,
     /// Approximate behavior bytes served from the cache instead of re-run.
     pub cache_bytes_saved: u64,
+    /// Process-global prefix-trie hits — runs resumed from a stored tick
+    /// snapshot (see `flm_sim::prefixcache::stats`).
+    pub prefix_hits: u64,
+    /// Prefix-trie misses — runs simulated from tick 0.
+    pub prefix_misses: u64,
+    /// Snapshots dropped by the prefix trie's LRU bound.
+    pub prefix_evictions: u64,
+    /// Ticks skipped by resuming from snapshots instead of re-simulating.
+    pub prefix_ticks_saved: u64,
+    /// Snapshots currently stored in the prefix trie.
+    pub prefix_entries: u64,
     /// `flm_core::profile::report()` output when `FLM_PROFILE` is enabled
     /// in the server process; empty otherwise.
     pub profile: String,
@@ -429,7 +440,7 @@ impl fmt::Display for StatsReport {
             "rejections: {} typed errors, {} malformed frames",
             self.responses_error, self.malformed_frames
         )?;
-        write!(
+        writeln!(
             f,
             "run cache: {} hits / {} misses ({:.1}% hit rate), {} entries, ~{} KiB reused",
             self.cache_hits,
@@ -437,6 +448,15 @@ impl fmt::Display for StatsReport {
             self.cache_hit_rate() * 100.0,
             self.cache_entries,
             self.cache_bytes_saved / 1024,
+        )?;
+        write!(
+            f,
+            "prefix trie: {} hits / {} misses, {} ticks skipped, {} snapshots, {} evictions",
+            self.prefix_hits,
+            self.prefix_misses,
+            self.prefix_ticks_saved,
+            self.prefix_entries,
+            self.prefix_evictions,
         )?;
         if !self.profile.is_empty() {
             write!(f, "\n{}", self.profile.trim_end())?;
@@ -536,6 +556,11 @@ impl Response {
                     .u64(s.cache_misses)
                     .u64(s.cache_entries)
                     .u64(s.cache_bytes_saved)
+                    .u64(s.prefix_hits)
+                    .u64(s.prefix_misses)
+                    .u64(s.prefix_evictions)
+                    .u64(s.prefix_ticks_saved)
+                    .u64(s.prefix_entries)
                     .str(&s.profile);
                 kind::RESP_STATS
             }
@@ -598,6 +623,11 @@ impl Response {
                     cache_misses: next("stats.cache_misses")?,
                     cache_entries: next("stats.cache_entries")?,
                     cache_bytes_saved: next("stats.cache_bytes_saved")?,
+                    prefix_hits: next("stats.prefix_hits")?,
+                    prefix_misses: next("stats.prefix_misses")?,
+                    prefix_evictions: next("stats.prefix_evictions")?,
+                    prefix_ticks_saved: next("stats.prefix_ticks_saved")?,
+                    prefix_entries: next("stats.prefix_entries")?,
                     profile: String::new(),
                 };
                 let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
@@ -690,6 +720,10 @@ mod tests {
             requests_refute: 2,
             cache_hits: 40,
             cache_misses: 2,
+            prefix_hits: 7,
+            prefix_misses: 5,
+            prefix_ticks_saved: 93,
+            prefix_entries: 12,
             profile: "phase table".into(),
             ..StatsReport::default()
         }));

@@ -111,6 +111,7 @@ impl Shared {
     fn snapshot(&self) -> StatsReport {
         let c = &self.counters;
         let cache = flm_sim::runcache::stats();
+        let prefix = flm_sim::prefixcache::stats();
         StatsReport {
             connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
             connections_shed: c.connections_shed.load(Ordering::Relaxed),
@@ -125,6 +126,11 @@ impl Shared {
             cache_misses: cache.misses,
             cache_entries: cache.entries as u64,
             cache_bytes_saved: cache.bytes_saved,
+            prefix_hits: prefix.hits,
+            prefix_misses: prefix.misses,
+            prefix_evictions: prefix.evictions,
+            prefix_ticks_saved: prefix.ticks_saved,
+            prefix_entries: prefix.entries as u64,
             profile: if flm_core::profile::enabled() {
                 flm_core::profile::report()
             } else {

@@ -47,6 +47,13 @@ impl Device for CrashAdversary {
     fn snapshot(&self) -> Vec<u8> {
         snapshot::undecided(b"crashed")
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(CrashAdversary {
+            inner: self.inner.fork()?,
+            crash_at: self.crash_at,
+        }))
+    }
 }
 
 /// Never says anything.
@@ -66,6 +73,10 @@ impl Device for SilentAdversary {
 
     fn snapshot(&self) -> Vec<u8> {
         snapshot::undecided(b"silent")
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -119,6 +130,10 @@ impl Device for RandomAdversary {
     fn snapshot(&self) -> Vec<u8> {
         snapshot::undecided(&self.heard.to_be_bytes())
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Runs two instances of an honest device with different inputs and shows
@@ -169,6 +184,13 @@ impl Device for TwoFacedAdversary {
     fn snapshot(&self) -> Vec<u8> {
         snapshot::undecided(b"two-faced")
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(TwoFacedAdversary {
+            zero_face: self.zero_face.fork()?,
+            one_face: self.one_face.fork()?,
+        }))
+    }
 }
 
 /// Echoes back at tick `t+1` whatever it received at tick `t` on the same
@@ -194,6 +216,10 @@ impl Device for MirrorAdversary {
 
     fn snapshot(&self) -> Vec<u8> {
         snapshot::undecided(b"mirror")
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -277,7 +277,11 @@ impl NodeCtx {
 /// * **Port discipline.** `step` receives exactly one `Option<Payload>` per
 ///   port and must return exactly one per port (`None` = silence; silence
 ///   is itself observable on the edge).
-pub trait Device {
+///
+/// Devices are `Send` so that mid-run snapshots (forked device state held
+/// by `flm_sim::prefixcache`) can live in a process-global store shared
+/// across worker threads.
+pub trait Device: Send {
     /// Short human-readable name (`"EIG"`, `"Replay"`, …) used in reports.
     fn name(&self) -> &'static str;
 
@@ -292,6 +296,17 @@ pub trait Device {
     /// A canonical snapshot of the device's observable state *after* the
     /// current step, with any decision encoded per [`snapshot`].
     fn snapshot(&self) -> Vec<u8>;
+
+    /// A complete, independent copy of the device's *runtime* state, used
+    /// by the prefix cache to resume a run from a stored tick snapshot.
+    ///
+    /// The contract is total fidelity: the fork must step exactly like the
+    /// original from here on. Devices that cannot guarantee that return
+    /// `None` (the default) — the run then simply isn't prefix-cached,
+    /// which is always sound.
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        None
+    }
 }
 
 /// Canonical snapshot encoding.

@@ -52,6 +52,10 @@ impl Device for ConstantDevice {
             Input::None => snapshot::undecided(&[]),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// A naive one-round majority voter: broadcasts its Boolean input at tick 0,
@@ -118,6 +122,10 @@ impl Device for NaiveMajorityDevice {
             Some(b) => snapshot::decided_bool(b, &state),
             None => snapshot::undecided(&state),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -211,6 +219,10 @@ impl Device for TableDevice {
             Some(b) => snapshot::decided_bool(b, &state),
             None => snapshot::undecided(&state),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -419,6 +419,13 @@ impl Device for FaultedDevice {
     fn snapshot(&self) -> Vec<u8> {
         self.inner.snapshot()
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(FaultedDevice {
+            inner: self.inner.fork()?,
+            injector: self.injector.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

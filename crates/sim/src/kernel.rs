@@ -1,0 +1,445 @@
+//! The structure-of-arrays run kernel behind [`crate::System`].
+//!
+//! [`run`] is the single tick loop every discrete-system execution goes
+//! through (strict and contained). All per-run state lives in flat,
+//! time-major slabs rather than per-edge / per-node nested vectors:
+//!
+//! * `traces` — one `Option<Payload>` slot per directed edge per tick,
+//!   indexed `t * E + e` in `Graph::directed_edges` (lex) order;
+//! * `delivered` — a per-tick bitmask over edge indices, so refilling the
+//!   inboxes skips the payload slab entirely for silent edges;
+//! * `snap_bytes` / `snap_ends` — an arena of device snapshots with
+//!   cumulative end offsets, one entry per node per tick;
+//! * the port tables (`RunScratch`) — flat in/out edge-index arrays with a
+//!   per-node prefix-sum offset table, and one flat inbox buffer.
+//!
+//! The payoff is that a mid-run snapshot ([`TickSnapshot`]) is a handful of
+//! slab prefix clones (`Option<Payload>` clones are refcount bumps) plus a
+//! [`Device::fork`] per live node — which is what makes the run-prefix trie
+//! ([`crate::prefixcache`]) cheap enough to capture speculatively. The
+//! pre-existing `System::run_reference` map-per-delivery loop is untouched
+//! and remains the differential oracle for this kernel.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use flm_graph::{Graph, NodeId};
+
+use crate::behavior::{DeviceMisbehavior, MisbehaviorKind, NodeBehavior, SystemBehavior};
+use crate::device::{snapshot, Device, Payload};
+use crate::system::{RunPolicy, RunScratch, Slot, SystemError};
+use crate::Tick;
+
+/// A forkable mid-run state capture at a tick boundary: everything the
+/// kernel needs to resume a run at tick `tick` as if it had executed ticks
+/// `0..tick` itself.
+///
+/// Slab fields hold the time-major prefixes for the completed ticks;
+/// `devices[v]` holds a [`Device::fork`] of node `v`'s device, or `None`
+/// for nodes whose device need not (scripted replay nodes, whose outputs
+/// the prefix key pins per tick) or cannot (quarantined nodes, whose state
+/// may be poisoned) be restored — on resume those keep the freshly
+/// assembled system's device, which is sound because a scripted device's
+/// `step` reads only the tick index and a quarantined node is never
+/// stepped again.
+pub struct TickSnapshot {
+    tick: u32,
+    e_count: u32,
+    n: u32,
+    traces: Vec<Option<Payload>>,
+    delivered: Vec<u64>,
+    snap_bytes: Vec<u8>,
+    snap_ends: Vec<u32>,
+    quarantined: Vec<bool>,
+    misbehavior: Vec<DeviceMisbehavior>,
+    devices: Vec<Option<Box<dyn Device>>>,
+}
+
+impl TickSnapshot {
+    /// The tick boundary this snapshot was captured at.
+    pub fn tick(&self) -> u32 {
+        self.tick
+    }
+
+    /// Approximate retained bytes, for the prefix cache's byte bound.
+    pub fn approx_bytes(&self) -> usize {
+        let payloads: usize = self
+            .traces
+            .iter()
+            .flatten()
+            .map(|p| p.len() + std::mem::size_of::<Payload>())
+            .sum();
+        payloads
+            + self.snap_bytes.len()
+            + self.snap_ends.len() * 4
+            + self.delivered.len() * 8
+            + self.traces.len()
+            + self.n as usize * 64
+    }
+
+    /// A shape-degenerate snapshot for store-level tests that must never
+    /// reach the kernel (probe rejection paths).
+    #[cfg(test)]
+    pub(crate) fn empty_for_tests(tick: u32) -> TickSnapshot {
+        TickSnapshot {
+            tick,
+            e_count: 0,
+            n: 0,
+            traces: Vec::new(),
+            delivered: Vec::new(),
+            snap_bytes: Vec::new(),
+            snap_ends: Vec::new(),
+            quarantined: Vec::new(),
+            misbehavior: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// An independent copy that a run can consume while `self` stays in the
+    /// cache. `None` if any stored device refuses to fork (cannot happen
+    /// for devices that forked once already, but surfaced rather than
+    /// asserted).
+    pub fn fork(&self) -> Option<TickSnapshot> {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| match d {
+                None => Some(None),
+                Some(d) => d.fork().map(Some),
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(TickSnapshot {
+            tick: self.tick,
+            e_count: self.e_count,
+            n: self.n,
+            traces: self.traces.clone(),
+            delivered: self.delivered.clone(),
+            snap_bytes: self.snap_bytes.clone(),
+            snap_ends: self.snap_ends.clone(),
+            quarantined: self.quarantined.clone(),
+            misbehavior: self.misbehavior.clone(),
+            devices,
+        })
+    }
+}
+
+/// Which tick boundaries to capture and which nodes are scripted.
+pub(crate) struct CaptureSpec<'a> {
+    /// Ascending tick boundaries to snapshot at; a snapshot at `t` holds
+    /// the state after ticks `0..t`.
+    pub at: &'a [u32],
+    /// `scripted[v]` — node `v`'s outputs are pinned per tick by the prefix
+    /// key (a replay device), so its device is neither forked nor restored.
+    pub scripted: &'a [bool],
+}
+
+fn words_for(e_count: usize) -> usize {
+    e_count.div_ceil(64)
+}
+
+/// The SoA tick loop. `resume` continues from a forked [`TickSnapshot`]
+/// instead of tick 0; `capture` requests snapshots at the given boundaries
+/// (silently skipped once any live device refuses to fork).
+///
+/// Byte-identical to the pre-SoA loop on every observable: trace order,
+/// snapshot bytes, misbehavior ordering (tick-major, node-ascending),
+/// quarantine semantics, and every error path.
+pub(crate) fn run(
+    graph: &Arc<Graph>,
+    slots: &mut [Option<Slot>],
+    horizon: u32,
+    policy: Option<&RunPolicy>,
+    scratch: &mut RunScratch,
+    resume: Option<TickSnapshot>,
+    capture: Option<&CaptureSpec<'_>>,
+) -> Result<(SystemBehavior, Vec<TickSnapshot>), SystemError> {
+    let n = graph.node_count();
+    for v in graph.nodes() {
+        if slots[v.index()].is_none() {
+            return Err(SystemError::Unassigned { node: v });
+        }
+    }
+    if policy.is_some() {
+        crate::system::install_quiet_panic_hook();
+    }
+    // Port resolution: every port of every node is resolved to its receive
+    // and send edge index (lex position in `directed_edges`) once, into
+    // flat arrays indexed by `port_off[v] + p`. Resolution can only fail
+    // for a wiring that is not a bijection onto the node's neighbors,
+    // which `assign`/`assign_wired` already reject — the error path keeps
+    // that invariant structural for slots assembled some other way.
+    let edge_list = graph.directed_edges();
+    let e_count = edge_list.len();
+    let words = words_for(e_count);
+    scratch.port_off.clear();
+    scratch.port_off.push(0);
+    scratch.in_edges.clear();
+    scratch.out_edges.clear();
+    for v in graph.nodes() {
+        let slot = slots[v.index()]
+            .as_ref()
+            .expect("run is only reached after every node is assigned");
+        for &w in slot.wiring() {
+            let bad_wire = |_| SystemError::BadWiring {
+                node: v,
+                reason: format!("port wired to {w}, which is not a neighbor of {v}"),
+            };
+            scratch
+                .in_edges
+                .push(edge_list.binary_search(&(w, v)).map_err(bad_wire)? as u32);
+            scratch
+                .out_edges
+                .push(edge_list.binary_search(&(v, w)).map_err(bad_wire)? as u32);
+        }
+        scratch.port_off.push(scratch.in_edges.len() as u32);
+    }
+    let port_off = &scratch.port_off;
+    let in_edges = &scratch.in_edges;
+    let out_edges = &scratch.out_edges;
+    scratch.inbox.clear();
+    scratch.inbox.resize(in_edges.len(), None);
+    let inbox = &mut scratch.inbox;
+    scratch.quarantined.clear();
+    scratch.quarantined.resize(n, false);
+    let quarantined = &mut scratch.quarantined;
+
+    // Time-major slabs; outputs, so always freshly allocated.
+    let mut traces: Vec<Option<Payload>> = Vec::with_capacity(horizon as usize * e_count);
+    let mut delivered: Vec<u64> = Vec::with_capacity(horizon as usize * words);
+    let mut snap_bytes: Vec<u8> = Vec::new();
+    let mut snap_ends: Vec<u32> = Vec::with_capacity(horizon as usize * n);
+    let mut misbehavior: Vec<DeviceMisbehavior> = Vec::new();
+
+    // Resuming replays the stored prefix as if this kernel had executed it:
+    // slab prefixes are adopted wholesale, forked devices replace the
+    // freshly assembled ones, and the tick loop starts at the boundary.
+    let start = match resume {
+        None => 0,
+        Some(snap) => {
+            assert_eq!(
+                (snap.n, snap.e_count),
+                (n as u32, e_count as u32),
+                "tick snapshot shape does not match this system"
+            );
+            assert!(snap.tick <= horizon, "tick snapshot is past the horizon");
+            traces = snap.traces;
+            delivered = snap.delivered;
+            snap_bytes = snap.snap_bytes;
+            snap_ends = snap.snap_ends;
+            quarantined.copy_from_slice(&snap.quarantined);
+            misbehavior = snap.misbehavior;
+            for (slot, device) in slots.iter_mut().zip(snap.devices) {
+                if let Some(device) = device {
+                    slot.as_mut()
+                        .expect("run is only reached after every node is assigned")
+                        .device = device;
+                }
+            }
+            snap.tick
+        }
+    };
+
+    let mut captures: Vec<TickSnapshot> = Vec::new();
+    let mut capture_at: &[u32] = capture.map_or(&[], |c| c.at);
+    while capture_at.first().is_some_and(|&b| b <= start) {
+        capture_at = &capture_at[1..];
+    }
+    let mut capture_dead = false;
+
+    for t in start..horizon {
+        let tick = Tick(t);
+        // Refill the flat inbox from last tick's slab row. The delivery
+        // bitmask keeps silent edges off the payload slab entirely.
+        if t > 0 {
+            let row = &traces[(t as usize - 1) * e_count..t as usize * e_count];
+            let mask = &delivered[(t as usize - 1) * words..t as usize * words];
+            for (cell, &e) in inbox.iter_mut().zip(in_edges.iter()) {
+                let e = e as usize;
+                *cell = if mask[e >> 6] & (1 << (e & 63)) != 0 {
+                    row[e].clone()
+                } else {
+                    None
+                };
+            }
+        }
+        // This tick's slab row.
+        traces.resize(traces.len() + e_count, None);
+        delivered.resize(delivered.len() + words, 0);
+        let row = &mut traces[t as usize * e_count..];
+        let mask = &mut delivered[t as usize * words..];
+        // Step devices and record sends + snapshots.
+        for v in graph.nodes() {
+            let slot = slots[v.index()]
+                .as_mut()
+                .expect("run is only reached after every node is assigned");
+            let off = port_off[v.index()] as usize;
+            let ports = port_off[v.index() + 1] as usize - off;
+            let node_inbox = &inbox[off..off + ports];
+            let mut incident: Option<MisbehaviorKind> = None;
+            let out: Vec<Option<Payload>> = if quarantined[v.index()] {
+                vec![None; ports]
+            } else {
+                let stepped = match policy {
+                    None => Ok(slot.device.step(tick, node_inbox)),
+                    Some(_) => {
+                        let device = &mut slot.device;
+                        crate::system::CONTAINING.with(|c| c.set(true));
+                        let result =
+                            panic::catch_unwind(AssertUnwindSafe(|| device.step(tick, node_inbox)));
+                        crate::system::CONTAINING.with(|c| c.set(false));
+                        result.map_err(|p| MisbehaviorKind::Panic(crate::system::panic_message(p)))
+                    }
+                };
+                match stepped {
+                    Ok(out) if out.len() != ports => {
+                        let kind = MisbehaviorKind::PortMismatch {
+                            expected: ports,
+                            got: out.len(),
+                        };
+                        if policy.is_none() {
+                            return Err(SystemError::PortMismatch {
+                                node: v,
+                                expected: ports,
+                                got: out.len(),
+                            });
+                        }
+                        incident = Some(kind);
+                        vec![None; ports]
+                    }
+                    Ok(out) => {
+                        let oversized = policy.and_then(|p| {
+                            out.iter().enumerate().find_map(|(port, m)| {
+                                m.as_ref()
+                                    .filter(|m| m.len() > p.max_payload_bytes)
+                                    .map(|m| MisbehaviorKind::OversizedPayload {
+                                        port,
+                                        len: m.len(),
+                                        limit: p.max_payload_bytes,
+                                    })
+                            })
+                        });
+                        match oversized {
+                            Some(kind) => {
+                                incident = Some(kind);
+                                vec![None; ports]
+                            }
+                            None => out,
+                        }
+                    }
+                    Err(kind) => {
+                        incident = Some(kind);
+                        vec![None; ports]
+                    }
+                }
+            };
+            if let Some(kind) = incident {
+                misbehavior.push(DeviceMisbehavior {
+                    node: v,
+                    tick,
+                    kind,
+                });
+                quarantined[v.index()] = true;
+            }
+            // Sends land in this tick's slab row; `out_edges` was fully
+            // resolved before the loop, so every port has an edge by
+            // construction.
+            for (p, payload) in out.into_iter().enumerate() {
+                let e = out_edges[off + p] as usize;
+                if payload.is_some() {
+                    mask[e >> 6] |= 1 << (e & 63);
+                }
+                row[e] = payload;
+            }
+            // A quarantined device is never touched again — its state may
+            // be poisoned mid-panic, so the marker stands in for it.
+            let snap = if quarantined[v.index()] {
+                snapshot::undecided(b"quarantined")
+            } else {
+                slot.device.snapshot()
+            };
+            snap_bytes.extend_from_slice(&snap);
+            snap_ends.push(snap_bytes.len() as u32);
+        }
+        // Capture at the boundary after this tick: slab prefix clones plus
+        // one fork per live, unscripted device. A device that refuses to
+        // fork disables capture for the rest of the run (never the run
+        // itself).
+        if !capture_dead && capture_at.first() == Some(&(t + 1)) {
+            capture_at = &capture_at[1..];
+            let spec = capture.expect("capture_at is non-empty only with a spec");
+            let devices = graph
+                .nodes()
+                .map(|v| {
+                    if spec.scripted[v.index()] || quarantined[v.index()] {
+                        Some(None)
+                    } else {
+                        slots[v.index()]
+                            .as_ref()
+                            .expect("run is only reached after every node is assigned")
+                            .device
+                            .fork()
+                            .map(Some)
+                    }
+                })
+                .collect::<Option<Vec<_>>>();
+            match devices {
+                None => capture_dead = true,
+                Some(devices) => captures.push(TickSnapshot {
+                    tick: t + 1,
+                    e_count: e_count as u32,
+                    n: n as u32,
+                    traces: traces.clone(),
+                    delivered: delivered.clone(),
+                    snap_bytes: snap_bytes.clone(),
+                    snap_ends: snap_ends.clone(),
+                    quarantined: quarantined.clone(),
+                    misbehavior: misbehavior.clone(),
+                    devices,
+                }),
+            }
+        }
+    }
+
+    // Regroup the time-major slab into the public per-edge traces. The
+    // payloads are *moved* (t outer, e inner), so this is pointer traffic,
+    // not refcount churn.
+    let mut edge_traces: Vec<Vec<Option<Payload>>> = (0..e_count)
+        .map(|_| Vec::with_capacity(horizon as usize))
+        .collect();
+    let mut drained = traces.into_iter();
+    for _ in 0..horizon {
+        for trace in edge_traces.iter_mut() {
+            trace.push(drained.next().expect("slab holds horizon * E entries"));
+        }
+    }
+    // Snapshots: slice the arena back out into per-node, per-tick vectors.
+    let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
+    let mut prev_end = 0usize;
+    for (i, &end) in snap_ends.iter().enumerate() {
+        snaps[i % n].push(snap_bytes[prev_end..end as usize].to_vec());
+        prev_end = end as usize;
+    }
+
+    let nodes = graph
+        .nodes()
+        .map(|v| {
+            let slot = slots[v.index()]
+                .as_ref()
+                .expect("run is only reached after every node is assigned");
+            NodeBehavior {
+                device_name: slot.device.name().to_string(),
+                input: slot.ctx.input,
+                snaps: std::mem::take(&mut snaps[v.index()]),
+            }
+        })
+        .collect();
+    // The public edge map is assembled once, after the run; `zip` pairs
+    // each directed edge with its dense trace because both follow the
+    // `directed_edges` order.
+    let edges: std::collections::BTreeMap<(NodeId, NodeId), Vec<Option<Payload>>> =
+        edge_list.into_iter().zip(edge_traces).collect();
+    Ok((
+        SystemBehavior::new(Arc::clone(graph), nodes, edges, horizon, misbehavior),
+        captures,
+    ))
+}

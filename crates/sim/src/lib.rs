@@ -57,6 +57,8 @@ pub mod clock;
 pub mod device;
 pub mod devices;
 pub mod faults;
+pub(crate) mod kernel;
+pub mod prefixcache;
 pub mod protocol;
 pub mod replay;
 pub mod runcache;

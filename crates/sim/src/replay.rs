@@ -76,6 +76,12 @@ impl Device for ReplayDevice {
         // comparison; a constant marker keeps it honest anyway.
         snapshot::undecided(b"replay")
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        // Stateless: `step` reads only the tick index, so a clone at any
+        // tick behaves identically to the original from that tick on.
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

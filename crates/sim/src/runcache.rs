@@ -33,8 +33,11 @@
 //! * `FLM_RUNCACHE=0` disables the cache process-wide.
 //! * [`bypass`] disables it for the current thread while a closure runs —
 //!   the differential tests and the cold legs of the bench suites use it.
-//! * The store is bounded ([`MAX_ENTRIES`] / [`MAX_VALUE_BYTES`]) with
-//!   FIFO eviction, so long sweeps cannot grow memory without bound.
+//! * The store is bounded ([`MAX_ENTRIES`] entries by default, overridable
+//!   with `FLM_RUNCACHE_CAP`, and [`MAX_VALUE_BYTES`]) with least-recently-
+//!   used eviction, so long sweeps cannot grow memory without bound while
+//!   hot behaviors (a covering run shared by every link of a chain) stay
+//!   resident.
 
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
@@ -44,11 +47,25 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::behavior::SystemBehavior;
 use crate::clock::ClockBehavior;
 
-/// Maximum number of cached behaviors before FIFO eviction.
+/// Default maximum number of cached behaviors before LRU eviction.
+/// Override with `FLM_RUNCACHE_CAP=<n>` (read once per process).
 pub const MAX_ENTRIES: usize = 512;
 
-/// Maximum total approximate value bytes held before FIFO eviction.
+/// Maximum total approximate value bytes held before LRU eviction.
 pub const MAX_VALUE_BYTES: u64 = 64 << 20;
+
+/// The effective entry cap: `FLM_RUNCACHE_CAP` if set to a positive
+/// integer, else [`MAX_ENTRIES`].
+pub fn max_entries() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("FLM_RUNCACHE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(MAX_ENTRIES)
+    })
+}
 
 /// A canonical cache key: the full encoded run ingredients plus their
 /// FNV-1a fingerprint (an index, not a proof of equality — probes compare
@@ -105,19 +122,36 @@ struct Entry {
 #[derive(Default)]
 struct Store {
     buckets: HashMap<u64, Vec<Entry>>,
+    /// Recency queue of `(fingerprint, seq)` pairs. A hit re-stamps the
+    /// entry's `seq` and pushes a fresh pair, so pairs whose `seq` no longer
+    /// matches any entry are stale and skipped during eviction — that skip
+    /// is exactly what turns the FIFO queue into an LRU.
     order: VecDeque<(u64, u64)>,
     next_seq: u64,
+    entry_count: usize,
     total_bytes: u64,
 }
 
 impl Store {
-    fn lookup(&self, key: &RunKey) -> Option<(CachedValue, u64)> {
-        self.buckets.get(&key.fp).and_then(|bucket| {
-            bucket
+    fn lookup_touch(&mut self, key: &RunKey) -> Option<(CachedValue, u64)> {
+        let bucket = self.buckets.get_mut(&key.fp)?;
+        let entry = bucket.iter_mut().find(|e| e.key == key.bytes)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        entry.seq = seq;
+        let found = (entry.value.clone(), entry.approx_bytes);
+        self.order.push_back((key.fp, seq));
+        // Hits grow `order` with stale pairs; compact occasionally so it
+        // stays proportional to the live entry count.
+        if self.order.len() > self.entry_count * 2 + 64 {
+            let live: std::collections::HashSet<(u64, u64)> = self
+                .buckets
                 .iter()
-                .find(|e| e.key == key.bytes)
-                .map(|e| (e.value.clone(), e.approx_bytes))
-        })
+                .flat_map(|(&fp, b)| b.iter().map(move |e| (fp, e.seq)))
+                .collect();
+            self.order.retain(|pair| live.contains(pair));
+        }
+        Some(found)
     }
 
     fn insert(&mut self, key: &RunKey, value: CachedValue, approx_bytes: u64) {
@@ -134,8 +168,9 @@ impl Store {
             approx_bytes,
         });
         self.order.push_back((key.fp, seq));
+        self.entry_count += 1;
         self.total_bytes += approx_bytes;
-        while self.order.len() > MAX_ENTRIES || self.total_bytes > MAX_VALUE_BYTES {
+        while self.entry_count > max_entries() || self.total_bytes > MAX_VALUE_BYTES {
             let Some((fp, old_seq)) = self.order.pop_front() else {
                 break;
             };
@@ -143,6 +178,7 @@ impl Store {
                 if let Some(i) = bucket.iter().position(|e| e.seq == old_seq) {
                     let evicted = bucket.swap_remove(i);
                     self.total_bytes -= evicted.approx_bytes;
+                    self.entry_count -= 1;
                     EVICTIONS.fetch_add(1, Ordering::Relaxed);
                 }
                 if bucket.is_empty() {
@@ -211,8 +247,8 @@ pub fn memoize_discrete<E>(
         return run().map(Arc::new);
     }
     {
-        let store = store().lock().expect("run cache poisoned");
-        if let Some((CachedValue::Discrete(b), approx)) = store.lookup(key) {
+        let mut store = store().lock().expect("run cache poisoned");
+        if let Some((CachedValue::Discrete(b), approx)) = store.lookup_touch(key) {
             HITS.fetch_add(1, Ordering::Relaxed);
             BYTES_SAVED.fetch_add(approx, Ordering::Relaxed);
             return Ok(b);
@@ -242,8 +278,8 @@ pub fn memoize_clock<E>(
         return run().map(Arc::new);
     }
     {
-        let store = store().lock().expect("run cache poisoned");
-        if let Some((CachedValue::Clock(b), approx)) = store.lookup(key) {
+        let mut store = store().lock().expect("run cache poisoned");
+        if let Some((CachedValue::Clock(b), approx)) = store.lookup_touch(key) {
             HITS.fetch_add(1, Ordering::Relaxed);
             BYTES_SAVED.fetch_add(approx, Ordering::Relaxed);
             return Ok(b);
@@ -281,7 +317,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to a real run.
     pub misses: u64,
-    /// Entries dropped by the FIFO bound.
+    /// Entries dropped by the LRU bound.
     pub evictions: u64,
     /// Approximate behavior bytes served from the cache instead of being
     /// rebuilt by a run.
@@ -304,7 +340,7 @@ impl CacheStats {
 
 /// Reads the current counters and entry count.
 pub fn stats() -> CacheStats {
-    let entries = store().lock().expect("run cache poisoned").order.len();
+    let entries = store().lock().expect("run cache poisoned").entry_count;
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
@@ -407,15 +443,35 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_bounds_the_store() {
+    fn lru_eviction_bounds_the_store() {
         clear();
-        for i in 0..(MAX_ENTRIES as u64 + 40) {
+        for i in 0..(max_entries() as u64 + 40) {
             let _ = memoize_discrete(&key(0x1_0000 + i), || run_triangle(1)).unwrap();
         }
         let s = stats();
-        assert!(s.entries <= MAX_ENTRIES);
+        assert!(s.entries <= max_entries());
         assert!(s.evictions >= 40);
         clear();
+    }
+
+    #[test]
+    fn recently_hit_entries_survive_eviction_pressure() {
+        // Direct `Store` test (no global state): fill to the cap, touch the
+        // oldest entry, then push past the cap — the refreshed recency must
+        // protect it while strictly older untouched entries go first.
+        let mut store = Store::default();
+        let value = CachedValue::Discrete(Arc::new(run_triangle(1).unwrap()));
+        let hot = key(0x2_0000);
+        store.insert(&hot, value.clone(), 1);
+        for i in 1..max_entries() as u64 {
+            store.insert(&key(0x2_0000 + i), value.clone(), 1);
+        }
+        assert!(store.lookup_touch(&hot).is_some());
+        for i in 0..32 {
+            store.insert(&key(0x3_0000 + i), value.clone(), 1);
+        }
+        assert!(store.lookup_touch(&hot).is_some(), "hot entry was evicted");
+        assert!(store.entry_count <= max_entries());
     }
 
     #[test]

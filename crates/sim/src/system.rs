@@ -16,8 +16,8 @@ use std::sync::{Arc, OnceLock};
 use flm_graph::covering::Covering;
 use flm_graph::{Graph, NodeId};
 
-use crate::behavior::{DeviceMisbehavior, MisbehaviorKind, NodeBehavior, SystemBehavior};
-use crate::device::{snapshot, Device, Input, NodeCtx, Payload};
+use crate::behavior::{NodeBehavior, SystemBehavior};
+use crate::device::{Device, Input, NodeCtx, Payload};
 use crate::Tick;
 
 /// Errors from system assembly and runs.
@@ -117,12 +117,12 @@ thread_local! {
     /// True while a contained run is executing a device step — tells the
     /// quiet panic hook to swallow the report (the panic is caught, recorded
     /// as misbehavior, and must not spam stderr).
-    static CONTAINING: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static CONTAINING: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Installs, once per process, a panic hook that defers to the previous hook
 /// except while a contained run is catching device panics.
-fn install_quiet_panic_hook() {
+pub(crate) fn install_quiet_panic_hook() {
     static INSTALLED: OnceLock<()> = OnceLock::new();
     INSTALLED.get_or_init(|| {
         let previous = panic::take_hook();
@@ -161,7 +161,7 @@ pub fn contain_panics<R>(f: impl FnOnce() -> R) -> Result<R, String> {
 }
 
 /// Renders a caught panic payload as a message string.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -171,11 +171,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Reusable buffers for the dense message plane: the per-node edge tables,
-/// inbox buffers, and quarantine flags [`System::run_inner`] builds for
-/// every run. A sweep that executes thousands of small systems (the
-/// adversarial matrix, the property suites, the refuter chains) can hold
-/// one `RunScratch` and pass it to [`System::try_run_with_scratch`] /
+/// Reusable buffers for the dense message plane: the flat port-offset /
+/// edge-index tables, the flat inbox buffer, and the quarantine flags the
+/// SoA kernel (`crate::kernel`) builds for every run. A sweep that
+/// executes thousands of small systems (the adversarial matrix, the
+/// property suites, the refuter chains) can hold one `RunScratch` and pass
+/// it to [`System::try_run_with_scratch`] /
 /// [`System::run_contained_with_scratch`] to amortize those allocations;
 /// the buffers are resized and overwritten per run, never carried between
 /// runs as state, so scratch reuse cannot change a behavior.
@@ -184,10 +185,16 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// [`SystemBehavior`]) and are always freshly allocated.
 #[derive(Debug, Default)]
 pub struct RunScratch {
-    in_edges: Vec<Vec<usize>>,
-    out_edges: Vec<Vec<usize>>,
-    inboxes: Vec<Vec<Option<Payload>>>,
-    quarantined: Vec<bool>,
+    /// `n + 1` prefix sums: node `v`'s ports occupy the flat range
+    /// `port_off[v]..port_off[v + 1]` in the tables below.
+    pub(crate) port_off: Vec<u32>,
+    /// Receive edge index (lex position in `directed_edges`) per flat port.
+    pub(crate) in_edges: Vec<u32>,
+    /// Send edge index per flat port.
+    pub(crate) out_edges: Vec<u32>,
+    /// One flat inbox cell per port, overwritten every tick.
+    pub(crate) inbox: Vec<Option<Payload>>,
+    pub(crate) quarantined: Vec<bool>,
 }
 
 impl RunScratch {
@@ -197,9 +204,9 @@ impl RunScratch {
     }
 }
 
-struct Slot {
-    device: Box<dyn Device>,
-    ctx: NodeCtx,
+pub(crate) struct Slot {
+    pub(crate) device: Box<dyn Device>,
+    pub(crate) ctx: NodeCtx,
     /// `wiring[p]` = the physical neighbor connected to port `p`, when it
     /// differs from the identity; `None` means port `p` is wired to
     /// `ctx.ports[p]` itself, so identity assignments don't hold a second
@@ -208,7 +215,7 @@ struct Slot {
 }
 
 impl Slot {
-    fn wiring(&self) -> &[NodeId] {
+    pub(crate) fn wiring(&self) -> &[NodeId] {
         self.wiring.as_deref().unwrap_or(&self.ctx.ports)
     }
 }
@@ -435,196 +442,45 @@ impl System {
         policy: Option<&RunPolicy>,
         scratch: &mut RunScratch,
     ) -> Result<SystemBehavior, SystemError> {
-        let n = self.graph.node_count();
-        for v in self.graph.nodes() {
-            if self.slots[v.index()].is_none() {
-                return Err(SystemError::Unassigned { node: v });
-            }
-        }
-        if policy.is_some() {
-            install_quiet_panic_hook();
-        }
-        // Dense message plane: the tick loop never touches a map. Directed
-        // edges get consecutive indices (lexicographic, the order of
-        // `Graph::directed_edges`, so ports resolve by binary search over the
-        // sorted list rather than through a per-run map), every port is
-        // resolved to its receive and send edge index once up front, and each
-        // node's inbox buffer is allocated once and overwritten in place
-        // every tick. Delivering a payload is an `Arc` bump of last tick's
-        // send, never a byte copy. The per-node tables, inbox buffers, and
-        // quarantine flags live in `scratch` — resized and overwritten here,
-        // so a reused scratch amortizes their allocations without carrying
-        // any state between runs.
-        //
-        // Port resolution can only fail for a wiring that is not a bijection
-        // onto the node's physical neighbors, which `assign`/`assign_wired`
-        // already reject — the error path below keeps that invariant
-        // structural (a `SystemError`, not an `expect`) for slots assembled
-        // some other way.
-        let edge_list = self.graph.directed_edges();
-        scratch.in_edges.resize_with(n, Vec::new);
-        scratch.out_edges.resize_with(n, Vec::new);
-        for v in self.graph.nodes() {
-            let slot = self.slots[v.index()]
-                .as_ref()
-                .expect("run_inner is only reached after every node is assigned");
-            let wiring = slot.wiring();
-            let ins = &mut scratch.in_edges[v.index()];
-            let outs = &mut scratch.out_edges[v.index()];
-            ins.clear();
-            outs.clear();
-            for &w in wiring {
-                let bad_wire = |_| SystemError::BadWiring {
-                    node: v,
-                    reason: format!("port wired to {w}, which is not a neighbor of {v}"),
-                };
-                ins.push(edge_list.binary_search(&(w, v)).map_err(bad_wire)?);
-                outs.push(edge_list.binary_search(&(v, w)).map_err(bad_wire)?);
-            }
-        }
-        let in_edges = &scratch.in_edges;
-        let out_edges = &scratch.out_edges;
-        let mut traces: Vec<Vec<Option<Payload>>> = edge_list
-            .iter()
-            .map(|_| Vec::with_capacity(horizon as usize))
-            .collect();
-        let mut snaps: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(horizon as usize); n];
-        let mut misbehavior: Vec<DeviceMisbehavior> = Vec::new();
-        scratch.quarantined.clear();
-        scratch.quarantined.resize(n, false);
-        let quarantined = &mut scratch.quarantined;
-        scratch.inboxes.resize_with(n, Vec::new);
-        for (inbox, ins) in scratch.inboxes.iter_mut().zip(in_edges) {
-            inbox.clear();
-            inbox.resize(ins.len(), None);
-        }
-        let inboxes = &mut scratch.inboxes;
-
-        for t in 0..horizon {
-            let tick = Tick(t);
-            // Refill the reused inboxes from last tick's edge traces (tick 0
-            // keeps the initial all-`None` buffers).
-            if t > 0 {
-                for (inbox, ins) in inboxes.iter_mut().zip(in_edges.iter()) {
-                    for (cell, &e) in inbox.iter_mut().zip(ins) {
-                        *cell = traces[e][t as usize - 1].clone();
-                    }
-                }
-            }
-            // Step devices and record sends + snapshots.
-            for v in self.graph.nodes() {
-                let slot = self.slots[v.index()]
-                    .as_mut()
-                    .expect("run_inner is only reached after every node is assigned");
-                let ports = out_edges[v.index()].len();
-                let mut incident: Option<MisbehaviorKind> = None;
-                let out: Vec<Option<Payload>> = if quarantined[v.index()] {
-                    vec![None; ports]
-                } else {
-                    let stepped = match policy {
-                        None => Ok(slot.device.step(tick, &inboxes[v.index()])),
-                        Some(_) => {
-                            let device = &mut slot.device;
-                            let inbox = &inboxes[v.index()];
-                            CONTAINING.with(|c| c.set(true));
-                            let result =
-                                panic::catch_unwind(AssertUnwindSafe(|| device.step(tick, inbox)));
-                            CONTAINING.with(|c| c.set(false));
-                            result.map_err(|p| MisbehaviorKind::Panic(panic_message(p)))
-                        }
-                    };
-                    match stepped {
-                        Ok(out) if out.len() != ports => {
-                            let kind = MisbehaviorKind::PortMismatch {
-                                expected: ports,
-                                got: out.len(),
-                            };
-                            if policy.is_none() {
-                                return Err(SystemError::PortMismatch {
-                                    node: v,
-                                    expected: ports,
-                                    got: out.len(),
-                                });
-                            }
-                            incident = Some(kind);
-                            vec![None; ports]
-                        }
-                        Ok(out) => {
-                            let oversized = policy.and_then(|p| {
-                                out.iter().enumerate().find_map(|(port, m)| {
-                                    m.as_ref()
-                                        .filter(|m| m.len() > p.max_payload_bytes)
-                                        .map(|m| MisbehaviorKind::OversizedPayload {
-                                            port,
-                                            len: m.len(),
-                                            limit: p.max_payload_bytes,
-                                        })
-                                })
-                            });
-                            match oversized {
-                                Some(kind) => {
-                                    incident = Some(kind);
-                                    vec![None; ports]
-                                }
-                                None => out,
-                            }
-                        }
-                        Err(kind) => {
-                            incident = Some(kind);
-                            vec![None; ports]
-                        }
-                    }
-                };
-                if let Some(kind) = incident {
-                    misbehavior.push(DeviceMisbehavior {
-                        node: v,
-                        tick,
-                        kind,
-                    });
-                    quarantined[v.index()] = true;
-                }
-                // Sends land directly in the dense trace table; `out_edges`
-                // was fully resolved before the loop, so every port has an
-                // edge by construction.
-                for (p, payload) in out.into_iter().enumerate() {
-                    traces[out_edges[v.index()][p]].push(payload);
-                }
-                // A quarantined device is never touched again — its state may
-                // be poisoned mid-panic, so the marker stands in for it.
-                snaps[v.index()].push(if quarantined[v.index()] {
-                    snapshot::undecided(b"quarantined")
-                } else {
-                    slot.device.snapshot()
-                });
-            }
-        }
-
-        let nodes = self
-            .graph
-            .nodes()
-            .map(|v| {
-                let slot = self.slots[v.index()]
-                    .as_ref()
-                    .expect("run_inner is only reached after every node is assigned");
-                NodeBehavior {
-                    device_name: slot.device.name().to_string(),
-                    input: slot.ctx.input,
-                    snaps: std::mem::take(&mut snaps[v.index()]),
-                }
-            })
-            .collect();
-        // The public edge map is assembled once, after the run; `zip` pairs
-        // each directed edge with its dense trace because both follow the
-        // `directed_edges` order.
-        let edges: BTreeMap<(NodeId, NodeId), Vec<Option<Payload>>> =
-            edge_list.into_iter().zip(traces).collect();
-        Ok(SystemBehavior::new(
-            Arc::clone(&self.graph),
-            nodes,
-            edges,
+        // The dense message plane lives in `crate::kernel`: a
+        // structure-of-arrays tick loop over time-major slabs, so the same
+        // code path also serves prefix-cached runs (mid-run snapshots are
+        // slab prefix clones). Plain runs request no capture and resume
+        // nothing.
+        crate::kernel::run(
+            &self.graph,
+            &mut self.slots,
             horizon,
-            misbehavior,
-        ))
+            policy,
+            scratch,
+            None,
+            None,
+        )
+        .map(|(behavior, _)| behavior)
+    }
+
+    /// Contained run with prefix-cache plumbing: optionally resumes from a
+    /// forked [`crate::kernel::TickSnapshot`] and optionally captures
+    /// snapshots at the boundaries named by `capture`. Only
+    /// `crate::prefixcache` calls this; byte-identical to
+    /// [`System::run_contained`] for the same system by the kernel's
+    /// contract.
+    pub(crate) fn run_contained_prefixed(
+        &mut self,
+        horizon: u32,
+        policy: &RunPolicy,
+        resume: Option<crate::kernel::TickSnapshot>,
+        capture: Option<&crate::kernel::CaptureSpec<'_>>,
+    ) -> Result<(SystemBehavior, Vec<crate::kernel::TickSnapshot>), SystemError> {
+        crate::kernel::run(
+            &self.graph,
+            &mut self.slots,
+            horizon.min(policy.max_ticks),
+            Some(policy),
+            &mut RunScratch::new(),
+            resume,
+            capture,
+        )
     }
 
     /// Runs the system with the pre-zero-copy loop: a `BTreeMap`-keyed edge

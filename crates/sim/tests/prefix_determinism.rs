@@ -1,0 +1,470 @@
+//! The soundness contract of the run-prefix trie: forking a mid-run tick
+//! snapshot and simulating only the divergent suffix must be *unobservable*
+//! in the output. Every behavior served through
+//! [`flm_sim::prefixcache::memoize_prefixed`] must be byte-identical to a
+//! genuinely cold simulation of the same system — across graph shapes,
+//! masquerading replay nodes, fault-plan injectors, quarantining devices,
+//! and horizon changes — and schedules that are not byte-equal prefixes
+//! must never share a snapshot, no matter how their fingerprints land.
+
+use flm_graph::{builders, Graph, NodeId};
+use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+use flm_sim::devices::TableDevice;
+use flm_sim::prefixcache::{self, PrefixSchedule};
+use flm_sim::replay::ReplayDevice;
+use flm_sim::runcache::{self, RunKey};
+use flm_sim::wire::Writer;
+use flm_sim::{EdgeBehavior, FaultPlan, Input, RunPolicy, System, SystemBehavior, Tick};
+use std::sync::Arc;
+
+/// The caches are process-global and the tests below clear them; serialize
+/// so one test's `clear()` cannot race another's assertions.
+static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn cache_lock() -> std::sync::MutexGuard<'static, ()> {
+    CACHE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic synthetic masquerade traces for `scripted` in `g`: one
+/// trace per port, payload varying with (seed, port, tick), with silences
+/// sprinkled in.
+fn synthetic_traces(g: &Graph, scripted: NodeId, seed: u64, ticks: u32) -> Vec<EdgeBehavior> {
+    g.neighbors(scripted)
+        .enumerate()
+        .map(|(p, _)| {
+            (0..ticks)
+                .map(|t| {
+                    if (t as u64 + p as u64 + seed).is_multiple_of(4) {
+                        None
+                    } else {
+                        Some(Payload::from(vec![
+                            seed as u8,
+                            p as u8,
+                            t as u8,
+                            (seed >> 8) as u8,
+                        ]))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A link-shaped test system: every node runs a seeded `TableDevice`
+/// except `scripted`, which replays `traces`.
+fn link_system(g: &Graph, seed: u64, scripted: NodeId, traces: &[EdgeBehavior]) -> System {
+    let mut sys = System::new(g.clone());
+    for v in g.nodes() {
+        if v == scripted {
+            sys.assign(
+                v,
+                Box::new(ReplayDevice::masquerade(traces.to_vec())),
+                Input::Bool(false),
+            );
+        } else {
+            sys.assign(
+                v,
+                Box::new(TableDevice::new(seed ^ u64::from(v.0), 64)),
+                Input::Bool(v.0.is_multiple_of(2)),
+            );
+        }
+    }
+    sys
+}
+
+/// The schedule for [`link_system`]: static = (tag, graph, seed, trace
+/// shape); tick bytes = the scripted node's outputs per tick, exactly what
+/// `ReplayDevice::masquerade` will emit.
+fn link_schedule(
+    tag: &str,
+    g: &Graph,
+    seed: u64,
+    scripted: NodeId,
+    traces: &[EdgeBehavior],
+) -> PrefixSchedule {
+    let mut w = Writer::new();
+    w.str(tag);
+    w.bytes(&g.to_bytes());
+    w.u64(seed);
+    w.u32(scripted.0);
+    let mut ticks = 0;
+    for trace in traces {
+        w.u32(trace.len() as u32);
+        ticks = ticks.max(trace.len());
+    }
+    let mut schedule = PrefixSchedule::new(w.finish(), vec![scripted]);
+    for t in 0..ticks {
+        let mut tw = Writer::new();
+        for trace in traces {
+            match trace.get(t).and_then(Option::as_ref) {
+                None => {
+                    tw.u8(0);
+                }
+                Some(p) => {
+                    tw.u8(1).bytes(p);
+                }
+            }
+        }
+        schedule.push_tick(tw.finish());
+    }
+    schedule
+}
+
+fn link_key(
+    tag: &str,
+    g: &Graph,
+    seed: u64,
+    scripted: NodeId,
+    traces: &[EdgeBehavior],
+    horizon: u32,
+) -> RunKey {
+    let mut w = Writer::new();
+    w.str(tag);
+    w.bytes(&g.to_bytes());
+    w.u64(seed);
+    w.u32(scripted.0);
+    for trace in traces {
+        flm_sim::behavior::encode_edge_behavior(trace, &mut w);
+    }
+    w.u32(horizon);
+    RunKey::new("prefixtest", w.finish())
+}
+
+fn run_prefixed(
+    g: &Graph,
+    tag: &str,
+    seed: u64,
+    scripted: NodeId,
+    traces: &[EdgeBehavior],
+    horizon: u32,
+    policy: &RunPolicy,
+) -> Arc<SystemBehavior> {
+    let key = link_key(tag, g, seed, scripted, traces, horizon);
+    let schedule = link_schedule(tag, g, seed, scripted, traces);
+    prefixcache::memoize_prefixed(
+        &key,
+        &schedule,
+        horizon,
+        policy,
+        || Ok::<_, String>(link_system(g, seed, scripted, traces)),
+        |e| e.to_string(),
+    )
+    .unwrap()
+}
+
+fn assert_behaviors_identical(label: &str, a: &SystemBehavior, b: &SystemBehavior) {
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "{label}: behaviors diverged"
+    );
+}
+
+#[test]
+fn prefix_forked_runs_match_fresh_runs_across_graphs_and_seeds() {
+    let _guard = cache_lock();
+    let policy = RunPolicy::default();
+    for (gi, g) in [
+        builders::triangle(),
+        builders::complete(4),
+        builders::cycle(5),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for seed in 0..4u64 {
+            runcache::clear();
+            prefixcache::clear();
+            let tag = format!("graphs-{gi}-{seed}");
+            let scripted = NodeId(0);
+            let horizon = 24;
+            let base = synthetic_traces(g, scripted, seed, horizon);
+
+            // Cold run seeds the trie with that schedule's snapshots.
+            let _ = run_prefixed(g, &tag, seed, scripted, &base, horizon, &policy);
+
+            // Perturb only the final tick of every trace: the new schedule
+            // shares every boundary before the last tick, so this run forks
+            // a stored snapshot and simulates only the tail.
+            let mut perturbed = base.clone();
+            for trace in &mut perturbed {
+                *trace.last_mut().unwrap() = Some(Payload::from(vec![0xFF, seed as u8]));
+            }
+            let before = prefixcache::stats();
+            let warm = run_prefixed(g, &tag, seed, scripted, &perturbed, horizon, &policy);
+            let after = prefixcache::stats();
+            assert!(
+                after.hits > before.hits && after.ticks_saved > before.ticks_saved,
+                "perturbed-tail run must resume from a shared prefix, stats {after:?}"
+            );
+
+            let cold = runcache::bypass(|| {
+                link_system(g, seed, scripted, &perturbed)
+                    .run_contained(horizon, &policy)
+                    .unwrap()
+            });
+            assert_behaviors_identical(&tag, &warm, &cold);
+        }
+    }
+}
+
+#[test]
+fn shorter_horizons_extract_from_stored_snapshots() {
+    let _guard = cache_lock();
+    runcache::clear();
+    prefixcache::clear();
+    let policy = RunPolicy::default();
+    let g = builders::complete(4);
+    let scripted = NodeId(2);
+    let traces = synthetic_traces(&g, scripted, 9, 16);
+
+    let _ = run_prefixed(&g, "shrink", 9, scripted, &traces, 16, &policy);
+    // A shorter run of the same schedule must fork the boundary snapshot at
+    // its own horizon and re-simulate nothing.
+    let before = prefixcache::stats();
+    let short = run_prefixed(&g, "shrink", 9, scripted, &traces, 10, &policy);
+    let after = prefixcache::stats();
+    assert!(
+        after.ticks_saved >= before.ticks_saved + 10,
+        "horizon-10 run should resume at its completion boundary, stats {after:?}"
+    );
+    let cold = runcache::bypass(|| {
+        link_system(&g, 9, scripted, &traces)
+            .run_contained(10, &policy)
+            .unwrap()
+    });
+    assert_behaviors_identical("shrink", &short, &cold);
+}
+
+#[test]
+fn faulted_runs_share_prefixes_and_stay_identical() {
+    let _guard = cache_lock();
+    runcache::clear();
+    prefixcache::clear();
+    let policy = RunPolicy::default();
+    let g = builders::cycle(5);
+    let plan = FaultPlan::new(0xFA)
+        .drop_edge(NodeId(1), NodeId(2), 2, 6)
+        .corrupt_edge(NodeId(3), NodeId(4), 0, 8)
+        .equivocate(NodeId(0), 4, 9);
+
+    let build = || {
+        let mut sys = System::new(g.clone());
+        for v in g.nodes() {
+            let device: Box<dyn Device> = Box::new(TableDevice::new(77 ^ u64::from(v.0), 64));
+            sys.assign(v, plan.wrap(v, device), Input::Bool(v.0 == 0));
+        }
+        sys
+    };
+    let schedule = PrefixSchedule::new(b"faulted-cycle5".to_vec(), Vec::new());
+    let key = |h: u32| RunKey::new("prefixtest-faulted", h.to_le_bytes().to_vec());
+
+    let run = |h: u32| {
+        prefixcache::memoize_prefixed(
+            &key(h),
+            &schedule,
+            h,
+            &policy,
+            || Ok::<_, String>(build()),
+            |e| e.to_string(),
+        )
+        .unwrap()
+    };
+    let _ = run(20);
+    let warm = run(13);
+    let cold = runcache::bypass(|| build().run_contained(13, &policy).unwrap());
+    assert_behaviors_identical("faulted", &warm, &cold);
+    // The horizon-20 run captured stride-2 boundaries, so the deepest one
+    // at or below 13 is tick 12.
+    assert!(
+        prefixcache::stats().ticks_saved >= 12,
+        "the horizon-13 run should have resumed from a snapshot"
+    );
+}
+
+/// Panics at a fixed tick; forkable, so snapshots around the quarantine
+/// boundary exercise the restored-quarantine path.
+#[derive(Clone)]
+struct PanicAt {
+    tick: u32,
+}
+
+impl Device for PanicAt {
+    fn name(&self) -> &'static str {
+        "PanicAt"
+    }
+    fn init(&mut self, _ctx: &NodeCtx) {}
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        assert!(t.0 != self.tick, "scheduled detonation");
+        inbox.iter().map(|_| Some(Payload::from(vec![7]))).collect()
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(b"ticking")
+    }
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+#[test]
+fn quarantined_nodes_resume_quarantined() {
+    let _guard = cache_lock();
+    runcache::clear();
+    prefixcache::clear();
+    let policy = RunPolicy::default();
+    let g = builders::triangle();
+    let build = || {
+        let mut sys = System::new(g.clone());
+        sys.assign(NodeId(0), Box::new(PanicAt { tick: 3 }), Input::Bool(true));
+        for v in [NodeId(1), NodeId(2)] {
+            sys.assign(
+                v,
+                Box::new(TableDevice::new(u64::from(v.0), 64)),
+                Input::Bool(false),
+            );
+        }
+        sys
+    };
+    let schedule = PrefixSchedule::new(b"quarantine-triangle".to_vec(), Vec::new());
+    let run = |h: u32| {
+        prefixcache::memoize_prefixed(
+            &RunKey::new("prefixtest-quarantine", h.to_le_bytes().to_vec()),
+            &schedule,
+            h,
+            &policy,
+            || Ok::<_, String>(build()),
+            |e| e.to_string(),
+        )
+        .unwrap()
+    };
+    // The long run quarantines node 0 at tick 3 and stores snapshots on
+    // both sides of the boundary; the short run resumes past it and must
+    // reproduce the identical misbehavior record and marker snapshots.
+    let _ = run(16);
+    let warm = run(9);
+    let cold = runcache::bypass(|| build().run_contained(9, &policy).unwrap());
+    assert_behaviors_identical("quarantine", &warm, &cold);
+    assert_eq!(warm.misbehavior().len(), 1);
+}
+
+/// No `fork` override: refuses to fork, so runs containing it must never
+/// be captured into the trie (and must still be correct).
+struct Unforkable {
+    seed: u64,
+}
+
+impl Device for Unforkable {
+    fn name(&self) -> &'static str {
+        "Unforkable"
+    }
+    fn init(&mut self, _ctx: &NodeCtx) {}
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(t.0.into());
+        let b = (self.seed >> 32) as u8;
+        inbox.iter().map(|_| Some(Payload::from(vec![b]))).collect()
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        snapshot::undecided(&self.seed.to_be_bytes())
+    }
+}
+
+#[test]
+fn unforkable_devices_disable_capture_but_not_correctness() {
+    let _guard = cache_lock();
+    runcache::clear();
+    prefixcache::clear();
+    let policy = RunPolicy::default();
+    let g = builders::triangle();
+    let build = || {
+        let mut sys = System::new(g.clone());
+        sys.assign(
+            NodeId(0),
+            Box::new(Unforkable { seed: 41 }),
+            Input::Bool(true),
+        );
+        for v in [NodeId(1), NodeId(2)] {
+            sys.assign(
+                v,
+                Box::new(TableDevice::new(u64::from(v.0), 64)),
+                Input::Bool(false),
+            );
+        }
+        sys
+    };
+    let schedule = PrefixSchedule::new(b"unforkable-triangle".to_vec(), Vec::new());
+    let warm = prefixcache::memoize_prefixed(
+        &RunKey::new("prefixtest-unforkable", vec![1]),
+        &schedule,
+        12,
+        &policy,
+        || Ok::<_, String>(build()),
+        |e| e.to_string(),
+    )
+    .unwrap();
+    assert_eq!(
+        prefixcache::stats().entries,
+        0,
+        "a device that refuses to fork must keep the trie empty"
+    );
+    let cold = runcache::bypass(|| build().run_contained(12, &policy).unwrap());
+    assert_behaviors_identical("unforkable", &warm, &cold);
+}
+
+#[test]
+fn adversarial_near_aliases_never_share_a_prefix() {
+    let _guard = cache_lock();
+    runcache::clear();
+    prefixcache::clear();
+    let policy = RunPolicy::default();
+    let g = builders::triangle();
+    let scripted = NodeId(0);
+    let horizon = 12;
+    let a = synthetic_traces(&g, scripted, 5, horizon);
+
+    // Diverge at tick 0 — nothing may be shared, even though every later
+    // tick is byte-identical and the static bytes agree.
+    let mut b = a.clone();
+    b[0][0] = Some(Payload::from(vec![0xEE]));
+    let _ = run_prefixed(&g, "alias", 5, scripted, &a, horizon, &policy);
+    let warm = run_prefixed(&g, "alias", 5, scripted, &b, horizon, &policy);
+    let cold = runcache::bypass(|| {
+        link_system(&g, 5, scripted, &b)
+            .run_contained(horizon, &policy)
+            .unwrap()
+    });
+    assert_behaviors_identical("tick-0 divergence", &warm, &cold);
+
+    // Same tick bytes under a different static tag: the head must isolate
+    // them (distinct runs, byte-identical tick schedules).
+    let _ = run_prefixed(&g, "alias-one", 6, scripted, &a, horizon, &policy);
+    let warm = run_prefixed(&g, "alias-two", 6, scripted, &a, horizon, &policy);
+    let cold = runcache::bypass(|| {
+        link_system(&g, 6, scripted, &a)
+            .run_contained(horizon, &policy)
+            .unwrap()
+    });
+    // Both tags build the same system here, so behaviors agree — the claim
+    // under test is that the second tag's run is *correct*, not served from
+    // the wrong entry with a different schedule interpretation.
+    assert_behaviors_identical("static divergence", &warm, &cold);
+}
+
+#[test]
+fn strict_kernel_matches_reference_loop_with_scripted_nodes() {
+    // No caches involved: the SoA kernel itself (which prefix runs resume
+    // into) against the map-per-delivery reference loop, with a replay
+    // device in the mix.
+    let g = builders::complete(4);
+    let scripted = NodeId(1);
+    let traces = synthetic_traces(&g, scripted, 3, 10);
+    let dense = link_system(&g, 3, scripted, &traces).try_run(10).unwrap();
+    let reference = link_system(&g, 3, scripted, &traces)
+        .run_reference(10)
+        .unwrap();
+    assert_behaviors_identical("kernel-vs-reference", &dense, &reference);
+}

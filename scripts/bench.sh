@@ -16,6 +16,10 @@
 #                          shrink + certify), parallel vs forced
 #                          sequential, plus the deterministic mean shrink
 #                          ratio in nodes
+#   BENCH_prefix.json    — prefix-sharing incremental simulation: warm
+#                          prefix fork and pure snapshot extraction vs a
+#                          cold full run on a chain-link-shaped system,
+#                          plus the SoA kernel vs the reference loop
 #
 # Timings are ns/op (min/median/mean); the "speedups" arrays carry the
 # headline ratios, computed over the minima — the noise-floor estimator —
@@ -44,4 +48,7 @@ echo "==> serve suite (${SAMPLES} samples)"
 echo "==> campaign suite (${SAMPLES} samples)"
 ./target/release/regen --bench campaign --samples "$SAMPLES" --out BENCH_campaign.json
 
-echo "Wrote BENCH_substrate.json, BENCH_refuters.json, BENCH_runcache.json, BENCH_serve.json, and BENCH_campaign.json."
+echo "==> prefix suite (${SAMPLES} samples)"
+./target/release/regen --bench prefix --samples "$SAMPLES" --out BENCH_prefix.json
+
+echo "Wrote BENCH_substrate.json, BENCH_refuters.json, BENCH_runcache.json, BENCH_serve.json, BENCH_campaign.json, and BENCH_prefix.json."
