@@ -1,18 +1,22 @@
 //! `flm-serve` — refutation-as-a-service over framed FLMC-RPC.
 //!
 //! Binds a TCP listener and answers refute / verify / audit / stats
-//! requests with a bounded worker pool. A saturated server answers a typed
-//! `Overloaded` frame instead of dropping the socket.
+//! requests with an event-driven reactor multiplexing every connection and
+//! a bounded worker pool for the CPU-bound work. A saturated server answers
+//! a typed `Overloaded` frame instead of dropping the socket.
 //!
 //! ```text
 //! flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!           [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]
-//!           [--max-requests N] [--port-file FILE]
+//!           [--max-requests N] [--max-connections N] [--max-pipelined N]
+//!           [--store-dir DIR] [--port-file FILE]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` (the default) binds an ephemeral port;
 //! `--port-file` writes the actual bound address to a file, which is how
 //! `scripts/check.sh --serve-smoke` finds the server it just started.
+//! `--store-dir` enables the persistent certificate store: refutations are
+//! served memory → disk → simulate, and warm hits survive restarts.
 
 use std::process::ExitCode;
 
@@ -21,7 +25,8 @@ use flm_serve::server::{ServeConfig, Server};
 fn usage() -> &'static str {
     "usage: flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
      \x20                [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]\n\
-     \x20                [--max-requests N] [--port-file FILE]"
+     \x20                [--max-requests N] [--max-connections N] [--max-pipelined N]\n\
+     \x20                [--store-dir DIR] [--port-file FILE]"
 }
 
 fn parse(args: &[String]) -> Result<ServeConfig, String> {
@@ -67,6 +72,25 @@ fn parse(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| "--max-requests wants an integer".to_string())?;
             }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections wants a positive integer".to_string())?;
+                if config.max_connections == 0 {
+                    return Err("--max-connections wants a positive integer".into());
+                }
+            }
+            "--max-pipelined" => {
+                config.max_pipelined = value("--max-pipelined")?
+                    .parse()
+                    .map_err(|_| "--max-pipelined wants a positive integer".to_string())?;
+                if config.max_pipelined == 0 {
+                    return Err("--max-pipelined wants a positive integer".into());
+                }
+            }
+            "--store-dir" => {
+                config.store_dir = Some(value("--store-dir")?.into());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -105,7 +129,7 @@ fn main() -> ExitCode {
     let server = match Server::start(config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("flm-serve: bind failed: {e}");
+            eprintln!("flm-serve: start failed: {e}");
             return ExitCode::FAILURE;
         }
     };

@@ -37,6 +37,10 @@ pub const HEADER_BYTES: usize = 10;
 /// stage an allocation attack.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 4 << 20;
 
+/// The largest body the wire format can carry at all: the length prefix is
+/// a `u32`, so anything longer cannot be framed, only rejected.
+pub const MAX_ENCODABLE_BODY_BYTES: usize = u32::MAX as usize;
+
 /// One framed message: an opaque kind byte plus body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -63,6 +67,13 @@ pub enum FrameError {
         /// The cap it exceeded.
         max: usize,
     },
+    /// The body is too large for the `u32` length prefix to represent —
+    /// an encode-side failure: framing it would silently truncate the
+    /// length and desynchronize the stream.
+    BodyTooLarge {
+        /// The unencodable body length.
+        len: u64,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -73,6 +84,9 @@ impl fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "truncated frame"),
             FrameError::Oversize { len, max } => {
                 write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::BodyTooLarge { len } => {
+                write!(f, "frame body of {len} bytes exceeds the u32 length prefix")
             }
         }
     }
@@ -117,14 +131,21 @@ impl Frame {
     }
 
     /// Encodes the frame to its canonical bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BodyTooLarge`] when the body does not fit the `u32`
+    /// length prefix. The cast this replaces silently truncated the length
+    /// for bodies over 4 GiB, mis-framing every byte after the header.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let len = encodable_body_len(self.body.len())?;
         let mut out = Vec::with_capacity(HEADER_BYTES + self.body.len());
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
         out.push(self.kind);
-        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
         out.extend_from_slice(&self.body);
-        out
+        Ok(out)
     }
 
     /// Decodes one frame from the front of `bytes`, returning the frame and
@@ -221,13 +242,29 @@ pub fn read_frame(r: &mut impl Read, max_body: usize) -> Result<Frame, FrameRead
     }
 }
 
+/// Checks that a body length fits the wire's `u32` length prefix, returning
+/// the prefix value. This is the single place the encode-side cap lives —
+/// [`Frame::encode`] and anything staging bodies for a write buffer route
+/// through it.
+///
+/// # Errors
+///
+/// [`FrameError::BodyTooLarge`] past [`MAX_ENCODABLE_BODY_BYTES`].
+pub fn encodable_body_len(len: usize) -> Result<u32, FrameError> {
+    u32::try_from(len).map_err(|_| FrameError::BodyTooLarge { len: len as u64 })
+}
+
 /// Writes one frame to a stream and flushes it.
 ///
 /// # Errors
 ///
-/// Propagates the underlying [`io::Error`].
+/// Propagates the underlying [`io::Error`]; an unencodable body surfaces as
+/// [`io::ErrorKind::InvalidInput`].
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    w.write_all(&frame.encode())?;
+    let bytes = frame
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    w.write_all(&bytes)?;
     w.flush()
 }
 
@@ -238,7 +275,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let frame = Frame::new(0x42, b"hello frame".to_vec());
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY_BYTES).unwrap();
         assert_eq!(decoded, frame);
         assert_eq!(consumed, bytes.len());
@@ -247,9 +284,9 @@ mod tests {
     #[test]
     fn decode_is_canonical() {
         let frame = Frame::new(7, vec![1, 2, 3]);
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let (decoded, consumed) = Frame::decode(&bytes, 1024).unwrap();
-        assert_eq!(decoded.encode(), bytes[..consumed]);
+        assert_eq!(decoded.encode().unwrap(), bytes[..consumed]);
     }
 
     #[test]
@@ -264,7 +301,7 @@ mod tests {
 
     #[test]
     fn future_version_rejected() {
-        let mut bytes = Frame::new(1, vec![]).encode();
+        let mut bytes = Frame::new(1, vec![]).encode().unwrap();
         bytes[4] = 9;
         assert_eq!(
             Frame::decode(&bytes, 1024),
@@ -274,7 +311,7 @@ mod tests {
 
     #[test]
     fn oversize_length_prefix_rejected_before_allocation() {
-        let mut bytes = Frame::new(1, vec![]).encode();
+        let mut bytes = Frame::new(1, vec![]).encode().unwrap();
         bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
         assert_eq!(
             Frame::decode(&bytes, 1024),
@@ -287,7 +324,7 @@ mod tests {
 
     #[test]
     fn truncated_body_rejected() {
-        let bytes = Frame::new(1, vec![9; 8]).encode();
+        let bytes = Frame::new(1, vec![9; 8]).encode().unwrap();
         assert_eq!(
             Frame::decode(&bytes[..bytes.len() - 1], 1024),
             Err(FrameError::Truncated)
@@ -295,9 +332,28 @@ mod tests {
     }
 
     #[test]
+    fn encode_rejects_bodies_past_the_u32_prefix() {
+        // The boundary check itself — a real 4 GiB body is not allocatable
+        // in a unit test, so the cap is pinned where encode enforces it.
+        assert_eq!(encodable_body_len(0).unwrap(), 0);
+        assert_eq!(
+            encodable_body_len(MAX_ENCODABLE_BODY_BYTES).unwrap(),
+            u32::MAX
+        );
+        assert_eq!(
+            encodable_body_len(MAX_ENCODABLE_BODY_BYTES + 1),
+            Err(FrameError::BodyTooLarge {
+                len: u64::from(u32::MAX) + 1
+            })
+        );
+        let message = FrameError::BodyTooLarge { len: 1 << 33 }.to_string();
+        assert!(message.contains("u32 length prefix"), "{message}");
+    }
+
+    #[test]
     fn stream_read_round_trip_and_eof() {
         let frame = Frame::new(3, b"abc".to_vec());
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let mut cursor = std::io::Cursor::new(bytes);
         assert_eq!(read_frame(&mut cursor, 1024).unwrap(), frame);
         assert!(matches!(
@@ -309,7 +365,7 @@ mod tests {
     #[test]
     fn stream_read_truncated_body_is_structured() {
         let frame = Frame::new(3, vec![7; 32]);
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 5]);
         assert!(matches!(
             read_frame(&mut cursor, 1024),

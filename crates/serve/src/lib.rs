@@ -7,26 +7,35 @@
 //!
 //! The layering, bottom to top:
 //!
+//! * [`sys`] — a thin readiness shim over Linux `epoll`, built on
+//!   [`std::os::fd`] with no external crates; the only module allowed to
+//!   contain `unsafe` (the crate is `deny(unsafe_code)` elsewhere).
 //! * [`frame`] — the `FLMR` length-prefixed frame: magic, version, kind
 //!   byte, `u32` body length. Bounded reads; hostile prefixes cannot force
-//!   allocation.
+//!   allocation, and bodies past the `u32` prefix are a typed encode error,
+//!   never a truncated length.
 //! * [`rpc`] — request/response bodies encoded with [`flm_sim::wire`], the
 //!   same primitives the certificate codec uses.
-//! * [`query`] — the theorem-family grammar and the single refutation code
-//!   path shared with `regen --refute`.
+//! * [`query`] — the theorem-family grammar, the canonical query key, and
+//!   the single refutation code path shared with `regen --refute`.
 //! * [`audit`] — the `flm-audit` verdict logic as a library, so the Audit
 //!   RPC and the binary cannot drift.
-//! * [`server`] — bounded-accept thread pool with typed load shedding: a
-//!   saturated server answers [`rpc::Response::Overloaded`] instead of
-//!   dropping the socket.
+//! * [`store`] — the content-addressed on-disk certificate store: one
+//!   `FLMC` file per canonical query key, written atomically, verified on
+//!   load, quarantined on damage. Warm hits survive restarts.
+//! * [`server`] — the event-driven serve plane: one reactor thread
+//!   multiplexing pipelined connections over [`sys`], a worker pool for
+//!   CPU-bound refutations, and typed load shedding — a saturated server
+//!   answers [`rpc::Response::Overloaded`] instead of dropping the socket.
 //! * [`client`] / [`loadgen`] — the blocking client and the deterministic
 //!   load generator behind `flm-client` and `BENCH_serve.json`.
 //!
 //! Every worker shares the process-global run cache, so a certificate one
 //! connection paid to compute is a warm hit for every later connection
-//! asking the same canonical query.
+//! asking the same canonical query — and, with a store directory
+//! configured, for every later *process* asking it.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
@@ -36,3 +45,6 @@ pub mod loadgen;
 pub mod query;
 pub mod rpc;
 pub mod server;
+pub mod store;
+#[allow(unsafe_code)]
+pub mod sys;

@@ -192,10 +192,11 @@ pub fn run(
                 let c = match client.as_mut() {
                     Some(c) => c,
                     None => match Client::connect(addr) {
-                        Ok(c) => {
-                            client = Some(c);
-                            client.as_mut().expect("just inserted")
-                        }
+                        // `Option::insert` hands back the borrow directly —
+                        // the `.expect("just inserted")` it replaces could
+                        // panic the whole campaign instead of counting the
+                        // failure like every other path here.
+                        Ok(c) => client.insert(c),
                         Err(_) => {
                             report.transport_errors += 1;
                             std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1));
@@ -276,6 +277,104 @@ pub fn run(
     Ok(total)
 }
 
+/// What one simultaneous-ping wave observed (see [`ping_wave`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PingWaveReport {
+    /// Sockets the wave tried to open.
+    pub connections: usize,
+    /// Pings answered with a correctly echoed pong.
+    pub ok: u64,
+    /// Typed `Overloaded` answers (shed load, not dropped sockets).
+    pub overloaded: u64,
+    /// Connect failures, write failures, read failures, or wrong answers —
+    /// anything a healthy server must not produce.
+    pub transport_errors: u64,
+    /// Wall-clock duration of the whole wave.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for PingWaveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} simultaneous connections in {:.3}s: ok {}, overloaded {}, transport errors {}",
+            self.connections,
+            self.elapsed.as_secs_f64(),
+            self.ok,
+            self.overloaded,
+            self.transport_errors,
+        )
+    }
+}
+
+/// Opens `connections` sockets *simultaneously*, writes one zero-hold ping
+/// on every socket, then collects every pong. All sockets are held open
+/// until the last response arrives, so a server passing this with `ok ==
+/// connections` demonstrably served that many concurrent connections
+/// without dropping one. The single-threaded write-all-then-read-all shape
+/// is sound because ping frames and pongs are tiny: the kernel's socket
+/// buffers absorb the whole wave on both sides.
+pub fn ping_wave(addr: &str, connections: usize) -> PingWaveReport {
+    use crate::frame::{read_frame, write_frame, DEFAULT_MAX_BODY_BYTES};
+    use crate::rpc::{Request, Response};
+
+    let start = Instant::now();
+    let mut report = PingWaveReport {
+        connections,
+        ..PingWaveReport::default()
+    };
+    // Phase 1: connect everything. A slot that never connects (even after
+    // linear-backoff retries against a transient accept-backlog overflow)
+    // is a counted transport error, not a panic.
+    let mut socks: Vec<Option<std::net::TcpStream>> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut sock = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                    sock = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1)),
+            }
+        }
+        if sock.is_none() {
+            report.transport_errors += 1;
+        }
+        socks.push(sock);
+    }
+    // Phase 2: one ping per socket, all written before any response is read.
+    for (i, sock) in socks.iter_mut().enumerate() {
+        let Some(s) = sock.as_mut() else { continue };
+        let request = Request::Ping {
+            payload: (i as u32).to_le_bytes().to_vec(),
+            hold_ms: 0,
+        };
+        if write_frame(s, &request.to_frame()).is_err() {
+            report.transport_errors += 1;
+            *sock = None;
+        }
+    }
+    // Phase 3: collect every pong; the sockets stay open until all arrive.
+    for (i, sock) in socks.iter_mut().enumerate() {
+        let Some(s) = sock.as_mut() else { continue };
+        let response = read_frame(s, DEFAULT_MAX_BODY_BYTES)
+            .ok()
+            .and_then(|frame| Response::from_frame(&frame).ok());
+        match response {
+            Some(Response::Pong { payload }) if payload == (i as u32).to_le_bytes() => {
+                report.ok += 1;
+            }
+            Some(Response::Overloaded { .. }) => report.overloaded += 1,
+            _ => report.transport_errors += 1,
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +407,24 @@ mod tests {
         assert_eq!(s.iter().filter(|k| **k == Kind::Verify).count(), 2);
         assert_eq!(s.iter().filter(|k| **k == Kind::Audit).count(), 2);
         assert_eq!(s, mix.schedule(8));
+    }
+
+    /// Regression for the reconnect path: a server that is never reachable
+    /// must yield a report full of counted transport errors and abandoned
+    /// requests — the `.expect("just inserted")` this pins against panicked
+    /// the generator mid-campaign instead.
+    #[test]
+    fn unreachable_server_is_counted_not_a_panic() {
+        // Port 1 on loopback: nothing listens there, so every connect is
+        // refused immediately.
+        let report = run("127.0.0.1:1", 2, 2, Mix::default(), Theorem::BaNodes).unwrap();
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.abandoned, 4, "{report}");
+        assert_eq!(
+            report.transport_errors,
+            u64::from(MAX_ATTEMPTS) * 4,
+            "{report}"
+        );
     }
 
     #[test]

@@ -199,6 +199,45 @@ pub fn parse_graph(name: &str) -> Result<Graph, QueryError> {
     })
 }
 
+/// The canonical cache key for a refutation query: the full resolved
+/// ingredients of [`refute_to_bytes`], with per-family defaults already
+/// applied so "no protocol named" and "the default protocol named
+/// explicitly" share one entry. This is the key the certificate store
+/// indexes by — determinism of the refuters (the same axiom the runcache
+/// leans on) is what makes a stored certificate byte-identical to a fresh
+/// run of the same key.
+pub fn canonical_query_key(
+    theorem: Theorem,
+    protocol: Option<&str>,
+    graph: Option<&Graph>,
+    f: usize,
+    policy: &RunPolicy,
+) -> flm_sim::runcache::RunKey {
+    let own_graph;
+    let g = match graph {
+        Some(g) => g,
+        None => {
+            own_graph = theorem.default_graph();
+            &own_graph
+        }
+    };
+    let default_name;
+    let name = match protocol {
+        Some(name) => name,
+        None => {
+            default_name = theorem.default_protocol(f);
+            &default_name
+        }
+    };
+    let mut w = flm_sim::wire::Writer::new();
+    w.str(theorem.name());
+    w.str(name);
+    w.bytes(&g.to_bytes());
+    w.u32(f as u32);
+    policy.encode(&mut w);
+    flm_sim::runcache::RunKey::new("serve-query", w.finish())
+}
+
 /// Runs the family's refuter for `(protocol, graph, f)` under `policy`,
 /// self-verifies the fresh certificate, and returns its portable `FLMC`
 /// bytes. `protocol`/`graph` default per family when `None`.
@@ -306,6 +345,38 @@ mod tests {
         let bytes = refute_to_bytes(Theorem::BaNodes, None, None, 1, RunPolicy::default()).unwrap();
         let cert = flm_core::codec::decode_any(&bytes).unwrap();
         assert_eq!(cert.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn canonical_key_resolves_defaults_to_shared_entries() {
+        let policy = RunPolicy::default();
+        let implicit = canonical_query_key(Theorem::BaNodes, None, None, 2, &policy);
+        let explicit = canonical_query_key(
+            Theorem::BaNodes,
+            Some("EIG(f=2)"),
+            Some(&builders::triangle()),
+            2,
+            &policy,
+        );
+        assert_eq!(implicit.fingerprint(), explicit.fingerprint());
+
+        // Any varied ingredient separates the entries.
+        let other_f = canonical_query_key(Theorem::BaNodes, None, None, 3, &policy);
+        let other_graph = canonical_query_key(
+            Theorem::BaNodes,
+            None,
+            Some(&builders::cycle(7)),
+            2,
+            &policy,
+        );
+        let other_theorem = canonical_query_key(Theorem::FiringSquad, None, None, 2, &policy);
+        for (label, key) in [
+            ("f", &other_f),
+            ("graph", &other_graph),
+            ("theorem", &other_theorem),
+        ] {
+            assert_ne!(implicit.fingerprint(), key.fingerprint(), "{label} aliased");
+        }
     }
 
     #[test]

@@ -392,6 +392,19 @@ pub struct StatsReport {
     pub prefix_ticks_saved: u64,
     /// Snapshots currently stored in the prefix trie.
     pub prefix_entries: u64,
+    /// Requests answered with [`Response::Overloaded`] while the worker
+    /// pool and its queue were saturated (the connection stays open).
+    pub requests_shed: u64,
+    /// Certificate-store hits served from its in-memory layer.
+    pub store_mem_hits: u64,
+    /// Certificate-store hits served from disk (verified on load).
+    pub store_disk_hits: u64,
+    /// Certificate-store lookups that fell through to a simulation.
+    pub store_misses: u64,
+    /// Fresh certificates persisted to the store.
+    pub store_stores: u64,
+    /// Damaged store entries quarantined instead of served.
+    pub store_quarantined: u64,
     /// `flm_core::profile::report()` output when `FLM_PROFILE` is enabled
     /// in the server process; empty otherwise.
     pub profile: String,
@@ -437,8 +450,8 @@ impl fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
-            "rejections: {} typed errors, {} malformed frames",
-            self.responses_error, self.malformed_frames
+            "rejections: {} typed errors, {} malformed frames, {} requests shed",
+            self.responses_error, self.malformed_frames, self.requests_shed
         )?;
         writeln!(
             f,
@@ -449,7 +462,7 @@ impl fmt::Display for StatsReport {
             self.cache_entries,
             self.cache_bytes_saved / 1024,
         )?;
-        write!(
+        writeln!(
             f,
             "prefix trie: {} hits / {} misses, {} ticks skipped, {} snapshots, {} evictions",
             self.prefix_hits,
@@ -457,6 +470,15 @@ impl fmt::Display for StatsReport {
             self.prefix_ticks_saved,
             self.prefix_entries,
             self.prefix_evictions,
+        )?;
+        write!(
+            f,
+            "cert store: {} mem hits / {} disk hits / {} misses, {} stored, {} quarantined",
+            self.store_mem_hits,
+            self.store_disk_hits,
+            self.store_misses,
+            self.store_stores,
+            self.store_quarantined,
         )?;
         if !self.profile.is_empty() {
             write!(f, "\n{}", self.profile.trim_end())?;
@@ -561,6 +583,12 @@ impl Response {
                     .u64(s.prefix_evictions)
                     .u64(s.prefix_ticks_saved)
                     .u64(s.prefix_entries)
+                    .u64(s.requests_shed)
+                    .u64(s.store_mem_hits)
+                    .u64(s.store_disk_hits)
+                    .u64(s.store_misses)
+                    .u64(s.store_stores)
+                    .u64(s.store_quarantined)
                     .str(&s.profile);
                 kind::RESP_STATS
             }
@@ -628,6 +656,12 @@ impl Response {
                     prefix_evictions: next("stats.prefix_evictions")?,
                     prefix_ticks_saved: next("stats.prefix_ticks_saved")?,
                     prefix_entries: next("stats.prefix_entries")?,
+                    requests_shed: next("stats.requests_shed")?,
+                    store_mem_hits: next("stats.store_mem_hits")?,
+                    store_disk_hits: next("stats.store_disk_hits")?,
+                    store_misses: next("stats.store_misses")?,
+                    store_stores: next("stats.store_stores")?,
+                    store_quarantined: next("stats.store_quarantined")?,
                     profile: String::new(),
                 };
                 let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
@@ -724,6 +758,12 @@ mod tests {
             prefix_misses: 5,
             prefix_ticks_saved: 93,
             prefix_entries: 12,
+            requests_shed: 4,
+            store_mem_hits: 9,
+            store_disk_hits: 6,
+            store_misses: 3,
+            store_stores: 3,
+            store_quarantined: 1,
             profile: "phase table".into(),
             ..StatsReport::default()
         }));

@@ -1,46 +1,74 @@
-//! The `flm-serve` server: a bounded-accept thread-pool TCP server speaking
-//! FLMC-RPC.
+//! The `flm-serve` server: an event-driven FLMC-RPC server — one reactor
+//! thread multiplexing every connection over epoll, a small worker pool for
+//! CPU-bound refutation work, and an optional on-disk certificate store.
 //!
 //! # Architecture
 //!
-//! One acceptor thread owns the listener; `workers` handler threads own a
-//! bounded connection queue. The acceptor is the backpressure valve: a
-//! connection arriving while every worker is busy *and* the queue is full is
-//! answered with a typed [`Response::Overloaded`] frame and closed — load is
-//! shed with an answer, never a silently dropped socket. Everything else is
-//! queued and served in arrival order.
+//! The reactor thread owns the nonblocking listener and every connection.
+//! Each connection is a small state machine: bytes are accumulated into a
+//! read buffer and parsed incrementally with [`Frame::decode`] (a
+//! `Truncated` result just means "wait for more bytes"), decoded requests
+//! either execute inline on the reactor (zero-hold pings, stats snapshots)
+//! or become jobs for the worker pool (refute, verify, audit, held pings),
+//! and responses flush through a write buffer that registers `WRITABLE`
+//! interest only while bytes remain. Because readiness is level-triggered,
+//! a connection that reaches its pipeline cap simply stops being read —
+//! TCP backpressure does the rest — and resumes when responses drain.
+//!
+//! Pipelining is first-class: a connection may send many frames back to
+//! back, the reactor tracks an in-flight slot per request, and responses
+//! are written in strict request order no matter which worker finishes
+//! first. One process therefore serves thousands of concurrent sockets
+//! with `workers` threads, instead of one thread per socket.
+//!
+//! # Shedding
+//!
+//! Load is shed with an answer, never a silently dropped socket, at two
+//! points. Per *request*: a worker-bound request arriving while every
+//! worker is busy and the job queue is full is answered with a typed
+//! [`Response::Overloaded`] frame and the connection stays open (counted
+//! as `requests_shed`; inline requests still serve, so a saturated server
+//! remains observable). Per *connection*: an accept beyond
+//! `max_connections` is answered with `Overloaded` and closed (counted as
+//! `connections_shed`).
 //!
 //! # Budgets
 //!
 //! Per-connection hostile-input budgets reuse the hardening from the
-//! certificate layer: a frame-body byte cap (checked before allocation), a
-//! per-frame read timeout (an idle or trickling peer cannot pin a worker),
-//! a per-connection request budget, and a server-side [`RunPolicy`] ceiling
-//! clamped onto every refutation request (a query cannot demand a bigger
-//! simulation budget than the operator configured).
+//! certificate layer: a frame-body byte cap (checked before allocation), an
+//! idle timeout (an idle peer cannot pin a connection slot forever), a
+//! per-connection request budget, a pipeline depth cap, and a server-side
+//! [`RunPolicy`] ceiling clamped onto every refutation request.
 //!
-//! # Cache sharing
+//! # Caching
 //!
 //! Workers share the process-global `flm_sim::runcache`, so byte-identical
-//! queries from *different* connections are warm hits. That is sound for
-//! exactly the reason the cache itself is: a hit requires the full canonical
-//! run key to match byte-for-byte, and under the determinism axiom that key
-//! fixes the behavior — which client asked is irrelevant. The [`Request::Stats`]
-//! RPC exposes the hit counters so the sharing is observable.
+//! queries from *different* connections are warm hits — sound because a hit
+//! requires the full canonical run key to match byte-for-byte, and under
+//! the determinism axiom that key fixes the behavior. With
+//! [`ServeConfig::store_dir`] set, refutations additionally consult a
+//! [`CertStore`]: memory → disk → simulate, with every fresh certificate
+//! persisted, so warm hits survive restarts. The [`Request::Stats`] RPC
+//! exposes every counter so both layers are observable.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use flm_sim::RunPolicy;
 
 use crate::audit;
-use crate::frame::{read_frame, write_frame, FrameReadError, DEFAULT_MAX_BODY_BYTES};
+use crate::frame::{Frame, FrameError, DEFAULT_MAX_BODY_BYTES};
 use crate::query::{self, Theorem};
 use crate::rpc::{ErrorCode, Request, Response, StatsReport};
+use crate::store::CertStore;
+use crate::sys::{self, Interest, Poller};
 
 /// Server configuration. [`ServeConfig::default`] is sized for the loopback
 /// quickstart; production deployments tune every knob.
@@ -48,15 +76,18 @@ use crate::rpc::{ErrorCode, Request, Response, StatsReport};
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7115` or `127.0.0.1:0` (ephemeral).
     pub addr: String,
-    /// Handler threads. Refutations themselves additionally fan out on the
-    /// process-wide `flm-par` pool.
+    /// Worker threads for CPU-bound work (refute/verify/audit/held pings).
+    /// Refutations themselves additionally fan out on the process-wide
+    /// `flm-par` pool.
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker before the
-    /// acceptor sheds load.
+    /// Worker-bound requests allowed to wait in the job queue before
+    /// further worker-bound requests are shed with a typed answer.
     pub queue_depth: usize,
     /// Frame-body byte cap, enforced before any allocation.
     pub max_body_bytes: usize,
-    /// Per-frame read timeout; a connection idle past it is closed.
+    /// Idle timeout: a connection with no in-flight work and no unread
+    /// bytes past this is closed. (Under the old blocking server this was
+    /// the per-frame read timeout; the event loop needs no read deadline.)
     pub read_timeout: Duration,
     /// Requests one connection may issue before it is asked to reconnect
     /// (answered with a typed `connection-budget` error).
@@ -66,6 +97,15 @@ pub struct ServeConfig {
     /// Ceiling clamped onto every requested [`RunPolicy`]: a query may
     /// tighten the simulation budget, never raise it past this.
     pub policy_ceiling: RunPolicy,
+    /// Root directory for the persistent certificate store; `None` serves
+    /// from the in-memory caches only (warmth dies with the process).
+    pub store_dir: Option<PathBuf>,
+    /// Concurrent connections the reactor will hold; accepts beyond this
+    /// are answered with [`Response::Overloaded`] and closed.
+    pub max_connections: usize,
+    /// Unanswered pipelined requests one connection may have in flight
+    /// before the reactor stops reading its socket (TCP backpressure).
+    pub max_pipelined: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,11 +119,14 @@ impl Default for ServeConfig {
             max_requests_per_conn: 4096,
             max_hold_ms: 100,
             policy_ceiling: RunPolicy::default(),
+            store_dir: None,
+            max_connections: 2048,
+            max_pipelined: 32,
         }
     }
 }
 
-/// Monotonic service counters, shared across workers and surfaced by the
+/// Monotonic service counters, shared across threads and surfaced by the
 /// Stats RPC.
 #[derive(Default)]
 struct Counters {
@@ -94,17 +137,43 @@ struct Counters {
     requests_verify: AtomicU64,
     requests_audit: AtomicU64,
     requests_stats: AtomicU64,
+    requests_shed: AtomicU64,
     responses_error: AtomicU64,
     malformed_frames: AtomicU64,
+}
+
+/// One unit of CPU-bound work handed from the reactor to the pool.
+struct Job {
+    conn: u64,
+    seq: u64,
+    request: Request,
+}
+
+/// A finished job on its way back to the reactor.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    response: Response,
 }
 
 struct Shared {
     config: ServeConfig,
     counters: Counters,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    store: Option<CertStore>,
+    jobs: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    waker: sys::Waker,
     busy_workers: AtomicUsize,
     shutdown: AtomicBool,
+    /// Set by the reactor once it has stopped parsing requests: the job
+    /// queue can only shrink from here, so a worker observing this flag
+    /// and an empty queue may exit without orphaning a connection.
+    jobs_closed: AtomicBool,
+}
+
+fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
@@ -112,6 +181,11 @@ impl Shared {
         let c = &self.counters;
         let cache = flm_sim::runcache::stats();
         let prefix = flm_sim::prefixcache::stats();
+        let store = self
+            .store
+            .as_ref()
+            .map(CertStore::stats)
+            .unwrap_or_default();
         StatsReport {
             connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
             connections_shed: c.connections_shed.load(Ordering::Relaxed),
@@ -120,6 +194,7 @@ impl Shared {
             requests_verify: c.requests_verify.load(Ordering::Relaxed),
             requests_audit: c.requests_audit.load(Ordering::Relaxed),
             requests_stats: c.requests_stats.load(Ordering::Relaxed),
+            requests_shed: c.requests_shed.load(Ordering::Relaxed),
             responses_error: c.responses_error.load(Ordering::Relaxed),
             malformed_frames: c.malformed_frames.load(Ordering::Relaxed),
             cache_hits: cache.hits,
@@ -131,6 +206,11 @@ impl Shared {
             prefix_evictions: prefix.evictions,
             prefix_ticks_saved: prefix.ticks_saved,
             prefix_entries: prefix.entries as u64,
+            store_mem_hits: store.mem_hits,
+            store_disk_hits: store.disk_hits,
+            store_misses: store.misses,
+            store_stores: store.stores,
+            store_quarantined: store.quarantined,
             profile: if flm_core::profile::enabled() {
                 flm_core::profile::report()
             } else {
@@ -146,27 +226,44 @@ impl Shared {
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor and worker threads.
+    /// Binds the listener, builds the poller (and certificate store when
+    /// configured), and spawns the reactor and worker threads.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind, poller-creation, and store-open failures.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let store = match &config.store_dir {
+            Some(dir) => {
+                Some(CertStore::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?)
+            }
+            None => None,
+        };
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = sys::wake_channel()?;
+        poller.register(listener.as_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.register(wake_rx.as_fd(), TOKEN_WAKER, Interest::READABLE)?;
+
         let shared = Arc::new(Shared {
             config: ServeConfig { workers, ..config },
             counters: Counters::default(),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            store,
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker,
             busy_workers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            jobs_closed: AtomicBool::new(false),
         });
 
         let worker_handles = (0..workers)
@@ -175,15 +272,17 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        let acceptor = {
+        let reactor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
+            std::thread::spawn(move || {
+                Reactor::new(listener, wake_rx, poller, shared).run();
+            })
         };
 
         Ok(Server {
             local_addr,
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers: worker_handles,
         })
     }
@@ -199,38 +298,43 @@ impl Server {
         self.shared.snapshot()
     }
 
-    /// Workers currently handling a connection. The saturation tests use
-    /// this to wait for the pool to be provably busy before expecting
+    /// Workers currently executing a job. The saturation tests use this to
+    /// wait for the pool to be provably busy before expecting
     /// [`Response::Overloaded`].
     pub fn busy_workers(&self) -> usize {
         self.shared.busy_workers.load(Ordering::SeqCst)
     }
 
+    /// Drops the certificate store's in-memory layer (a no-op without a
+    /// store), forcing the next lookup back to disk. Benches use this to
+    /// isolate the disk-warm path from the memory-warm one.
+    pub fn drop_store_memory(&self) {
+        if let Some(store) = &self.shared.store {
+            store.clear_memory();
+        }
+    }
+
     /// Blocks until the server is shut down (never, unless another thread
     /// holds a handle). The `flm-serve` binary parks here.
     pub fn wait(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 
-    /// Stops accepting, wakes every thread, and joins them. In-flight
-    /// requests complete; queued connections are served before the workers
-    /// exit.
+    /// Stops accepting, lets in-flight requests complete and flush, and
+    /// joins every thread.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a no-op connection.
-        let _ = TcpStream::connect(self.local_addr);
-        self.shared.available.notify_all();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.waker.wake();
+        self.shared.job_ready.notify_all();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        // The acceptor may have queued the wake-up connection; wake workers
-        // again so they observe the flag once the queue drains.
-        self.shared.available.notify_all();
+        self.shared.job_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -240,201 +344,663 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         // Best-effort: stop the threads without joining (join may deadlock
-        // if drop runs on a worker panic path). `shutdown` is the clean way.
+        // if drop runs on a panic path). `shutdown` is the clean way.
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local_addr);
-        self.shared.available.notify_all();
+        self.shared.waker.wake();
+        self.shared.job_ready.notify_all();
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Bytes of unparseable input discarded after a framing violation before
+/// the connection is closed anyway (so the close sends FIN, not a RST that
+/// could destroy the typed error frame in flight).
+const DISCARD_BUDGET: usize = 64 * 1024;
+
+/// One pending request on a connection: its sequence number and, once some
+/// thread produced it, the encoded response frame. Responses leave in slot
+/// order no matter which finishes first — that is the pipelining contract.
+struct Slot {
+    seq: u64,
+    response: Option<Vec<u8>>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    inflight: VecDeque<Slot>,
+    next_seq: u64,
+    served: u64,
+    interest: Interest,
+    /// Peer sent FIN: no more requests will arrive.
+    eof: bool,
+    /// Close as soon as the write buffer flushes (framing violation,
+    /// exhausted request budget, or shutdown).
+    closing: bool,
+    /// After a framing violation: keep reading (and discarding) up to
+    /// [`DISCARD_BUDGET`] bytes so the peer's in-flight bytes do not turn
+    /// our close into a RST.
+    discarding: usize,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            inflight: VecDeque::new(),
+            next_seq: 0,
+            served: 0,
+            interest: Interest::READABLE,
+            eof: false,
+            closing: false,
+            discarding: 0,
+            last_activity: now,
+        }
+    }
+
+    /// True when nothing is pending: no queued responses, no unflushed
+    /// bytes.
+    fn idle(&self) -> bool {
+        self.inflight.is_empty() && self.write_buf.is_empty()
+    }
+
+    /// True while any request is still with the worker pool (an unfilled
+    /// slot can only be filled by a completion; inline responses fill
+    /// theirs immediately).
+    fn worker_pending(&self) -> bool {
+        self.inflight.iter().any(|s| s.response.is_none())
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    wake_rx: std::os::unix::net::UnixStream,
+    poller: Poller,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    accepting: bool,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        wake_rx: std::os::unix::net::UnixStream,
+        poller: Poller,
+        shared: Arc<Shared>,
+    ) -> Reactor {
+        Reactor {
+            listener,
+            wake_rx,
+            poller,
+            shared,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            accepting: true,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut last_sweep = Instant::now();
+        let mut shutdown_at: Option<Instant> = None;
+        loop {
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(250)))
+                .is_err()
+            {
                 continue;
             }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let mut queue = shared
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let busy = shared.busy_workers.load(Ordering::SeqCst);
-        let saturated = busy >= shared.config.workers && queue.len() >= shared.config.queue_depth;
-        if saturated {
-            let queued = queue.len() as u32;
-            drop(queue);
-            shared
-                .counters
-                .connections_shed
-                .fetch_add(1, Ordering::Relaxed);
-            shed(stream, queued, shared);
-            continue;
-        }
-        shared
-            .counters
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
-        queue.push_back(stream);
-        drop(queue);
-        shared.available.notify_one();
-    }
-}
-
-/// Answers a connection the pool cannot take with a typed Overloaded frame,
-/// then closes it. Shedding with an answer is the contract: clients always
-/// learn *why* the connection ended.
-fn shed(mut stream: TcpStream, queued: u32, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    let response = Response::Overloaded {
-        queued,
-        detail: format!(
-            "all {} workers busy and {} connections queued; retry later",
-            shared.config.workers, queued
-        ),
-    };
-    let _ = write_frame(&mut stream, &response.to_frame());
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared
-                .queue
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break stream;
+            let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutting_down && self.accepting {
+                // Entering drain mode, in this order: stop accepting, stop
+                // parsing (so no job is ever enqueued again), and only then
+                // tell the workers the queue can no longer grow — that
+                // ordering is what lets a worker exit on "closed + empty"
+                // without orphaning a connection mid-pipeline.
+                let _ = self.poller.deregister(self.listener.as_fd());
+                self.accepting = false;
+                for conn in self.conns.values_mut() {
+                    conn.closing = true;
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                self.shared.jobs_closed.store(true, Ordering::SeqCst);
+                self.shared.job_ready.notify_all();
+                shutdown_at = Some(Instant::now());
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => sys::drain_wakes(&self.wake_rx),
+                    token => self.conn_event(token, ev.readable, ev.writable, ev.hangup),
+                }
+            }
+            self.apply_completions();
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= Duration::from_secs(1) {
+                last_sweep = now;
+                self.sweep_idle(now);
+            }
+            if shutting_down {
+                // Close everything with no pending work; connections still
+                // waiting on workers drain first (in-flight requests
+                // complete and flush before the reactor exits).
+                let tokens: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.idle())
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in tokens {
+                    self.close(token);
+                }
+                let deadline_passed =
+                    shutdown_at.is_some_and(|t| now.duration_since(t) > Duration::from_secs(5));
+                if self.conns.is_empty() || deadline_passed {
                     return;
                 }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-        };
-        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
-        handle_connection(stream, shared);
-        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        }
     }
-}
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    let mut served: u64 = 0;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let frame = match read_frame(&mut stream, shared.config.max_body_bytes) {
-            Ok(frame) => frame,
-            Err(FrameReadError::Eof) => return,
-            Err(FrameReadError::Io(_)) => return,
-            Err(FrameReadError::Frame(e)) => {
-                // Bytes arrived but they are not a frame: answer with a
-                // typed error, then drop the connection — after a framing
-                // violation the stream offset can no longer be trusted.
-                shared
-                    .counters
-                    .malformed_frames
-                    .fetch_add(1, Ordering::Relaxed);
-                respond_error(
-                    &mut stream,
-                    shared,
-                    ErrorCode::MalformedFrame,
-                    &e.to_string(),
-                );
-                // Drain (bounded) whatever else the peer already sent before
-                // closing: closing with unread bytes in the receive buffer
-                // turns into a TCP RST that can destroy the error frame
-                // before the peer reads it.
-                drain(&mut stream);
-                return;
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            let _ = stream.set_nodelay(true);
+            if self.conns.len() >= self.shared.config.max_connections {
+                self.shed_connection(stream);
+                continue;
             }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .register(stream.as_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            self.shared
+                .counters
+                .connections_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            self.conns.insert(token, Conn::new(stream, Instant::now()));
+        }
+    }
+
+    /// Answers a connection the reactor cannot hold with a typed Overloaded
+    /// frame, then closes it. Shedding with an answer is the contract:
+    /// clients always learn *why* the connection ended.
+    fn shed_connection(&self, mut stream: TcpStream) {
+        self.shared
+            .counters
+            .connections_shed
+            .fetch_add(1, Ordering::Relaxed);
+        let response = Response::Overloaded {
+            queued: self.conns.len() as u32,
+            detail: format!(
+                "serving {} connections (cap {}); retry later",
+                self.conns.len(),
+                self.shared.config.max_connections
+            ),
         };
-        if served >= shared.config.max_requests_per_conn {
-            respond_error(
-                &mut stream,
-                shared,
-                ErrorCode::ConnectionBudget,
-                &format!(
-                    "connection exhausted its {}-request budget; reconnect",
-                    shared.config.max_requests_per_conn
-                ),
-            );
+        // The socket is fresh, so this tiny frame lands in the empty send
+        // buffer; a 1s timeout bounds the pathological case.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        if let Ok(bytes) = response.to_frame().encode() {
+            let _ = stream.write_all(&bytes);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        // Stale event for a connection closed earlier in this batch.
+        if !self.conns.contains_key(&token) {
             return;
         }
-        let request = match Request::from_frame(&frame) {
+        if hangup {
+            self.close(token);
+            return;
+        }
+        if writable && !self.flush(token) {
+            return;
+        }
+        if readable {
+            self.readable(token);
+        }
+    }
+
+    /// Reads everything available, advances the parser, executes or
+    /// enqueues complete requests.
+    fn readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        let cap = self.shared.config.max_pipelined;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // Respect the pipeline cap *before* reading: level-triggered
+            // readiness will re-report the bytes once responses drain.
+            let want_read =
+                conn.discarding > 0 || (!conn.eof && !conn.closing && conn.inflight.len() < cap);
+            if !want_read {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    // No more bytes will ever arrive; any discard budget is
+                    // moot and must not hold the connection open.
+                    conn.discarding = 0;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if conn.discarding > 0 {
+                        conn.discarding = conn.discarding.saturating_sub(n);
+                        continue;
+                    }
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if !self.parse_available(token) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.advance(token);
+    }
+
+    /// Settles a connection after IO or completions: re-parse anything the
+    /// pipeline cap deferred, resolve EOF, flush, re-derive interest.
+    fn advance(&mut self, token: u64) {
+        if !self.parse_available(token) {
+            return;
+        }
+        let cap = self.shared.config.max_pipelined;
+        let mut close_now = false;
+        let mut leftover_garbage = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.eof && !conn.closing {
+                if conn.read_buf.is_empty() {
+                    if conn.idle() {
+                        close_now = true;
+                    } else {
+                        // Serve out the pipeline, then close.
+                        conn.closing = true;
+                    }
+                } else if conn.inflight.len() < cap {
+                    // The parser stopped on Truncated (not on the pipeline
+                    // cap) and no more bytes can ever arrive: the peer
+                    // half-closed mid-frame. A framing violation, answered
+                    // like any other (the truncation fuzz tests pin this).
+                    leftover_garbage = true;
+                }
+                // Else: complete frames may still be sitting behind the
+                // cap; completions will re-enter here and re-parse.
+            }
+        } else {
+            return;
+        }
+        if close_now {
+            self.close(token);
+            return;
+        }
+        if leftover_garbage {
+            self.shared
+                .counters
+                .malformed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            let detail = FrameError::Truncated.to_string();
+            self.queue_error(token, ErrorCode::MalformedFrame, &detail);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_buf.clear();
+                conn.closing = true;
+            }
+        }
+        if !self.flush(token) {
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Parses every complete frame in the read buffer. Returns false when
+    /// the connection was closed.
+    fn parse_available(&mut self, token: u64) -> bool {
+        let mut consumed = 0;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.closing || conn.inflight.len() >= self.shared.config.max_pipelined {
+                break;
+            }
+            let max_body = self.shared.config.max_body_bytes;
+            match Frame::decode(&conn.read_buf[consumed..], max_body) {
+                Ok((frame, n)) => {
+                    consumed += n;
+                    conn.last_activity = Instant::now();
+                    self.request_frame(token, &frame);
+                }
+                Err(FrameError::Truncated) => break,
+                Err(e) => {
+                    // The bytes are not a frame: typed error, then close —
+                    // after a framing violation the stream offset can no
+                    // longer be trusted. Discard what the peer already sent
+                    // so the close sends FIN, not RST.
+                    self.shared
+                        .counters
+                        .malformed_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    let detail = e.to_string();
+                    self.queue_error(token, ErrorCode::MalformedFrame, &detail);
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.read_buf.clear();
+                        conn.closing = true;
+                        conn.discarding = DISCARD_BUDGET;
+                    }
+                    return true;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.read_buf.drain(..consumed);
+        }
+        true
+    }
+
+    /// Routes one well-framed request: budget check, decode, then inline
+    /// execution, worker hand-off, or request-level shed.
+    fn request_frame(&mut self, token: u64, frame: &Frame) {
+        let config_budget = self.shared.config.max_requests_per_conn;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.served >= config_budget {
+            let detail =
+                format!("connection exhausted its {config_budget}-request budget; reconnect");
+            self.queue_error(token, ErrorCode::ConnectionBudget, &detail);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closing = true;
+            }
+            return;
+        }
+        conn.served += 1;
+        let request = match Request::from_frame(frame) {
             Ok(request) => request,
             Err(e) => {
                 // The frame was sound but the body was not: typed error,
                 // keep the connection (framing is still in sync).
-                shared
+                self.shared
                     .counters
                     .malformed_frames
                     .fetch_add(1, Ordering::Relaxed);
-                respond_error(
-                    &mut stream,
-                    shared,
-                    ErrorCode::MalformedFrame,
-                    &e.to_string(),
-                );
-                served += 1;
-                continue;
+                let detail = e.to_string();
+                self.queue_error(token, ErrorCode::MalformedFrame, &detail);
+                return;
             }
         };
-        let response = dispatch(request, shared);
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.inflight.push_back(Slot {
+            seq,
+            response: None,
+        });
+
+        let c = &self.shared.counters;
+        match request {
+            // Zero-hold pings and stats snapshots are reactor-inline: they
+            // cost microseconds and must keep answering while the worker
+            // pool is saturated (that is what makes saturation observable).
+            Request::Ping { payload, hold_ms }
+                if hold_ms.min(self.shared.config.max_hold_ms) == 0 =>
+            {
+                c.requests_ping.fetch_add(1, Ordering::Relaxed);
+                self.fill_slot(token, seq, &Response::Pong { payload });
+            }
+            Request::Stats => {
+                c.requests_stats.fetch_add(1, Ordering::Relaxed);
+                let snapshot = self.shared.snapshot();
+                self.fill_slot(token, seq, &Response::Stats(snapshot));
+            }
+            request => {
+                let mut jobs = relock(self.shared.jobs.lock());
+                let busy = self.shared.busy_workers.load(Ordering::SeqCst);
+                let saturated = busy >= self.shared.config.workers
+                    && jobs.len() >= self.shared.config.queue_depth;
+                if saturated {
+                    let queued = jobs.len() as u32;
+                    drop(jobs);
+                    c.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::Overloaded {
+                        queued,
+                        detail: format!(
+                            "all {} workers busy and {} requests queued; retry later",
+                            self.shared.config.workers, queued
+                        ),
+                    };
+                    self.fill_slot(token, seq, &response);
+                    return;
+                }
+                jobs.push_back(Job {
+                    conn: token,
+                    seq,
+                    request,
+                });
+                drop(jobs);
+                self.shared.job_ready.notify_one();
+            }
+        }
+    }
+
+    /// Queues a typed error response into the next slot (allocating one).
+    fn queue_error(&mut self, token: u64, code: ErrorCode, detail: &str) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.inflight.push_back(Slot {
+            seq,
+            response: None,
+        });
+        let response = Response::Error {
+            code,
+            detail: detail.into(),
+        };
+        self.fill_slot(token, seq, &response);
+    }
+
+    /// Delivers a response into its slot, then moves every response that is
+    /// now at the front of the pipeline into the write buffer.
+    fn fill_slot(&mut self, token: u64, seq: u64, response: &Response) {
         if matches!(response, Response::Error { .. }) {
-            shared
+            self.shared
                 .counters
                 .responses_error
                 .fetch_add(1, Ordering::Relaxed);
         }
-        if write_frame(&mut stream, &response.to_frame()).is_err() {
+        let Ok(bytes) = response.to_frame().encode() else {
+            // A response too large for the frame format (>4 GiB) cannot be
+            // sent; the only sound recovery is a fresh connection.
+            self.close(token);
             return;
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let Some(slot) = conn.inflight.iter_mut().find(|s| s.seq == seq) {
+            slot.response = Some(bytes);
         }
-        served += 1;
+        while let Some(front) = conn.inflight.front_mut() {
+            match front.response.take() {
+                Some(bytes) => {
+                    conn.write_buf.extend_from_slice(&bytes);
+                    conn.inflight.pop_front();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Writes as much of the write buffer as the socket accepts. Returns
+    /// false when the connection was closed.
+    fn flush(&mut self, token: u64) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.write_buf.is_empty() {
+                break;
+            }
+            match conn.stream.write(&conn.write_buf) {
+                Ok(0) => {
+                    self.close(token);
+                    return false;
+                }
+                Ok(n) => {
+                    conn.write_buf.drain(..n);
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return false;
+                }
+            }
+        }
+        let close_now = self
+            .conns
+            .get(&token)
+            .is_some_and(|c| c.closing && c.idle() && c.discarding == 0);
+        if close_now {
+            self.close(token);
+            return false;
+        }
+        self.update_interest(token);
+        true
+    }
+
+    /// Re-derives epoll interest from connection state and applies it if
+    /// it changed.
+    fn update_interest(&mut self, token: u64) {
+        let config_cap = self.shared.config.max_pipelined;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let wanted = Interest {
+            readable: conn.discarding > 0
+                || (!conn.eof && !conn.closing && conn.inflight.len() < config_cap),
+            writable: !conn.write_buf.is_empty(),
+        };
+        let mut modify_failed = false;
+        if wanted != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_fd(), token, wanted)
+                .is_ok()
+            {
+                conn.interest = wanted;
+            } else {
+                modify_failed = true;
+            }
+        }
+        if modify_failed {
+            self.close(token);
+        }
+    }
+
+    /// Drains the completion queue: fill slots, then settle each touched
+    /// connection (which also re-parses frames the pipeline cap deferred).
+    fn apply_completions(&mut self) {
+        let done = std::mem::take(&mut *relock(self.shared.completions.lock()));
+        for completion in done {
+            self.fill_slot(completion.conn, completion.seq, &completion.response);
+            self.advance(completion.conn);
+        }
+    }
+
+    /// Closes connections that made no IO progress past the configured
+    /// timeout. A connection still waiting on a worker is never timed out —
+    /// a slow refutation is not idleness — but an idle or write-stuck peer
+    /// cannot pin a connection slot forever.
+    fn sweep_idle(&mut self, now: Instant) {
+        let timeout = self.shared.config.read_timeout;
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.worker_pending() && now.duration_since(c.last_activity) > timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stale {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // Dropping the stream closes the fd, which also removes it from
+            // the epoll set; the explicit deregister covers the (benign)
+            // case of the kernel delaying that removal.
+            let _ = self.poller.deregister(conn.stream.as_fd());
+        }
     }
 }
 
-/// Reads and discards up to 64 KiB of leftover input (until EOF, error, or
-/// the read timeout), so the subsequent close sends FIN, not RST.
-fn drain(stream: &mut TcpStream) {
-    use std::io::Read as _;
-    let mut buf = [0u8; 4096];
-    let mut total = 0;
-    while total < 64 * 1024 {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => total += n,
-        }
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut jobs = relock(shared.jobs.lock());
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                // Exit only once the reactor has promised no more jobs
+                // (`jobs_closed`), not on the shutdown flag alone — a
+                // worker that quits while the reactor is still parsing
+                // would orphan a connection mid-pipeline.
+                if shared.jobs_closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = relock(shared.job_ready.wait(jobs));
+            }
+        };
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        let response = dispatch(job.request, shared);
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        relock(shared.completions.lock()).push(Completion {
+            conn: job.conn,
+            seq: job.seq,
+            response,
+        });
+        shared.waker.wake();
     }
 }
 
-fn respond_error(stream: &mut TcpStream, shared: &Shared, code: ErrorCode, detail: &str) {
-    shared
-        .counters
-        .responses_error
-        .fetch_add(1, Ordering::Relaxed);
-    let response = Response::Error {
-        code,
-        detail: detail.into(),
-    };
-    let _ = write_frame(stream, &response.to_frame());
-}
-
+/// Executes one CPU-bound request. Inline kinds (zero-hold pings, stats)
+/// normally never reach here, but the handling is kept complete so a job is
+/// a job regardless of routing.
 fn dispatch(request: Request, shared: &Shared) -> Response {
     let c = &shared.counters;
     match request {
@@ -458,14 +1024,30 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 }
             };
             let policy = clamp_policy(params.policy, shared.config.policy_ceiling);
-            match query::refute_to_bytes(
-                theorem,
-                params.protocol.as_deref(),
-                params.graph.as_ref(),
-                params.f as usize,
-                policy,
-            ) {
-                Ok(bytes) => Response::Certificate { bytes },
+            let protocol = params.protocol.as_deref();
+            let graph = params.graph.as_ref();
+            let f = params.f as usize;
+
+            // Durable layer first: memory → disk → simulate. A stored hit
+            // is byte-identical to a fresh run of the same canonical key
+            // (determinism axiom), so which layer answered is invisible to
+            // the client.
+            let key = shared
+                .store
+                .as_ref()
+                .map(|_| query::canonical_query_key(theorem, protocol, graph, f, &policy));
+            if let (Some(store), Some(key)) = (&shared.store, &key) {
+                if let Some(bytes) = store.lookup(key) {
+                    return Response::Certificate { bytes };
+                }
+            }
+            match query::refute_to_bytes(theorem, protocol, graph, f, policy) {
+                Ok(bytes) => {
+                    if let (Some(store), Some(key)) = (&shared.store, &key) {
+                        store.store(key, &bytes);
+                    }
+                    Response::Certificate { bytes }
+                }
                 Err(e @ query::QueryError::BadRequest { .. })
                 | Err(e @ query::QueryError::UnknownTheorem { .. }) => Response::Error {
                     code: ErrorCode::BadRequest,

@@ -1,0 +1,457 @@
+//! A content-addressed on-disk certificate store: warm hits that survive
+//! restarts.
+//!
+//! The in-memory runcache dies with the process; this store is the durable
+//! layer behind it. Each entry is one portable `FLMC` file named by the
+//! FNV-1a fingerprint of its canonical query key
+//! ([`crate::query::canonical_query_key`]), with the full key bytes in a
+//! sidecar so probes compare whole keys — fingerprints index, bytes decide,
+//! the same collision discipline as `flm_sim::runcache`. The `.flmc` file
+//! is the certificate bytes and nothing else, so any stored entry can be
+//! fed straight to `flm-audit`.
+//!
+//! # Crash atomicity
+//!
+//! Writes go to a temp file in the store directory and land via
+//! [`fs::rename`] (atomic on POSIX). The certificate is renamed into place
+//! *before* the key sidecar: the sidecar is the commit point, so a crash
+//! between the two leaves an orphaned `.flmc` (invisible to lookups —
+//! overwritten by the next store of that key) and never a keyed entry
+//! without its certificate.
+//!
+//! # Verify-on-load soundness
+//!
+//! Disk bytes are untrusted. Every hit is decoded through
+//! `flm_core::codec::decode_any` and re-encoded — the identical path
+//! `flm-audit` runs on files it is handed — and served only if the bytes
+//! round-trip canonically. Anything else (truncation, bit flips, stray
+//! files) is a *miss*: the damaged pair is moved into `quarantine/` for
+//! post-mortem and the caller falls through to a fresh simulation, which
+//! then overwrites the entry. Corruption can cost time, never correctness,
+//! and never a panic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use flm_sim::runcache::RunKey;
+
+/// How many hot entries the store keeps decoded in memory in front of the
+/// disk layer (tiny: certificates are a few KiB and the real memory layer
+/// is the process-global runcache upstream of this store).
+pub const MEMORY_ENTRIES: usize = 256;
+
+/// Counter snapshot for one store (all monotone since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Hits served from the in-memory layer.
+    pub mem_hits: u64,
+    /// Hits served from disk (decoded and verified on load).
+    pub disk_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Fresh certificates persisted.
+    pub stores: u64,
+    /// Damaged entries moved to `quarantine/` instead of being served.
+    pub quarantined: u64,
+}
+
+/// Why the store could not be opened.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The directory could not be created or probed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "certificate store at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+struct MemoryLayer {
+    /// fingerprint → (key bytes, certificate bytes); bounded FIFO.
+    entries: HashMap<u64, (Vec<u8>, Vec<u8>)>,
+    order: std::collections::VecDeque<u64>,
+}
+
+/// A content-addressed certificate store rooted at one directory.
+///
+/// Thread-safe: lookups and stores may race freely across server workers —
+/// the rename protocol makes concurrent stores of the same key last-writer-
+/// wins with both writers leaving a valid entry.
+pub struct CertStore {
+    dir: PathBuf,
+    memory: Mutex<MemoryLayer>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    quarantined: AtomicU64,
+    temp_seq: AtomicU64,
+}
+
+impl fmt::Debug for CertStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CertStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn cert_path(dir: &Path, fp: u64) -> PathBuf {
+    dir.join(format!("q{fp:016x}.flmc"))
+}
+
+fn key_path(dir: &Path, fp: u64) -> PathBuf {
+    dir.join(format!("q{fp:016x}.key"))
+}
+
+impl CertStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CertStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(CertStore {
+            dir,
+            memory: Mutex::new(MemoryLayer {
+                entries: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+            }),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks `key` up: memory first, then disk (verified on load). Returns
+    /// the certificate bytes, or `None` on a miss — including any form of
+    /// on-disk damage, which is quarantined rather than served.
+    pub fn lookup(&self, key: &RunKey) -> Option<Vec<u8>> {
+        let fp = key.fingerprint();
+        {
+            let memory = self.memory.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some((stored_key, cert)) = memory.entries.get(&fp) {
+                if stored_key == key.bytes() {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(cert.clone());
+                }
+            }
+        }
+        match self.lookup_disk(fp, key.bytes()) {
+            Some(cert) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.remember(fp, key.bytes().to_vec(), cert.clone());
+                Some(cert)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a fresh certificate under `key`, atomically, and seeds the
+    /// memory layer. Persistence failures are swallowed after counting a
+    /// miss-shaped outcome is pointless — the caller already has the bytes;
+    /// a store that cannot write simply stays cold.
+    pub fn store(&self, key: &RunKey, cert: &[u8]) {
+        let fp = key.fingerprint();
+        if self.write_entry(fp, key.bytes(), cert).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        }
+        self.remember(fp, key.bytes().to_vec(), cert.to_vec());
+    }
+
+    /// Drops the in-memory layer (counters keep running). The disk-warm
+    /// bench legs use this to force every hit through the decode-and-verify
+    /// disk path.
+    pub fn clear_memory(&self) {
+        let mut memory = self.memory.lock().unwrap_or_else(|p| p.into_inner());
+        memory.entries.clear();
+        memory.order.clear();
+    }
+
+    /// Reads the counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    fn remember(&self, fp: u64, key: Vec<u8>, cert: Vec<u8>) {
+        let mut memory = self.memory.lock().unwrap_or_else(|p| p.into_inner());
+        if memory.entries.insert(fp, (key, cert)).is_none() {
+            memory.order.push_back(fp);
+            while memory.order.len() > MEMORY_ENTRIES {
+                if let Some(old) = memory.order.pop_front() {
+                    memory.entries.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn lookup_disk(&self, fp: u64, key: &[u8]) -> Option<Vec<u8>> {
+        // The sidecar is the commit point: no key file, no entry.
+        let stored_key = fs::read(key_path(&self.dir, fp)).ok()?;
+        if stored_key != key {
+            // A real FNV collision (or a foreign file): not our entry.
+            return None;
+        }
+        let bytes = match fs::read(cert_path(&self.dir, fp)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // Keyed entry without its certificate — the rename protocol
+                // never produces this, so the directory was damaged.
+                self.quarantine(fp);
+                return None;
+            }
+        };
+        // Verify on load through the same decode path flm-audit uses; a
+        // served hit must round-trip canonically.
+        match flm_core::codec::decode_any(&bytes) {
+            Ok(cert) if cert.to_bytes() == bytes => Some(bytes),
+            _ => {
+                self.quarantine(fp);
+                None
+            }
+        }
+    }
+
+    /// Moves a damaged entry (both files) into `quarantine/`, preserving
+    /// the bytes for post-mortem while guaranteeing the next lookup misses
+    /// cleanly and the next store rebuilds the entry.
+    fn quarantine(&self, fp: u64) {
+        let qdir = self.dir.join("quarantine");
+        let _ = fs::create_dir_all(&qdir);
+        for path in [cert_path(&self.dir, fp), key_path(&self.dir, fp)] {
+            if let Some(name) = path.file_name() {
+                let _ = fs::rename(&path, qdir.join(name));
+            }
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn write_entry(&self, fp: u64, key: &[u8], cert: &[u8]) -> io::Result<()> {
+        // Certificate first, sidecar last: the sidecar commits the entry.
+        self.write_atomic(&cert_path(&self.dir, fp), cert)?;
+        self.write_atomic(&key_path(&self.dir, fp), key)
+    }
+
+    fn write_atomic(&self, dest: &Path, bytes: &[u8]) -> io::Result<()> {
+        let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+        // Unique per (process, store, write): concurrent writers of the
+        // same key each land a complete file; rename picks a winner.
+        let tmp = self.dir.join(format!(".tmp-{}-{seq}", std::process::id()));
+        let mut file = fs::File::create(&tmp)?;
+        let written = file.write_all(bytes).and_then(|()| file.sync_all());
+        drop(file);
+        if let Err(e) = written {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        match fs::rename(&tmp, dest) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flm-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_cert() -> Vec<u8> {
+        crate::query::refute_to_bytes(
+            crate::query::Theorem::BaNodes,
+            None,
+            None,
+            1,
+            flm_sim::RunPolicy::default(),
+        )
+        .unwrap()
+    }
+
+    fn sample_key(tag: u64) -> RunKey {
+        let mut w = flm_sim::wire::Writer::new();
+        w.u64(tag);
+        RunKey::new("store-test", w.finish())
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let cert = sample_cert();
+        let key = sample_key(1);
+
+        let store = CertStore::open(&dir).unwrap();
+        assert_eq!(store.lookup(&key), None);
+        store.store(&key, &cert);
+        assert_eq!(store.lookup(&key).as_deref(), Some(&cert[..]));
+        let stats = store.stats();
+        assert_eq!((stats.misses, stats.stores, stats.mem_hits), (1, 1, 1));
+
+        // Force the disk path, then a whole new store over the same dir
+        // (the restart case).
+        store.clear_memory();
+        assert_eq!(store.lookup(&key).as_deref(), Some(&cert[..]));
+        assert_eq!(store.stats().disk_hits, 1);
+        drop(store);
+        let reopened = CertStore::open(&dir).unwrap();
+        assert_eq!(reopened.lookup(&key).as_deref(), Some(&cert[..]));
+        assert_eq!(reopened.stats().disk_hits, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_collisions_fall_back_to_key_bytes() {
+        let dir = temp_dir("collide");
+        let cert = sample_cert();
+        let key = sample_key(2);
+        let store = CertStore::open(&dir).unwrap();
+        store.store(&key, &cert);
+
+        // A foreign key under the same fingerprint: simulate a collision by
+        // rewriting the sidecar with different key bytes.
+        fs::write(key_path(&dir, key.fingerprint()), b"other key").unwrap();
+        store.clear_memory();
+        assert_eq!(store.lookup(&key), None, "served a colliding entry");
+        // Not corruption — just not our entry — so nothing is quarantined.
+        assert_eq!(store.stats().quarantined, 0);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_certificates_are_quarantined_misses() {
+        for (label, damage) in [
+            (
+                "truncated",
+                Box::new(|bytes: &mut Vec<u8>| bytes.truncate(bytes.len() / 2))
+                    as Box<dyn Fn(&mut Vec<u8>)>,
+            ),
+            // Flip a structural byte (the magic): the decode path can only
+            // see damage that breaks decoding or canonicality — a flip
+            // inside, say, a protocol-name string decodes fine and is the
+            // downstream verifier's to reject.
+            (
+                "bit-flipped",
+                Box::new(|bytes: &mut Vec<u8>| bytes[0] ^= 0x40),
+            ),
+            ("emptied", Box::new(|bytes: &mut Vec<u8>| bytes.clear())),
+        ] {
+            let dir = temp_dir(&format!("damage-{label}"));
+            let cert = sample_cert();
+            let key = sample_key(3);
+            let store = CertStore::open(&dir).unwrap();
+            store.store(&key, &cert);
+
+            let path = cert_path(&dir, key.fingerprint());
+            let mut bytes = fs::read(&path).unwrap();
+            damage(&mut bytes);
+            fs::write(&path, &bytes).unwrap();
+
+            store.clear_memory();
+            assert_eq!(store.lookup(&key), None, "{label}: served damaged bytes");
+            let stats = store.stats();
+            assert_eq!(stats.quarantined, 1, "{label}");
+            assert!(!path.exists(), "{label}: damaged file left in place");
+            let quarantined: Vec<_> = fs::read_dir(dir.join("quarantine"))
+                .unwrap()
+                .map(|e| e.unwrap().file_name())
+                .collect();
+            assert_eq!(quarantined.len(), 2, "{label}: {quarantined:?}");
+
+            // A fresh store rebuilds the entry cleanly.
+            store.store(&key, &cert);
+            store.clear_memory();
+            assert_eq!(store.lookup(&key).as_deref(), Some(&cert[..]), "{label}");
+
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn orphaned_certificate_without_sidecar_is_a_plain_miss() {
+        // The crash window: cert renamed into place, sidecar not yet — the
+        // entry must be invisible, not quarantined (the next store of the
+        // key completes it).
+        let dir = temp_dir("orphan");
+        let cert = sample_cert();
+        let key = sample_key(4);
+        let store = CertStore::open(&dir).unwrap();
+        store.store(&key, &cert);
+        fs::remove_file(key_path(&dir, key.fingerprint())).unwrap();
+        store.clear_memory();
+        assert_eq!(store.lookup(&key), None);
+        assert_eq!(store.stats().quarantined, 0);
+        store.store(&key, &cert);
+        store.clear_memory();
+        assert_eq!(store.lookup(&key).as_deref(), Some(&cert[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_entry_is_a_portable_flmc_artifact() {
+        // The .flmc file must be exactly the certificate bytes — auditable
+        // directly, no container format.
+        let dir = temp_dir("portable");
+        let cert = sample_cert();
+        let key = sample_key(5);
+        let store = CertStore::open(&dir).unwrap();
+        store.store(&key, &cert);
+        let on_disk = fs::read(cert_path(&dir, key.fingerprint())).unwrap();
+        assert_eq!(on_disk, cert);
+        let decoded = flm_core::codec::decode_any(&on_disk).unwrap();
+        assert_eq!(decoded.to_bytes(), on_disk);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -53,8 +53,8 @@ fn exchange_raw(server: &Server, bytes: &[u8]) -> Option<Response> {
 
 /// The server must still serve after hostile input: a fresh ping answers.
 fn assert_still_serving(server: &Server) {
-    let response =
-        exchange_raw(server, &sample_request_frame().encode()).expect("server stopped answering");
+    let response = exchange_raw(server, &sample_request_frame().encode().unwrap())
+        .expect("server stopped answering");
     assert!(
         matches!(response, Response::Pong { .. }),
         "expected pong, got {response:?}"
@@ -63,7 +63,7 @@ fn assert_still_serving(server: &Server) {
 
 #[test]
 fn every_prefix_truncation_decodes_structurally() {
-    let bytes = sample_request_frame().encode();
+    let bytes = sample_request_frame().encode().unwrap();
     for cut in 0..bytes.len() {
         let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_BODY_BYTES)
             .expect_err("a strict prefix must not decode");
@@ -76,7 +76,7 @@ fn every_prefix_truncation_decodes_structurally() {
 #[test]
 fn every_prefix_truncation_over_the_socket_is_answered() {
     let server = test_server();
-    let bytes = sample_request_frame().encode();
+    let bytes = sample_request_frame().encode().unwrap();
     for cut in 0..bytes.len() {
         let response = exchange_raw(&server, &bytes[..cut]);
         if cut == 0 {
@@ -98,7 +98,7 @@ fn every_prefix_truncation_over_the_socket_is_answered() {
 
 #[test]
 fn oversize_length_prefix_is_rejected_before_allocation() {
-    let mut bytes = sample_request_frame().encode();
+    let mut bytes = sample_request_frame().encode().unwrap();
     bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
     // Library layer: structured Oversize, found from the header alone.
     match Frame::decode(&bytes, DEFAULT_MAX_BODY_BYTES) {
@@ -125,7 +125,7 @@ fn oversize_length_prefix_is_rejected_before_allocation() {
 
 #[test]
 fn byte_flips_at_every_offset_decode_structurally() {
-    let bytes = sample_request_frame().encode();
+    let bytes = sample_request_frame().encode().unwrap();
     for i in 0..bytes.len() {
         for flip in [0xFFu8, 0x01, 0x80] {
             let mut mutated = bytes.clone();
@@ -142,7 +142,8 @@ fn byte_flips_at_every_offset_decode_structurally() {
                     FrameError::BadMagic
                     | FrameError::UnsupportedVersion(_)
                     | FrameError::Truncated
-                    | FrameError::Oversize { .. },
+                    | FrameError::Oversize { .. }
+                    | FrameError::BodyTooLarge { .. },
                 ) => {}
             }
         }
@@ -186,7 +187,10 @@ fn socket_garbage_draws_typed_error_then_server_recovers() {
         other => panic!("garbage drew {other:?}"),
     }
     // A well-framed but undecodable body: valid header, unknown kind.
-    match exchange_raw(&server, &Frame::new(0x7F, b"junk".to_vec()).encode()) {
+    match exchange_raw(
+        &server,
+        &Frame::new(0x7F, b"junk".to_vec()).encode().unwrap(),
+    ) {
         Some(Response::Error { code, detail }) => {
             assert_eq!(code, ErrorCode::MalformedFrame);
             assert!(detail.contains("0x7F"), "detail: {detail}");
@@ -194,12 +198,15 @@ fn socket_garbage_draws_typed_error_then_server_recovers() {
         other => panic!("unknown kind drew {other:?}"),
     }
     // A response kind sent as a request is equally malformed.
-    match exchange_raw(&server, &Frame::new(kind::RESP_PONG, vec![]).encode()) {
+    match exchange_raw(
+        &server,
+        &Frame::new(kind::RESP_PONG, vec![]).encode().unwrap(),
+    ) {
         Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::MalformedFrame),
         other => panic!("response-kind request drew {other:?}"),
     }
     // A future frame version is refused without guessing at its layout.
-    let mut versioned = sample_request_frame().encode();
+    let mut versioned = sample_request_frame().encode().unwrap();
     versioned[4] = 9;
     match exchange_raw(&server, &versioned) {
         Some(Response::Error { code, detail }) => {

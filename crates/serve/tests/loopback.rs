@@ -91,8 +91,10 @@ fn wire_certificates_pass_local_audit() {
     server.shutdown();
 }
 
-/// A saturated pool answers `Overloaded` — it never hangs and never drops
-/// the socket — and recovers once the load clears.
+/// A saturated worker pool sheds *requests* with a typed `Overloaded`
+/// answer — the connection stays open, inline requests keep serving (so a
+/// saturated server remains observable), and worker-bound traffic recovers
+/// once the load clears.
 #[test]
 fn saturated_pool_sheds_with_a_typed_answer_then_recovers() {
     let server = Server::start(ServeConfig {
@@ -118,33 +120,111 @@ fn saturated_pool_sheds_with_a_typed_answer_then_recovers() {
     }
 
     // The pool is provably saturated (1 busy worker, queue depth 0): the
-    // next connection must be answered with a typed Overloaded frame.
+    // next worker-bound request (a held ping) must be answered with a typed
+    // Overloaded frame.
     let mut shed_client = Client::connect(addr).unwrap();
     shed_client
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
-    match shed_client.ping(b"shed me", 0) {
+    match shed_client.ping(b"shed me", 1) {
         Err(ClientError::Overloaded { detail, .. }) => {
             assert!(detail.contains("busy"), "detail: {detail}");
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
 
-    // The held ping still completes: shedding one connection never disturbs
-    // an in-flight one.
+    // Request-level shedding keeps the connection open, and reactor-inline
+    // requests still serve while the pool is saturated: the same client
+    // answers a zero-hold ping and a stats snapshot.
+    assert_eq!(shed_client.ping(b"inline", 0).unwrap(), b"inline");
+    let stats = shed_client.stats().unwrap();
+    assert_eq!(stats.requests_shed, 1, "stats: {stats:?}");
+    assert_eq!(stats.connections_shed, 0, "stats: {stats:?}");
+
+    // The held ping still completes: shedding one request never disturbs an
+    // in-flight one.
     assert_eq!(holder.join().unwrap(), b"hold");
 
-    // And once the worker frees up, new connections are served again.
+    // And once the worker frees up, worker-bound requests are served again.
     let deadline = Instant::now() + Duration::from_secs(10);
     while server.busy_workers() != 0 {
         assert!(Instant::now() < deadline, "worker never freed");
         std::thread::sleep(Duration::from_millis(5));
     }
-    let mut client = Client::connect(addr).unwrap();
-    assert_eq!(client.ping(b"back", 0).unwrap(), b"back");
+    assert_eq!(shed_client.ping(b"back", 1).unwrap(), b"back");
+    server.shutdown();
+}
 
+/// Pipelining: many frames written back to back on one connection, mixing
+/// reactor-inline requests (zero-hold pings, stats) with worker-bound ones
+/// (held pings), come back as one response per request in strict request
+/// order — even though inline responses are produced before earlier
+/// worker-bound ones finish.
+#[test]
+fn pipelined_requests_answer_in_request_order() {
+    use flm_serve::frame::{read_frame, DEFAULT_MAX_BODY_BYTES};
+    use flm_serve::rpc::{Request, Response};
+    use std::io::Write as _;
+
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    const BATCH: u32 = 12;
+    let mut blob = Vec::new();
+    for i in 0..BATCH {
+        let request = if i == 5 {
+            Request::Stats
+        } else {
+            Request::Ping {
+                payload: i.to_le_bytes().to_vec(),
+                // Every third request routes through the worker pool; the
+                // rest answer inline on the reactor.
+                hold_ms: u32::from(i % 3 == 0),
+            }
+        };
+        blob.extend_from_slice(&request.to_frame().encode().unwrap());
+    }
+    sock.write_all(&blob).unwrap();
+
+    for i in 0..BATCH {
+        let frame = read_frame(&mut sock, DEFAULT_MAX_BODY_BYTES)
+            .unwrap_or_else(|e| panic!("response {i}: {e}"));
+        let response = Response::from_frame(&frame).unwrap();
+        if i == 5 {
+            assert!(matches!(response, Response::Stats(_)), "response {i}");
+        } else {
+            match response {
+                Response::Pong { payload } => {
+                    assert_eq!(
+                        payload,
+                        i.to_le_bytes().to_vec(),
+                        "response {i} out of order"
+                    );
+                }
+                other => panic!("response {i}: expected Pong, got {other:?}"),
+            }
+        }
+    }
     let stats = server.stats();
-    assert_eq!(stats.connections_shed, 1, "stats: {stats:?}");
+    assert_eq!(stats.requests_ping, u64::from(BATCH) - 1);
+    server.shutdown();
+}
+
+/// One reactor holds many simultaneous sockets: a wave of concurrent
+/// connections, each pinging once, all come back answered with zero
+/// transport errors and zero sheds.
+#[test]
+fn ping_wave_serves_many_simultaneous_connections() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let report = flm_serve::loadgen::ping_wave(&server.local_addr().to_string(), 64);
+    assert_eq!(report.ok, 64, "{report}");
+    assert_eq!(report.overloaded, 0, "{report}");
+    assert_eq!(report.transport_errors, 0, "{report}");
+    let stats = server.stats();
+    assert_eq!(stats.connections_shed, 0);
+    assert_eq!(stats.requests_ping, 64);
     server.shutdown();
 }
 
@@ -169,6 +249,7 @@ fn stats_rpc_reflects_served_requests() {
     assert_eq!(stats.requests_stats, 1);
     assert_eq!(stats.connections_accepted, 1);
     assert_eq!(stats.connections_shed, 0);
+    assert_eq!(stats.requests_shed, 0);
     // The run cache and the prefix trie are process-global (other tests in
     // this binary also feed them), so only monotone claims are safe:
     // traffic exists, and every refutation above drove runs through the

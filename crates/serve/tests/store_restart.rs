@@ -1,0 +1,144 @@
+//! Cross-restart warmth: the certificate store makes warm hits survive the
+//! process (here: the server instance), byte-identically — and hostile
+//! bytes planted in the store directory are quarantined misses, never
+//! panics and never served.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use flm_serve::client::Client;
+use flm_serve::server::{ServeConfig, Server};
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flm-serve-restart-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_with_store(dir: &Path) -> Server {
+    Server::start(ServeConfig {
+        store_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .unwrap()
+}
+
+/// Refute, shut the server down, restart on the same store directory: the
+/// second refutation is a disk-warm hit returning byte-identical
+/// certificate bytes without re-simulating.
+#[test]
+fn restart_on_the_same_store_dir_serves_byte_identical_disk_hits() {
+    let dir = temp_store_dir("warmth");
+
+    // Cold run: simulate, serve, persist.
+    let server = start_with_store(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cold = client.refute("ba-nodes", None, None, 1, None).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.store_misses, 1, "first query must miss the store");
+    assert_eq!(stats.store_stores, 1, "fresh certificate must be persisted");
+    server.shutdown();
+
+    // The stored artifact is itself a portable FLMC file.
+    let flmc_files: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "flmc"))
+        .collect();
+    assert_eq!(flmc_files.len(), 1, "{flmc_files:?}");
+    assert_eq!(fs::read(&flmc_files[0]).unwrap(), cold);
+
+    // Restart: a brand-new server (fresh in-memory layers) over the same
+    // directory. The same query must come off disk, byte-identical.
+    let server = start_with_store(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let warm = client.refute("ba-nodes", None, None, 1, None).unwrap();
+    assert_eq!(
+        warm, cold,
+        "disk-warm certificate differs from the cold run"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.store_disk_hits, 1, "stats: {stats:?}");
+    assert_eq!(stats.store_misses, 0, "restart must not re-simulate");
+
+    // Default-resolved and explicitly-default queries share the canonical
+    // key, so the explicit spelling is a warm hit too.
+    let explicit = client
+        .refute(
+            "ba-nodes",
+            Some("EIG(f=1)"),
+            Some(&flm_graph::builders::triangle()),
+            1,
+            None,
+        )
+        .unwrap();
+    assert_eq!(explicit, cold);
+    assert_eq!(server.stats().store_misses, 0);
+    server.shutdown();
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Hostile store: truncated or bit-flipped FLMC files under the store dir
+/// are treated as misses, quarantined for post-mortem, and transparently
+/// rebuilt — the client sees correct bytes throughout.
+#[test]
+fn hostile_store_files_are_quarantined_and_rebuilt() {
+    let dir = temp_store_dir("hostile");
+
+    let server = start_with_store(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reference = client
+        .refute("ba-connectivity", None, None, 1, None)
+        .unwrap();
+    server.shutdown();
+
+    // Damage the stored certificate on disk: truncate it mid-body.
+    let flmc: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "flmc"))
+        .collect();
+    assert_eq!(flmc.len(), 1);
+    let bytes = fs::read(&flmc[0]).unwrap();
+    fs::write(&flmc[0], &bytes[..bytes.len() / 2]).unwrap();
+
+    // Restart over the damaged directory: the query must still serve the
+    // correct bytes (re-simulated), the damage must be quarantined, and
+    // nothing may panic.
+    let server = start_with_store(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let served = client
+        .refute("ba-connectivity", None, None, 1, None)
+        .unwrap();
+    assert_eq!(served, reference, "damaged store changed served bytes");
+    let stats = server.stats();
+    assert_eq!(stats.store_quarantined, 1, "stats: {stats:?}");
+    assert_eq!(stats.store_misses, 1);
+    assert_eq!(stats.store_stores, 1, "entry must be rebuilt");
+
+    let quarantined: Vec<_> = fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert_eq!(quarantined.len(), 2, "{quarantined:?}");
+
+    // The rebuilt entry is a clean disk hit for the next restart.
+    server.shutdown();
+    let server = start_with_store(&dir);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(
+        client
+            .refute("ba-connectivity", None, None, 1, None)
+            .unwrap(),
+        reference
+    );
+    assert_eq!(server.stats().store_disk_hits, 1);
+    server.shutdown();
+
+    let _ = fs::remove_dir_all(&dir);
+}

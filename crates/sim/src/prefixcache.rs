@@ -255,6 +255,27 @@ fn trie() -> &'static Mutex<Trie> {
     TRIE.get_or_init(|| Mutex::new(Trie::default()))
 }
 
+/// Locks the global trie, recovering from poisoning the way the serve
+/// plane's queues do (`PoisonError::into_inner`) instead of panicking.
+/// A contained probe that panics while holding the lock may have left a
+/// half-inserted entry behind, so recovery drops the whole store — the trie
+/// is a cache, and an empty cache is always sound — and clears the poison
+/// flag so later lockers skip this path. The alternative (`.expect`) turned
+/// one panicking probe into a cascading panic for every later run in the
+/// process, including all serve workers.
+fn lock_trie() -> std::sync::MutexGuard<'static, Trie> {
+    let mutex = trie();
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            *guard = Trie::default();
+            mutex.clear_poison();
+            guard
+        }
+    }
+}
+
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
@@ -329,10 +350,7 @@ pub fn memoize_prefixed<E>(
             return sys.run_contained(horizon, policy).map_err(&map_err);
         }
         let fps = schedule.chain_fps(horizon);
-        let resume = trie()
-            .lock()
-            .expect("prefix trie poisoned")
-            .deepest_fork(schedule, &fps, horizon);
+        let resume = lock_trie().deepest_fork(schedule, &fps, horizon);
         let resumed = resume.as_ref().map_or(0, TickSnapshot::tick);
         match &resume {
             Some(_) => {
@@ -355,7 +373,7 @@ pub fn memoize_prefixed<E>(
         let (behavior, captures) = sys
             .run_contained_prefixed(horizon, policy, resume, Some(&spec))
             .map_err(&map_err)?;
-        let mut trie = trie().lock().expect("prefix trie poisoned");
+        let mut trie = lock_trie();
         for snap in captures {
             trie.insert(schedule, fps[snap.tick() as usize], snap);
         }
@@ -365,7 +383,7 @@ pub fn memoize_prefixed<E>(
 
 /// Drops every stored snapshot (counters are kept; see [`reset_stats`]).
 pub fn clear() {
-    let mut trie = trie().lock().expect("prefix trie poisoned");
+    let mut trie = lock_trie();
     *trie = Trie::default();
 }
 
@@ -394,7 +412,7 @@ pub struct PrefixStats {
 
 /// Reads the current counters and entry count.
 pub fn stats() -> PrefixStats {
-    let entries = trie().lock().expect("prefix trie poisoned").entry_count;
+    let entries = lock_trie().entry_count;
     PrefixStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
@@ -476,6 +494,53 @@ mod tests {
             .buckets
             .get(&fp)
             .is_some_and(|bucket| bucket[0].schedule.shares_prefix(&a, 2)));
+    }
+
+    /// Regression: a probe that panics while holding the trie lock used to
+    /// poison it for the rest of the process — every later run (including
+    /// every serve worker) then panicked in `.expect("prefix trie
+    /// poisoned")`. Recovery resets the store and clears the poison flag.
+    #[test]
+    fn poisoned_trie_recovers_instead_of_cascading() {
+        // Poison the global trie exactly the way a panicking contained
+        // probe would: unwind while the lock is held.
+        let _ = std::thread::spawn(|| {
+            let _guard = trie()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("poisoning the prefix trie on purpose");
+        })
+        .join();
+
+        // Every entry point must recover (drop the store, clear the
+        // poison) instead of cascading the panic.
+        let _ = stats();
+        clear();
+
+        // And a full prefix-memoized run still succeeds end to end,
+        // repopulating the recovered trie.
+        let g = flm_graph::builders::triangle();
+        let key = RunKey::new("prefixpoison", b"recovery".to_vec());
+        let schedule = PrefixSchedule::new(b"prefixpoison-recovery".to_vec(), vec![]);
+        memoize_prefixed(
+            &key,
+            &schedule,
+            8,
+            &RunPolicy::default(),
+            || {
+                let mut sys = System::new(g.clone());
+                for v in g.nodes() {
+                    sys.assign(
+                        v,
+                        Box::new(crate::devices::TableDevice::new(u64::from(v.0), 16)),
+                        crate::Input::Bool(true),
+                    );
+                }
+                Ok::<_, SystemError>(sys)
+            },
+            |e| e,
+        )
+        .expect("a run after poison recovery must succeed");
     }
 
     #[test]

@@ -93,6 +93,14 @@ impl RunKey {
     pub fn fingerprint(&self) -> u64 {
         self.fp
     }
+
+    /// The full canonical key bytes (domain tag, NUL, payload). Durable
+    /// caches persist these next to each entry so a probe can compare the
+    /// whole key, exactly as the in-memory buckets do — fingerprints index,
+    /// bytes decide.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
 }
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and good enough as a bucket

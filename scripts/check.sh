@@ -59,6 +59,38 @@ serve_smoke() {
         return 1
     fi
     ./target/release/flm-client stats --addr "$addr"
+
+    # Restart warmth: two server lifetimes over the same --store-dir must
+    # serve byte-identical certificate bytes — the second from the on-disk
+    # certificate store, without re-simulating.
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    local store_dir="$tmpdir/store" run
+    for run in 1 2; do
+        rm -f "$tmpdir/addr"
+        ./target/release/flm-serve --addr 127.0.0.1:0 --store-dir "$store_dir" \
+            --port-file "$tmpdir/addr" &
+        serve_pid=$!
+        # shellcheck disable=SC2064  # re-arm cleanup with the new pid
+        trap "kill $serve_pid 2>/dev/null || true; wait $serve_pid 2>/dev/null || true; rm -rf '$tmpdir'" RETURN
+        for _ in $(seq 1 100); do
+            [[ -s "$tmpdir/addr" ]] && break
+            sleep 0.05
+        done
+        [[ -s "$tmpdir/addr" ]] || {
+            echo "flm-serve (store run $run) never wrote its port file"; return 1; }
+        addr="$(cat "$tmpdir/addr")"
+        ./target/release/flm-client refute ba-nodes --addr "$addr" \
+            --out "$tmpdir/warm$run.flmc"
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+    done
+    cmp "$tmpdir/warm1.flmc" "$tmpdir/warm2.flmc" || {
+        echo "restart warmth broken: certificate bytes differ across restarts"
+        return 1
+    }
+    # The disk-served bytes must satisfy the local auditor too.
+    ./target/release/flm-audit "$tmpdir/warm2.flmc" --quiet
 }
 
 if [[ "${1:-}" == "--smoke" ]]; then
