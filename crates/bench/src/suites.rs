@@ -319,7 +319,10 @@ pub fn serve_suite(samples: usize) -> Suite {
     use flm_serve::client::Client;
     use flm_serve::loadgen::{self, Mix};
     use flm_serve::query::Theorem;
-    use flm_serve::server::{ServeConfig, Server};
+    use flm_serve::router::{Router, RouterConfig};
+    use flm_serve::rpc::RefuteParams;
+    use flm_serve::server::{ServeConfig, Server, ShardRole};
+    use flm_serve::shard::{self, ShardMap};
 
     let config = cfg(samples);
     let mut rows = Vec::new();
@@ -453,6 +456,122 @@ pub fn serve_suite(samples: usize) -> Suite {
         "serve_wave_c1000: simultaneous connections answered (ok + typed shed)".into(),
         answered as f64,
     ));
+
+    // Sharded plane: two shards behind an flm-router, all in-process.
+    // Ports are reserved up front (bind :0, note the address, drop,
+    // rebind) so the topology is known before any shard starts. The k6/f2
+    // workload again, three ways:
+    //   - routed_warm vs direct_warm: the same warm refute through one
+    //     router hop vs straight to the owning shard. The gated ratio is
+    //     direct/routed, so 0.5 means the hop doubles the round trip —
+    //     the acceptance line for the routing tax.
+    //   - routed_cold vs routed_warm: the shard-local warm hit against a
+    //     misrouted/cold request that pays the full simulation — the
+    //     locality payoff that justifies owning key ranges at all.
+    //   - a second 1000-socket ping wave, this time against the router
+    //     front (the router answers pings locally, so this is the router
+    //     reactor's own connection-scale headline).
+    let holders: Vec<std::net::TcpListener> = (0..2)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve shard port"))
+        .collect();
+    let shard_addrs: Vec<String> = holders
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    drop(holders);
+    let map = ShardMap::new(shard_addrs.clone()).expect("two-shard map");
+    let shards: Vec<Server> = shard_addrs
+        .iter()
+        .enumerate()
+        .map(|(id, addr)| {
+            Server::start(ServeConfig {
+                addr: addr.clone(),
+                shard: Some(ShardRole {
+                    id: id as u32,
+                    map: map.clone(),
+                }),
+                ..ServeConfig::default()
+            })
+            .expect("bind bench shard")
+        })
+        .collect();
+    let router =
+        Router::start(RouterConfig::new("127.0.0.1:0", map.clone())).expect("bind bench router");
+    let router_addr = router.local_addr();
+
+    let owner = map.owner_of(
+        &shard::routing_key(&RefuteParams {
+            theorem: "ba-nodes".into(),
+            protocol: Some("EIG(f=2)".into()),
+            graph: Some(k6.clone()),
+            f: 2,
+            policy: None,
+        })
+        .expect("bench routing key"),
+    );
+    let mut routed = Client::connect(router_addr).expect("connect to bench router");
+    let mut direct = Client::connect(map.addr(owner)).expect("connect to owning shard");
+    assert_eq!(
+        refute_rpc(&mut routed),
+        refute_rpc(&mut direct),
+        "routed and direct answers disagree byte-for-byte"
+    );
+
+    let routed_warm = measure(config, || refute_rpc(&mut routed));
+    let direct_warm = measure(config, || refute_rpc(&mut direct));
+    speedups.push((
+        "refute_rpc_router_k6_f2: direct-to-owner warm vs one router hop (0.5 = hop costs 2x)"
+            .into(),
+        ratio(direct_warm, routed_warm),
+    ));
+    rows.push(BenchRow {
+        name: "refute_rpc_router_k6_f2/routed_warm".into(),
+        stats: routed_warm,
+    });
+    rows.push(BenchRow {
+        name: "refute_rpc_router_k6_f2/direct_warm".into(),
+        stats: direct_warm,
+    });
+
+    let routed_cold = measure(config, || {
+        flm_sim::runcache::clear();
+        flm_sim::prefixcache::clear();
+        refute_rpc(&mut routed)
+    });
+    speedups.push((
+        "refute_rpc_router_k6_f2: shard-local warm hit vs cold simulate through the router".into(),
+        ratio(routed_cold, routed_warm),
+    ));
+    rows.push(BenchRow {
+        name: "refute_rpc_router_k6_f2/routed_cold".into(),
+        stats: routed_cold,
+    });
+
+    let mut routed_answered = 0u64;
+    let router_wave = measure(config, || {
+        let report = loadgen::ping_wave(&router_addr.to_string(), 1000);
+        assert_eq!(
+            report.transport_errors, 0,
+            "router wave dropped sockets: {report}"
+        );
+        routed_answered = report.ok + report.overloaded;
+        report
+    });
+    rows.push(BenchRow {
+        name: "serve_wave_router_c1000/wave".into(),
+        stats: router_wave,
+    });
+    speedups.push((
+        "serve_wave_router_c1000: simultaneous connections answered through the router".into(),
+        routed_answered as f64,
+    ));
+
+    drop(routed);
+    drop(direct);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
 
     server.shutdown();
     Suite { rows, speedups }
@@ -886,17 +1005,23 @@ mod tests {
             "refute_rpc_ba_nodes_k6_f2/disk_warm",
             "serve_load_mixed_c4_r8/batch",
             "serve_wave_c1000/wave",
+            "refute_rpc_router_k6_f2/routed_warm",
+            "refute_rpc_router_k6_f2/direct_warm",
+            "refute_rpc_router_k6_f2/routed_cold",
+            "serve_wave_router_c1000/wave",
         ] {
             assert!(suite.rows.iter().any(|r| r.name == name), "missing {name}");
         }
-        assert_eq!(suite.speedups.len(), 3);
+        assert_eq!(suite.speedups.len(), 6);
         assert!(suite.speedups.iter().all(|(_, r)| *r > 0.0));
-        let wave = suite
-            .speedups
-            .iter()
-            .find(|(label, _)| label.starts_with("serve_wave_c1000"))
-            .expect("wave headline");
-        assert_eq!(wave.1, 1000.0, "a healthy server answers every socket");
+        for prefix in ["serve_wave_c1000", "serve_wave_router_c1000"] {
+            let wave = suite
+                .speedups
+                .iter()
+                .find(|(label, _)| label.starts_with(prefix))
+                .expect("wave headline");
+            assert_eq!(wave.1, 1000.0, "a healthy plane answers every socket");
+        }
     }
 
     #[test]

@@ -9,20 +9,29 @@
 //! flm-client ping           [--addr HOST:PORT] [--hold-ms N]
 //! flm-client load           [--addr HOST:PORT] [--connections N]
 //!                           [--requests M] [--mix R:V:A] [--theorem NAME]
+//!                           [--mode direct|router]
+//! flm-client rebalance      --store-dir DIR --peers ADDR,... --shard-id N
+//!                           [--remove true]
 //! ```
 //!
 //! `refute` prints the certificate bytes to stdout (or `--out FILE`) so the
 //! result pipes straight into `flm-audit`. `audit` mirrors the `flm-audit`
 //! exit-code contract: 0 verified, 1 not reproduced, 2 malformed. `load` is
-//! the generator behind `BENCH_serve.json`.
+//! the generator behind `BENCH_serve.json`; `--mode router` drives all
+//! seven theorem families through an `flm-router` and reports per-key-range
+//! hit rates. `stats` renders whatever answers: a single server's counters
+//! flat, a router's cluster view as a per-shard table. `rebalance` walks a
+//! shard's store directory and ships every certificate it no longer owns
+//! under the given topology to the owning shard.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use flm_serve::client::Client;
+use flm_serve::client::{Client, StatsView};
 use flm_serve::loadgen::{self, Mix};
 use flm_serve::query::{parse_graph, Theorem};
 use flm_serve::rpc::Verdict;
+use flm_serve::shard::{self, ShardMap};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7415";
 
@@ -32,7 +41,8 @@ fn usage() -> &'static str {
      \x20      flm-client audit CERT [--addr A]\n\
      \x20      flm-client stats [--addr A]\n\
      \x20      flm-client ping [--addr A] [--hold-ms N]\n\
-     \x20      flm-client load [--addr A] [--connections N] [--requests M] [--mix R:V:A] [--theorem T]"
+     \x20      flm-client load [--addr A] [--connections N] [--requests M] [--mix R:V:A] [--theorem T] [--mode direct|router]\n\
+     \x20      flm-client rebalance --store-dir DIR --peers ADDR,... --shard-id N [--remove true]"
 }
 
 /// Flag parser: positional operands plus `--flag value` pairs.
@@ -107,6 +117,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "ping" => cmd_ping(&flags),
         "load" => cmd_load(&flags),
+        "rebalance" => cmd_rebalance(&flags),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -194,8 +205,10 @@ fn cmd_audit(flags: &Flags) -> Result<ExitCode, String> {
 fn cmd_stats(flags: &Flags) -> Result<ExitCode, String> {
     flags.reject_unknown(&["addr"])?;
     let mut client = connect(flags)?;
-    let report = client.stats().map_err(|e| e.to_string())?;
-    println!("{report}");
+    match client.stats_view().map_err(|e| e.to_string())? {
+        StatsView::Single(report) => println!("{report}"),
+        StatsView::Cluster(report) => println!("{report}"),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -212,12 +225,31 @@ fn cmd_ping(flags: &Flags) -> Result<ExitCode, String> {
 }
 
 fn cmd_load(flags: &Flags) -> Result<ExitCode, String> {
-    flags.reject_unknown(&["addr", "connections", "requests", "mix", "theorem"])?;
+    flags.reject_unknown(&["addr", "connections", "requests", "mix", "theorem", "mode"])?;
     if !flags.positional.is_empty() {
         return Err("load takes flags only".into());
     }
     let connections: usize = flags.parsed("connections", 4)?;
     let requests: usize = flags.parsed("requests", 16)?;
+    if flags.get("mode") == Some("router") {
+        if flags.get("mix").is_some() || flags.get("theorem").is_some() {
+            return Err(
+                "--mode router drives all families refute-only; drop --mix/--theorem".into(),
+            );
+        }
+        let report = loadgen::run_router(flags.addr(), connections, requests)?;
+        print!("{report}");
+        if report.totals.abandoned > 0 || report.totals.transport_errors > 0 {
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if flags.get("mode").is_some_and(|m| m != "direct") {
+        return Err(format!(
+            "--mode wants direct or router, got {:?}",
+            flags.get("mode").unwrap_or_default()
+        ));
+    }
     let mix = match flags.get("mix") {
         Some(raw) => Mix::parse(raw)?,
         None => Mix::default(),
@@ -231,6 +263,34 @@ fn cmd_load(flags: &Flags) -> Result<ExitCode, String> {
     // Abandoned requests or transport errors mean the server dropped load —
     // the one thing a load-shedding server must never do.
     if report.abandoned > 0 || report.transport_errors > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_rebalance(flags: &Flags) -> Result<ExitCode, String> {
+    flags.reject_unknown(&["store-dir", "peers", "shard-id", "remove"])?;
+    if !flags.positional.is_empty() {
+        return Err("rebalance takes flags only".into());
+    }
+    let dir = flags
+        .get("store-dir")
+        .ok_or_else(|| "rebalance wants --store-dir".to_string())?;
+    let peers = flags
+        .get("peers")
+        .ok_or_else(|| "rebalance wants --peers".to_string())?;
+    let shard_id: u32 = flags
+        .get("shard-id")
+        .ok_or_else(|| "rebalance wants --shard-id".to_string())?
+        .parse()
+        .map_err(|_| "--shard-id wants an integer".to_string())?;
+    let remove: bool = flags.parsed("remove", false)?;
+    let map = ShardMap::parse_peers(peers)?;
+    let report = shard::rebalance(std::path::Path::new(dir), &map, shard_id, remove)?;
+    println!("{report}");
+    // Unshipped misplaced certs leave the cluster cold for those keys; the
+    // exit code makes a cron-driven rebalance loud about it.
+    if report.failed > 0 {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

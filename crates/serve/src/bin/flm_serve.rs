@@ -9,28 +9,39 @@
 //! flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!           [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]
 //!           [--max-requests N] [--max-connections N] [--max-pipelined N]
-//!           [--store-dir DIR] [--port-file FILE]
+//!           [--store-dir DIR] [--store-mem-cap N] [--port-file FILE]
+//!           [--shard-id N --peers ADDR,ADDR,... [--shard-count N]]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` (the default) binds an ephemeral port;
-//! `--port-file` writes the actual bound address to a file, which is how
-//! `scripts/check.sh --serve-smoke` finds the server it just started.
-//! `--store-dir` enables the persistent certificate store: refutations are
-//! served memory → disk → simulate, and warm hits survive restarts.
+//! `--port-file` writes the actual bound address to a file (atomically:
+//! temp file + rename, so a polling reader never sees a partial port),
+//! which is how `scripts/check.sh --serve-smoke` finds the server it just
+//! started. `--store-dir` enables the persistent certificate store:
+//! refutations are served memory → disk → simulate, and warm hits survive
+//! restarts. `--shard-id`/`--peers` place the process in a sharded
+//! cluster: it owns the rendezvous slice of the key space for its id,
+//! answers off-owner requests with a typed `WrongShard`, and pulls
+//! certificates it newly owns from peers before cold-simulating.
 
 use std::process::ExitCode;
 
-use flm_serve::server::{ServeConfig, Server};
+use flm_serve::server::{write_port_file, ServeConfig, Server, ShardRole};
+use flm_serve::shard::ShardMap;
 
 fn usage() -> &'static str {
     "usage: flm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
      \x20                [--max-body-bytes N] [--read-timeout-ms N] [--max-hold-ms N]\n\
      \x20                [--max-requests N] [--max-connections N] [--max-pipelined N]\n\
-     \x20                [--store-dir DIR] [--port-file FILE]"
+     \x20                [--store-dir DIR] [--store-mem-cap N] [--port-file FILE]\n\
+     \x20                [--shard-id N --peers ADDR,ADDR,... [--shard-count N]]"
 }
 
 fn parse(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
+    let mut shard_id: Option<u32> = None;
+    let mut shard_count: Option<u32> = None;
+    let mut peers: Option<ShardMap> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -91,8 +102,55 @@ fn parse(args: &[String]) -> Result<ServeConfig, String> {
             "--store-dir" => {
                 config.store_dir = Some(value("--store-dir")?.into());
             }
+            "--store-mem-cap" => {
+                config.store_mem_cap = Some(
+                    value("--store-mem-cap")?
+                        .parse()
+                        .map_err(|_| "--store-mem-cap wants an integer".to_string())?,
+                );
+            }
+            "--shard-id" => {
+                shard_id = Some(
+                    value("--shard-id")?
+                        .parse()
+                        .map_err(|_| "--shard-id wants an integer".to_string())?,
+                );
+            }
+            "--shard-count" => {
+                shard_count = Some(
+                    value("--shard-count")?
+                        .parse()
+                        .map_err(|_| "--shard-count wants an integer".to_string())?,
+                );
+            }
+            "--peers" => peers = Some(ShardMap::parse_peers(value("--peers")?)?),
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    match (shard_id, peers) {
+        (None, None) => {
+            if shard_count.is_some() {
+                return Err("--shard-count without --shard-id/--peers".into());
+            }
+        }
+        (Some(id), Some(map)) => {
+            if let Some(count) = shard_count {
+                if count != map.count() {
+                    return Err(format!(
+                        "--shard-count {count} disagrees with the {}-entry --peers list",
+                        map.count()
+                    ));
+                }
+            }
+            if id >= map.count() {
+                return Err(format!(
+                    "--shard-id {id} is outside the {}-shard --peers list",
+                    map.count()
+                ));
+            }
+            config.shard = Some(ShardRole { id, map });
+        }
+        _ => return Err("--shard-id and --peers go together".into()),
     }
     Ok(config)
 }
@@ -135,7 +193,7 @@ fn main() -> ExitCode {
     };
     let addr = server.local_addr();
     if let Some(path) = port_file {
-        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+        if let Err(e) = write_port_file(std::path::Path::new(&path), addr) {
             eprintln!("flm-serve: writing {path}: {e}");
             return ExitCode::FAILURE;
         }

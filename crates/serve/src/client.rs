@@ -14,7 +14,9 @@ use flm_graph::Graph;
 use flm_sim::RunPolicy;
 
 use crate::frame::{read_frame, write_frame, FrameReadError, DEFAULT_MAX_BODY_BYTES};
-use crate::rpc::{ErrorCode, RefuteParams, Request, Response, StatsReport, Verdict};
+use crate::rpc::{
+    ClusterStatsReport, ErrorCode, RefuteParams, Request, Response, StatsReport, Verdict,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -37,6 +39,21 @@ pub enum ClientError {
         /// The server's explanation.
         detail: String,
     },
+    /// The request landed on a shard that does not own its key; the
+    /// payload says who does.
+    WrongShard {
+        /// The owning shard's id.
+        owner: u32,
+        /// The owning shard's address.
+        addr: String,
+    },
+    /// The shard owning this key is down; the router answered for it.
+    ShardDown {
+        /// The dead shard's id.
+        shard: u32,
+        /// The router's explanation.
+        detail: String,
+    },
     /// The server answered with a well-formed response of the wrong kind.
     Unexpected {
         /// A description of what arrived.
@@ -54,6 +71,12 @@ impl fmt::Display for ClientError {
             }
             ClientError::Overloaded { queued, detail } => {
                 write!(f, "server overloaded ({queued} queued): {detail}")
+            }
+            ClientError::WrongShard { owner, addr } => {
+                write!(f, "wrong shard: key is owned by shard {owner} at {addr}")
+            }
+            ClientError::ShardDown { shard, detail } => {
+                write!(f, "shard {shard} is down: {detail}")
             }
             ClientError::Unexpected { got } => write!(f, "unexpected response: {got}"),
         }
@@ -98,6 +121,36 @@ impl Client {
         })
     }
 
+    /// Connects with a per-address deadline — the peer-fetch and rebalance
+    /// paths use this so a down shard costs a bounded wait, not a full TCP
+    /// connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// The last address's connect failure, or an [`ClientError::Io`] when
+    /// the name resolves to nothing.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for sockaddr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sockaddr, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Client {
+                        stream,
+                        max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
     /// Sets a read timeout for responses; `None` (the default) blocks until
     /// the server answers — refutations on cold caches take as long as they
     /// take.
@@ -130,6 +183,8 @@ impl Client {
             Response::Overloaded { queued, detail } => {
                 Err(ClientError::Overloaded { queued, detail })
             }
+            Response::WrongShard { owner, addr } => Err(ClientError::WrongShard { owner, addr }),
+            Response::ShardDown { shard, detail } => Err(ClientError::ShardDown { shard, detail }),
             other => Ok(other),
         }
     }
@@ -219,6 +274,61 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Fetches stats without assuming what is on the other end: a shard
+    /// answers a single report, a router answers the aggregated cluster
+    /// view. `flm-client stats` renders whichever arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn stats_view(&mut self) -> Result<StatsView, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(report) => Ok(StatsView::Single(report)),
+            Response::ClusterStats(report) => Ok(StatsView::Cluster(report)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks a shard's store for the certificate under raw canonical key
+    /// bytes; `None` means a clean miss. Used by peer fetch-on-miss.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and typed server errors.
+    pub fn fetch_cert(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.expect(&Request::FetchCert { key: key.to_vec() })? {
+            Response::FetchCert { cert } => Ok(cert),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ships a certificate to the shard owning `key`. The receiver verifies
+    /// before storing (ship-verify-then-own) and answers a bare ack.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, [`ClientError::WrongShard`] when this server is
+    /// not the owner, and a typed error for unsound bytes.
+    pub fn put_cert(&mut self, key: &[u8], cert: &[u8]) -> Result<(), ClientError> {
+        match self.expect(&Request::PutCert {
+            key: key.to_vec(),
+            cert: cert.to_vec(),
+        })? {
+            Response::PutCert => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// What a Stats request returned: one server's report, or a router's
+/// cluster aggregation.
+#[derive(Debug, Clone)]
+pub enum StatsView {
+    /// A single (shard or unsharded) server's counters.
+    Single(StatsReport),
+    /// A router's aggregated per-shard view.
+    Cluster(ClusterStatsReport),
 }
 
 fn unexpected(response: &Response) -> ClientError {
@@ -228,8 +338,13 @@ fn unexpected(response: &Response) -> ClientError {
         Response::Verify { .. } => "verify result",
         Response::Audit { .. } => "audit result",
         Response::Stats(_) => "stats",
+        Response::ClusterStats(_) => "cluster stats",
+        Response::FetchCert { .. } => "fetched certificate",
+        Response::PutCert => "put acknowledgement",
         Response::Error { .. } => "error",
         Response::Overloaded { .. } => "overloaded",
+        Response::WrongShard { .. } => "wrong-shard redirect",
+        Response::ShardDown { .. } => "shard-down notice",
     };
     ClientError::Unexpected { got: got.into() }
 }

@@ -27,13 +27,24 @@
 //!   multiplexing pipelined connections over [`sys`], a worker pool for
 //!   CPU-bound refutations, and typed load shedding — a saturated server
 //!   answers [`rpc::Response::Overloaded`] instead of dropping the socket.
+//! * [`shard`] — the cluster topology: a [`shard::ShardMap`] with a
+//!   canonical wire encoding, rendezvous ownership over canonical query
+//!   keys, and the store-rebalance walk that ships misplaced certificates
+//!   to their owners.
+//! * [`router`] — the sharded front: a second reactor on [`sys`] that
+//!   routes each keyed request to its owning shard over persistent
+//!   pipelined backend connections, fans Stats out into a cluster view,
+//!   and degrades a dead shard to typed [`rpc::Response::ShardDown`]
+//!   answers for that key range only.
 //! * [`client`] / [`loadgen`] — the blocking client and the deterministic
 //!   load generator behind `flm-client` and `BENCH_serve.json`.
 //!
 //! Every worker shares the process-global run cache, so a certificate one
 //! connection paid to compute is a warm hit for every later connection
 //! asking the same canonical query — and, with a store directory
-//! configured, for every later *process* asking it.
+//! configured, for every later *process* asking it. Sharding extends the
+//! same economics across machines: rendezvous hashing gives each canonical
+//! query exactly one owner, so the cluster simulates each universe once.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,8 +54,10 @@ pub mod client;
 pub mod frame;
 pub mod loadgen;
 pub mod query;
+pub mod router;
 pub mod rpc;
 pub mod server;
+pub mod shard;
 pub mod store;
 #[allow(unsafe_code)]
 pub mod sys;

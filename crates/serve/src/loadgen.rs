@@ -13,9 +13,10 @@ use std::time::{Duration, Instant};
 
 use flm_sim::RunPolicy;
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, StatsView};
 use crate::query::{self, Theorem};
-use crate::rpc::Verdict;
+use crate::rpc::{RefuteParams, Verdict};
+use crate::shard;
 
 /// Relative weights of the request kinds in the generated stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,6 +276,264 @@ pub fn run(
         total.bytes_received += r.bytes_received;
     }
     Ok(total)
+}
+
+/// One key range's traffic in a router run. A "range" is the slice of the
+/// key space one shard owns; the theorem families landing in it are listed
+/// so the numbers are attributable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeReport {
+    /// The owning shard.
+    pub shard: u32,
+    /// Theorem families whose canonical default query lands in this range.
+    pub families: Vec<&'static str>,
+    /// Refute requests this run sent into the range.
+    pub requests: u64,
+    /// Requests answered with certificate bytes.
+    pub ok: u64,
+    /// Typed `ShardDown` answers (the range's shard was unreachable).
+    pub shard_down: u64,
+    /// Certificate-store hits (memory + disk tiers) the range's shard
+    /// gained during the run, from the before/after cluster stats delta.
+    /// Store hits are per *request* — a request either came off the store
+    /// or paid a simulation — unlike run-cache hits, which count memoized
+    /// sub-runs inside a search and can exceed the request count.
+    pub warm_hits_gained: u64,
+}
+
+impl RangeReport {
+    /// Store hits per answered request — 1.0 means the range served the
+    /// whole run off its certificate store without simulating once.
+    /// Run-cache warmth shows up as latency, not in this rate, so a
+    /// store-less shard reports 0 however warm it runs.
+    pub fn hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.warm_hits_gained as f64 / self.ok as f64
+        }
+    }
+}
+
+/// What one router-mode load run observed: the flat totals plus a
+/// per-key-range breakdown from the cluster-stats delta.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterLoadReport {
+    /// The flat request totals, same semantics as [`run`].
+    pub totals: LoadReport,
+    /// Shards the router reported up when the run started.
+    pub shards_up: u32,
+    /// Shards in the topology.
+    pub shard_count: u32,
+    /// One row per key range (= per shard), in shard order.
+    pub ranges: Vec<RangeReport>,
+}
+
+impl fmt::Display for RouterLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.totals)?;
+        writeln!(
+            f,
+            "cluster: {}/{} shards up at start",
+            self.shards_up, self.shard_count
+        )?;
+        writeln!(
+            f,
+            "{:>5}  {:>8}  {:>6}  {:>10}  {:>8}  families",
+            "range", "requests", "ok", "store hits", "hit rate"
+        )?;
+        for range in &self.ranges {
+            writeln!(
+                f,
+                "{:>5}  {:>8}  {:>6}  {:>10}  {:>7.0}%  {}",
+                range.shard,
+                range.requests,
+                range.ok,
+                range.warm_hits_gained,
+                range.hit_rate() * 100.0,
+                if range.families.is_empty() {
+                    "-".to_owned()
+                } else {
+                    range.families.join(",")
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Router-mode load: drives refute requests for *all seven* theorem
+/// families (at canonical defaults) through a router, then reports per-key
+/// range — requests, successes, typed `ShardDown` answers, and the store
+/// hits each shard gained, read from the router's cluster-stats delta.
+///
+/// # Errors
+///
+/// Returns a message when `addr` does not answer Stats with a cluster view
+/// (i.e. it is a plain shard, not a router).
+pub fn run_router(
+    addr: &str,
+    connections: usize,
+    requests_per_conn: usize,
+) -> Result<RouterLoadReport, String> {
+    let before = cluster_snapshot(addr)?;
+    let shard_count = before.shards.len() as u32;
+    // Which range does each family's canonical default query land in?
+    let owners: Vec<u32> = Theorem::ALL
+        .iter()
+        .map(|t| {
+            let params = RefuteParams {
+                theorem: t.name().into(),
+                protocol: None,
+                graph: None,
+                f: 1,
+                policy: None,
+            };
+            let key = shard::routing_key(&params).expect("canonical family names parse");
+            shard::owner_for_count(shard_count.max(1), key.fingerprint())
+        })
+        .collect();
+
+    let start = Instant::now();
+    let worker = |conn_index: usize| -> (LoadReport, Vec<RangeReport>) {
+        let mut report = LoadReport::default();
+        let mut ranges: Vec<RangeReport> = (0..shard_count)
+            .map(|shard| RangeReport {
+                shard,
+                ..RangeReport::default()
+            })
+            .collect();
+        let offset = conn_index % Theorem::ALL.len();
+        let mut client = None;
+        for slot in 0..requests_per_conn {
+            let family = (slot + offset) % Theorem::ALL.len();
+            let theorem = Theorem::ALL[family];
+            let range = &mut ranges[owners[family] as usize];
+            report.requests += 1;
+            range.requests += 1;
+            let mut done = false;
+            for attempt in 0..MAX_ATTEMPTS {
+                let c = match client.as_mut() {
+                    Some(c) => c,
+                    None => match Client::connect(addr) {
+                        Ok(c) => client.insert(c),
+                        Err(_) => {
+                            report.transport_errors += 1;
+                            std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1));
+                            continue;
+                        }
+                    },
+                };
+                match c.refute(theorem.name(), None, None, 1, None) {
+                    Ok(bytes) => {
+                        report.ok += 1;
+                        report.bytes_received += bytes.len() as u64;
+                        range.ok += 1;
+                        done = true;
+                        break;
+                    }
+                    Err(ClientError::ShardDown { .. }) => {
+                        // The range is degraded; retrying on this
+                        // connection is correct (the router heals it).
+                        range.shard_down += 1;
+                        report.errors += 1;
+                        done = true;
+                        break;
+                    }
+                    Err(ClientError::Overloaded { .. }) => {
+                        report.overloaded += 1;
+                        client = None;
+                        std::thread::sleep(Duration::from_millis(u64::from(attempt) * 2 + 1));
+                    }
+                    Err(ClientError::ErrorResponse { .. } | ClientError::WrongShard { .. }) => {
+                        report.errors += 1;
+                        done = true;
+                        break;
+                    }
+                    Err(_) => {
+                        report.transport_errors += 1;
+                        client = None;
+                        std::thread::sleep(Duration::from_millis(u64::from(attempt) + 1));
+                    }
+                }
+            }
+            if !done {
+                report.abandoned += 1;
+            }
+        }
+        (report, ranges)
+    };
+    let results: Vec<(LoadReport, Vec<RangeReport>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| scope.spawn(move || worker(i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut totals = LoadReport {
+        connections,
+        elapsed: start.elapsed(),
+        ..LoadReport::default()
+    };
+    let mut ranges: Vec<RangeReport> = (0..shard_count)
+        .map(|shard| RangeReport {
+            shard,
+            families: Theorem::ALL
+                .iter()
+                .zip(&owners)
+                .filter(|(_, &o)| o == shard)
+                .map(|(t, _)| t.name())
+                .collect(),
+            ..RangeReport::default()
+        })
+        .collect();
+    for (r, conn_ranges) in results {
+        totals.requests += r.requests;
+        totals.ok += r.ok;
+        totals.overloaded += r.overloaded;
+        totals.errors += r.errors;
+        totals.transport_errors += r.transport_errors;
+        totals.abandoned += r.abandoned;
+        totals.bytes_received += r.bytes_received;
+        for (total_range, conn_range) in ranges.iter_mut().zip(conn_ranges) {
+            total_range.requests += conn_range.requests;
+            total_range.ok += conn_range.ok;
+            total_range.shard_down += conn_range.shard_down;
+        }
+    }
+    let after = cluster_snapshot(addr)?;
+    for range in &mut ranges {
+        // Store tiers only: per-request warmth. The run cache counts
+        // memoized sub-runs inside a search and would overshoot the
+        // request count on any simulating shard.
+        let warm = |snap: &crate::rpc::ClusterStatsReport| {
+            snap.shards
+                .iter()
+                .find(|s| s.shard == range.shard)
+                .and_then(|s| s.report.as_ref())
+                .map_or(0, |r| r.store_mem_hits + r.store_disk_hits)
+        };
+        range.warm_hits_gained = warm(&after).saturating_sub(warm(&before));
+    }
+    Ok(RouterLoadReport {
+        totals,
+        shards_up: before.shards_up() as u32,
+        shard_count,
+        ranges,
+    })
+}
+
+fn cluster_snapshot(addr: &str) -> Result<crate::rpc::ClusterStatsReport, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("connecting to router {addr}: {e}"))?;
+    match client.stats_view().map_err(|e| e.to_string())? {
+        StatsView::Cluster(report) => Ok(report),
+        StatsView::Single(_) => Err(format!(
+            "{addr} answered single-server stats; --router mode needs an flm-router address"
+        )),
+    }
 }
 
 /// What one simultaneous-ping wave observed (see [`ping_wave`]).

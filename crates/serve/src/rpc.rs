@@ -10,9 +10,11 @@
 //! [`RpcDecodeError`] — the server answers those with a typed
 //! [`Response::Error`] frame, never a dropped socket.
 //!
-//! Kind bytes: requests occupy `0x01..=0x05`, successful responses mirror
-//! them at `0x81..=0x85`, and the two failure responses live at `0xE0`
-//! (error) and `0xE1` (overloaded — the load-shedding answer).
+//! Kind bytes: requests occupy `0x01..=0x07`, successful responses mirror
+//! them at `0x81..=0x87` (plus `0x88` for a router's aggregated cluster
+//! stats), and the failure responses live at `0xE0` (error), `0xE1`
+//! (overloaded — the load-shedding answer), `0xE2` (wrong shard, with an
+//! owner hint), and `0xE3` (shard down behind a router).
 
 use std::fmt;
 
@@ -34,6 +36,12 @@ pub mod kind {
     pub const REQ_AUDIT: u8 = 0x04;
     /// Server counters and cache statistics.
     pub const REQ_STATS: u8 = 0x05;
+    /// Pull a stored certificate (plus its key sidecar semantics) out of a
+    /// peer shard's `CertStore` — the cross-shard shipping primitive.
+    pub const REQ_FETCH_CERT: u8 = 0x06;
+    /// Push a certificate into the owning shard's `CertStore` (verified on
+    /// receive before it is owned).
+    pub const REQ_PUT_CERT: u8 = 0x07;
     /// Response to [`REQ_PING`].
     pub const RESP_PONG: u8 = 0x81;
     /// Response to [`REQ_REFUTE`]: a portable `FLMC` certificate.
@@ -44,10 +52,23 @@ pub mod kind {
     pub const RESP_AUDIT: u8 = 0x84;
     /// Response to [`REQ_STATS`].
     pub const RESP_STATS: u8 = 0x85;
+    /// Response to [`REQ_FETCH_CERT`].
+    pub const RESP_FETCH_CERT: u8 = 0x86;
+    /// Response to [`REQ_PUT_CERT`].
+    pub const RESP_PUT_CERT: u8 = 0x87;
+    /// Response to [`REQ_STATS`] from a router: the aggregated per-shard
+    /// cluster view instead of one server's counters.
+    pub const RESP_CLUSTER_STATS: u8 = 0x88;
     /// Typed failure response.
     pub const RESP_ERROR: u8 = 0xE0;
     /// Load-shedding response: the server is saturated, try again later.
     pub const RESP_OVERLOADED: u8 = 0xE1;
+    /// The request's canonical key is owned by a different shard; the body
+    /// carries the owner's identity as a hint.
+    pub const RESP_WRONG_SHARD: u8 = 0xE2;
+    /// The shard owning the request's key range is unreachable through the
+    /// router; other key ranges keep serving.
+    pub const RESP_SHARD_DOWN: u8 = 0xE3;
 }
 
 /// Structured decode failure for RPC bodies.
@@ -152,6 +173,25 @@ pub enum Request {
     },
     /// Fetch server counters, cache statistics, and per-phase timings.
     Stats,
+    /// Pull the certificate stored under the given canonical query key
+    /// bytes out of this server's `CertStore`. Never ownership-checked:
+    /// after a topology change the *new* owner asks the *old* owner, who is
+    /// by definition no longer the owner.
+    FetchCert {
+        /// Full canonical query key bytes (`RunKey::bytes`), not just the
+        /// fingerprint — fingerprints index, bytes decide.
+        key: Vec<u8>,
+    },
+    /// Ship a certificate into this server's `CertStore` under the given
+    /// key. The receiver verifies the bytes decode and re-encode
+    /// canonically before owning them (the same soundness rule as a store
+    /// load), and rejects keys it does not own when sharded.
+    PutCert {
+        /// Full canonical query key bytes.
+        key: Vec<u8>,
+        /// Portable `FLMC` certificate bytes.
+        cert: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -194,6 +234,14 @@ impl Request {
                 kind::REQ_AUDIT
             }
             Request::Stats => kind::REQ_STATS,
+            Request::FetchCert { key } => {
+                w.bytes(key);
+                kind::REQ_FETCH_CERT
+            }
+            Request::PutCert { key, cert } => {
+                w.bytes(key).bytes(cert);
+                kind::REQ_PUT_CERT
+            }
         };
         Frame::new(kind, w.finish())
     }
@@ -251,6 +299,13 @@ impl Request {
                 cert: r.bytes().map_err(corrupt("audit.cert"))?.to_vec(),
             },
             kind::REQ_STATS => Request::Stats,
+            kind::REQ_FETCH_CERT => Request::FetchCert {
+                key: r.bytes().map_err(corrupt("fetch_cert.key"))?.to_vec(),
+            },
+            kind::REQ_PUT_CERT => Request::PutCert {
+                key: r.bytes().map_err(corrupt("put_cert.key"))?.to_vec(),
+                cert: r.bytes().map_err(corrupt("put_cert.cert"))?.to_vec(),
+            },
             other => return Err(RpcDecodeError::UnknownKind(other)),
         };
         finish(&r)?;
@@ -405,6 +460,23 @@ pub struct StatsReport {
     pub store_stores: u64,
     /// Damaged store entries quarantined instead of served.
     pub store_quarantined: u64,
+    /// Entries evicted from the store's bounded in-memory tier (the tier
+    /// whose capacity `--store-mem-cap` / `FLM_STORE_MEM_CAP` sets).
+    pub store_mem_evictions: u64,
+    /// FetchCert requests served.
+    pub requests_fetch: u64,
+    /// PutCert requests served.
+    pub requests_put: u64,
+    /// Requests answered with a typed `WrongShard` (the key's canonical
+    /// owner is a different shard).
+    pub wrong_shard: u64,
+    /// Certificates pulled from a peer shard's store on a local miss
+    /// (verified on receive before being owned).
+    pub peer_fetches: u64,
+    /// This server's shard id; meaningful only when `shard_count > 0`.
+    pub shard_id: u64,
+    /// Shards in the topology this server is part of; `0` means unsharded.
+    pub shard_count: u64,
     /// `flm_core::profile::report()` output when `FLM_PROFILE` is enabled
     /// in the server process; empty otherwise.
     pub profile: String,
@@ -418,6 +490,8 @@ impl StatsReport {
             + self.requests_verify
             + self.requests_audit
             + self.requests_stats
+            + self.requests_fetch
+            + self.requests_put
     }
 
     /// Run-cache hit rate in `[0, 1]`; 0 when nothing was looked up.
@@ -428,6 +502,87 @@ impl StatsReport {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Warm answers across every cache layer: run cache plus both store
+    /// tiers. The per-shard cluster table reports this as the hit column.
+    pub fn warm_hits(&self) -> u64 {
+        self.cache_hits + self.store_mem_hits + self.store_disk_hits
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.connections_accepted)
+            .u64(self.connections_shed)
+            .u64(self.requests_ping)
+            .u64(self.requests_refute)
+            .u64(self.requests_verify)
+            .u64(self.requests_audit)
+            .u64(self.requests_stats)
+            .u64(self.responses_error)
+            .u64(self.malformed_frames)
+            .u64(self.cache_hits)
+            .u64(self.cache_misses)
+            .u64(self.cache_entries)
+            .u64(self.cache_bytes_saved)
+            .u64(self.prefix_hits)
+            .u64(self.prefix_misses)
+            .u64(self.prefix_evictions)
+            .u64(self.prefix_ticks_saved)
+            .u64(self.prefix_entries)
+            .u64(self.requests_shed)
+            .u64(self.store_mem_hits)
+            .u64(self.store_disk_hits)
+            .u64(self.store_misses)
+            .u64(self.store_stores)
+            .u64(self.store_quarantined)
+            .u64(self.store_mem_evictions)
+            .u64(self.requests_fetch)
+            .u64(self.requests_put)
+            .u64(self.wrong_shard)
+            .u64(self.peer_fetches)
+            .u64(self.shard_id)
+            .u64(self.shard_count)
+            .str(&self.profile);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<StatsReport, RpcDecodeError> {
+        let mut next = |context: &'static str| r.u64().map_err(corrupt(context));
+        let s = StatsReport {
+            connections_accepted: next("stats.connections_accepted")?,
+            connections_shed: next("stats.connections_shed")?,
+            requests_ping: next("stats.requests_ping")?,
+            requests_refute: next("stats.requests_refute")?,
+            requests_verify: next("stats.requests_verify")?,
+            requests_audit: next("stats.requests_audit")?,
+            requests_stats: next("stats.requests_stats")?,
+            responses_error: next("stats.responses_error")?,
+            malformed_frames: next("stats.malformed_frames")?,
+            cache_hits: next("stats.cache_hits")?,
+            cache_misses: next("stats.cache_misses")?,
+            cache_entries: next("stats.cache_entries")?,
+            cache_bytes_saved: next("stats.cache_bytes_saved")?,
+            prefix_hits: next("stats.prefix_hits")?,
+            prefix_misses: next("stats.prefix_misses")?,
+            prefix_evictions: next("stats.prefix_evictions")?,
+            prefix_ticks_saved: next("stats.prefix_ticks_saved")?,
+            prefix_entries: next("stats.prefix_entries")?,
+            requests_shed: next("stats.requests_shed")?,
+            store_mem_hits: next("stats.store_mem_hits")?,
+            store_disk_hits: next("stats.store_disk_hits")?,
+            store_misses: next("stats.store_misses")?,
+            store_stores: next("stats.store_stores")?,
+            store_quarantined: next("stats.store_quarantined")?,
+            store_mem_evictions: next("stats.store_mem_evictions")?,
+            requests_fetch: next("stats.requests_fetch")?,
+            requests_put: next("stats.requests_put")?,
+            wrong_shard: next("stats.wrong_shard")?,
+            peer_fetches: next("stats.peer_fetches")?,
+            shard_id: next("stats.shard_id")?,
+            shard_count: next("stats.shard_count")?,
+            profile: String::new(),
+        };
+        let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
+        Ok(StatsReport { profile, ..s })
     }
 }
 
@@ -473,15 +628,167 @@ impl fmt::Display for StatsReport {
         )?;
         write!(
             f,
-            "cert store: {} mem hits / {} disk hits / {} misses, {} stored, {} quarantined",
+            "cert store: {} mem hits / {} disk hits / {} misses, {} stored, {} quarantined, {} mem evictions",
             self.store_mem_hits,
             self.store_disk_hits,
             self.store_misses,
             self.store_stores,
             self.store_quarantined,
+            self.store_mem_evictions,
         )?;
+        if self.shard_count > 0 {
+            write!(
+                f,
+                "\nshard: {} of {} ({} fetch, {} put, {} wrong-shard, {} peer fetches)",
+                self.shard_id,
+                self.shard_count,
+                self.requests_fetch,
+                self.requests_put,
+                self.wrong_shard,
+                self.peer_fetches,
+            )?;
+        }
         if !self.profile.is_empty() {
             write!(f, "\n{}", self.profile.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Router-local counters carried in a [`ClusterStatsReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStatsReport {
+    /// Front connections the router admitted.
+    pub connections_accepted: u64,
+    /// Front connections answered `Overloaded` and closed at the cap.
+    pub connections_shed: u64,
+    /// Requests forwarded to a backend shard.
+    pub requests_routed: u64,
+    /// Requests answered on the router itself (pings, cluster stats).
+    pub requests_local: u64,
+    /// Requests shed with `Overloaded` because the owning backend's
+    /// pipeline was full.
+    pub requests_shed: u64,
+    /// Typed error responses the router itself produced.
+    pub responses_error: u64,
+    /// Frames (or bodies) the router rejected as malformed.
+    pub malformed_frames: u64,
+    /// Requests answered with a typed `ShardDown`.
+    pub shard_down_answers: u64,
+    /// Successful backend reconnects after a shard came back.
+    pub backend_reconnects: u64,
+}
+
+impl RouterStatsReport {
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.connections_accepted)
+            .u64(self.connections_shed)
+            .u64(self.requests_routed)
+            .u64(self.requests_local)
+            .u64(self.requests_shed)
+            .u64(self.responses_error)
+            .u64(self.malformed_frames)
+            .u64(self.shard_down_answers)
+            .u64(self.backend_reconnects);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<RouterStatsReport, RpcDecodeError> {
+        let mut next = |context: &'static str| r.u64().map_err(corrupt(context));
+        Ok(RouterStatsReport {
+            connections_accepted: next("router.connections_accepted")?,
+            connections_shed: next("router.connections_shed")?,
+            requests_routed: next("router.requests_routed")?,
+            requests_local: next("router.requests_local")?,
+            requests_shed: next("router.requests_shed")?,
+            responses_error: next("router.responses_error")?,
+            malformed_frames: next("router.malformed_frames")?,
+            shard_down_answers: next("router.shard_down_answers")?,
+            backend_reconnects: next("router.backend_reconnects")?,
+        })
+    }
+}
+
+/// One shard's row in a [`ClusterStatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatus {
+    /// Shard id (its index in the `ShardMap`).
+    pub shard: u32,
+    /// The shard's backend address as the router dials it.
+    pub addr: String,
+    /// Whether the router's backend connection was up when the view was
+    /// assembled.
+    pub up: bool,
+    /// Requests the router has forwarded to this shard since start.
+    pub routed: u64,
+    /// The shard's own counters; `None` when the shard was unreachable.
+    pub report: Option<StatsReport>,
+}
+
+/// The aggregated cluster view a router answers `Stats` with: its own
+/// counters plus one row per shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterStatsReport {
+    /// The router's front-plane counters.
+    pub router: RouterStatsReport,
+    /// Per-shard rows in shard-id order.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl ClusterStatsReport {
+    /// Shards whose backend connection was up.
+    pub fn shards_up(&self) -> usize {
+        self.shards.iter().filter(|s| s.up).count()
+    }
+}
+
+impl fmt::Display for ClusterStatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = &self.router;
+        writeln!(
+            f,
+            "router: {} accepted / {} shed connections, {} routed, {} local, {} shed, \
+             {} shard-down, {} reconnects",
+            r.connections_accepted,
+            r.connections_shed,
+            r.requests_routed,
+            r.requests_local,
+            r.requests_shed,
+            r.shard_down_answers,
+            r.backend_reconnects,
+        )?;
+        writeln!(
+            f,
+            "cluster: {}/{} shards up",
+            self.shards_up(),
+            self.shards.len()
+        )?;
+        writeln!(
+            f,
+            "{:>5}  {:<21}  {:<4}  {:>8}  {:>8}  {:>9}  {:>8}  {:>7}",
+            "shard", "addr", "up", "routed", "refutes", "warm hits", "stored", "evicted"
+        )?;
+        for s in &self.shards {
+            let (refutes, warm, stored, evicted) = match &s.report {
+                Some(rep) => (
+                    rep.requests_refute.to_string(),
+                    rep.warm_hits().to_string(),
+                    rep.store_stores.to_string(),
+                    rep.store_mem_evictions.to_string(),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            writeln!(
+                f,
+                "{:>5}  {:<21}  {:<4}  {:>8}  {:>8}  {:>9}  {:>8}  {:>7}",
+                s.shard,
+                s.addr,
+                if s.up { "yes" } else { "no" },
+                s.routed,
+                refutes,
+                warm,
+                stored,
+                evicted,
+            )?;
         }
         Ok(())
     }
@@ -521,6 +828,34 @@ pub enum Response {
     },
     /// Server statistics.
     Stats(StatsReport),
+    /// Aggregated cluster statistics (a router answering for its shards).
+    ClusterStats(ClusterStatsReport),
+    /// Outcome of a [`Request::FetchCert`].
+    FetchCert {
+        /// The stored certificate bytes, or `None` when this server's store
+        /// has no (valid) entry under that key.
+        cert: Option<Vec<u8>>,
+    },
+    /// Acknowledgement of a [`Request::PutCert`]: the certificate verified
+    /// and was persisted.
+    PutCert,
+    /// The request's canonical key is owned by a different shard; retry at
+    /// the hinted owner.
+    WrongShard {
+        /// The owning shard's id.
+        owner: u32,
+        /// The owning shard's address (from the responding shard's
+        /// `ShardMap`).
+        addr: String,
+    },
+    /// The shard owning this key range is unreachable through the router;
+    /// other key ranges keep serving.
+    ShardDown {
+        /// The unreachable shard's id.
+        shard: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
     /// Typed failure.
     Error {
         /// Failure classification.
@@ -565,32 +900,41 @@ impl Response {
                 kind::RESP_AUDIT
             }
             Response::Stats(s) => {
-                w.u64(s.connections_accepted)
-                    .u64(s.connections_shed)
-                    .u64(s.requests_ping)
-                    .u64(s.requests_refute)
-                    .u64(s.requests_verify)
-                    .u64(s.requests_audit)
-                    .u64(s.requests_stats)
-                    .u64(s.responses_error)
-                    .u64(s.malformed_frames)
-                    .u64(s.cache_hits)
-                    .u64(s.cache_misses)
-                    .u64(s.cache_entries)
-                    .u64(s.cache_bytes_saved)
-                    .u64(s.prefix_hits)
-                    .u64(s.prefix_misses)
-                    .u64(s.prefix_evictions)
-                    .u64(s.prefix_ticks_saved)
-                    .u64(s.prefix_entries)
-                    .u64(s.requests_shed)
-                    .u64(s.store_mem_hits)
-                    .u64(s.store_disk_hits)
-                    .u64(s.store_misses)
-                    .u64(s.store_stores)
-                    .u64(s.store_quarantined)
-                    .str(&s.profile);
+                s.encode_into(&mut w);
                 kind::RESP_STATS
+            }
+            Response::ClusterStats(c) => {
+                c.router.encode_into(&mut w);
+                w.u32(c.shards.len() as u32);
+                for s in &c.shards {
+                    w.u32(s.shard).str(&s.addr).bool(s.up).u64(s.routed);
+                    match &s.report {
+                        Some(report) => {
+                            w.bool(true);
+                            report.encode_into(&mut w);
+                        }
+                        None => {
+                            w.bool(false);
+                        }
+                    }
+                }
+                kind::RESP_CLUSTER_STATS
+            }
+            Response::FetchCert { cert } => {
+                match cert {
+                    Some(bytes) => w.bool(true).bytes(bytes),
+                    None => w.bool(false),
+                };
+                kind::RESP_FETCH_CERT
+            }
+            Response::PutCert => kind::RESP_PUT_CERT,
+            Response::WrongShard { owner, addr } => {
+                w.u32(*owner).str(addr);
+                kind::RESP_WRONG_SHARD
+            }
+            Response::ShardDown { shard, detail } => {
+                w.u32(*shard).str(detail);
+                kind::RESP_SHARD_DOWN
             }
             Response::Error { code, detail } => {
                 w.u8(code.to_u8()).str(detail);
@@ -635,38 +979,53 @@ impl Response {
                 report: r.str().map_err(corrupt("audit.report"))?.to_owned(),
                 diagnostics: r.str().map_err(corrupt("audit.diagnostics"))?.to_owned(),
             },
-            kind::RESP_STATS => {
-                let mut next = |context: &'static str| r.u64().map_err(corrupt(context));
-                let s = StatsReport {
-                    connections_accepted: next("stats.connections_accepted")?,
-                    connections_shed: next("stats.connections_shed")?,
-                    requests_ping: next("stats.requests_ping")?,
-                    requests_refute: next("stats.requests_refute")?,
-                    requests_verify: next("stats.requests_verify")?,
-                    requests_audit: next("stats.requests_audit")?,
-                    requests_stats: next("stats.requests_stats")?,
-                    responses_error: next("stats.responses_error")?,
-                    malformed_frames: next("stats.malformed_frames")?,
-                    cache_hits: next("stats.cache_hits")?,
-                    cache_misses: next("stats.cache_misses")?,
-                    cache_entries: next("stats.cache_entries")?,
-                    cache_bytes_saved: next("stats.cache_bytes_saved")?,
-                    prefix_hits: next("stats.prefix_hits")?,
-                    prefix_misses: next("stats.prefix_misses")?,
-                    prefix_evictions: next("stats.prefix_evictions")?,
-                    prefix_ticks_saved: next("stats.prefix_ticks_saved")?,
-                    prefix_entries: next("stats.prefix_entries")?,
-                    requests_shed: next("stats.requests_shed")?,
-                    store_mem_hits: next("stats.store_mem_hits")?,
-                    store_disk_hits: next("stats.store_disk_hits")?,
-                    store_misses: next("stats.store_misses")?,
-                    store_stores: next("stats.store_stores")?,
-                    store_quarantined: next("stats.store_quarantined")?,
-                    profile: String::new(),
-                };
-                let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
-                Response::Stats(StatsReport { profile, ..s })
+            kind::RESP_STATS => Response::Stats(StatsReport::decode_from(&mut r)?),
+            kind::RESP_CLUSTER_STATS => {
+                let router = RouterStatsReport::decode_from(&mut r)?;
+                let count = r.u32().map_err(corrupt("cluster.shard_count"))?;
+                if count as usize > 1 << 16 {
+                    return Err(RpcDecodeError::Invalid {
+                        context: "cluster.shard_count",
+                        reason: format!("{count} shards is past the sanity cap"),
+                    });
+                }
+                let mut shards = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let shard = r.u32().map_err(corrupt("cluster.shard"))?;
+                    let addr = r.str().map_err(corrupt("cluster.addr"))?.to_owned();
+                    let up = r.bool().map_err(corrupt("cluster.up"))?;
+                    let routed = r.u64().map_err(corrupt("cluster.routed"))?;
+                    let report = if r.bool().map_err(corrupt("cluster.report tag"))? {
+                        Some(StatsReport::decode_from(&mut r)?)
+                    } else {
+                        None
+                    };
+                    shards.push(ShardStatus {
+                        shard,
+                        addr,
+                        up,
+                        routed,
+                        report,
+                    });
+                }
+                Response::ClusterStats(ClusterStatsReport { router, shards })
             }
+            kind::RESP_FETCH_CERT => Response::FetchCert {
+                cert: if r.bool().map_err(corrupt("fetch_cert.tag"))? {
+                    Some(r.bytes().map_err(corrupt("fetch_cert.cert"))?.to_vec())
+                } else {
+                    None
+                },
+            },
+            kind::RESP_PUT_CERT => Response::PutCert,
+            kind::RESP_WRONG_SHARD => Response::WrongShard {
+                owner: r.u32().map_err(corrupt("wrong_shard.owner"))?,
+                addr: r.str().map_err(corrupt("wrong_shard.addr"))?.to_owned(),
+            },
+            kind::RESP_SHARD_DOWN => Response::ShardDown {
+                shard: r.u32().map_err(corrupt("shard_down.shard"))?,
+                detail: r.str().map_err(corrupt("shard_down.detail"))?.to_owned(),
+            },
             kind::RESP_ERROR => {
                 let raw = r.u8().map_err(corrupt("error.code"))?;
                 let code = ErrorCode::from_u8(raw).ok_or(RpcDecodeError::Invalid {
@@ -732,6 +1091,13 @@ mod tests {
         });
         round_trip_request(Request::Audit { cert: vec![] });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::FetchCert {
+            key: b"serve-query\0payload".to_vec(),
+        });
+        round_trip_request(Request::PutCert {
+            key: b"serve-query\0payload".to_vec(),
+            cert: vec![7; 32],
+        });
     }
 
     #[test]
@@ -775,6 +1141,103 @@ mod tests {
             queued: 16,
             detail: "pool saturated".into(),
         });
+        round_trip_response(Response::FetchCert { cert: None });
+        round_trip_response(Response::FetchCert {
+            cert: Some(vec![3; 48]),
+        });
+        round_trip_response(Response::PutCert);
+        round_trip_response(Response::WrongShard {
+            owner: 2,
+            addr: "127.0.0.1:7417".into(),
+        });
+        round_trip_response(Response::ShardDown {
+            shard: 1,
+            detail: "backend unreachable".into(),
+        });
+        round_trip_response(Response::ClusterStats(ClusterStatsReport {
+            router: RouterStatsReport {
+                connections_accepted: 12,
+                requests_routed: 90,
+                requests_local: 3,
+                shard_down_answers: 1,
+                backend_reconnects: 2,
+                ..RouterStatsReport::default()
+            },
+            shards: vec![
+                ShardStatus {
+                    shard: 0,
+                    addr: "127.0.0.1:7416".into(),
+                    up: true,
+                    routed: 60,
+                    report: Some(StatsReport {
+                        requests_refute: 60,
+                        store_mem_evictions: 4,
+                        shard_id: 0,
+                        shard_count: 2,
+                        ..StatsReport::default()
+                    }),
+                },
+                ShardStatus {
+                    shard: 1,
+                    addr: "127.0.0.1:7417".into(),
+                    up: false,
+                    routed: 30,
+                    report: None,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn new_stats_fields_survive_the_wire_and_render() {
+        let report = StatsReport {
+            store_mem_evictions: 11,
+            requests_fetch: 5,
+            requests_put: 4,
+            wrong_shard: 2,
+            peer_fetches: 3,
+            shard_id: 1,
+            shard_count: 3,
+            ..StatsReport::default()
+        };
+        let frame = Response::Stats(report.clone()).to_frame();
+        let Response::Stats(back) = Response::from_frame(&frame).unwrap() else {
+            panic!("stats came back as a different kind");
+        };
+        assert_eq!(back, report);
+        assert_eq!(report.requests_served(), 9);
+        let rendered = report.to_string();
+        assert!(rendered.contains("shard: 1 of 3"), "{rendered}");
+        assert!(rendered.contains("11 mem evictions"), "{rendered}");
+    }
+
+    #[test]
+    fn cluster_stats_render_one_row_per_shard() {
+        let view = ClusterStatsReport {
+            router: RouterStatsReport::default(),
+            shards: vec![
+                ShardStatus {
+                    shard: 0,
+                    addr: "a:1".into(),
+                    up: true,
+                    routed: 5,
+                    report: Some(StatsReport::default()),
+                },
+                ShardStatus {
+                    shard: 1,
+                    addr: "b:2".into(),
+                    up: false,
+                    routed: 0,
+                    report: None,
+                },
+            ],
+        };
+        assert_eq!(view.shards_up(), 1);
+        let rendered = view.to_string();
+        assert!(rendered.contains("1/2 shards up"), "{rendered}");
+        // One header line plus one line per shard, dashes for the down one.
+        assert_eq!(rendered.lines().count(), 5, "{rendered}");
+        assert!(rendered.lines().last().unwrap().contains('-'), "{rendered}");
     }
 
     #[test]

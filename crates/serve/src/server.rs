@@ -55,7 +55,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsFd;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -63,11 +63,15 @@ use std::time::{Duration, Instant};
 
 use flm_sim::RunPolicy;
 
+use flm_sim::runcache::RunKey;
+
 use crate::audit;
+use crate::client::Client;
 use crate::frame::{Frame, FrameError, DEFAULT_MAX_BODY_BYTES};
 use crate::query::{self, Theorem};
 use crate::rpc::{ErrorCode, Request, Response, StatsReport};
-use crate::store::CertStore;
+use crate::shard::{self, ShardMap};
+use crate::store::{self, CertStore};
 use crate::sys::{self, Interest, Poller};
 
 /// Server configuration. [`ServeConfig::default`] is sized for the loopback
@@ -106,6 +110,22 @@ pub struct ServeConfig {
     /// Unanswered pipelined requests one connection may have in flight
     /// before the reactor stops reading its socket (TCP backpressure).
     pub max_pipelined: usize,
+    /// This process's place in a sharded cluster; `None` serves unsharded
+    /// (every key is owned locally, no ownership checks).
+    pub shard: Option<ShardRole>,
+    /// Memory-tier entry capacity for the certificate store; `None` defers
+    /// to `FLM_STORE_MEM_CAP` / the built-in default.
+    pub store_mem_cap: Option<usize>,
+}
+
+/// A shard's identity in the cluster: its id plus the full topology every
+/// peer and the router agree on byte-for-byte ([`ShardMap::encode`]).
+#[derive(Debug, Clone)]
+pub struct ShardRole {
+    /// This process's shard id — an index into `map`.
+    pub id: u32,
+    /// The cluster topology.
+    pub map: ShardMap,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +142,8 @@ impl Default for ServeConfig {
             store_dir: None,
             max_connections: 2048,
             max_pipelined: 32,
+            shard: None,
+            store_mem_cap: None,
         }
     }
 }
@@ -140,6 +162,10 @@ struct Counters {
     requests_shed: AtomicU64,
     responses_error: AtomicU64,
     malformed_frames: AtomicU64,
+    requests_fetch: AtomicU64,
+    requests_put: AtomicU64,
+    wrong_shard: AtomicU64,
+    peer_fetches: AtomicU64,
 }
 
 /// One unit of CPU-bound work handed from the reactor to the pool.
@@ -211,6 +237,17 @@ impl Shared {
             store_misses: store.misses,
             store_stores: store.stores,
             store_quarantined: store.quarantined,
+            store_mem_evictions: store.evictions,
+            requests_fetch: c.requests_fetch.load(Ordering::Relaxed),
+            requests_put: c.requests_put.load(Ordering::Relaxed),
+            wrong_shard: c.wrong_shard.load(Ordering::Relaxed),
+            peer_fetches: c.peer_fetches.load(Ordering::Relaxed),
+            shard_id: self.config.shard.as_ref().map_or(0, |r| u64::from(r.id)),
+            shard_count: self
+                .config
+                .shard
+                .as_ref()
+                .map_or(0, |r| u64::from(r.map.count())),
             profile: if flm_core::profile::enabled() {
                 flm_core::profile::report()
             } else {
@@ -244,7 +281,13 @@ impl Server {
         let workers = config.workers.max(1);
         let store = match &config.store_dir {
             Some(dir) => {
-                Some(CertStore::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?)
+                let cap = config
+                    .store_mem_cap
+                    .unwrap_or_else(store::default_memory_capacity);
+                Some(
+                    CertStore::open_with_capacity(dir.clone(), cap)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?,
+                )
             }
             None => None,
         };
@@ -1014,6 +1057,30 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
         }
         Request::Refute(params) => {
             c.requests_refute.fetch_add(1, Ordering::Relaxed);
+            // Sharded: an off-owner request is answered with the owner's
+            // address, never silently double-simulated. The routing key
+            // hashes the request as sent (requested-or-default policy),
+            // exactly what the router hashes — agreement by construction.
+            if let Some(role) = &shared.config.shard {
+                match shard::routing_key(&params) {
+                    Ok(rkey) => {
+                        let owner = role.map.owner_of(&rkey);
+                        if owner != role.id {
+                            c.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                            return Response::WrongShard {
+                                owner,
+                                addr: role.map.addr(owner).to_owned(),
+                            };
+                        }
+                    }
+                    Err(e) => {
+                        return Response::Error {
+                            code: ErrorCode::BadRequest,
+                            detail: e.to_string(),
+                        }
+                    }
+                }
+            }
             let theorem = match Theorem::parse(&params.theorem) {
                 Ok(theorem) => theorem,
                 Err(e) => {
@@ -1038,6 +1105,13 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 .map(|_| query::canonical_query_key(theorem, protocol, graph, f, &policy));
             if let (Some(store), Some(key)) = (&shared.store, &key) {
                 if let Some(bytes) = store.lookup(key) {
+                    return Response::Certificate { bytes };
+                }
+                // Owned key, cold store: before paying for a simulation,
+                // ask the peer shards — after a topology change the
+                // previous owner's disk still holds the certificate.
+                if let Some(bytes) = fetch_from_peers(shared, key) {
+                    store.store(key, &bytes);
                     return Response::Certificate { bytes };
                 }
             }
@@ -1081,6 +1155,110 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             c.requests_stats.fetch_add(1, Ordering::Relaxed);
             Response::Stats(shared.snapshot())
         }
+        Request::FetchCert { key } => {
+            c.requests_fetch.fetch_add(1, Ordering::Relaxed);
+            // Deliberately *not* ownership-checked: the caller is a shard
+            // that owns this key now and is asking the previous owner.
+            let cert = shared
+                .store
+                .as_ref()
+                .and_then(|store| store.lookup(&RunKey::from_bytes(key)));
+            Response::FetchCert { cert }
+        }
+        Request::PutCert { key, cert } => {
+            c.requests_put.fetch_add(1, Ordering::Relaxed);
+            // Ownership-checked: certificates are shipped *to* their owner.
+            if let Some(role) = &shared.config.shard {
+                let owner = role.map.owner_of_bytes(&key);
+                if owner != role.id {
+                    c.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                    return Response::WrongShard {
+                        owner,
+                        addr: role.map.addr(owner).to_owned(),
+                    };
+                }
+            }
+            let Some(store) = &shared.store else {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "this server has no store directory; nowhere to keep the certificate"
+                        .into(),
+                };
+            };
+            // Ship-verify-then-own: shipped bytes pass the same decode +
+            // canonical re-encode gate a disk load does before this store
+            // will ever serve them.
+            if !store::verified_cert_bytes(&cert) {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "shipped bytes are not a canonically-encoded FLMC certificate".into(),
+                };
+            }
+            store.store(&RunKey::from_bytes(key), &cert);
+            Response::PutCert
+        }
+    }
+}
+
+/// Peer-connect budget for fetch-on-miss: a down peer costs at most this
+/// long before the shard falls back to simulating.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(200);
+/// Peer-read budget for fetch-on-miss: a lookup is a disk read, not a
+/// simulation, so a healthy peer answers in microseconds.
+const PEER_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// After a local store miss on an owned key, asks each peer shard's store
+/// for the certificate (the pull half of topology-change recovery).
+/// Received bytes are adopted only after the ship-verify-then-own gate.
+fn fetch_from_peers(shared: &Shared, key: &RunKey) -> Option<Vec<u8>> {
+    let role = shared.config.shard.as_ref()?;
+    for (peer, addr) in role.map.addrs().iter().enumerate() {
+        if peer as u32 == role.id {
+            continue;
+        }
+        let Ok(mut client) = Client::connect_timeout(addr, PEER_CONNECT_TIMEOUT) else {
+            continue;
+        };
+        if client.set_read_timeout(Some(PEER_READ_TIMEOUT)).is_err() {
+            continue;
+        }
+        let Ok(Some(bytes)) = client.fetch_cert(key.bytes()) else {
+            continue;
+        };
+        if store::verified_cert_bytes(&bytes) {
+            shared.counters.peer_fetches.fetch_add(1, Ordering::Relaxed);
+            return Some(bytes);
+        }
+    }
+    None
+}
+
+/// Writes a bound address to a port file atomically — temp file in the
+/// same directory, then rename, the `CertStore` discipline — so a
+/// concurrently polling reader (the shard-spawning scripts and tests) sees
+/// either no file or a complete `host:port\n`, never a half-written one.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temp file is removed on error.
+pub fn write_port_file(path: &Path, addr: SocketAddr) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".port-tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -1116,6 +1294,44 @@ mod tests {
         );
         assert_eq!(clamped.max_payload_bytes, 1000);
         assert_eq!(clamped.max_ticks, 10);
+    }
+
+    #[test]
+    fn port_file_write_is_atomic_under_a_concurrent_reader() {
+        let dir = std::env::temp_dir().join(format!(
+            "flm-portfile-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("port");
+        let addr: SocketAddr = "127.0.0.1:7415".parse().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (path, stop) = (path.clone(), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                // Poll like the shard-spawning scripts do: any observed
+                // content must be a complete address, never a prefix.
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        assert_eq!(text, "127.0.0.1:7415\n", "partial port file observed");
+                    }
+                }
+            })
+        };
+        for _ in 0..200 {
+            write_port_file(&path, addr).unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".port-tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

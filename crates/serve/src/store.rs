@@ -40,10 +40,25 @@ use std::sync::Mutex;
 
 use flm_sim::runcache::RunKey;
 
-/// How many hot entries the store keeps decoded in memory in front of the
-/// disk layer (tiny: certificates are a few KiB and the real memory layer
-/// is the process-global runcache upstream of this store).
+/// Default capacity of the in-memory tier in front of the disk layer
+/// (tiny: certificates are a few KiB and the real memory layer is the
+/// process-global runcache upstream of this store).
 pub const MEMORY_ENTRIES: usize = 256;
+
+/// The effective default memory-tier capacity: `FLM_STORE_MEM_CAP` if set
+/// to a positive integer, else [`MEMORY_ENTRIES`] — the same env-cap
+/// convention as `FLM_RUNCACHE_CAP`. [`CertStore::open_with_capacity`]
+/// overrides both.
+pub fn default_memory_capacity() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("FLM_STORE_MEM_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(MEMORY_ENTRIES)
+    })
+}
 
 /// Counter snapshot for one store (all monotone since open).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +73,10 @@ pub struct StoreStats {
     pub stores: u64,
     /// Damaged entries moved to `quarantine/` instead of being served.
     pub quarantined: u64,
+    /// Entries pushed out of the bounded in-memory tier (disk copies are
+    /// untouched; an evicted entry just pays one verified disk read on its
+    /// next hit).
+    pub evictions: u64,
 }
 
 /// Why the store could not be opened.
@@ -97,12 +116,14 @@ struct MemoryLayer {
 /// wins with both writers leaving a valid entry.
 pub struct CertStore {
     dir: PathBuf,
+    mem_capacity: usize,
     memory: Mutex<MemoryLayer>,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     quarantined: AtomicU64,
+    evictions: AtomicU64,
     temp_seq: AtomicU64,
 }
 
@@ -123,12 +144,27 @@ fn key_path(dir: &Path, fp: u64) -> PathBuf {
 }
 
 impl CertStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, with the
+    /// default memory-tier capacity ([`default_memory_capacity`]).
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<CertStore, StoreError> {
+        Self::open_with_capacity(dir, default_memory_capacity())
+    }
+
+    /// Opens a store with an explicit memory-tier capacity (`--store-mem-cap`).
+    /// A capacity of zero is clamped to one: a tier that cannot hold even
+    /// the entry just stored would turn every hit into a disk read.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open_with_capacity(
+        dir: impl Into<PathBuf>,
+        mem_capacity: usize,
+    ) -> Result<CertStore, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
             path: dir.clone(),
@@ -136,6 +172,7 @@ impl CertStore {
         })?;
         Ok(CertStore {
             dir,
+            mem_capacity: mem_capacity.max(1),
             memory: Mutex::new(MemoryLayer {
                 entries: HashMap::new(),
                 order: std::collections::VecDeque::new(),
@@ -145,6 +182,7 @@ impl CertStore {
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             temp_seq: AtomicU64::new(0),
         })
     }
@@ -202,6 +240,11 @@ impl CertStore {
         memory.order.clear();
     }
 
+    /// The memory-tier capacity this store was opened with.
+    pub fn memory_capacity(&self) -> usize {
+        self.mem_capacity
+    }
+
     /// Reads the counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -210,6 +253,7 @@ impl CertStore {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -217,9 +261,10 @@ impl CertStore {
         let mut memory = self.memory.lock().unwrap_or_else(|p| p.into_inner());
         if memory.entries.insert(fp, (key, cert)).is_none() {
             memory.order.push_back(fp);
-            while memory.order.len() > MEMORY_ENTRIES {
+            while memory.order.len() > self.mem_capacity {
                 if let Some(old) = memory.order.pop_front() {
                     memory.entries.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -243,12 +288,11 @@ impl CertStore {
         };
         // Verify on load through the same decode path flm-audit uses; a
         // served hit must round-trip canonically.
-        match flm_core::codec::decode_any(&bytes) {
-            Ok(cert) if cert.to_bytes() == bytes => Some(bytes),
-            _ => {
-                self.quarantine(fp);
-                None
-            }
+        if verified_cert_bytes(&bytes) {
+            Some(bytes)
+        } else {
+            self.quarantine(fp);
+            None
         }
     }
 
@@ -292,6 +336,78 @@ impl CertStore {
             }
         }
     }
+}
+
+/// The soundness gate for certificate bytes arriving from outside the
+/// process — a disk load, a shipped `PutCert`, a peer fetch: they must
+/// decode through the audit path (`flm_core::codec::decode_any`) and
+/// re-encode to the identical bytes. One rule, every entry point.
+pub fn verified_cert_bytes(bytes: &[u8]) -> bool {
+    matches!(flm_core::codec::decode_any(bytes), Ok(cert) if cert.to_bytes() == bytes)
+}
+
+/// One committed entry found by [`walk_entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredEntry {
+    /// The fingerprint the entry's files are named by.
+    pub fingerprint: u64,
+    /// The full canonical query key bytes from the sidecar.
+    pub key: Vec<u8>,
+    /// The certificate bytes (*not* re-verified here — shipping verifies on
+    /// the receiving side, the same trust boundary as a store load).
+    pub cert: Vec<u8>,
+}
+
+/// Walks a store directory and returns every *committed* entry: a `.key`
+/// sidecar naming a fingerprint that matches its filename, next to a
+/// readable `.flmc`. Orphans, temp files, and the `quarantine/` directory
+/// are skipped. This is the `flm-client rebalance` enumeration primitive —
+/// it deliberately needs no open [`CertStore`], so an operator can walk a
+/// stopped shard's directory.
+///
+/// # Errors
+///
+/// Propagates the directory read failure; unreadable individual entries
+/// are skipped, not fatal.
+pub fn walk_entries(dir: &Path) -> io::Result<Vec<StoredEntry>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        // The sidecar is the commit point, so enumerate by sidecars.
+        let Some(hex) = name.strip_prefix('q').and_then(|n| n.strip_suffix(".key")) else {
+            continue;
+        };
+        let Ok(fingerprint) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let Ok(key) = fs::read(entry.path()) else {
+            continue;
+        };
+        if flm_sim::runcache::fingerprint(&key) != fingerprint {
+            // Foreign or damaged sidecar; not an entry of this store.
+            continue;
+        }
+        let Ok(cert) = fs::read(cert_path(dir, fingerprint)) else {
+            continue;
+        };
+        entries.push(StoredEntry {
+            fingerprint,
+            key,
+            cert,
+        });
+    }
+    entries.sort_by_key(|e| e.fingerprint);
+    Ok(entries)
+}
+
+/// Removes one committed entry (sidecar first, so a racing lookup sees a
+/// clean miss, then the certificate). Used by `rebalance --remove` after a
+/// successful ship.
+pub fn remove_entry(dir: &Path, fingerprint: u64) -> io::Result<()> {
+    fs::remove_file(key_path(dir, fingerprint))?;
+    fs::remove_file(cert_path(dir, fingerprint))
 }
 
 #[cfg(test)]
@@ -436,6 +552,63 @@ mod tests {
         store.store(&key, &cert);
         store.clear_memory();
         assert_eq!(store.lookup(&key).as_deref(), Some(&cert[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_tier_capacity_bounds_entries_and_counts_evictions() {
+        let dir = temp_dir("cap");
+        let cert = sample_cert();
+        let store = CertStore::open_with_capacity(&dir, 2).unwrap();
+        assert_eq!(store.memory_capacity(), 2);
+        for tag in 0..5 {
+            store.store(&sample_key(100 + tag), &cert);
+        }
+        // Capacity 2, five inserts: three FIFO evictions.
+        assert_eq!(store.stats().evictions, 3);
+        // The two newest entries answer from memory, the evicted ones from
+        // disk (still correct, just slower).
+        assert_eq!(store.lookup(&sample_key(104)).as_deref(), Some(&cert[..]));
+        assert_eq!(store.stats().mem_hits, 1);
+        assert_eq!(store.lookup(&sample_key(100)).as_deref(), Some(&cert[..]));
+        assert_eq!(store.stats().disk_hits, 1);
+        // Zero is clamped: the tier always holds at least the last entry.
+        let clamped = CertStore::open_with_capacity(&dir, 0).unwrap();
+        assert_eq!(clamped.memory_capacity(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn walk_entries_lists_committed_entries_only() {
+        let dir = temp_dir("walk");
+        let cert = sample_cert();
+        let store = CertStore::open(&dir).unwrap();
+        let keys: Vec<RunKey> = (0..3).map(|t| sample_key(200 + t)).collect();
+        for key in &keys {
+            store.store(key, &cert);
+        }
+        // An orphaned certificate (no sidecar), a stray temp file, and a
+        // quarantine dir must all be invisible to the walk.
+        let orphan = sample_key(299);
+        store.store(&orphan, &cert);
+        fs::remove_file(key_path(&dir, orphan.fingerprint())).unwrap();
+        fs::write(dir.join(".tmp-999-0"), b"partial").unwrap();
+        fs::create_dir_all(dir.join("quarantine")).unwrap();
+        fs::write(dir.join("quarantine").join("q00.key"), b"junk").unwrap();
+
+        let walked = walk_entries(&dir).unwrap();
+        assert_eq!(walked.len(), 3);
+        for key in &keys {
+            let found = walked
+                .iter()
+                .find(|e| e.fingerprint == key.fingerprint())
+                .unwrap();
+            assert_eq!(found.key, key.bytes());
+            assert_eq!(found.cert, cert);
+        }
+        // remove_entry deletes exactly one committed pair.
+        remove_entry(&dir, keys[0].fingerprint()).unwrap();
+        assert_eq!(walk_entries(&dir).unwrap().len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

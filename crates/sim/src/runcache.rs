@@ -89,6 +89,16 @@ impl RunKey {
         RunKey { bytes, fp }
     }
 
+    /// Reconstitutes a key from its full canonical bytes (the exact slice
+    /// [`RunKey::bytes`] returned, e.g. read back from a durable sidecar or
+    /// received over the wire). The fingerprint is recomputed, so a key
+    /// round-trips byte-for-byte: `RunKey::from_bytes(k.bytes().to_vec())`
+    /// is `k`.
+    pub fn from_bytes(bytes: Vec<u8>) -> RunKey {
+        let fp = fingerprint(&bytes);
+        RunKey { bytes, fp }
+    }
+
     /// The FNV-1a fingerprint of the key bytes.
     pub fn fingerprint(&self) -> u64 {
         self.fp
@@ -382,6 +392,14 @@ mod tests {
         let mut w = crate::wire::Writer::new();
         w.u64(tag);
         RunKey::new("test", w.finish())
+    }
+
+    #[test]
+    fn run_key_round_trips_through_its_bytes() {
+        let original = key(42);
+        let back = RunKey::from_bytes(original.bytes().to_vec());
+        assert_eq!(back.bytes(), original.bytes());
+        assert_eq!(back.fingerprint(), original.fingerprint());
     }
 
     #[test]

@@ -11,7 +11,11 @@
 #                          naive pool dispatch
 #   BENCH_serve.json     — FLMC-RPC round trips against an in-process
 #                          flm-serve server: ping floor, refute requests
-#                          warm vs cold, mixed-load generator throughput
+#                          warm vs cold, mixed-load generator throughput,
+#                          plus the sharded plane: router-hop overhead vs
+#                          a direct warm RPC, shard-local warm hit vs a
+#                          cold simulate through the router, and a
+#                          1000-socket wave against the router front
 #   BENCH_campaign.json  — a trimmed fixed-seed chaos campaign (sweep +
 #                          shrink + certify), parallel vs forced
 #                          sequential, plus the deterministic mean shrink

@@ -16,6 +16,12 @@
 # audit round trip through flm-client, and audit the wire certificate with
 # the local flm-audit.
 #
+# `--shard-smoke` stands up a 2-shard cluster behind an flm-router, all
+# via the release binaries: warm keys through the router, drive the router
+# load mode and cluster stats, kill one shard, restart it over the same
+# store directory, and require the router to serve byte-identical
+# certificates again once the backend heals.
+#
 # `--campaign-smoke` runs a tiny fixed-seed chaos campaign end to end:
 # `regen --campaign --scale smoke` sweeps the protocol zoo across graph
 # families, shrinks every violation, and writes certificates plus a report;
@@ -93,6 +99,104 @@ serve_smoke() {
     ./target/release/flm-audit "$tmpdir/warm2.flmc" --quiet
 }
 
+# Stands up router + 2 shards from the release binaries, warms keys
+# through the router, then kills and restarts one shard over its store
+# directory and requires the router to serve the same bytes again.
+# Expects release binaries to be built already.
+shard_smoke() {
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    local pids=() p0 p1 peers attempt started=0 f
+    # shellcheck disable=SC2064  # expand tmpdir now, not at exit
+    trap "kill \${pids[@]:-} 2>/dev/null || true; wait 2>/dev/null || true; rm -rf '$tmpdir'" RETURN
+    # The peer list must be known before either shard binds, so the ports
+    # are picked up front; a collision just retries with fresh picks.
+    for attempt in 1 2 3 4 5; do
+        p0=$((20000 + RANDOM % 20000))
+        p1=$((20000 + RANDOM % 20000))
+        [[ $p0 -eq $p1 ]] && continue
+        peers="127.0.0.1:$p0,127.0.0.1:$p1"
+        rm -f "$tmpdir"/shard0.addr "$tmpdir"/shard1.addr
+        ./target/release/flm-serve --addr "127.0.0.1:$p0" --shard-id 0 --peers "$peers" \
+            --store-dir "$tmpdir/store0" --port-file "$tmpdir/shard0.addr" 2>/dev/null &
+        pids[0]=$!
+        ./target/release/flm-serve --addr "127.0.0.1:$p1" --shard-id 1 --peers "$peers" \
+            --store-dir "$tmpdir/store1" --port-file "$tmpdir/shard1.addr" 2>/dev/null &
+        pids[1]=$!
+        started=1
+        for f in shard0 shard1; do
+            for _ in $(seq 1 100); do
+                [[ -s "$tmpdir/$f.addr" ]] && break
+                sleep 0.05
+            done
+            [[ -s "$tmpdir/$f.addr" ]] || started=0
+        done
+        [[ $started -eq 1 ]] && break
+        kill "${pids[@]}" 2>/dev/null || true
+        wait "${pids[@]}" 2>/dev/null || true
+        echo "shard smoke: port pick $attempt collided, retrying"
+    done
+    [[ $started -eq 1 ]] || { echo "could not bind a 2-shard topology"; return 1; }
+
+    ./target/release/flm-router --addr 127.0.0.1:0 --shards "$peers" \
+        --reconnect-ms 100 --port-file "$tmpdir/router.addr" &
+    pids[2]=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmpdir/router.addr" ]] && break
+        sleep 0.05
+    done
+    [[ -s "$tmpdir/router.addr" ]] || { echo "flm-router never wrote its port file"; return 1; }
+    local raddr
+    raddr="$(cat "$tmpdir/router.addr")"
+
+    ./target/release/flm-client ping --addr "$raddr"
+    # Warm one key per side of the split (whichever shard owns which, both
+    # families together cover both shards or at worst exercise one twice).
+    ./target/release/flm-client refute ba-nodes --addr "$raddr" --out "$tmpdir/ba1.flmc"
+    ./target/release/flm-client refute clock-sync --addr "$raddr" --out "$tmpdir/clock1.flmc"
+    # Router-served bytes must satisfy the local auditor.
+    ./target/release/flm-audit "$tmpdir/ba1.flmc" --quiet
+    ./target/release/flm-audit "$tmpdir/clock1.flmc" --quiet
+    # Cluster stats and the router load mode, end to end.
+    ./target/release/flm-client stats --addr "$raddr"
+    ./target/release/flm-client load --addr "$raddr" --mode router \
+        --connections 2 --requests 4
+    # Kill shard 0 and restart it on the same port over the same store:
+    # once the router reconnects, the answer must come back byte-identical
+    # (served disk-warm from the store, not re-simulated — the Rust
+    # integration tests pin the counters; the smoke pins the bytes).
+    kill "${pids[0]}" 2>/dev/null || true
+    wait "${pids[0]}" 2>/dev/null || true
+    rm -f "$tmpdir/shard0.addr"
+    ./target/release/flm-serve --addr "127.0.0.1:$p0" --shard-id 0 --peers "$peers" \
+        --store-dir "$tmpdir/store0" --port-file "$tmpdir/shard0.addr" 2>/dev/null &
+    pids[0]=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmpdir/shard0.addr" ]] && break
+        sleep 0.05
+    done
+    [[ -s "$tmpdir/shard0.addr" ]] || { echo "restarted shard never wrote its port file"; return 1; }
+    local healed=0
+    for _ in $(seq 1 100); do
+        if ./target/release/flm-client refute ba-nodes --addr "$raddr" \
+            --out "$tmpdir/ba2.flmc" 2>/dev/null; then
+            healed=1
+            break
+        fi
+        sleep 0.1
+    done
+    [[ $healed -eq 1 ]] || { echo "router never healed after the shard restart"; return 1; }
+    ./target/release/flm-client refute clock-sync --addr "$raddr" --out "$tmpdir/clock2.flmc"
+    cmp "$tmpdir/ba1.flmc" "$tmpdir/ba2.flmc" || {
+        echo "shard restart broke warmth: ba-nodes bytes differ through the router"
+        return 1
+    }
+    cmp "$tmpdir/clock1.flmc" "$tmpdir/clock2.flmc" || {
+        echo "shard restart broke warmth: clock-sync bytes differ through the router"
+        return 1
+    }
+}
+
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> smoke: cargo build"
     cargo build --workspace
@@ -108,6 +212,15 @@ if [[ "${1:-}" == "--serve-smoke" ]]; then
     echo "==> serve smoke: flm-serve round trip on an ephemeral port"
     serve_smoke
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--shard-smoke" ]]; then
+    echo "==> shard smoke: cargo build --release -p flm-serve"
+    cargo build --release -p flm-serve
+    echo "==> shard smoke: router + 2 shards, warm, kill, restart, re-serve"
+    shard_smoke
+    echo "Shard smoke passed."
     exit 0
 fi
 
@@ -217,5 +330,8 @@ done
 
 echo "==> serve round-trip smoke"
 serve_smoke
+
+echo "==> shard round-trip smoke"
+shard_smoke
 
 echo "All checks passed."
