@@ -21,11 +21,13 @@
 //!     [--protocol NAME] [--f N] [--graph GRAPH] \
 //!     [--max-ticks N] [--max-payload-bytes N]
 //! cargo run -p flm-bench --bin regen -- --campaign --out-dir DIR \
-//!     [--seed N] [--scale smoke|full]
+//!     [--seed N] [--scale smoke|full] \
+//!     [--scheduler sync|async-fair|async-adversarial]...
 //! ```
 //!
 //! `THEOREM` is one of `ba-nodes`, `ba-connectivity`, `weak-agreement`,
-//! `firing-squad`, `simple-approx`, `eps-delta-gamma`, `clock-sync`;
+//! `firing-squad`, `simple-approx`, `eps-delta-gamma`, `clock-sync`,
+//! `flp-async`;
 //! `GRAPH` is `triangle`, `cycleN`, `completeN`, or `pathN`. The protocol
 //! name is resolved through the `flm-protocols` registry, so anything the
 //! registry accepts can be refuted; defaults are canonical per theorem.
@@ -39,6 +41,7 @@
 use flm_bench::{campaign, experiments, suites};
 use flm_core::codec::AnyCertificate;
 use flm_serve::query::{self, Theorem};
+use flm_sim::campaign::SchedulerKind;
 use flm_sim::RunPolicy;
 
 fn main() {
@@ -64,7 +67,8 @@ fn main() {
                 "usage: regen [--bench substrate|refuters|runcache|serve|campaign|prefix] [--samples N] [--out FILE]\n\
                  \x20      regen --refute THEOREM --emit-cert FILE [--protocol NAME] [--f N] \
                  [--graph GRAPH] [--max-ticks N] [--max-payload-bytes N]\n\
-                 \x20      regen --campaign --out-dir DIR [--seed N] [--scale smoke|full]"
+                 \x20      regen --campaign --out-dir DIR [--seed N] [--scale smoke|full] \
+                 [--scheduler sync|async-fair|async-adversarial]..."
             );
             std::process::exit(2);
         }
@@ -82,6 +86,7 @@ struct CampaignArgs {
     out_dir: String,
     seed: u64,
     scale: String,
+    schedulers: Vec<SchedulerKind>,
 }
 
 struct BenchArgs {
@@ -117,6 +122,7 @@ fn parse(args: &[String]) -> Result<Mode, String> {
     let mut seed_given = false;
     let mut scale = "full".to_string();
     let mut scale_given = false;
+    let mut schedulers: Vec<SchedulerKind> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| {
@@ -162,6 +168,12 @@ fn parse(args: &[String]) -> Result<Mode, String> {
                 }
                 scale_given = true;
             }
+            "--scheduler" => {
+                let kind = SchedulerKind::parse(&value(&mut it)?)?;
+                if !schedulers.contains(&kind) {
+                    schedulers.push(kind);
+                }
+            }
             "--samples" => {
                 samples = value(&mut it)?
                     .parse()
@@ -203,14 +215,18 @@ fn parse(args: &[String]) -> Result<Mode, String> {
             return Err("--refute/--bench/--out/--emit-cert do not apply with --campaign".into());
         }
         let out_dir = out_dir.ok_or("--campaign needs --out-dir DIR")?;
+        if schedulers.is_empty() {
+            schedulers.push(SchedulerKind::Sync);
+        }
         return Ok(Mode::Campaign(CampaignArgs {
             out_dir,
             seed,
             scale,
+            schedulers,
         }));
     }
-    if out_dir.is_some() || seed_given || scale_given {
-        return Err("--out-dir/--seed/--scale only apply with --campaign".into());
+    if out_dir.is_some() || seed_given || scale_given || !schedulers.is_empty() {
+        return Err("--out-dir/--seed/--scale/--scheduler only apply with --campaign".into());
     }
     if let Some(theorem) = theorem {
         if suite.is_some() || out.is_some() {
@@ -274,6 +290,13 @@ fn run_refute(args: &RefuteArgs) -> Result<(), String> {
             cert.chain.len()
         ),
         AnyCertificate::Clock(cert) => eprintln!("wrote {} ({})", args.emit_cert, cert.protocol),
+        AnyCertificate::Async(cert) => eprintln!(
+            "wrote {} ({}, {} scheduled deliveries, strategy {})",
+            args.emit_cert,
+            cert.protocol,
+            cert.schedule.len(),
+            cert.strategy
+        ),
     }
     print_profile();
     Ok(())
@@ -292,6 +315,7 @@ fn run_campaign_cli(args: &CampaignArgs) -> Result<(), String> {
         "smoke" => campaign::smoke_config(args.seed),
         _ => campaign::full_config(args.seed),
     };
+    let config = campaign::with_schedulers(config, args.schedulers.clone());
     let outcome = campaign::run_campaign(&config);
     let report_path = campaign::write_campaign(&outcome, std::path::Path::new(&args.out_dir))
         .map_err(|e| format!("writing {}: {e}", args.out_dir))?;

@@ -40,12 +40,14 @@ use std::path::{Path, PathBuf};
 
 use flm_core::certificate::{Certificate, ChainLink, Theorem, Violation};
 use flm_core::problems;
+use flm_core::refute::AsyncCertificate;
 use flm_core::shrink;
 use flm_graph::{Graph, NodeId};
 use flm_protocols::registry;
+use flm_sim::async_sched::Strategy;
 use flm_sim::campaign::{
     CampaignConfig, CampaignReport, GraphFamily, Incident, ProblemKind, RunSpec, ScenarioDims,
-    ViolationRecord,
+    SchedulerKind, ViolationRecord,
 };
 use flm_sim::replay::ReplayDevice;
 use flm_sim::system::System;
@@ -80,6 +82,132 @@ impl Scenario {
             horizon: self.horizon,
         }
     }
+}
+
+/// A concrete asynchronous probed scenario: the topology and the fairness
+/// budget (deliveries) the scheduling adversary gets. There is no fault
+/// plan — the adversary *is* the fault — so the shrinker's axes are the
+/// graph family and the budget, and shrinking the budget shrinks the
+/// witness schedule with it (a schedule never exceeds its budget).
+#[derive(Debug, Clone)]
+pub struct AsyncScenario {
+    /// Topology family.
+    pub family: GraphFamily,
+    /// Seed the family is built under.
+    pub graph_seed: u64,
+    /// Which asynchronous chooser drives delivery.
+    pub scheduler: SchedulerKind,
+    /// Fairness budget in deliveries (`RunPolicy::max_ticks`).
+    pub budget: u32,
+}
+
+impl AsyncScenario {
+    /// The scenario's size in the shrinker's partial order: the budget
+    /// rides in the `horizon` slot.
+    pub fn dims(&self) -> ScenarioDims {
+        ScenarioDims {
+            nodes: self.family.node_count(),
+            rules: 0,
+            horizon: self.budget,
+        }
+    }
+}
+
+/// The strategy subset a scheduler kind probes: just the fair chooser, or
+/// just the starvation adversaries from the refuter's default ladder.
+fn async_strategies(scheduler: SchedulerKind, g: &Graph) -> Vec<Strategy> {
+    match scheduler {
+        SchedulerKind::Sync => unreachable!("sync cells never reach the async prober"),
+        SchedulerKind::AsyncFair => vec![Strategy::Fair],
+        SchedulerKind::AsyncAdversarial => flm_core::refute::default_strategies(g)
+            .into_iter()
+            .filter(|s| matches!(s, Strategy::Adversarial { .. }))
+            .collect(),
+    }
+}
+
+/// Probes one asynchronous scenario. `Ok(Some(cert))` is a self-verified
+/// [`AsyncCertificate`]; `Ok(None)` means every explored schedule decided
+/// and agreed; `Err((stage, detail))` is incident material.
+pub fn probe_async(
+    protocol: &dyn flm_sim::Protocol,
+    scenario: &AsyncScenario,
+    policy: &RunPolicy,
+) -> Result<Option<AsyncCertificate>, (String, String)> {
+    let g = scenario
+        .family
+        .build(scenario.graph_seed)
+        .map_err(|e| ("build".to_string(), e.to_string()))?;
+    let mut policy = *policy;
+    policy.max_ticks = scenario.budget;
+    let strategies = async_strategies(scenario.scheduler, &g);
+    match flm_core::with_policy(policy, || {
+        flm_core::refute::flp_async_under(protocol, &g, &strategies)
+    }) {
+        Ok(cert) => {
+            cert.verify(protocol)
+                .map_err(|e| ("self-check".to_string(), e.to_string()))?;
+            Ok(Some(cert))
+        }
+        Err(flm_core::refute::RefuteError::Unrefuted { .. }) => Ok(None),
+        Err(e) => Err(("async".to_string(), e.to_string())),
+    }
+}
+
+/// Strictly smaller async candidates: shrink the graph within its family,
+/// halve or decrement the fairness budget.
+fn async_shrink_candidates(s: &AsyncScenario) -> Vec<(AsyncScenario, ScenarioDims)> {
+    let mut out = Vec::new();
+    for family in s.family.shrink_candidates() {
+        let cand = AsyncScenario {
+            family,
+            ..s.clone()
+        };
+        let dims = cand.dims();
+        out.push((cand, dims));
+    }
+    if s.budget > 1 {
+        for b in [s.budget / 2, s.budget - 1] {
+            if b >= 1 && b < s.budget {
+                let cand = AsyncScenario {
+                    budget: b,
+                    ..s.clone()
+                };
+                let dims = cand.dims();
+                out.push((cand, dims));
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks an asynchronous violation to a local minimum that still refutes
+/// the same condition — same [`shrink::greedy`] loop as the synchronous
+/// path, generic over the certificate type. A smaller budget forces a
+/// shorter witness schedule, so the emitted certificate's schedule shrinks
+/// along with the scenario.
+pub fn shrink_async_violation(
+    protocol: &dyn flm_sim::Protocol,
+    scenario: AsyncScenario,
+    certificate: AsyncCertificate,
+    policy: &RunPolicy,
+) -> shrink::ShrinkOutcome<AsyncScenario, AsyncCertificate> {
+    let original = certificate.condition;
+    let dims = scenario.dims();
+    shrink::greedy(
+        scenario,
+        certificate,
+        dims,
+        async_shrink_candidates,
+        |cand| {
+            let cert = probe_async(protocol, cand, policy).ok()??;
+            if cert.condition != original {
+                return None;
+            }
+            Some(cert)
+        },
+        MAX_SHRINK_ATTEMPTS,
+    )
 }
 
 /// The FLM theorem family a campaign certificate is filed under.
@@ -454,6 +582,7 @@ pub struct CampaignOutcome {
 enum ProbeResult {
     Clean,
     Violation(Box<(Scenario, Certificate)>),
+    AsyncViolation(Box<(AsyncScenario, AsyncCertificate)>),
     Incident(Incident),
 }
 
@@ -470,6 +599,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
 
     let mut incidents = Vec::new();
     let mut found: Vec<(RunSpec, Scenario, Certificate)> = Vec::new();
+    let mut found_async: Vec<(RunSpec, AsyncScenario, AsyncCertificate)> = Vec::new();
     for (spec, result) in results {
         match result {
             ProbeResult::Clean => {}
@@ -477,6 +607,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
             ProbeResult::Violation(boxed) => {
                 let (scenario, cert) = *boxed;
                 found.push((spec, scenario, cert));
+            }
+            ProbeResult::AsyncViolation(boxed) => {
+                let (scenario, cert) = *boxed;
+                found_async.push((spec, scenario, cert));
             }
         }
     }
@@ -498,6 +632,21 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
             );
             Some((spec, original, outcome))
         });
+    type ShrunkAsync = (
+        RunSpec,
+        AsyncScenario,
+        shrink::ShrinkOutcome<AsyncScenario, AsyncCertificate>,
+    );
+    let shrunk_async: Vec<Option<ShrunkAsync>> =
+        flm_par::par_map(found_async, |(spec, scenario, cert)| {
+            let protocol = match flm_protocols::resolve(&spec.protocol) {
+                Ok(p) => p,
+                Err(_) => return None,
+            };
+            let original = scenario.clone();
+            let outcome = shrink_async_violation(&*protocol, scenario, cert, &config.policy);
+            Some((spec, original, outcome))
+        });
 
     let mut violations = Vec::new();
     let mut certs = Vec::new();
@@ -508,6 +657,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
             problem: spec.problem.name().into(),
             protocol: spec.protocol.clone(),
             graph: original.family.name(),
+            scheduler: spec.scheduler.name().into(),
             condition: outcome.certificate.violation.condition.to_string(),
             original: original.dims(),
             shrunk: outcome.dims,
@@ -517,6 +667,27 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
         });
         certs.push((cert_file, outcome.certificate.to_bytes()));
     }
+    for (spec, original, outcome) in shrunk_async.into_iter().flatten() {
+        let cert_file = format!("c{:03}-flp-async.flmc", spec.index);
+        violations.push(ViolationRecord {
+            spec: spec.index,
+            problem: spec.problem.name().into(),
+            protocol: spec.protocol.clone(),
+            graph: original.family.name(),
+            scheduler: spec.scheduler.name().into(),
+            condition: outcome.certificate.condition.to_string(),
+            original: original.dims(),
+            shrunk: outcome.dims,
+            shrink_attempts: outcome.attempts,
+            shrink_accepted: outcome.accepted,
+            cert_file: cert_file.clone(),
+        });
+        certs.push((cert_file, outcome.certificate.to_bytes()));
+    }
+    // Interleaved probes finish in input order per pass; merging the two
+    // passes by spec index keeps the report and file list deterministic.
+    violations.sort_by_key(|v| v.spec);
+    certs.sort();
 
     CampaignOutcome {
         report: CampaignReport {
@@ -524,6 +695,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignOutcome {
             protocols: config.protocols.len(),
             graphs: config.graphs.len(),
             rule_counts: config.rule_counts.len(),
+            schedulers: config.schedulers.len(),
             runs,
             violations,
             incidents,
@@ -545,6 +717,19 @@ fn probe_spec(spec: &RunSpec, config: &CampaignConfig) -> ProbeResult {
         Ok(p) => p,
         Err(e) => return incident("resolve", e.to_string()),
     };
+    if spec.scheduler != SchedulerKind::Sync {
+        let scenario = AsyncScenario {
+            family: spec.graph,
+            graph_seed: spec.graph_seed,
+            scheduler: spec.scheduler,
+            budget: config.policy.max_ticks.max(1),
+        };
+        return match probe_async(&*protocol, &scenario, &config.policy) {
+            Ok(Some(cert)) => ProbeResult::AsyncViolation(Box::new((scenario, cert))),
+            Ok(None) => ProbeResult::Clean,
+            Err((stage, detail)) => incident(&stage, detail),
+        };
+    }
     let g = match spec.graph.build(spec.graph_seed) {
         Ok(g) => g,
         Err(e) => return incident("build", e.to_string()),
@@ -579,6 +764,7 @@ pub fn smoke_config(seed: u64) -> CampaignConfig {
             GraphFamily::Expander { n: 8 },
         ],
         rule_counts: vec![0, 2],
+        schedulers: vec![SchedulerKind::Sync],
         f: 1,
         policy: RunPolicy::default(),
     }
@@ -604,9 +790,30 @@ pub fn full_config(seed: u64) -> CampaignConfig {
             GraphFamily::RingCover { base: 4, weight: 4 },
         ],
         rule_counts: vec![0, 2, 4],
+        schedulers: vec![SchedulerKind::Sync],
         f: 1,
         policy: RunPolicy::default(),
     }
+}
+
+/// Widens a config's scheduler axis and — when an async kind joins the
+/// sweep — folds the registry's asynchronous prey into the protocol list,
+/// so the axis has something the scheduling adversary can actually starve.
+/// The sync axis alone leaves the config byte-for-byte compatible with the
+/// classic campaign (same specs, same certificates).
+pub fn with_schedulers(
+    mut config: CampaignConfig,
+    schedulers: Vec<SchedulerKind>,
+) -> CampaignConfig {
+    if schedulers.iter().any(|&k| k != SchedulerKind::Sync) {
+        for (problem, name) in registry::async_zoo(config.f) {
+            if !config.protocols.iter().any(|(_, p)| *p == name) {
+                config.protocols.push((problem, name));
+            }
+        }
+    }
+    config.schedulers = schedulers;
+    config
 }
 
 /// Writes a campaign's certificates and `campaign_report.json` under
@@ -685,6 +892,91 @@ mod tests {
             outcome.dims
         );
         assert!(outcome.certificate.verify(&*protocol).is_ok());
+    }
+
+    #[test]
+    fn async_probe_starves_the_prey_and_shrinks_the_budget() {
+        let protocol = flm_protocols::resolve("WaitForAll").unwrap();
+        let scenario = AsyncScenario {
+            family: GraphFamily::Complete { n: 4 },
+            graph_seed: 0,
+            scheduler: SchedulerKind::AsyncAdversarial,
+            budget: RunPolicy::default().max_ticks.max(1),
+        };
+        let cert = probe_async(&*protocol, &scenario, &RunPolicy::default())
+            .unwrap()
+            .expect("the starvation adversary must starve WaitForAll on K4");
+        let outcome =
+            shrink_async_violation(&*protocol, scenario.clone(), cert, &RunPolicy::default());
+        assert!(
+            outcome.dims.horizon < scenario.budget || outcome.dims.nodes < 4,
+            "an async violation should shrink, got {:?}",
+            outcome.dims
+        );
+        assert!(
+            outcome.certificate.schedule.len() as u64 <= u64::from(outcome.dims.horizon),
+            "the witness schedule must fit the shrunk budget"
+        );
+        assert!(outcome.certificate.verify(&*protocol).is_ok());
+    }
+
+    #[test]
+    fn async_campaign_cells_report_their_scheduler() {
+        // A one-protocol async-only campaign: the prey on two small graphs,
+        // fair + adversarial axes. Deterministic end to end.
+        let config = CampaignConfig {
+            seed: 7,
+            protocols: vec![(ProblemKind::ByzantineAgreement, "WaitForAll".into())],
+            graphs: vec![
+                GraphFamily::Complete { n: 3 },
+                GraphFamily::Complete { n: 4 },
+            ],
+            rule_counts: vec![0],
+            schedulers: vec![SchedulerKind::AsyncFair, SchedulerKind::AsyncAdversarial],
+            f: 1,
+            policy: RunPolicy::default(),
+        };
+        let outcome = run_campaign(&config);
+        assert!(outcome.report.incidents.is_empty(), "{:?}", outcome.report);
+        assert!(
+            outcome
+                .report
+                .violations
+                .iter()
+                .any(|v| v.scheduler == "async-adversarial"),
+            "the adversarial axis must starve the prey: {:?}",
+            outcome.report.violations
+        );
+        for v in &outcome.report.violations {
+            assert!(v.cert_file.contains("flp-async"), "{}", v.cert_file);
+        }
+        // Same seed, same campaign — byte-identical certificates.
+        assert_eq!(run_campaign(&config), outcome);
+        // Every emitted certificate decodes as a kind-2 FLMC image.
+        for (_, bytes) in &outcome.certs {
+            assert!(matches!(
+                flm_core::codec::decode_any(bytes).unwrap(),
+                flm_core::codec::AnyCertificate::Async(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn with_schedulers_folds_in_the_async_prey_only_when_asked() {
+        let sync = with_schedulers(smoke_config(1), vec![SchedulerKind::Sync]);
+        assert!(!sync.protocols.iter().any(|(_, p)| p == "WaitForAll"));
+        let both = with_schedulers(
+            smoke_config(1),
+            vec![SchedulerKind::Sync, SchedulerKind::AsyncAdversarial],
+        );
+        assert!(both.protocols.iter().any(|(_, p)| p == "WaitForAll"));
+        // NaiveMajority is already in the zoo; folding must not duplicate it.
+        let majority = both
+            .protocols
+            .iter()
+            .filter(|(_, p)| p == "NaiveMajority")
+            .count();
+        assert_eq!(majority, 1);
     }
 
     #[test]

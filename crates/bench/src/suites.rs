@@ -172,6 +172,31 @@ pub fn refuter_suite(samples: usize) -> Suite {
         stats: seq,
     });
 
+    // The asynchronous family: the scheduling-adversary search (fair probe,
+    // then per-victim starvation with bivalence look-ahead) over the
+    // WaitForAll prey. Warm serves the probe runs from the async run-cache
+    // domain; cold bypasses the cache and re-runs every schedule.
+    let k4 = builders::complete(4);
+    let prey = flm_protocols::resolve("WaitForAll").unwrap();
+    let warm = measure(config, || refute::flp_async(&*prey, &k4).unwrap());
+    let cold = measure(config, || {
+        flm_par::sequential(|| {
+            flm_sim::runcache::bypass(|| refute::flp_async(&*prey, &k4).unwrap())
+        })
+    });
+    speedups.push((
+        "flp_async_k4_waitforall: engine (warm async cache) vs cold sequential".into(),
+        ratio(cold, warm),
+    ));
+    rows.push(BenchRow {
+        name: "flp_async_k4_waitforall/warm".into(),
+        stats: warm,
+    });
+    rows.push(BenchRow {
+        name: "flp_async_k4_waitforall/cold".into(),
+        stats: cold,
+    });
+
     // Certificate audit path: encode to the portable FLMC bytes, decode
     // them back, and re-verify — the three legs `flm-audit` runs per file.
     let eig1 = EigUnderTest { f: 1 };

@@ -10,7 +10,9 @@
 //! ```
 //!
 //! Kind 0 is a discrete [`Certificate`] (Theorems 1–6), kind 1 a
-//! [`ClockCertificate`] (Theorem 8). The encoding is *canonical* — one byte
+//! [`ClockCertificate`] (Theorem 8), kind 2 an [`AsyncCertificate`]
+//! (the FLP-style asynchronous family, where the body's heart is the full
+//! adversarial delivery schedule). The encoding is *canonical* — one byte
 //! string per logical value — built on [`flm_sim::wire`]: big-endian
 //! integers, length-prefixed collections, `f64`s by IEEE-754 bit pattern.
 //! Canonicality gives the audit trail a useful property for free:
@@ -34,7 +36,7 @@ use flm_sim::{Decision, DeviceMisbehavior, Input, RunPolicy};
 
 use crate::certificate::{Certificate, ChainLink, Condition, Theorem, Violation};
 use crate::problems::ClockSyncClaim;
-use crate::refute::ClockCertificate;
+use crate::refute::{AsyncCertificate, ClockCertificate};
 
 /// File magic, first four bytes of every certificate file.
 pub const MAGIC: &[u8; 4] = b"FLMC";
@@ -43,6 +45,7 @@ pub const VERSION: u8 = 1;
 
 const KIND_CERTIFICATE: u8 = 0;
 const KIND_CLOCK_CERTIFICATE: u8 = 1;
+const KIND_ASYNC_CERTIFICATE: u8 = 2;
 
 /// Structured decode failure for certificate files.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -405,6 +408,8 @@ pub enum AnyCertificate {
     Discrete(Certificate),
     /// A clock-synchronization certificate (kind 1).
     Clock(ClockCertificate),
+    /// An asynchronous-scheduling certificate (kind 2).
+    Async(AsyncCertificate),
 }
 
 impl AnyCertificate {
@@ -413,6 +418,7 @@ impl AnyCertificate {
         match self {
             AnyCertificate::Discrete(c) => &c.protocol,
             AnyCertificate::Clock(c) => &c.protocol,
+            AnyCertificate::Async(c) => &c.protocol,
         }
     }
 
@@ -421,6 +427,7 @@ impl AnyCertificate {
         match self {
             AnyCertificate::Discrete(c) => c.to_bytes(),
             AnyCertificate::Clock(c) => c.to_bytes(),
+            AnyCertificate::Async(c) => c.to_bytes(),
         }
     }
 }
@@ -442,6 +449,11 @@ pub fn decode_any(bytes: &[u8]) -> Result<AnyCertificate, CertDecodeError> {
             let cert = decode_clock_certificate_body(&mut r)?;
             finish(&r)?;
             Ok(AnyCertificate::Clock(cert))
+        }
+        KIND_ASYNC_CERTIFICATE => {
+            let cert = decode_async_certificate_body(&mut r)?;
+            finish(&r)?;
+            Ok(AnyCertificate::Async(cert))
         }
         kind => Err(CertDecodeError::UnsupportedKind(kind)),
     }
@@ -532,6 +544,187 @@ fn decode_clock_certificate_body(r: &mut Reader<'_>) -> Result<ClockCertificate,
     })
 }
 
+fn decode_async_certificate_body(r: &mut Reader<'_>) -> Result<AsyncCertificate, CertDecodeError> {
+    let protocol = r.str().ctx("protocol")?.to_owned();
+    let base_bytes = r.bytes().ctx("base graph")?;
+    let base = Graph::from_bytes(base_bytes).map_err(|e| invalid("base graph", e.to_string()))?;
+    let n = base.node_count();
+    let edges = base.directed_edges().len() as u32;
+    let policy = RunPolicy::decode(r).ctx("policy")?;
+
+    let inputs_len = checked_count(r, "inputs", 1)?;
+    if inputs_len != n {
+        return Err(invalid(
+            "inputs",
+            format!("{inputs_len} inputs for a {n}-node base graph"),
+        ));
+    }
+    let mut inputs = Vec::with_capacity(inputs_len);
+    for _ in 0..inputs_len {
+        inputs.push(Input::decode(r).ctx("inputs")?);
+    }
+
+    let strategy = r.str().ctx("strategy")?.to_owned();
+
+    // The schedule is the certificate's heart, and the favorite forgery
+    // target. Three guards: every entry must name a real directed edge, the
+    // length must fit the policy's delivery budget (a schedule/horizon
+    // mismatch is a forgery, not a replay problem), and the count itself is
+    // checked against the remaining bytes like every collection.
+    let sched_len = checked_count(r, "schedule", 4)?;
+    if sched_len as u64 > u64::from(policy.max_ticks) {
+        return Err(invalid(
+            "schedule",
+            format!(
+                "{sched_len} deliveries exceed the policy budget of {}",
+                policy.max_ticks
+            ),
+        ));
+    }
+    let mut schedule = Vec::with_capacity(sched_len);
+    for i in 0..sched_len {
+        let e = r.u32().ctx("schedule")?;
+        if e >= edges {
+            return Err(invalid(
+                "schedule",
+                format!("entry {i} names edge {e}, graph has {edges} directed edges"),
+            ));
+        }
+        schedule.push(e);
+    }
+
+    let decisions_len = checked_count(r, "decisions", 1)?;
+    if decisions_len != n {
+        return Err(invalid(
+            "decisions",
+            format!("{decisions_len} decisions for a {n}-node base graph"),
+        ));
+    }
+    let mut decisions = Vec::with_capacity(decisions_len);
+    for _ in 0..decisions_len {
+        let d = match r.u8().ctx("decisions")? {
+            0 => None,
+            1 => Some(Decision::decode(r).ctx("decisions")?),
+            tag => return Err(invalid("decisions", format!("option tag {tag}"))),
+        };
+        decisions.push(d);
+    }
+
+    let pending_len = checked_count(r, "pending", 8)?;
+    let mut pending: Vec<(u32, u32)> = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        let e = r.u32().ctx("pending")?;
+        let k = r.u32().ctx("pending")?;
+        if e >= edges {
+            return Err(invalid(
+                "pending",
+                format!("edge {e} out of range for {edges} directed edges"),
+            ));
+        }
+        if k == 0 {
+            return Err(invalid(
+                "pending",
+                format!("edge {e} listed with zero pending"),
+            ));
+        }
+        if let Some(&(prev, _)) = pending.last() {
+            if e <= prev {
+                return Err(invalid(
+                    "pending",
+                    format!("edges not strictly ascending ({prev} then {e})"),
+                ));
+            }
+        }
+        pending.push((e, k));
+    }
+
+    let budget_exhausted = r.bool().ctx("budget_exhausted")?;
+
+    let misbehavior_len = checked_count(r, "misbehavior", 9)?;
+    let mut misbehavior = Vec::with_capacity(misbehavior_len);
+    for _ in 0..misbehavior_len {
+        misbehavior.push(DeviceMisbehavior::decode(r).ctx("misbehavior")?);
+    }
+
+    let tag = r.u8().ctx("condition")?;
+    let condition =
+        condition_from_tag(tag).ok_or_else(|| invalid("condition", format!("tag {tag}")))?;
+    let evidence = r.str().ctx("evidence")?.to_owned();
+
+    Ok(AsyncCertificate {
+        protocol,
+        base,
+        inputs,
+        strategy,
+        schedule,
+        decisions,
+        pending,
+        budget_exhausted,
+        misbehavior,
+        policy,
+        condition,
+        evidence,
+    })
+}
+
+impl AsyncCertificate {
+    /// Encodes to the canonical `FLMC` byte format (kind 2).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = header(KIND_ASYNC_CERTIFICATE);
+        w.str(&self.protocol);
+        w.bytes(&self.base.to_bytes());
+        self.policy.encode(&mut w);
+        w.u32(self.inputs.len() as u32);
+        for &input in &self.inputs {
+            input.encode(&mut w);
+        }
+        w.str(&self.strategy);
+        w.u32(self.schedule.len() as u32);
+        for &e in &self.schedule {
+            w.u32(e);
+        }
+        w.u32(self.decisions.len() as u32);
+        for d in &self.decisions {
+            match d {
+                None => {
+                    w.u8(0);
+                }
+                Some(d) => {
+                    w.u8(1);
+                    d.encode(&mut w);
+                }
+            }
+        }
+        w.u32(self.pending.len() as u32);
+        for &(e, k) in &self.pending {
+            w.u32(e).u32(k);
+        }
+        w.bool(self.budget_exhausted);
+        w.u32(self.misbehavior.len() as u32);
+        for m in &self.misbehavior {
+            m.encode(&mut w);
+        }
+        w.u8(condition_tag(self.condition));
+        w.str(&self.evidence);
+        w.finish()
+    }
+
+    /// Decodes from `FLMC` bytes, expecting kind 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertDecodeError`] on any malformed input; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AsyncCertificate, CertDecodeError> {
+        match decode_any(bytes)? {
+            AnyCertificate::Async(c) => Ok(c),
+            AnyCertificate::Discrete(_) => Err(CertDecodeError::UnsupportedKind(KIND_CERTIFICATE)),
+            AnyCertificate::Clock(_) => {
+                Err(CertDecodeError::UnsupportedKind(KIND_CLOCK_CERTIFICATE))
+            }
+        }
+    }
+}
+
 impl Certificate {
     /// Encodes to the canonical `FLMC` byte format (kind 0).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -560,6 +753,9 @@ impl Certificate {
             AnyCertificate::Discrete(c) => Ok(c),
             AnyCertificate::Clock(_) => {
                 Err(CertDecodeError::UnsupportedKind(KIND_CLOCK_CERTIFICATE))
+            }
+            AnyCertificate::Async(_) => {
+                Err(CertDecodeError::UnsupportedKind(KIND_ASYNC_CERTIFICATE))
             }
         }
     }
@@ -592,6 +788,9 @@ impl ClockCertificate {
         match decode_any(bytes)? {
             AnyCertificate::Clock(c) => Ok(c),
             AnyCertificate::Discrete(_) => Err(CertDecodeError::UnsupportedKind(KIND_CERTIFICATE)),
+            AnyCertificate::Async(_) => {
+                Err(CertDecodeError::UnsupportedKind(KIND_ASYNC_CERTIFICATE))
+            }
         }
     }
 }
@@ -740,6 +939,102 @@ mod tests {
         assert_eq!(again.k, 4);
         // Kind confusion is an error, not a panic.
         assert!(Certificate::from_bytes(&bytes).is_err());
+    }
+
+    fn async_sample() -> AsyncCertificate {
+        // A triangle has 6 directed edges (indices 0..6).
+        AsyncCertificate {
+            protocol: "prey".into(),
+            base: builders::triangle(),
+            inputs: vec![Input::Bool(true), Input::Bool(false), Input::Bool(true)],
+            strategy: "starve(node=2, seed=0x1)".into(),
+            schedule: vec![0, 3, 1, 2],
+            decisions: vec![Some(Decision::Bool(true)), Some(Decision::Bool(true)), None],
+            pending: vec![(4, 1), (5, 1)],
+            budget_exhausted: false,
+            misbehavior: Vec::new(),
+            policy: RunPolicy::default(),
+            condition: Condition::Termination,
+            evidence: "n2 never decided; 2 deliveries were withheld".into(),
+        }
+    }
+
+    #[test]
+    fn async_round_trip_is_byte_identical() {
+        let cert = async_sample();
+        let bytes = cert.to_bytes();
+        let again = AsyncCertificate::from_bytes(&bytes).unwrap();
+        assert_eq!(again.to_bytes(), bytes);
+        assert_eq!(again.schedule, cert.schedule);
+        assert_eq!(again.strategy, cert.strategy);
+        // Kind confusion is an error, not a panic.
+        assert!(Certificate::from_bytes(&bytes).is_err());
+        assert!(ClockCertificate::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn async_decoder_rejects_forged_schedules() {
+        // Out-of-range edge index.
+        let mut cert = async_sample();
+        cert.schedule[1] = 6;
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "schedule",
+                ..
+            })
+        ));
+        // Schedule longer than the fairness budget it claims.
+        let mut cert = async_sample();
+        cert.policy.max_ticks = 3;
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "schedule",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn async_decoder_validates_shape() {
+        let mut cert = async_sample();
+        cert.inputs.pop();
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "inputs",
+                ..
+            })
+        ));
+        let mut cert = async_sample();
+        cert.decisions.push(None);
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "decisions",
+                ..
+            })
+        ));
+        // Pending list must be strictly ascending with positive counts.
+        let mut cert = async_sample();
+        cert.pending = vec![(5, 1), (4, 1)];
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "pending",
+                ..
+            })
+        ));
+        let mut cert = async_sample();
+        cert.pending = vec![(4, 0)];
+        assert!(matches!(
+            AsyncCertificate::from_bytes(&cert.to_bytes()),
+            Err(CertDecodeError::Invalid {
+                context: "pending",
+                ..
+            })
+        ));
     }
 
     #[test]

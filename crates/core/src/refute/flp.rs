@@ -1,0 +1,598 @@
+//! The FLP-style asynchronous refuter — the eighth theorem family.
+//!
+//! The seven discrete and continuous families all attack protocols on
+//! *inadequate graphs* under the synchronous model. This family attacks a
+//! different claim entirely: that a protocol *terminates* (and agrees) when
+//! message delivery is scheduled by an adversary. The refuter searches the
+//! schedule space with the strategies of [`flm_sim::async_sched`] — a fair
+//! control run, one starvation adversary per candidate victim, and seeded
+//! random probes — looking FLP-style for a schedule under which some
+//! correct node never decides (or two nodes decide differently). The
+//! adversarial chooser's one-step-forward/one-step-back
+//! [`flm_sim::device::Device::fork`] look-ahead is the transplant analogue:
+//! instead of moving scenarios between graphs, it moves the *same* system
+//! one delivery forward, inspects the decision, and steps back.
+//!
+//! The witness is the schedule itself. An [`AsyncCertificate`] carries the
+//! full delivery sequence, and [`AsyncCertificate::verify`] re-executes it
+//! byte-for-byte through [`AsyncSystem::replay`] before re-checking the
+//! violated condition — the same trusted-machinery-only discipline as
+//! [`crate::Certificate::verify`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::async_sched::{AsyncRun, AsyncSystem, Strategy};
+use flm_sim::{contain_panics, Decision, DeviceMisbehavior, Input, Protocol, RunPolicy};
+
+use crate::certificate::{Condition, VerifyError};
+use crate::refute::RefuteError;
+
+/// Schedules the refuter has explored process-wide (one per probe run,
+/// cache hits included).
+static SCHEDULES_EXPLORED: AtomicU64 = AtomicU64::new(0);
+/// `Device::fork` look-aheads those probes performed (the bivalence probe
+/// counter).
+static BIVALENT_FORKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide search totals: `(schedules explored, bivalent look-ahead
+/// forks)`. The serve plane samples these into its stats counters.
+pub fn async_search_stats() -> (u64, u64) {
+    (
+        SCHEDULES_EXPLORED.load(Ordering::Relaxed),
+        BIVALENT_FORKS.load(Ordering::Relaxed),
+    )
+}
+
+/// A machine-checkable counterexample to a protocol's termination (or
+/// agreement) claim under adversarial asynchronous scheduling.
+///
+/// Unlike [`crate::Certificate`] there is no chain: the entire argument is
+/// one execution, pinned by the recorded [`AsyncCertificate::schedule`].
+/// Soundness rests on replay — `verify` rebuilds the devices from the
+/// protocol, re-delivers the schedule entry by entry, and requires the
+/// recorded outcome (decisions, pending channels, budget flag, incidents)
+/// to reproduce exactly before re-checking the violated condition.
+#[derive(Debug, Clone)]
+pub struct AsyncCertificate {
+    /// Name of the refuted protocol.
+    pub protocol: String,
+    /// The graph the protocol was run on.
+    pub base: Graph,
+    /// The input assigned to every node.
+    pub inputs: Vec<Input>,
+    /// The scheduling strategy that found the violation (provenance; replay
+    /// does not consult it).
+    pub strategy: String,
+    /// The adversarial schedule: directed-edge indices in delivery order.
+    pub schedule: Vec<u32>,
+    /// Every node's decision latch at the end of the run.
+    pub decisions: Vec<Option<Decision>>,
+    /// Messages still pending per directed edge when the run ended
+    /// (sparse, ascending edge index) — the withheld-message evidence.
+    pub pending: Vec<(u32, u32)>,
+    /// Whether the run ended by exhausting the fairness budget.
+    pub budget_exhausted: bool,
+    /// Contained incidents the run recorded.
+    pub misbehavior: Vec<DeviceMisbehavior>,
+    /// The run policy (its `max_ticks` is the delivery budget).
+    pub policy: RunPolicy,
+    /// The condition that failed.
+    pub condition: Condition,
+    /// What concretely went wrong.
+    pub evidence: String,
+}
+
+impl AsyncCertificate {
+    /// Re-executes the recorded schedule with `protocol`'s devices and
+    /// checks that the violation reproduces.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Malformed`] when the certificate is structurally
+    /// unusable (wrong input count, a schedule the channel state cannot
+    /// perform); [`VerifyError::NotReproduced`] when the replayed outcome
+    /// or the re-checked condition diverges from the record.
+    pub fn verify(&self, protocol: &dyn Protocol) -> Result<(), VerifyError> {
+        crate::profile::span("verify-async", || self.verify_inner(protocol))
+    }
+
+    fn verify_inner(&self, protocol: &dyn Protocol) -> Result<(), VerifyError> {
+        let replayed = self.replay(protocol)?;
+        if replayed.misbehavior != self.misbehavior {
+            return Err(VerifyError::NotReproduced {
+                reason: format!(
+                    "replay recorded misbehavior {:?}, certificate records {:?}",
+                    replayed.misbehavior, self.misbehavior
+                ),
+            });
+        }
+        if replayed.decisions.len() != self.decisions.len() {
+            return Err(VerifyError::Malformed {
+                reason: format!(
+                    "certificate records {} decisions for a {}-node graph",
+                    self.decisions.len(),
+                    replayed.decisions.len()
+                ),
+            });
+        }
+        for (i, (got, want)) in replayed.decisions.iter().zip(&self.decisions).enumerate() {
+            let matches = match (got, want) {
+                (Some(Decision::Real(a)), Some(Decision::Real(b))) => a.to_bits() == b.to_bits(),
+                (a, b) => a == b,
+            };
+            if !matches {
+                return Err(VerifyError::NotReproduced {
+                    reason: format!("n{i} decided {got:?}, certificate records {want:?}"),
+                });
+            }
+        }
+        if replayed.pending != self.pending {
+            return Err(VerifyError::NotReproduced {
+                reason: format!(
+                    "replay left {:?} pending, certificate records {:?}",
+                    replayed.pending, self.pending
+                ),
+            });
+        }
+        if replayed.budget_exhausted != self.budget_exhausted {
+            return Err(VerifyError::NotReproduced {
+                reason: format!(
+                    "replay budget_exhausted = {}, certificate records {}",
+                    replayed.budget_exhausted, self.budget_exhausted
+                ),
+            });
+        }
+        self.recheck_condition(&replayed)
+    }
+
+    /// Re-checks the recorded condition against the *replayed* outcome —
+    /// never against the certificate's own claims.
+    fn recheck_condition(&self, run: &AsyncRun) -> Result<(), VerifyError> {
+        let quarantined: Vec<usize> = run.misbehavior.iter().map(|m| m.node.index()).collect();
+        match self.condition {
+            Condition::Termination => {
+                let starved: Vec<NodeId> = run
+                    .undecided()
+                    .into_iter()
+                    .filter(|v| !quarantined.contains(&v.index()))
+                    .collect();
+                if starved.is_empty() {
+                    return Err(VerifyError::NotReproduced {
+                        reason: "every well-behaved node decided under the replayed schedule"
+                            .into(),
+                    });
+                }
+                Ok(())
+            }
+            Condition::Agreement => {
+                let decided: Vec<&Decision> =
+                    run.decisions.iter().filter_map(Option::as_ref).collect();
+                let conflict = decided.windows(2).any(|w| !decision_eq(w[0], w[1]));
+                if !conflict {
+                    return Err(VerifyError::NotReproduced {
+                        reason: "all decisions agree under the replayed schedule".into(),
+                    });
+                }
+                Ok(())
+            }
+            Condition::Validity => Err(VerifyError::Malformed {
+                reason: "validity is not a condition the asynchronous refuter checks".into(),
+            }),
+        }
+    }
+
+    /// Rebuilds the devices and replays the schedule, memoized under the
+    /// `"async"` run-cache domain (a refute-then-verify sequence in one
+    /// process replays from the cache).
+    fn replay(&self, protocol: &dyn Protocol) -> Result<Arc<AsyncRun>, VerifyError> {
+        let n = self.base.node_count();
+        if self.inputs.len() != n {
+            return Err(VerifyError::Malformed {
+                reason: format!(
+                    "certificate carries {} inputs for a {n}-node graph",
+                    self.inputs.len()
+                ),
+            });
+        }
+        let key = crate::runkey::async_replay_key(
+            &protocol.name(),
+            &self.base,
+            &self.inputs,
+            &self.schedule,
+            &self.policy,
+        );
+        flm_sim::runcache::memoize_async(&key, || {
+            let sys = assemble(protocol, &self.base, &self.inputs)
+                .map_err(|reason| VerifyError::Malformed { reason })?;
+            sys.replay(&self.schedule, &self.policy)
+                .map_err(|e| VerifyError::Malformed {
+                    reason: format!("schedule does not replay: {e}"),
+                })
+        })
+    }
+}
+
+fn decision_eq(a: &Decision, b: &Decision) -> bool {
+    match (a, b) {
+        (Decision::Real(x), Decision::Real(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+impl fmt::Display for AsyncCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "COUNTEREXAMPLE — FLP asynchrony (adversarial scheduling)"
+        )?;
+        writeln!(
+            f,
+            "  protocol: {}   graph: {} nodes   strategy: {}",
+            self.protocol,
+            self.base.node_count(),
+            self.strategy
+        )?;
+        writeln!(
+            f,
+            "  schedule: {} deliveries, {} withheld, budget {}",
+            self.schedule.len(),
+            self.pending.iter().map(|&(_, k)| u64::from(k)).sum::<u64>(),
+            if self.budget_exhausted {
+                "exhausted"
+            } else {
+                "unspent"
+            }
+        )?;
+        for m in &self.misbehavior {
+            writeln!(f, "      misbehavior: {m}")?;
+        }
+        let ds: Vec<String> = self
+            .decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match d {
+                Some(Decision::Bool(b)) => format!("n{i}={}", u8::from(*b)),
+                Some(Decision::Real(r)) => format!("n{i}={r:.4}"),
+                Some(Decision::Fire) => format!("n{i}=FIRE"),
+                None => format!("n{i}=⊥"),
+            })
+            .collect();
+        writeln!(f, "  decisions: {}", ds.join(" "))?;
+        write!(f, "  {} violated: {}", self.condition, self.evidence)
+    }
+}
+
+/// Installs `protocol`'s devices on every node of `g`, containing
+/// constructor panics.
+fn assemble(protocol: &dyn Protocol, g: &Graph, inputs: &[Input]) -> Result<AsyncSystem, String> {
+    let mut sys = AsyncSystem::new(g.clone());
+    for v in g.nodes() {
+        let device = contain_panics(|| protocol.device(g, v))
+            .map_err(|msg| format!("device construction for {v} panicked: {msg}"))?;
+        sys.assign(v, device, inputs[v.index()]);
+    }
+    Ok(sys)
+}
+
+/// One memoized probe run under `strategy`.
+fn probe(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    inputs: &[Input],
+    strategy: &Strategy,
+    policy: &RunPolicy,
+) -> Result<Arc<AsyncRun>, RefuteError> {
+    SCHEDULES_EXPLORED.fetch_add(1, Ordering::Relaxed);
+    let key = crate::runkey::async_probe_key(&protocol.name(), g, inputs, strategy, policy);
+    let run = flm_sim::runcache::memoize_async(&key, || {
+        let sys = assemble(protocol, g, inputs)
+            .map_err(|reason| RefuteError::ModelViolation { reason })?;
+        sys.run(strategy, policy)
+            .map_err(|e| RefuteError::ModelViolation {
+                reason: format!("async run failed: {e}"),
+            })
+    })?;
+    BIVALENT_FORKS.fetch_add(run.lookahead_forks, Ordering::Relaxed);
+    Ok(run)
+}
+
+/// What a probe run violated, if anything: disagreement beats non-decision.
+fn violation_in(run: &AsyncRun) -> Option<(Condition, String)> {
+    let quarantined: Vec<usize> = run.misbehavior.iter().map(|m| m.node.index()).collect();
+    let decided: Vec<(usize, &Decision)> = run
+        .decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.as_ref().map(|d| (i, d)))
+        .collect();
+    for pair in decided.windows(2) {
+        let ((i, a), (j, b)) = (pair[0], pair[1]);
+        if !decision_eq(a, b) {
+            return Some((
+                Condition::Agreement,
+                format!("n{i} decided {a:?}, n{j} decided {b:?}"),
+            ));
+        }
+    }
+    let starved: Vec<NodeId> = run
+        .undecided()
+        .into_iter()
+        .filter(|v| !quarantined.contains(&v.index()))
+        .collect();
+    if !starved.is_empty() {
+        let names: Vec<String> = starved.iter().map(|v| v.to_string()).collect();
+        let ending = if run.budget_exhausted {
+            "the fairness budget ran out".to_string()
+        } else {
+            format!("{} deliveries were withheld", run.pending_total())
+        };
+        return Some((
+            Condition::Termination,
+            format!("{} never decided; {ending}", names.join(", ")),
+        ));
+    }
+    None
+}
+
+/// Seeds the random probes draw schedules from (arbitrary, fixed forever —
+/// they are part of the refuter's deterministic identity).
+const RANDOM_SEEDS: [u64; 2] = [0x5eed_0001, 0x5eed_0002];
+/// Seeds rotating each starvation adversary's preference order.
+const ADVERSARY_SEEDS: [u64; 2] = [0, 1];
+
+/// FLP-style asynchronous refutation: searches the schedule space for an
+/// execution under which `protocol` fails to terminate (or agree) within
+/// the fairness budget of [`crate::refute::current_policy`]'s `max_ticks`.
+///
+/// The search order is deterministic: the fair control schedule first, then
+/// one starvation adversary per victim node (each with the fixed seed
+/// rotation), then the seeded random probes. The first violating schedule
+/// becomes the certificate. Runs are memoized under the `"async"` run-cache
+/// domain, so repeated refutes — and the verify that follows — share
+/// executions.
+///
+/// # Errors
+///
+/// [`RefuteError::BadGraph`] for graphs with no channels to schedule;
+/// [`RefuteError::ModelViolation`] when device construction panics;
+/// [`RefuteError::Unrefuted`] when every explored schedule decided and
+/// agreed (the protocol survived this search — FLP says *some* adversary
+/// wins against any protocol that reads its inbox, but a protocol that
+/// ignores messages entirely can be immune to scheduling).
+pub fn flp_async(protocol: &dyn Protocol, g: &Graph) -> Result<AsyncCertificate, RefuteError> {
+    crate::profile::span("flp-async", || {
+        flp_async_inner(protocol, g, &default_strategies(g))
+    })
+}
+
+/// The full deterministic strategy ladder [`flp_async`] climbs: fair
+/// control, per-victim starvation adversaries, seeded random probes.
+pub fn default_strategies(g: &Graph) -> Vec<Strategy> {
+    let mut strategies: Vec<Strategy> = vec![Strategy::Fair];
+    for victim in g.nodes() {
+        for &seed in &ADVERSARY_SEEDS {
+            strategies.push(Strategy::Adversarial { seed, victim });
+        }
+    }
+    for &seed in &RANDOM_SEEDS {
+        strategies.push(Strategy::Random { seed });
+    }
+    strategies
+}
+
+/// [`flp_async`] restricted to an explicit strategy list — the campaign's
+/// scheduler axis calls this with just the fair schedule (`async-fair`) or
+/// just the starvation adversaries (`async-adversarial`), so a campaign
+/// cell probes exactly the scheduling model its report row claims.
+///
+/// # Errors
+///
+/// Same contract as [`flp_async`].
+pub fn flp_async_under(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    strategies: &[Strategy],
+) -> Result<AsyncCertificate, RefuteError> {
+    crate::profile::span("flp-async", || flp_async_inner(protocol, g, strategies))
+}
+
+fn flp_async_inner(
+    protocol: &dyn Protocol,
+    g: &Graph,
+    strategies: &[Strategy],
+) -> Result<AsyncCertificate, RefuteError> {
+    let n = g.node_count();
+    if n < 2 || g.links().is_empty() {
+        return Err(RefuteError::BadGraph {
+            reason: format!(
+                "{n} nodes and {} links leave nothing to schedule",
+                g.links().len()
+            ),
+        });
+    }
+    let policy = crate::refute::current_policy();
+    // Mixed inputs: scheduling attacks bite hardest when the nodes have
+    // something to disagree about.
+    let inputs: Vec<Input> = g.nodes().map(|v| Input::Bool(v.0 % 2 == 0)).collect();
+
+    let mut explored = 0usize;
+    for strategy in strategies {
+        let run = probe(protocol, g, &inputs, strategy, &policy)?;
+        explored += 1;
+        if let Some((condition, evidence)) = violation_in(&run) {
+            return Ok(AsyncCertificate {
+                protocol: protocol.name(),
+                base: g.clone(),
+                inputs,
+                strategy: strategy.describe(),
+                schedule: run.schedule.clone(),
+                decisions: run.decisions.clone(),
+                pending: run.pending.clone(),
+                budget_exhausted: run.budget_exhausted,
+                misbehavior: run.misbehavior.clone(),
+                policy,
+                condition,
+                evidence: format!("{evidence} (strategy: {})", strategy.describe()),
+            });
+        }
+    }
+    Err(RefuteError::Unrefuted {
+        reason: format!(
+            "all {explored} explored schedules decided and agreed within {} deliveries",
+            policy.max_ticks
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::device::{snapshot, Device, NodeCtx, Payload};
+    use flm_sim::devices::ConstantDevice;
+    use flm_sim::Tick;
+
+    /// In-crate stand-in for the `WaitForAll` prey protocol (`flm-protocols`
+    /// depends on this crate, not the other way around): broadcast once,
+    /// decide the OR after hearing every neighbor.
+    #[derive(Clone)]
+    struct Prey {
+        my: bool,
+        heard: Vec<bool>,
+        acc: bool,
+        sent: bool,
+        decided: Option<bool>,
+    }
+
+    impl Device for Prey {
+        fn name(&self) -> &'static str {
+            "prey"
+        }
+        fn init(&mut self, ctx: &NodeCtx) {
+            self.my = matches!(ctx.input, Input::Bool(true));
+            self.heard = vec![false; ctx.port_count()];
+        }
+        fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+            for (p, m) in inbox.iter().enumerate() {
+                if let Some(m) = m {
+                    self.heard[p] = true;
+                    self.acc |= m.as_bytes() == [1];
+                }
+            }
+            if self.decided.is_none() && !self.heard.is_empty() && self.heard.iter().all(|&h| h) {
+                self.decided = Some(self.acc || self.my);
+            }
+            if self.sent {
+                vec![None; inbox.len()]
+            } else {
+                self.sent = true;
+                vec![Some(Payload::new(vec![u8::from(self.my)])); inbox.len()]
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            match self.decided {
+                Some(b) => snapshot::decided_bool(b, &[]),
+                None => snapshot::undecided(&[]),
+            }
+        }
+        fn fork(&self) -> Option<Box<dyn Device>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    struct PreyProtocol;
+    impl Protocol for PreyProtocol {
+        fn name(&self) -> String {
+            "prey".into()
+        }
+        fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+            Box::new(Prey {
+                my: false,
+                heard: Vec::new(),
+                acc: false,
+                sent: false,
+                decided: None,
+            })
+        }
+        fn horizon(&self, _g: &Graph) -> u32 {
+            3
+        }
+    }
+
+    #[test]
+    fn starves_the_prey_and_the_certificate_verifies() {
+        let g = builders::complete(4);
+        let cert = flp_async(&PreyProtocol, &g).unwrap();
+        assert_eq!(cert.condition, Condition::Termination);
+        assert!(cert.strategy.starts_with("starve"), "{}", cert.strategy);
+        assert!(!cert.schedule.is_empty());
+        assert!(!cert.pending.is_empty(), "withheld messages are evidence");
+        cert.verify(&PreyProtocol).unwrap();
+    }
+
+    #[test]
+    fn tampered_certificates_fail_verification() {
+        let g = builders::triangle();
+        let mut cert = flp_async(&PreyProtocol, &g).unwrap();
+        // Claim the victim decided after all.
+        let victim = cert
+            .decisions
+            .iter()
+            .position(Option::is_none)
+            .expect("a starved node");
+        cert.decisions[victim] = Some(Decision::Bool(true));
+        assert!(matches!(
+            cert.verify(&PreyProtocol),
+            Err(VerifyError::NotReproduced { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_schedules_do_not_reproduce() {
+        let g = builders::triangle();
+        let mut cert = flp_async(&PreyProtocol, &g).unwrap();
+        cert.schedule.pop();
+        assert!(cert.verify(&PreyProtocol).is_err());
+    }
+
+    #[test]
+    fn silent_disagreement_is_caught_on_agreement() {
+        // ConstantDevice never sends and decides its input at bootstrap:
+        // no schedule can starve it, but mixed inputs make it *disagree*.
+        struct Constant;
+        impl Protocol for Constant {
+            fn name(&self) -> String {
+                "Constant".into()
+            }
+            fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+                Box::new(ConstantDevice::new())
+            }
+            fn horizon(&self, _g: &Graph) -> u32 {
+                1
+            }
+        }
+        let cert = flp_async(&Constant, &builders::triangle()).unwrap();
+        assert_eq!(cert.condition, Condition::Agreement);
+        cert.verify(&Constant).unwrap();
+    }
+
+    #[test]
+    fn degenerate_graphs_are_rejected() {
+        assert!(matches!(
+            flp_async(&PreyProtocol, &builders::complete(1)),
+            Err(RefuteError::BadGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn search_counters_advance() {
+        let (before_s, _) = async_search_stats();
+        let _ = flp_async(&PreyProtocol, &builders::triangle());
+        let (after_s, after_f) = async_search_stats();
+        assert!(after_s > before_s);
+        assert!(after_f > 0, "the adversary forks for look-ahead");
+    }
+}

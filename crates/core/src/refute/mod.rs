@@ -23,12 +23,16 @@
 mod approx;
 mod ba;
 mod clocks;
+mod flp;
 mod general;
 mod ring;
 
 pub use approx::{eps_delta_gamma, simple_approx, simple_approx_connectivity};
 pub use ba::{ba_connectivity, ba_nodes, byzantine};
 pub use clocks::{clock_sync, corollary_13, corollary_14, corollary_15, ClockCertificate};
+pub use flp::{
+    async_search_stats, default_strategies, flp_async, flp_async_under, AsyncCertificate,
+};
 pub use general::{eps_delta_gamma_general, firing_squad_general, weak_agreement_general};
 pub use ring::{
     firing_squad, firing_squad_any, firing_squad_direct_connectivity, firing_squad_direct_general,

@@ -206,6 +206,57 @@ pub(crate) fn all_correct_schedule(
     PrefixSchedule::new(w.finish(), Vec::new())
 }
 
+/// Key for one of the FLP refuter's strategy probes ([`crate::refute::flp_async`]):
+/// the assembly plus the strategy that will pick the schedule. Lives in the
+/// dedicated `"async"` domain so an asynchronous run can never alias a
+/// synchronous one, and carries a mode tag distinguishing it from
+/// [`async_replay_key`] entries for the same assembly.
+pub(crate) fn async_probe_key(
+    protocol_name: &str,
+    g: &Graph,
+    inputs: &[Input],
+    strategy: &flm_sim::async_sched::Strategy,
+    policy: &RunPolicy,
+) -> RunKey {
+    let mut w = Writer::new();
+    w.u8(0); // mode: recorded probe
+    w.str(protocol_name);
+    w.bytes(&g.to_bytes());
+    w.u32(inputs.len() as u32);
+    for &input in inputs {
+        input.encode(&mut w);
+    }
+    strategy.encode(&mut w);
+    policy.encode(&mut w);
+    RunKey::new("async", w.finish())
+}
+
+/// Key for an [`crate::refute::AsyncCertificate`] schedule replay: the
+/// assembly plus the explicit delivery sequence. Same `"async"` domain as
+/// [`async_probe_key`], different mode tag.
+pub(crate) fn async_replay_key(
+    protocol_name: &str,
+    g: &Graph,
+    inputs: &[Input],
+    schedule: &[u32],
+    policy: &RunPolicy,
+) -> RunKey {
+    let mut w = Writer::new();
+    w.u8(1); // mode: schedule replay
+    w.str(protocol_name);
+    w.bytes(&g.to_bytes());
+    w.u32(inputs.len() as u32);
+    for &input in inputs {
+        input.encode(&mut w);
+    }
+    w.u32(schedule.len() as u32);
+    for &e in schedule {
+        w.u32(e);
+    }
+    policy.encode(&mut w);
+    RunKey::new("async", w.finish())
+}
+
 /// Key for the clock refuters' shifted-ring runs: the claim's rate envelope
 /// determines every hardware clock, so (graph, claim, k, t_eval) pins the
 /// whole continuous execution.

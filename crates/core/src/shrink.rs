@@ -51,13 +51,16 @@ pub fn reverify_same_condition(
 }
 
 /// The result of a shrink run: the smallest scenario that still refutes,
-/// its certificate, and how hard the search worked.
+/// its certificate, and how hard the search worked. Generic over the
+/// certificate type so the asynchronous campaign axis shrinks
+/// [`crate::refute::AsyncCertificate`]s (schedule length included) through
+/// the same greedy loop; `C` defaults to the discrete [`Certificate`].
 #[derive(Debug, Clone)]
-pub struct ShrinkOutcome<S> {
+pub struct ShrinkOutcome<S, C = Certificate> {
     /// The minimized scenario.
     pub scenario: S,
     /// The verified certificate of the minimized scenario.
-    pub certificate: Certificate,
+    pub certificate: C,
     /// Final scenario size.
     pub dims: ScenarioDims,
     /// Probes attempted (including rejected candidates).
@@ -76,14 +79,14 @@ pub struct ShrinkOutcome<S> {
 /// [`reverify_same_condition`]). Candidates not strictly smaller than the
 /// current best (per [`strictly_smaller`]) are skipped without spending an
 /// attempt, so generators may over-produce.
-pub fn greedy<S: Clone>(
+pub fn greedy<S: Clone, C>(
     scenario: S,
-    certificate: Certificate,
+    certificate: C,
     dims: ScenarioDims,
     candidates: impl Fn(&S) -> Vec<(S, ScenarioDims)>,
-    probe: impl Fn(&S) -> Option<Certificate>,
+    probe: impl Fn(&S) -> Option<C>,
     max_attempts: usize,
-) -> ShrinkOutcome<S> {
+) -> ShrinkOutcome<S, C> {
     let mut out = ShrinkOutcome {
         scenario,
         certificate,

@@ -29,6 +29,10 @@
 //!   disjoint paths per pair, any protocol written for the complete graph
 //!   runs on any `2f+1`-connected graph. This is what carries every upper
 //!   bound from `K_n` to general adequate graphs.
+//! * [`waitall::WaitForAll`] — the FLP-style refuter's prey: decides the
+//!   OR of its neighborhood once every neighbor has been heard, so it
+//!   terminates under every fair schedule but hangs forever when the
+//!   scheduling adversary starves one node.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod firing_squad;
 pub mod phase_king;
 pub mod registry;
 pub mod relay;
+pub mod waitall;
 pub mod weak;
 
 pub mod testkit;
@@ -53,4 +58,5 @@ pub use firing_squad::FiringSquadViaBa;
 pub use phase_king::PhaseKing;
 pub use registry::{resolve, resolve_clock, RegistryError};
 pub use relay::Relayed;
+pub use waitall::WaitForAll;
 pub use weak::WeakViaBa;

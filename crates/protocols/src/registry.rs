@@ -20,6 +20,7 @@
 //! | `FiringSquadViaBA(f=N)` | [`FiringSquadViaBa`] |
 //! | `Relayed(INNER, f=N)` | [`Relayed`] over a resolved `INNER` |
 //! | `NaiveMajority` | [`NaiveMajority`] |
+//! | `WaitForAll` | [`WaitForAll`] (the FLP refuter's prey) |
 //! | `Table(SEED)` | [`Table`] |
 //!
 //! and, for clock certificates ([`resolve_clock`]):
@@ -43,7 +44,7 @@ use flm_sim::devices::{NaiveMajorityDevice, TableDevice};
 use flm_sim::{ClockProtocol, Device, Protocol};
 
 use crate::clock_sync::{AveragingClockSync, TrivialClockSync};
-use crate::{Dlpsw, DolevStrong, Eig, FiringSquadViaBa, PhaseKing, Relayed, WeakViaBa};
+use crate::{Dlpsw, DolevStrong, Eig, FiringSquadViaBa, PhaseKing, Relayed, WaitForAll, WeakViaBa};
 
 /// Error from [`resolve`]/[`resolve_clock`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +152,9 @@ fn parse_usize(name: &str, text: &str) -> Result<usize, RegistryError> {
 pub fn resolve(name: &str) -> Result<Box<dyn Protocol>, RegistryError> {
     if name == "NaiveMajority" {
         return Ok(Box::new(NaiveMajority));
+    }
+    if name == "WaitForAll" {
+        return Ok(Box::new(WaitForAll));
     }
     if let Some(p) = params(name, "EIG(f=") {
         return Ok(Box::new(Eig::new(parse_usize(name, p)?)));
@@ -260,6 +264,21 @@ pub fn zoo(f: usize) -> Vec<(flm_sim::campaign::ProblemKind, String)> {
     ]
 }
 
+/// The async-capable slice of the zoo: protocols whose devices behave
+/// sensibly when stepped one delivery at a time (tolerant of partial
+/// inboxes, no reliance on global round structure). Async campaign sweeps
+/// and the FLP refuter probe these; `WaitForAll` is the guaranteed prey —
+/// it decides under every fair schedule and hangs under the starvation
+/// adversary. The sync [`zoo`] is deliberately untouched, so synchronous
+/// campaigns reproduce exactly what they always did.
+pub fn async_zoo(_f: usize) -> Vec<(flm_sim::campaign::ProblemKind, String)> {
+    use flm_sim::campaign::ProblemKind;
+    vec![
+        (ProblemKind::ByzantineAgreement, "WaitForAll".into()),
+        (ProblemKind::ByzantineAgreement, "NaiveMajority".into()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +297,7 @@ mod tests {
             "WeakViaBA(EIG(f=1))",
             "FiringSquadViaBA(f=1)",
             "NaiveMajority",
+            "WaitForAll",
             "Table(42)",
             "Relayed(EIG(f=1), f=1)",
             "Relayed(DLPSW(f=1, R=4), f=1)",
@@ -344,5 +364,16 @@ mod tests {
         }
         // Determinism: the zoo is a fixed list.
         assert_eq!(zoo(1), zoo(1));
+    }
+
+    #[test]
+    fn async_zoo_entries_resolve_and_include_the_prey() {
+        let entries = async_zoo(1);
+        assert!(entries.iter().any(|(_, n)| n == "WaitForAll"));
+        for (_, name) in &entries {
+            let p = resolve(name).unwrap_or_else(|e| panic!("async zoo entry {name:?}: {e}"));
+            assert_eq!(&p.name(), name);
+        }
+        assert_eq!(async_zoo(1), async_zoo(1));
     }
 }

@@ -1,0 +1,175 @@
+//! `WaitForAll` — the FLP refuter's prey protocol.
+//!
+//! Each node broadcasts its Boolean input once (at its first step) and
+//! then waits until it has heard from *every* neighbor before deciding the
+//! OR of everything it has seen. Under any schedule that eventually
+//! delivers every message — the synchronous kernel, the async round-robin
+//! scheduler, seeded-random scheduling — every node decides quickly. But
+//! the decision is gated on full neighborhood coverage, so a scheduling
+//! adversary that starves one node of even a single incoming message keeps
+//! that node undecided forever: the protocol's termination claim is exactly
+//! the kind asynchrony refutes ([`crate::registry`] serves it to
+//! `flm_core::refute` as the default `flp_async` target).
+//!
+//! The device implements [`Device::fork`], which the bivalence-seeking
+//! chooser uses for one-step-forward/one-step-back look-ahead.
+
+use flm_graph::{Graph, NodeId};
+use flm_sim::device::{snapshot, Device, Input, NodeCtx, Payload};
+use flm_sim::{Protocol, Tick};
+
+/// Per-node device for [`WaitForAll`].
+#[derive(Debug, Clone)]
+pub struct WaitForAllDevice {
+    input: bool,
+    heard: Vec<bool>,
+    acc: bool,
+    sent: bool,
+    decided: Option<bool>,
+}
+
+impl WaitForAllDevice {
+    /// A fresh, un-initialized device.
+    pub fn new() -> Self {
+        WaitForAllDevice {
+            input: false,
+            heard: Vec::new(),
+            acc: false,
+            sent: false,
+            decided: None,
+        }
+    }
+}
+
+impl Default for WaitForAllDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Device for WaitForAllDevice {
+    fn name(&self) -> &'static str {
+        "WaitForAll"
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.input = matches!(ctx.input, Input::Bool(true));
+        self.heard = vec![false; ctx.port_count()];
+    }
+
+    fn step(&mut self, _t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        for (p, m) in inbox.iter().enumerate() {
+            if let Some(m) = m {
+                if p < self.heard.len() {
+                    self.heard[p] = true;
+                    self.acc |= m.as_bytes().first() == Some(&1);
+                }
+            }
+        }
+        if self.decided.is_none() && !self.heard.is_empty() && self.heard.iter().all(|&h| h) {
+            self.decided = Some(self.acc || self.input);
+        }
+        if self.sent {
+            vec![None; inbox.len()]
+        } else {
+            self.sent = true;
+            vec![Some(Payload::new(vec![u8::from(self.input)])); inbox.len()]
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut state = vec![u8::from(self.input), u8::from(self.acc)];
+        for &h in &self.heard {
+            state.push(u8::from(h));
+        }
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &state),
+            None => snapshot::undecided(&state),
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// The protocol: every node runs a [`WaitForAllDevice`].
+pub struct WaitForAll;
+
+impl Protocol for WaitForAll {
+    fn name(&self) -> String {
+        "WaitForAll".into()
+    }
+
+    fn device(&self, _g: &Graph, _v: NodeId) -> Box<dyn Device> {
+        Box::new(WaitForAllDevice::new())
+    }
+
+    fn horizon(&self, _g: &Graph) -> u32 {
+        // Broadcast at tick 0, full neighborhood heard at tick 1, one tick
+        // of slack.
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flm_graph::builders;
+    use flm_sim::async_sched::{AsyncSystem, Strategy};
+    use flm_sim::system::System;
+    use flm_sim::{Decision, RunPolicy};
+
+    #[test]
+    fn decides_under_the_synchronous_kernel() {
+        let g = builders::complete(4);
+        let mut sys = System::new(g.clone());
+        for v in g.nodes() {
+            sys.assign(v, WaitForAll.device(&g, v), Input::Bool(v == NodeId(0)));
+        }
+        let b = sys.run(WaitForAll.horizon(&g));
+        for v in g.nodes() {
+            assert_eq!(
+                b.node(v).decision(),
+                Some(Decision::Bool(true)),
+                "{v} must decide the OR"
+            );
+        }
+    }
+
+    #[test]
+    fn decides_under_fair_async_scheduling() {
+        let g = builders::complete(4);
+        let mut sys = AsyncSystem::new(g.clone());
+        for v in g.nodes() {
+            sys.assign(v, WaitForAll.device(&g, v), Input::Bool(false));
+        }
+        let run = sys.run(&Strategy::Fair, &RunPolicy::default()).unwrap();
+        assert!(run.undecided().is_empty());
+        assert!(run.pending.is_empty());
+        for d in &run.decisions {
+            assert_eq!(*d, Some(Decision::Bool(false)));
+        }
+    }
+
+    #[test]
+    fn hangs_under_the_starvation_adversary() {
+        let g = builders::complete(4);
+        let victim = NodeId(3);
+        let mut sys = AsyncSystem::new(g.clone());
+        for v in g.nodes() {
+            sys.assign(v, WaitForAll.device(&g, v), Input::Bool(v.0 % 2 == 0));
+        }
+        let run = sys
+            .run(
+                &Strategy::Adversarial { seed: 0, victim },
+                &RunPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(run.undecided(), vec![victim]);
+        assert!(
+            run.pending_total() > 0,
+            "withheld messages are the evidence"
+        );
+    }
+}

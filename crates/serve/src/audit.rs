@@ -145,6 +145,43 @@ fn audit_into(bytes: &[u8], timeline: bool, report: &mut String, diagnostics: &m
                 }
             }
         }
+        AnyCertificate::Async(cert) => {
+            // Verification replays the recorded schedule byte-for-byte, so a
+            // clean exit here means the adversarial execution reproduced
+            // delivery by delivery.
+            let protocol = match resolve(&cert.protocol) {
+                Ok(p) => p,
+                Err(e) => {
+                    let _ = writeln!(diagnostics, "{e}");
+                    return EXIT_MALFORMED;
+                }
+            };
+            match cert.verify(&*protocol) {
+                Ok(()) => {
+                    let _ = writeln!(report, "{cert}");
+                    let _ = writeln!(
+                        report,
+                        "VERIFIED: violation reproduced against {}",
+                        cert.protocol
+                    );
+                    if timeline {
+                        let _ = writeln!(
+                            diagnostics,
+                            "--timeline applies to discrete certificates only"
+                        );
+                    }
+                    EXIT_VERIFIED
+                }
+                Err(VerifyError::NotReproduced { reason }) => {
+                    let _ = writeln!(diagnostics, "NOT REPRODUCED: {reason}");
+                    EXIT_NOT_REPRODUCED
+                }
+                Err(VerifyError::Malformed { reason }) => {
+                    let _ = writeln!(diagnostics, "malformed certificate: {reason}");
+                    EXIT_MALFORMED
+                }
+            }
+        }
     }
 }
 
@@ -257,6 +294,13 @@ pub fn verify_bytes(bytes: &[u8]) -> (Verdict, String) {
                 Err(e) => return (Verdict::Malformed, e.to_string()),
             },
         ),
+        AnyCertificate::Async(cert) => (
+            cert.protocol.clone(),
+            match resolve(&cert.protocol) {
+                Ok(p) => cert.verify(&*p),
+                Err(e) => return (Verdict::Malformed, e.to_string()),
+            },
+        ),
     };
     match outcome {
         Ok(()) => (Verdict::Verified, protocol_name),
@@ -357,6 +401,18 @@ mod tests {
         assert!(err.contains("no .flmc files"), "{err}");
         assert_eq!(batch_exit_code(&[]), EXIT_MALFORMED);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn async_certificates_audit_clean_too() {
+        let bytes =
+            refute_to_bytes(Theorem::FlpAsync, None, None, 1, RunPolicy::default()).unwrap();
+        let report = audit_bytes(&bytes, false);
+        assert_eq!(report.exit_code, EXIT_VERIFIED, "{}", report.diagnostics);
+        assert!(report.report.contains("FLP"), "{}", report.report);
+        let (verdict, detail) = verify_bytes(&bytes);
+        assert_eq!(verdict, Verdict::Verified);
+        assert!(detail.contains("WaitForAll"), "detail {detail:?}");
     }
 
     #[test]

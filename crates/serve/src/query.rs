@@ -19,7 +19,7 @@ use flm_protocols::{resolve, resolve_clock};
 use flm_sim::clock::TimeFn;
 use flm_sim::RunPolicy;
 
-/// The seven refutable theorem families.
+/// The eight refutable theorem families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Theorem {
     /// Theorem 1: Byzantine agreement needs `n ≥ 3f + 1` nodes.
@@ -36,11 +36,14 @@ pub enum Theorem {
     EpsDeltaGamma,
     /// Theorem 8: clock synchronization.
     ClockSync,
+    /// The FLP-style asynchronous family: termination under adversarial
+    /// message scheduling.
+    FlpAsync,
 }
 
 impl Theorem {
     /// Every family, in the canonical order the test suites sweep.
-    pub const ALL: [Theorem; 7] = [
+    pub const ALL: [Theorem; 8] = [
         Theorem::BaNodes,
         Theorem::BaConnectivity,
         Theorem::WeakAgreement,
@@ -48,6 +51,7 @@ impl Theorem {
         Theorem::SimpleApprox,
         Theorem::EpsDeltaGamma,
         Theorem::ClockSync,
+        Theorem::FlpAsync,
     ];
 
     /// The family's command-line / wire name.
@@ -60,15 +64,22 @@ impl Theorem {
             Theorem::SimpleApprox => "simple-approx",
             Theorem::EpsDeltaGamma => "eps-delta-gamma",
             Theorem::ClockSync => "clock-sync",
+            Theorem::FlpAsync => "flp-async",
         }
     }
 
-    /// Parses a family name (the inverse of [`Theorem::name`]).
+    /// Parses a family name (the inverse of [`Theorem::name`]). The
+    /// asynchronous family also answers to its underscore spelling
+    /// `flp_async` — the form the FLP literature (and muscle memory)
+    /// produces.
     ///
     /// # Errors
     ///
     /// Returns [`QueryError::UnknownTheorem`] for anything else.
     pub fn parse(name: &str) -> Result<Theorem, QueryError> {
+        if name == "flp_async" {
+            return Ok(Theorem::FlpAsync);
+        }
         Theorem::ALL
             .into_iter()
             .find(|t| t.name() == name)
@@ -85,6 +96,7 @@ impl Theorem {
             Theorem::FiringSquad => format!("FiringSquadViaBA(f={f})"),
             Theorem::SimpleApprox | Theorem::EpsDeltaGamma => format!("DLPSW(f={f}, R=4)"),
             Theorem::ClockSync => "TrivialClockSync".into(),
+            Theorem::FlpAsync => "WaitForAll".into(),
         }
     }
 
@@ -92,6 +104,7 @@ impl Theorem {
     pub fn default_graph(self) -> Graph {
         match self {
             Theorem::BaConnectivity => builders::cycle(4),
+            Theorem::FlpAsync => builders::complete(4),
             _ => builders::triangle(),
         }
     }
@@ -136,7 +149,7 @@ impl fmt::Display for QueryError {
             QueryError::UnknownTheorem { name } => write!(
                 f,
                 "unknown theorem {name:?} (want ba-nodes, ba-connectivity, weak-agreement, \
-                 firing-squad, simple-approx, eps-delta-gamma, or clock-sync)"
+                 firing-squad, simple-approx, eps-delta-gamma, clock-sync, or flp-async)"
             ),
             QueryError::BadRequest { reason } => write!(f, "{reason}"),
             QueryError::Refute { reason } => write!(f, "{reason}"),
@@ -281,6 +294,19 @@ pub fn refute_to_bytes(
         }
     };
 
+    if theorem == Theorem::FlpAsync {
+        // The asynchronous family has no fault budget: the adversary is the
+        // scheduler, not a set of Byzantine nodes. `f` still participates in
+        // the query key so cached entries stay distinct per request shape.
+        let protocol = resolve(name).map_err(bad)?;
+        let cert =
+            flm_core::with_policy(policy, || refute::flp_async(&*protocol, g)).map_err(declined)?;
+        cert.verify(&*protocol).map_err(|e| QueryError::SelfCheck {
+            reason: e.to_string(),
+        })?;
+        return Ok(cert.to_bytes());
+    }
+
     if theorem == Theorem::ClockSync {
         let protocol = resolve_clock(name).map_err(bad)?;
         let claim = canonical_clock_claim();
@@ -300,7 +326,7 @@ pub fn refute_to_bytes(
         Theorem::FiringSquad => refute::firing_squad(&*protocol, g, f),
         Theorem::SimpleApprox => refute::simple_approx(&*protocol, g, f),
         Theorem::EpsDeltaGamma => refute::eps_delta_gamma(&*protocol, g, f, 0.25, 1.0, 1.0),
-        Theorem::ClockSync => unreachable!("handled above"),
+        Theorem::ClockSync | Theorem::FlpAsync => unreachable!("handled above"),
     })
     .map_err(declined)?;
     cert.verify(&*protocol).map_err(|e| QueryError::SelfCheck {
@@ -322,6 +348,21 @@ mod tests {
             Theorem::parse("ba_nodes"),
             Err(QueryError::UnknownTheorem { .. })
         ));
+        // The async family alone accepts its underscore spelling.
+        assert_eq!(Theorem::parse("flp_async").unwrap(), Theorem::FlpAsync);
+    }
+
+    #[test]
+    fn flp_async_defaults_refute_and_self_verify() {
+        let bytes =
+            refute_to_bytes(Theorem::FlpAsync, None, None, 1, RunPolicy::default()).unwrap();
+        let cert = flm_core::codec::decode_any(&bytes).unwrap();
+        assert_eq!(cert.to_bytes(), bytes);
+        assert!(matches!(cert, flm_core::codec::AnyCertificate::Async(_)));
+        // Deterministic: a second run is byte-identical.
+        let again =
+            refute_to_bytes(Theorem::FlpAsync, None, None, 1, RunPolicy::default()).unwrap();
+        assert_eq!(again, bytes);
     }
 
     #[test]

@@ -406,80 +406,139 @@ impl fmt::Display for ErrorCode {
     }
 }
 
-/// Server counters and cache statistics, the body of [`Response::Stats`].
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct StatsReport {
+/// Declares the stats counter table exactly once: the struct fields, the
+/// wire order, and the length-tagged codec are all generated from the same
+/// list, so adding a counter is a single-site change that cannot drift
+/// between the encoder and the decoder. On the wire the table travels as a
+/// `u32` entry count followed by that many `u64` values — a peer built with
+/// a different table answers with a structured [`RpcDecodeError::Invalid`]
+/// instead of silently misaligned reads.
+macro_rules! stats_counter_table {
+    ($( $(#[$doc:meta])* $name:ident ),+ $(,)?) => {
+        /// Server counters and cache statistics, the body of
+        /// [`Response::Stats`]. The numeric counters are one length-tagged
+        /// table on the wire (see [`stats_counter_table!`]); `profile`
+        /// follows the table as a plain string.
+        #[derive(Debug, Clone, Default, PartialEq)]
+        pub struct StatsReport {
+            $( $(#[$doc])* pub $name: u64, )+
+            /// `flm_core::profile::report()` output when `FLM_PROFILE` is
+            /// enabled in the server process; empty otherwise.
+            pub profile: String,
+        }
+
+        impl StatsReport {
+            /// How many `u64` counters this build's table carries; the
+            /// length tag every encoded report leads with.
+            pub const COUNTER_COUNT: u32 =
+                [$(stringify!($name)),+].len() as u32;
+
+            fn encode_into(&self, w: &mut Writer) {
+                w.u32(Self::COUNTER_COUNT);
+                $( w.u64(self.$name); )+
+                w.str(&self.profile);
+            }
+
+            fn decode_from(r: &mut Reader<'_>) -> Result<StatsReport, RpcDecodeError> {
+                let count = r.u32().map_err(corrupt("stats.counter_count"))?;
+                if count != Self::COUNTER_COUNT {
+                    return Err(RpcDecodeError::Invalid {
+                        context: "stats.counter_count",
+                        reason: format!(
+                            "counter table has {count} entries, this build speaks {}",
+                            Self::COUNTER_COUNT
+                        ),
+                    });
+                }
+                Ok(StatsReport {
+                    $( $name: r
+                        .u64()
+                        .map_err(corrupt(concat!("stats.", stringify!($name))))?, )+
+                    profile: r.str().map_err(corrupt("stats.profile"))?.to_owned(),
+                })
+            }
+        }
+    };
+}
+
+stats_counter_table! {
     /// Connections the acceptor admitted to the pool.
-    pub connections_accepted: u64,
+    connections_accepted,
     /// Connections answered with [`Response::Overloaded`] instead of being
     /// queued.
-    pub connections_shed: u64,
+    connections_shed,
     /// Ping requests served.
-    pub requests_ping: u64,
+    requests_ping,
     /// Refute requests served (successfully or not).
-    pub requests_refute: u64,
+    requests_refute,
     /// Verify requests served.
-    pub requests_verify: u64,
+    requests_verify,
     /// Audit requests served.
-    pub requests_audit: u64,
+    requests_audit,
     /// Stats requests served.
-    pub requests_stats: u64,
+    requests_stats,
     /// Typed error responses sent.
-    pub responses_error: u64,
+    responses_error,
     /// Frames (or bodies) rejected as malformed.
-    pub malformed_frames: u64,
+    malformed_frames,
     /// Process-global run-cache hits (see `flm_sim::runcache::stats`).
-    pub cache_hits: u64,
+    cache_hits,
     /// Process-global run-cache misses.
-    pub cache_misses: u64,
+    cache_misses,
     /// Behaviors currently stored in the run cache.
-    pub cache_entries: u64,
+    cache_entries,
     /// Approximate behavior bytes served from the cache instead of re-run.
-    pub cache_bytes_saved: u64,
+    cache_bytes_saved,
     /// Process-global prefix-trie hits — runs resumed from a stored tick
     /// snapshot (see `flm_sim::prefixcache::stats`).
-    pub prefix_hits: u64,
+    prefix_hits,
     /// Prefix-trie misses — runs simulated from tick 0.
-    pub prefix_misses: u64,
+    prefix_misses,
     /// Snapshots dropped by the prefix trie's LRU bound.
-    pub prefix_evictions: u64,
+    prefix_evictions,
     /// Ticks skipped by resuming from snapshots instead of re-simulating.
-    pub prefix_ticks_saved: u64,
+    prefix_ticks_saved,
     /// Snapshots currently stored in the prefix trie.
-    pub prefix_entries: u64,
+    prefix_entries,
     /// Requests answered with [`Response::Overloaded`] while the worker
     /// pool and its queue were saturated (the connection stays open).
-    pub requests_shed: u64,
+    requests_shed,
     /// Certificate-store hits served from its in-memory layer.
-    pub store_mem_hits: u64,
+    store_mem_hits,
     /// Certificate-store hits served from disk (verified on load).
-    pub store_disk_hits: u64,
+    store_disk_hits,
     /// Certificate-store lookups that fell through to a simulation.
-    pub store_misses: u64,
+    store_misses,
     /// Fresh certificates persisted to the store.
-    pub store_stores: u64,
+    store_stores,
     /// Damaged store entries quarantined instead of served.
-    pub store_quarantined: u64,
+    store_quarantined,
     /// Entries evicted from the store's bounded in-memory tier (the tier
     /// whose capacity `--store-mem-cap` / `FLM_STORE_MEM_CAP` sets).
-    pub store_mem_evictions: u64,
+    store_mem_evictions,
     /// FetchCert requests served.
-    pub requests_fetch: u64,
+    requests_fetch,
     /// PutCert requests served.
-    pub requests_put: u64,
+    requests_put,
     /// Requests answered with a typed `WrongShard` (the key's canonical
     /// owner is a different shard).
-    pub wrong_shard: u64,
+    wrong_shard,
     /// Certificates pulled from a peer shard's store on a local miss
     /// (verified on receive before being owned).
-    pub peer_fetches: u64,
+    peer_fetches,
+    /// Refute requests for the asynchronous (`flp-async`) family, a subset
+    /// of `requests_refute`.
+    async_refutes,
+    /// Process-global schedules explored by the asynchronous bivalence
+    /// search (see `flm_core::refute::async_search_stats`).
+    async_schedules_explored,
+    /// Process-global bivalence look-ahead forks taken by the adversarial
+    /// scheduler while choosing which delivery keeps the run undecided.
+    async_bivalent_forks,
     /// This server's shard id; meaningful only when `shard_count > 0`.
-    pub shard_id: u64,
+    shard_id,
     /// Shards in the topology this server is part of; `0` means unsharded.
-    pub shard_count: u64,
-    /// `flm_core::profile::report()` output when `FLM_PROFILE` is enabled
-    /// in the server process; empty otherwise.
-    pub profile: String,
+    shard_count,
 }
 
 impl StatsReport {
@@ -508,81 +567,6 @@ impl StatsReport {
     /// tiers. The per-shard cluster table reports this as the hit column.
     pub fn warm_hits(&self) -> u64 {
         self.cache_hits + self.store_mem_hits + self.store_disk_hits
-    }
-
-    fn encode_into(&self, w: &mut Writer) {
-        w.u64(self.connections_accepted)
-            .u64(self.connections_shed)
-            .u64(self.requests_ping)
-            .u64(self.requests_refute)
-            .u64(self.requests_verify)
-            .u64(self.requests_audit)
-            .u64(self.requests_stats)
-            .u64(self.responses_error)
-            .u64(self.malformed_frames)
-            .u64(self.cache_hits)
-            .u64(self.cache_misses)
-            .u64(self.cache_entries)
-            .u64(self.cache_bytes_saved)
-            .u64(self.prefix_hits)
-            .u64(self.prefix_misses)
-            .u64(self.prefix_evictions)
-            .u64(self.prefix_ticks_saved)
-            .u64(self.prefix_entries)
-            .u64(self.requests_shed)
-            .u64(self.store_mem_hits)
-            .u64(self.store_disk_hits)
-            .u64(self.store_misses)
-            .u64(self.store_stores)
-            .u64(self.store_quarantined)
-            .u64(self.store_mem_evictions)
-            .u64(self.requests_fetch)
-            .u64(self.requests_put)
-            .u64(self.wrong_shard)
-            .u64(self.peer_fetches)
-            .u64(self.shard_id)
-            .u64(self.shard_count)
-            .str(&self.profile);
-    }
-
-    fn decode_from(r: &mut Reader<'_>) -> Result<StatsReport, RpcDecodeError> {
-        let mut next = |context: &'static str| r.u64().map_err(corrupt(context));
-        let s = StatsReport {
-            connections_accepted: next("stats.connections_accepted")?,
-            connections_shed: next("stats.connections_shed")?,
-            requests_ping: next("stats.requests_ping")?,
-            requests_refute: next("stats.requests_refute")?,
-            requests_verify: next("stats.requests_verify")?,
-            requests_audit: next("stats.requests_audit")?,
-            requests_stats: next("stats.requests_stats")?,
-            responses_error: next("stats.responses_error")?,
-            malformed_frames: next("stats.malformed_frames")?,
-            cache_hits: next("stats.cache_hits")?,
-            cache_misses: next("stats.cache_misses")?,
-            cache_entries: next("stats.cache_entries")?,
-            cache_bytes_saved: next("stats.cache_bytes_saved")?,
-            prefix_hits: next("stats.prefix_hits")?,
-            prefix_misses: next("stats.prefix_misses")?,
-            prefix_evictions: next("stats.prefix_evictions")?,
-            prefix_ticks_saved: next("stats.prefix_ticks_saved")?,
-            prefix_entries: next("stats.prefix_entries")?,
-            requests_shed: next("stats.requests_shed")?,
-            store_mem_hits: next("stats.store_mem_hits")?,
-            store_disk_hits: next("stats.store_disk_hits")?,
-            store_misses: next("stats.store_misses")?,
-            store_stores: next("stats.store_stores")?,
-            store_quarantined: next("stats.store_quarantined")?,
-            store_mem_evictions: next("stats.store_mem_evictions")?,
-            requests_fetch: next("stats.requests_fetch")?,
-            requests_put: next("stats.requests_put")?,
-            wrong_shard: next("stats.wrong_shard")?,
-            peer_fetches: next("stats.peer_fetches")?,
-            shard_id: next("stats.shard_id")?,
-            shard_count: next("stats.shard_count")?,
-            profile: String::new(),
-        };
-        let profile = r.str().map_err(corrupt("stats.profile"))?.to_owned();
-        Ok(StatsReport { profile, ..s })
     }
 }
 
@@ -636,6 +620,13 @@ impl fmt::Display for StatsReport {
             self.store_quarantined,
             self.store_mem_evictions,
         )?;
+        if self.async_refutes > 0 || self.async_schedules_explored > 0 {
+            write!(
+                f,
+                "\nasync: {} refutes, {} schedules explored, {} bivalent forks",
+                self.async_refutes, self.async_schedules_explored, self.async_bivalent_forks,
+            )?;
+        }
         if self.shard_count > 0 {
             write!(
                 f,
@@ -1238,6 +1229,52 @@ mod tests {
         // One header line plus one line per shard, dashes for the down one.
         assert_eq!(rendered.lines().count(), 5, "{rendered}");
         assert!(rendered.lines().last().unwrap().contains('-'), "{rendered}");
+    }
+
+    #[test]
+    fn stats_counter_table_is_length_tagged() {
+        // The first wire field of a stats body is the table length; a peer
+        // built with a different counter list fails structurally instead of
+        // reading misaligned u64s.
+        let frame = Response::Stats(StatsReport::default()).to_frame();
+        let mut r = Reader::new(&frame.body);
+        assert_eq!(r.u32().unwrap(), StatsReport::COUNTER_COUNT);
+
+        let mut w = Writer::new();
+        w.u32(StatsReport::COUNTER_COUNT - 1);
+        for _ in 0..StatsReport::COUNTER_COUNT - 1 {
+            w.u64(0);
+        }
+        w.str("");
+        let forged = Frame::new(kind::RESP_STATS, w.finish());
+        match Response::from_frame(&forged) {
+            Err(RpcDecodeError::Invalid { context, .. }) => {
+                assert_eq!(context, "stats.counter_count");
+            }
+            other => panic!("mis-sized counter table accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_counters_survive_the_wire_and_render() {
+        let report = StatsReport {
+            async_refutes: 2,
+            async_schedules_explored: 17,
+            async_bivalent_forks: 41,
+            ..StatsReport::default()
+        };
+        let frame = Response::Stats(report.clone()).to_frame();
+        let Response::Stats(back) = Response::from_frame(&frame).unwrap() else {
+            panic!("stats came back as a different kind");
+        };
+        assert_eq!(back, report);
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("async: 2 refutes, 17 schedules explored, 41 bivalent forks"),
+            "{rendered}"
+        );
+        // The async line only appears once the family has been exercised.
+        assert!(!StatsReport::default().to_string().contains("async:"));
     }
 
     #[test]

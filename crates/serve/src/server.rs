@@ -166,6 +166,7 @@ struct Counters {
     requests_put: AtomicU64,
     wrong_shard: AtomicU64,
     peer_fetches: AtomicU64,
+    async_refutes: AtomicU64,
 }
 
 /// One unit of CPU-bound work handed from the reactor to the pool.
@@ -207,6 +208,7 @@ impl Shared {
         let c = &self.counters;
         let cache = flm_sim::runcache::stats();
         let prefix = flm_sim::prefixcache::stats();
+        let async_stats = flm_core::refute::async_search_stats();
         let store = self
             .store
             .as_ref()
@@ -242,6 +244,9 @@ impl Shared {
             requests_put: c.requests_put.load(Ordering::Relaxed),
             wrong_shard: c.wrong_shard.load(Ordering::Relaxed),
             peer_fetches: c.peer_fetches.load(Ordering::Relaxed),
+            async_refutes: c.async_refutes.load(Ordering::Relaxed),
+            async_schedules_explored: async_stats.0,
+            async_bivalent_forks: async_stats.1,
             shard_id: self.config.shard.as_ref().map_or(0, |r| u64::from(r.id)),
             shard_count: self
                 .config
@@ -1090,6 +1095,9 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                     }
                 }
             };
+            if theorem == Theorem::FlpAsync {
+                c.async_refutes.fetch_add(1, Ordering::Relaxed);
+            }
             let policy = clamp_policy(params.policy, shared.config.policy_ceiling);
             let protocol = params.protocol.as_deref();
             let graph = params.graph.as_ref();

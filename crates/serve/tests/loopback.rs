@@ -3,7 +3,8 @@
 //!
 //! The load-bearing assertion is *byte identity*: a certificate served over
 //! the wire is exactly the bytes the library path produces for the same
-//! query, for all seven theorem families, even under concurrent clients.
+//! query, for all eight theorem families (the asynchronous FLP family
+//! included), even under concurrent clients.
 //! That is what makes `flm-serve` a transport for the proofs rather than a
 //! second implementation of them.
 
@@ -16,7 +17,7 @@ use flm_serve::rpc::Verdict;
 use flm_serve::server::{ServeConfig, Server};
 use flm_sim::RunPolicy;
 
-/// ≥8 simultaneous clients, each sweeping all 7 theorem families: every
+/// ≥8 simultaneous clients, each sweeping all 8 theorem families: every
 /// wire certificate is byte-identical to the library path, re-verifies over
 /// the Verify RPC, and audits clean over the Audit RPC.
 #[test]

@@ -320,14 +320,15 @@ fn rebalance_ships_misplaced_certificates_that_still_audit_clean() {
     let cluster = Cluster::start("rebalance");
     // Ship from the legacy directory as if it were shard 0's store.
     let report = shard::rebalance(&legacy_dir, &cluster.map, 0, true).unwrap();
-    assert_eq!(report.examined, 7, "{report}");
+    let families = Theorem::ALL.len() as u64;
+    assert_eq!(report.examined, families, "{report}");
     let misplaced: u64 = expected
         .iter()
         .filter(|(_, key, _)| cluster.map.owner_of_bytes(key) != 0)
         .count() as u64;
     assert_eq!(report.shipped, misplaced, "{report}");
     assert_eq!(report.failed, 0, "{report}");
-    assert_eq!(report.owned, 7 - misplaced, "{report}");
+    assert_eq!(report.owned, families - misplaced, "{report}");
     assert_eq!(report.removed, misplaced, "{report}");
 
     // Every shipped certificate now sits in its owner's store, fetchable

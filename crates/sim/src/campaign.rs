@@ -183,6 +183,60 @@ impl GraphFamily {
     }
 }
 
+/// The scheduling model a campaign cell runs under — the campaign's third
+/// sweep axis next to topology and fault plans.
+///
+/// `Sync` is the classic lock-step round model every pre-existing campaign
+/// ran; the async kinds drive the same protocol through the per-message
+/// scheduler of [`crate::async_sched`], either with the fair round-robin
+/// chooser or with the starvation adversaries. Async cells probe the
+/// scheduling model itself, so they only pair with the fault-free plan
+/// (`rule_count == 0`) and with problems whose devices speak boolean
+/// agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Lock-step synchronous rounds ([`crate::system::System`]).
+    Sync,
+    /// Per-message asynchronous delivery under the fair round-robin
+    /// chooser.
+    AsyncFair,
+    /// Per-message asynchronous delivery under the starvation adversaries
+    /// (one per victim node, bivalence look-ahead enabled).
+    AsyncAdversarial,
+}
+
+impl SchedulerKind {
+    /// Every kind, in the canonical sweep order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Sync,
+        SchedulerKind::AsyncFair,
+        SchedulerKind::AsyncAdversarial,
+    ];
+
+    /// The kind's report / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Sync => "sync",
+            SchedulerKind::AsyncFair => "async-fair",
+            SchedulerKind::AsyncAdversarial => "async-adversarial",
+        }
+    }
+
+    /// Parses a CLI spelling of the kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the accepted spellings.
+    pub fn parse(name: &str) -> Result<SchedulerKind, String> {
+        SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                format!("unknown scheduler {name:?} (want sync, async-fair, or async-adversarial)")
+            })
+    }
+}
+
 /// The agreement condition a campaign probe checks a protocol against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ProblemKind {
@@ -214,6 +268,16 @@ impl ProblemKind {
             ProblemKind::ApproxAgreement => "approx-agreement",
         }
     }
+
+    /// Whether the asynchronous scheduler axis probes this kind: the async
+    /// refuter assigns boolean inputs and checks agreement/termination, so
+    /// only the boolean-agreement problems are probeable.
+    pub fn async_probeable(self) -> bool {
+        matches!(
+            self,
+            ProblemKind::ByzantineAgreement | ProblemKind::WeakAgreement
+        )
+    }
 }
 
 /// A campaign: the seed, the sweep dimensions, and the run policy every
@@ -230,6 +294,11 @@ pub struct CampaignConfig {
     /// Fault-plan sizes (rule counts) to sweep; `0` probes the fault-free
     /// run.
     pub rule_counts: Vec<usize>,
+    /// Scheduling models to sweep. `[Sync]` reproduces the classic
+    /// synchronous campaign exactly (same specs, same seeds, same
+    /// certificates); adding async kinds appends async cells without
+    /// perturbing the synchronous ones.
+    pub schedulers: Vec<SchedulerKind>,
     /// Fault budget: plans draw their senders from at most `f` nodes, and
     /// a probe whose faulty + degraded set exceeds `f` is an incident, not
     /// a violation.
@@ -240,24 +309,36 @@ pub struct CampaignConfig {
 
 impl CampaignConfig {
     /// The full cross-product of run specs, in the canonical order
-    /// (protocols outermost, then graphs, then rule counts). Indices and
-    /// derived seeds are stable: the same config yields the same specs.
+    /// (protocols outermost, then graphs, then rule counts, then
+    /// schedulers). Indices and derived seeds are stable: the same config
+    /// yields the same specs, and a `[Sync]`-only scheduler axis yields
+    /// exactly the specs the pre-axis campaign produced. Async cells skip
+    /// fault plans (the async model has no injectors) and non-boolean
+    /// problems, so they never multiply the sweep blindly.
     pub fn specs(&self) -> Vec<RunSpec> {
         let mut out = Vec::new();
         for (problem, protocol) in &self.protocols {
             for graph in &self.graphs {
                 for &rule_count in &self.rule_counts {
-                    let index = out.len();
-                    out.push(RunSpec {
-                        index,
-                        problem: *problem,
-                        protocol: protocol.clone(),
-                        graph: *graph,
-                        graph_seed: mix64(self.seed ^ 0x6EAF ^ ((index as u64) << 8)),
-                        plan_seed: mix64(self.seed ^ 0xFA17 ^ ((index as u64) << 8)),
-                        rule_count,
-                        f: self.f,
-                    });
+                    for &scheduler in &self.schedulers {
+                        if scheduler != SchedulerKind::Sync
+                            && (rule_count != 0 || !problem.async_probeable())
+                        {
+                            continue;
+                        }
+                        let index = out.len();
+                        out.push(RunSpec {
+                            index,
+                            problem: *problem,
+                            protocol: protocol.clone(),
+                            graph: *graph,
+                            graph_seed: mix64(self.seed ^ 0x6EAF ^ ((index as u64) << 8)),
+                            plan_seed: mix64(self.seed ^ 0xFA17 ^ ((index as u64) << 8)),
+                            rule_count,
+                            scheduler,
+                            f: self.f,
+                        });
+                    }
                 }
             }
         }
@@ -285,6 +366,8 @@ pub struct RunSpec {
     pub plan_seed: u64,
     /// Number of fault rules to inject.
     pub rule_count: usize,
+    /// Scheduling model the cell runs under.
+    pub scheduler: SchedulerKind,
     /// Fault budget.
     pub f: usize,
 }
@@ -358,6 +441,8 @@ pub struct ViolationRecord {
     pub protocol: String,
     /// Graph family name (of the *original* scenario).
     pub graph: String,
+    /// Scheduling model the violation was found under ([`SchedulerKind::name`]).
+    pub scheduler: String,
     /// The violated condition, rendered.
     pub condition: String,
     /// Scenario size as found.
@@ -385,6 +470,8 @@ pub struct CampaignReport {
     pub graphs: usize,
     /// Rule counts swept.
     pub rule_counts: usize,
+    /// Scheduling models swept.
+    pub schedulers: usize,
     /// Runs attempted (the full cross-product).
     pub runs: usize,
     /// Violations found, shrunk, and emitted as certificates.
@@ -416,8 +503,9 @@ impl CampaignReport {
         s.push_str("{\n");
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!(
-            "  \"sweep\": {{\"protocols\": {}, \"graphs\": {}, \"rule_counts\": {}}},\n",
-            self.protocols, self.graphs, self.rule_counts
+            "  \"sweep\": {{\"protocols\": {}, \"graphs\": {}, \"rule_counts\": {}, \
+             \"schedulers\": {}}},\n",
+            self.protocols, self.graphs, self.rule_counts, self.schedulers
         ));
         s.push_str(&format!("  \"runs\": {},\n", self.runs));
         s.push_str(&format!(
@@ -434,12 +522,13 @@ impl CampaignReport {
             };
             s.push_str(&format!(
                 "    {{\"spec\": {}, \"problem\": {}, \"protocol\": {}, \"graph\": {}, \
-                 \"condition\": {}, \"original\": {}, \"shrunk\": {}, \
+                 \"scheduler\": {}, \"condition\": {}, \"original\": {}, \"shrunk\": {}, \
                  \"shrink_attempts\": {}, \"shrink_accepted\": {}, \"cert\": {}}}{}\n",
                 v.spec,
                 json_string(&v.problem),
                 json_string(&v.protocol),
                 json_string(&v.graph),
+                json_string(&v.scheduler),
                 json_string(&v.condition),
                 dims(&v.original),
                 dims(&v.shrunk),
@@ -510,6 +599,7 @@ mod tests {
                 GraphFamily::RandomRegular { n: 8, d: 3 },
             ],
             rule_counts: vec![0, 2],
+            schedulers: vec![SchedulerKind::Sync],
             f: 1,
             policy: RunPolicy::default(),
         }
@@ -522,6 +612,7 @@ mod tests {
         assert_eq!(specs.len(), 2 * 3 * 2);
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.index, i);
+            assert_eq!(s.scheduler, SchedulerKind::Sync);
         }
         let again = config.specs();
         assert_eq!(specs.len(), again.len());
@@ -529,6 +620,43 @@ mod tests {
             assert_eq!(a.graph_seed, b.graph_seed);
             assert_eq!(a.plan_seed, b.plan_seed);
         }
+    }
+
+    #[test]
+    fn async_scheduler_cells_skip_fault_plans_and_foreign_problems() {
+        let mut config = smoke_config();
+        let sync_only = config.specs().len();
+        config.schedulers = vec![
+            SchedulerKind::Sync,
+            SchedulerKind::AsyncFair,
+            SchedulerKind::AsyncAdversarial,
+        ];
+        let specs = config.specs();
+        // Async cells: both protocols are boolean-agreement kinds, paired
+        // only with rule_count == 0, across 3 graphs and 2 async kinds.
+        assert_eq!(specs.len(), sync_only + 2 * 3 * 2);
+        for s in &specs {
+            if s.scheduler != SchedulerKind::Sync {
+                assert_eq!(s.rule_count, 0, "async cells are fault-free");
+                assert!(s.problem.async_probeable());
+            }
+        }
+        // The sync prefix of the sweep is NOT index-stable when async kinds
+        // interleave, but every sync cell's (protocol, graph, rules) cross
+        // product must still be complete.
+        let sync_cells = specs
+            .iter()
+            .filter(|s| s.scheduler == SchedulerKind::Sync)
+            .count();
+        assert_eq!(sync_cells, sync_only);
+    }
+
+    #[test]
+    fn scheduler_kinds_parse_their_own_names() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(SchedulerKind::parse("asynchronous").is_err());
     }
 
     #[test]
@@ -583,12 +711,14 @@ mod tests {
             protocols: 2,
             graphs: 3,
             rule_counts: 2,
+            schedulers: 1,
             runs: 12,
             violations: vec![ViolationRecord {
                 spec: 4,
                 problem: "byzantine-agreement".into(),
                 protocol: "Table(7)".into(),
                 graph: "ring6".into(),
+                scheduler: "sync".into(),
                 condition: "agreement \"broken\"".into(),
                 original: ScenarioDims {
                     nodes: 6,

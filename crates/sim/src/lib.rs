@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod async_sched;
 pub mod auth;
 pub mod behavior;
 pub mod campaign;

@@ -44,6 +44,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::async_sched::AsyncRun;
 use crate::behavior::SystemBehavior;
 use crate::clock::ClockBehavior;
 
@@ -128,6 +129,7 @@ pub fn fingerprint(bytes: &[u8]) -> u64 {
 enum CachedValue {
     Discrete(Arc<SystemBehavior>),
     Clock(Arc<ClockBehavior>),
+    Async(Arc<AsyncRun>),
 }
 
 struct Entry {
@@ -312,6 +314,41 @@ pub fn memoize_clock<E>(
         approx,
     );
     Ok(behavior)
+}
+
+/// [`memoize_discrete`] for asynchronous runs. Callers key these under the
+/// dedicated `"async"` domain (see [`RunKey::new`]), so an asynchronous
+/// run can never alias a synchronous one even for an identical assembly:
+/// the domain tag is part of the compared key bytes, and the cached value
+/// type differs besides.
+///
+/// # Errors
+///
+/// Whatever `run` returns; a cache hit never errors.
+pub fn memoize_async<E>(
+    key: &RunKey,
+    run: impl FnOnce() -> Result<AsyncRun, E>,
+) -> Result<Arc<AsyncRun>, E> {
+    if !active() {
+        return run().map(Arc::new);
+    }
+    {
+        let mut store = store().lock().expect("run cache poisoned");
+        if let Some((CachedValue::Async(b), approx)) = store.lookup_touch(key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            BYTES_SAVED.fetch_add(approx, Ordering::Relaxed);
+            return Ok(b);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let outcome = Arc::new(run()?);
+    let approx = outcome.approx_bytes();
+    store().lock().expect("run cache poisoned").insert(
+        key,
+        CachedValue::Async(Arc::clone(&outcome)),
+        approx,
+    );
+    Ok(outcome)
 }
 
 /// Drops every cached behavior (counters are kept; see [`reset_stats`]).

@@ -1,0 +1,228 @@
+//! Determinism and anti-aliasing pins for the asynchronous scheduling
+//! adversary.
+//!
+//! Two properties make asynchronous certificates trustworthy. First,
+//! schedules are a pure function of (assembly, strategy, policy): the same
+//! seed yields the byte-identical schedule whether the run happens on this
+//! thread or on a `flm_par` worker, so a certificate minted anywhere
+//! replays everywhere. Second, asynchronous cache entries live in their own
+//! `"async"` key domain: an async run over some assembly can never be
+//! served a synchronous run's cached behavior (or vice versa), even when
+//! the encoded assembly bytes are identical.
+
+use flm_graph::{builders, NodeId};
+use flm_sim::async_sched::{AsyncSystem, Strategy};
+use flm_sim::device::snapshot;
+use flm_sim::runcache::{self, RunKey};
+use flm_sim::wire::Writer;
+use flm_sim::{Decision, Device, Input, NodeCtx, Payload, RunPolicy, Tick};
+
+/// Broadcast-once, decide-OR-when-everyone-reported: the canonical
+/// asynchronous prey. Forkable, so the adversarial strategy's bivalence
+/// look-ahead engages.
+#[derive(Clone)]
+struct WaitAll {
+    my: bool,
+    heard: Vec<bool>,
+    acc: bool,
+    decided: Option<bool>,
+}
+
+impl WaitAll {
+    fn new() -> WaitAll {
+        WaitAll {
+            my: false,
+            heard: Vec::new(),
+            acc: false,
+            decided: None,
+        }
+    }
+}
+
+impl Device for WaitAll {
+    fn name(&self) -> &'static str {
+        "det-wait-all"
+    }
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.my = matches!(ctx.input, Input::Bool(true));
+        self.heard = vec![false; ctx.port_count()];
+    }
+    fn step(&mut self, t: Tick, inbox: &[Option<Payload>]) -> Vec<Option<Payload>> {
+        for (p, m) in inbox.iter().enumerate() {
+            if let Some(m) = m {
+                self.heard[p] = true;
+                self.acc |= m.as_bytes() == [1];
+            }
+        }
+        if self.decided.is_none() && self.heard.iter().all(|&h| h) {
+            self.decided = Some(self.acc || self.my);
+        }
+        if t.0 == 0 {
+            vec![Some(Payload::new(vec![u8::from(self.my)])); inbox.len()]
+        } else {
+            vec![None; inbox.len()]
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        match self.decided {
+            Some(b) => snapshot::decided_bool(b, &[]),
+            None => snapshot::undecided(&[]),
+        }
+    }
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+fn assemble(n: usize) -> AsyncSystem {
+    let mut sys = AsyncSystem::new(builders::complete(n));
+    for v in sys.graph().nodes() {
+        sys.assign(v, Box::new(WaitAll::new()), Input::Bool(v.0 == 0));
+    }
+    sys
+}
+
+/// Canonical schedule bytes, the form certificates and cache keys carry.
+fn schedule_bytes(schedule: &[u32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(schedule.len() as u32);
+    for &e in schedule {
+        w.u32(e);
+    }
+    w.finish()
+}
+
+#[test]
+fn same_seed_same_schedule_sequential_vs_parallel() {
+    let strategies = [
+        Strategy::Fair,
+        Strategy::Random { seed: 0x5eed_0001 },
+        Strategy::Adversarial {
+            seed: 1,
+            victim: NodeId(2),
+        },
+    ];
+    let policy = RunPolicy::default();
+    for strategy in strategies {
+        let reference = assemble(4).run(&strategy, &policy).unwrap();
+        let parallel = flm_par::par_map(vec![strategy; 8], |s| {
+            assemble(4).run(&s, &RunPolicy::default()).unwrap()
+        });
+        for (i, run) in parallel.iter().enumerate() {
+            assert_eq!(
+                run,
+                &reference,
+                "worker {i} diverged from the sequential run under {}",
+                strategy.describe()
+            );
+            assert_eq!(
+                schedule_bytes(&run.schedule),
+                schedule_bytes(&reference.schedule),
+                "schedule bytes diverged under {}",
+                strategy.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_the_recorded_run_bit_for_bit() {
+    let policy = RunPolicy::default();
+    for strategy in [
+        Strategy::Fair,
+        Strategy::Adversarial {
+            seed: 0,
+            victim: NodeId(0),
+        },
+    ] {
+        let recorded = assemble(4).run(&strategy, &policy).unwrap();
+        let replayed = assemble(4).replay(&recorded.schedule, &policy).unwrap();
+        assert_eq!(replayed.schedule, recorded.schedule);
+        assert_eq!(replayed.decisions, recorded.decisions);
+        assert_eq!(replayed.pending, recorded.pending);
+        assert_eq!(replayed.budget_exhausted, recorded.budget_exhausted);
+        assert_eq!(
+            schedule_bytes(&replayed.schedule),
+            schedule_bytes(&recorded.schedule),
+            "replay must reproduce the canonical schedule bytes exactly"
+        );
+    }
+}
+
+#[test]
+fn adversarial_starvation_is_stable_across_victims() {
+    // Each victim choice is its own deterministic universe: running twice
+    // with the same (seed, victim) is byte-identical, and distinct victims
+    // leave their own node (and only pending channels aimed at it) starved.
+    let policy = RunPolicy::default();
+    for victim in assemble(4).graph().nodes() {
+        let strategy = Strategy::Adversarial { seed: 0, victim };
+        let a = assemble(4).run(&strategy, &policy).unwrap();
+        let b = assemble(4).run(&strategy, &policy).unwrap();
+        assert_eq!(a, b, "same (seed, victim) must be reproducible");
+        assert_eq!(a.undecided(), vec![victim]);
+        assert_eq!(a.decisions[victim.index()], None::<Decision>);
+    }
+}
+
+#[test]
+fn async_keys_never_alias_sync_domains() {
+    // The domain tag is part of the compared key bytes: identical payloads
+    // under "async" and any synchronous domain are different keys.
+    let payload = b"det-pin:assembly-bytes".to_vec();
+    let async_key = RunKey::new("async", payload.clone());
+    for sync_domain in ["cover", "link", "clock", "discrete"] {
+        let sync_key = RunKey::new(sync_domain, payload.clone());
+        assert_ne!(
+            async_key.bytes(),
+            sync_key.bytes(),
+            "async key aliased the {sync_domain} domain"
+        );
+    }
+    // The NUL separator makes the split unambiguous: a hostile payload
+    // cannot smuggle itself into another domain by prefixing domain bytes.
+    let smuggled = RunKey::new("asy", b"nc\0payload".to_vec());
+    let honest = RunKey::new("async", b"payload".to_vec());
+    assert_ne!(smuggled.bytes(), honest.bytes());
+}
+
+#[test]
+fn async_cache_entries_do_not_serve_sync_probes() {
+    // Same key payload, different domain: a cached async run must never be
+    // handed to a synchronous memoization (and the reverse). The sync probe
+    // under its own domain misses and runs its own closure.
+    let payload = b"det-pin:anti-alias-probe".to_vec();
+    let async_key = RunKey::new("async", payload.clone());
+
+    let run = runcache::memoize_async::<&str>(&async_key, || {
+        Ok(assemble(3)
+            .run(&Strategy::Fair, &RunPolicy::default())
+            .unwrap())
+    })
+    .unwrap();
+    // Warm: the same async key now hits without re-running.
+    let warm =
+        runcache::memoize_async::<&str>(&async_key, || panic!("async hit expected")).unwrap();
+    assert_eq!(*warm, *run);
+
+    // A discrete probe with the byte-identical payload must not see it.
+    let sync_key = RunKey::new("discrete", payload);
+    let mut sync_ran = false;
+    let _ = runcache::memoize_discrete::<&str>(&sync_key, || {
+        sync_ran = true;
+        let mut sys = flm_sim::System::new(builders::triangle());
+        for v in [NodeId(0), NodeId(1), NodeId(2)] {
+            sys.assign(
+                v,
+                Box::new(flm_sim::devices::NaiveMajorityDevice::new()),
+                Input::Bool(true),
+            );
+        }
+        Ok(sys.run(RunPolicy::default().max_ticks))
+    })
+    .unwrap();
+    assert!(
+        sync_ran,
+        "a synchronous probe was served an asynchronous cache entry"
+    );
+}

@@ -315,6 +315,16 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/flm-audit "$tmpdir/ba.flmc" --quiet
 ./target/release/regen --refute clock-sync --emit-cert "$tmpdir/clock.flmc"
 ./target/release/flm-audit "$tmpdir/clock.flmc" --quiet
+# The asynchronous (kind 2) family: the certificate's body is the full
+# adversarial schedule, the audit replays it, and a rerun must reproduce
+# the bytes exactly — schedules are deterministic, not sampled.
+./target/release/regen --refute flp-async --emit-cert "$tmpdir/async.flmc"
+./target/release/flm-audit "$tmpdir/async.flmc" --quiet
+./target/release/regen --refute flp-async --emit-cert "$tmpdir/async2.flmc" > /dev/null
+cmp "$tmpdir/async.flmc" "$tmpdir/async2.flmc" || {
+    echo "flp-async is not reproducible: emitted certificates differ"
+    exit 1
+}
 head -c 40 "$tmpdir/ba.flmc" > "$tmpdir/truncated.flmc"
 cat "$tmpdir/ba.flmc" <(printf 'junk') > "$tmpdir/trailing.flmc"
 for mutant in truncated trailing; do

@@ -86,7 +86,7 @@ fn clock_certificate_round_trips() {
     let bytes = cert.to_bytes();
     let decoded = match flm_core::codec::decode_any(&bytes).unwrap() {
         AnyCertificate::Clock(c) => c,
-        AnyCertificate::Discrete(_) => panic!("clock cert decoded as discrete"),
+        other => panic!("clock cert decoded as a different kind: {other:?}"),
     };
     assert_eq!(decoded.to_bytes(), bytes);
     let resolved = resolve_clock(&decoded.protocol).unwrap();

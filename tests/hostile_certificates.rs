@@ -283,6 +283,117 @@ fn protocol_mismatch_is_an_error_not_a_panic() {
     ));
 }
 
+/// Produces a genuine asynchronous starvation certificate to mutate: the
+/// `WaitForAll` prey on the complete 4-graph, refuted by the scheduling
+/// adversary.
+fn async_sample() -> (
+    flm_core::refute::AsyncCertificate,
+    Box<dyn flm_sim::Protocol>,
+) {
+    let protocol = flm_protocols::resolve("WaitForAll").unwrap();
+    let cert = refute::flp_async(&*protocol, &builders::complete(4)).unwrap();
+    (cert, protocol)
+}
+
+/// Kind-2 (asynchronous) certificates: truncating at every prefix length is
+/// a structured decode error, never a panic.
+#[test]
+fn async_truncation_at_every_offset_is_structured() {
+    let (cert, _) = async_sample();
+    let bytes = cert.to_bytes();
+    for cut in 0..bytes.len() {
+        let err = flm_core::refute::AsyncCertificate::from_bytes(&bytes[..cut])
+            .expect_err(&format!("prefix of {cut} bytes decoded successfully"));
+        let _ = err.to_string();
+    }
+    assert!(flm_core::refute::AsyncCertificate::from_bytes(&bytes).is_ok());
+}
+
+/// Kind-2: flipping any single byte either fails structurally or decodes to
+/// bytes that re-encode canonically and verify without panicking.
+#[test]
+fn async_corruption_at_every_offset_never_panics() {
+    let (cert, protocol) = async_sample();
+    let bytes = cert.to_bytes();
+    for offset in 0..bytes.len() {
+        let mut mutant = bytes.clone();
+        mutant[offset] ^= 0xFF;
+        match flm_core::refute::AsyncCertificate::from_bytes(&mutant) {
+            Err(e) => {
+                let _ = e.to_string();
+            }
+            Ok(decoded) => {
+                assert_eq!(
+                    decoded.to_bytes(),
+                    mutant,
+                    "offset {offset}: accepted bytes do not re-encode identically"
+                );
+                let _ = decoded.verify(&*protocol);
+            }
+        }
+    }
+}
+
+#[test]
+fn async_trailing_garbage_is_rejected() {
+    let (cert, _) = async_sample();
+    let mut bytes = cert.to_bytes();
+    bytes.extend_from_slice(b"extra");
+    assert!(matches!(
+        flm_core::refute::AsyncCertificate::from_bytes(&bytes),
+        Err(CertDecodeError::TrailingBytes { count: 5 })
+    ));
+}
+
+/// Forged schedules are caught in layers: an out-of-range edge index and a
+/// schedule longer than its own fairness budget die at decode; an entry
+/// that replays an already-delivered message decodes (the indices are in
+/// range) but the replay finds the channel empty and reports Malformed.
+#[test]
+fn async_forged_schedules_are_structured() {
+    let (cert, protocol) = async_sample();
+    let edges = cert.base.directed_edges().len() as u32;
+
+    // Out-of-range directed-edge index.
+    let mut out_of_range = cert.clone();
+    out_of_range.schedule[0] = edges;
+    assert!(matches!(
+        flm_core::refute::AsyncCertificate::from_bytes(&out_of_range.to_bytes()),
+        Err(CertDecodeError::Invalid {
+            context: "schedule",
+            ..
+        })
+    ));
+
+    // Schedule/horizon mismatch: more deliveries than the recorded budget.
+    let mut over_budget = cert.clone();
+    over_budget.policy.max_ticks = (over_budget.schedule.len() as u32).saturating_sub(1);
+    assert!(matches!(
+        flm_core::refute::AsyncCertificate::from_bytes(&over_budget.to_bytes()),
+        Err(CertDecodeError::Invalid {
+            context: "schedule",
+            ..
+        })
+    ));
+
+    // Replayed-after-delivered: WaitForAll broadcasts exactly once, so each
+    // directed edge carries one message ever; delivering some edge a second
+    // time asks an empty channel to perform.
+    assert!(cert.schedule.len() >= 2, "need a schedule worth forging");
+    let mut replayed = cert.clone();
+    let last = replayed.schedule.len() - 1;
+    replayed.schedule[last] = replayed.schedule[0];
+    let round_tripped =
+        flm_core::refute::AsyncCertificate::from_bytes(&replayed.to_bytes()).unwrap();
+    assert!(matches!(
+        round_tripped.verify(&*protocol),
+        Err(VerifyError::Malformed { .. }) | Err(VerifyError::NotReproduced { .. })
+    ));
+
+    // The untouched original still passes end to end.
+    cert.verify(&*protocol).unwrap();
+}
+
 /// Clock certificates get the same treatment: byte corruption is structural.
 #[test]
 fn clock_certificate_corruption_never_panics() {
